@@ -1,0 +1,227 @@
+// Package tag is a Go implementation of Table-Augmented Generation (TAG),
+// the unified model for answering natural-language questions over
+// databases proposed in "Text2SQL is Not Enough: Unifying AI and Databases
+// with TAG" (CIDR 2025).
+//
+// A TAG system answers a request R in three steps:
+//
+//	syn(R)     -> Q    query synthesis    (LM turns the question into SQL)
+//	exec(Q)    -> T    query execution    (database computes the table)
+//	gen(R, T)  -> A    answer generation  (LM writes the answer from R, T)
+//
+// The package bundles everything a TAG system needs, implemented from
+// scratch on the standard library: an embedded SQL engine, a deterministic
+// simulated LM (stand-in for Llama-3.1-70B + vLLM), an embedding model and
+// vector index (stand-ins for E5 + FAISS), LOTUS-style semantic operators,
+// the five methods of the paper's evaluation, and the 80-query TAG-Bench
+// benchmark with its harness.
+//
+// Quick start:
+//
+//	sys, _ := tag.Open("movies")
+//	resp, _ := sys.Ask(ctx, "Summarize the review of the reviews whose genre is 'Romance'.")
+//	fmt.Println(resp.Answer)
+//
+// See the examples/ directory for complete programs.
+package tag
+
+import (
+	"context"
+	"fmt"
+
+	"tag/internal/core"
+	"tag/internal/llm"
+	"tag/internal/sem"
+	"tag/internal/sqldb"
+	"tag/internal/tagbench"
+	"tag/internal/tagbench/domains"
+	"tag/internal/world"
+)
+
+// Re-exported building blocks. The aliases give downstream users the full
+// method sets of the internal implementations through a stable import path.
+type (
+	// Database is the embedded SQL engine (the exec substrate).
+	Database = sqldb.Database
+	// Result is a materialised query result.
+	Result = sqldb.Result
+	// Value is a dynamically typed SQL value.
+	Value = sqldb.Value
+	// DataFrame is the semantic-operator frame (LOTUS substitute).
+	DataFrame = sem.DataFrame
+	// Model is the language-model inference interface.
+	Model = llm.Model
+	// Profile configures the simulated LM's fallibility.
+	Profile = llm.Profile
+	// Report aggregates benchmark outcomes (Table 1 / Table 2 printers).
+	Report = core.Report
+	// Method is a question-answering strategy under evaluation.
+	Method = core.Method
+	// Query is one TAG-Bench query.
+	Query = tagbench.Query
+)
+
+// NewDatabase returns an empty embedded database.
+func NewDatabase() *Database { return sqldb.NewDatabase() }
+
+// DefaultProfile is the calibrated 70B-like model profile used by the
+// benchmark.
+func DefaultProfile() Profile { return llm.DefaultProfile() }
+
+// OracleProfile is a perfect model (no noise, unbounded context) for
+// debugging pipelines.
+func OracleProfile() Profile { return llm.OracleProfile() }
+
+// Domains lists the built-in benchmark domains plus "movies".
+func Domains() []string { return append(domains.Names(), "movies") }
+
+// BenchmarkQueries returns the 80 TAG-Bench queries.
+func BenchmarkQueries() []*Query { return tagbench.Queries() }
+
+// System is a ready-to-query TAG system: a database plus a language model
+// wired through the TAG pipeline and the semantic-operator runtime.
+type System struct {
+	env      *core.Env
+	model    *llm.SimLM
+	pipeline *core.Pipeline
+}
+
+// Option configures a System.
+type Option func(*options)
+
+type options struct {
+	profile *Profile
+	lmUDFs  bool
+}
+
+// WithProfile selects the LM fallibility profile (default: DefaultProfile).
+func WithProfile(p Profile) Option {
+	return func(o *options) { o.profile = &p }
+}
+
+// WithLMUDFs enables LM user-defined functions inside SQL (LLM_FILTER,
+// LLM_SCORE, LLM_MAP), letting synthesised queries run semantic predicates
+// during exec — the §2.1 design point.
+func WithLMUDFs() Option {
+	return func(o *options) { o.lmUDFs = true }
+}
+
+// Open builds a System over one of the built-in generated domains
+// (Domains() lists them).
+func Open(domain string, opts ...Option) (*System, error) {
+	db, err := domains.Build(domain)
+	if err != nil {
+		return nil, err
+	}
+	return New(domain, db, opts...), nil
+}
+
+// New builds a System over a caller-provided database.
+func New(name string, db *Database, opts ...Option) *System {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	profile := llm.DefaultProfile()
+	if o.profile != nil {
+		profile = *o.profile
+	}
+	model := llm.NewSimLM(world.Default(), profile, llm.NewClock(), llm.DefaultCostModel())
+	sys := &System{
+		env:   core.NewEnv(name, db),
+		model: model,
+		pipeline: &core.Pipeline{
+			Model:     model,
+			UseLMUDFs: o.lmUDFs,
+		},
+	}
+	if o.lmUDFs {
+		core.RegisterLMUDFs(context.Background(), db, model)
+	}
+	return sys
+}
+
+// DB exposes the underlying database.
+func (s *System) DB() *Database { return s.env.DB }
+
+// Model exposes the underlying language model.
+func (s *System) Model() Model { return s.model }
+
+// LMSeconds reports the simulated LM time consumed so far.
+func (s *System) LMSeconds() float64 { return s.model.Clock().Now() }
+
+// Response is the result of one TAG pipeline run, exposing every
+// intermediate artefact (Figure 1's three stages).
+type Response struct {
+	Question string
+	SQL      string  // syn(R)
+	Table    *Result // exec(Q)
+	Answer   string  // gen(R, T)
+}
+
+// Ask answers a natural-language question with the full TAG pipeline
+// (automatic query synthesis). Questions follow the controlled grammar of
+// the benchmark; see the examples.
+func (s *System) Ask(ctx context.Context, question string) (*Response, error) {
+	res, err := s.pipeline.Run(ctx, s.env, question)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Question: res.Question,
+		SQL:      res.SQL,
+		Table:    res.Table,
+		Answer:   res.Answer,
+	}, nil
+}
+
+// Frame loads a table as a DataFrame for hand-written pipelines mixing
+// relational and semantic operators.
+func (s *System) Frame(table string) (*DataFrame, error) {
+	return sem.FromTable(s.env.DB, table)
+}
+
+// FrameQuery runs SQL and wraps the result as a DataFrame.
+func (s *System) FrameQuery(sql string, params ...any) (*DataFrame, error) {
+	res, err := s.env.DB.Query(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	return sem.FromResult(res), nil
+}
+
+// SemFilter, SemTopK, SemAgg entry points are methods on DataFrame; the
+// System provides the model to pass in:
+//
+//	df, _ := sys.Frame("schools")
+//	sv, _ := df.SemFilter(ctx, sys.Model(), "{City} is a city in the Silicon Valley region")
+
+// RunBenchmark evaluates the paper's five methods on TAG-Bench and returns
+// the report (Table1/Table2/SpeedupLine printers).
+func RunBenchmark(ctx context.Context, profile Profile) (*Report, error) {
+	envs, err := core.BuildEnvs()
+	if err != nil {
+		return nil, err
+	}
+	return core.RunBenchmark(ctx, envs, core.NewDefaultMethods(profile), nil)
+}
+
+// Figure2 renders the paper's qualitative aggregation comparison.
+func Figure2(ctx context.Context, profile Profile) (string, error) {
+	envs, err := core.BuildEnvs()
+	if err != nil {
+		return "", err
+	}
+	return core.Figure2(ctx, envs, profile)
+}
+
+// ExplainPipeline prints the hand-written TAG operator chain for a
+// benchmark query id.
+func ExplainPipeline(queryID string) (string, error) {
+	for _, q := range tagbench.Queries() {
+		if q.ID == queryID {
+			return core.PipelineFor(q.Spec), nil
+		}
+	}
+	return "", fmt.Errorf("tag: no benchmark query %q", queryID)
+}

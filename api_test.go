@@ -1,0 +1,123 @@
+package tag
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestOpenAllDomains(t *testing.T) {
+	for _, d := range Domains() {
+		sys, err := Open(d)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", d, err)
+		}
+		if len(sys.DB().TableNames()) == 0 {
+			t.Errorf("%s: no tables", d)
+		}
+	}
+	if _, err := Open("no_such_domain"); err == nil {
+		t.Error("unknown domain must fail")
+	}
+}
+
+func TestSystemAskPipeline(t *testing.T) {
+	sys, err := Open("movies", WithLMUDFs(), WithProfile(OracleProfile()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sys.Ask(context.Background(),
+		"Among the movies whose genre is 'Romance', how many of them are considered a 'classic'?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.SQL, "LLM_FILTER('classic movie'") {
+		t.Errorf("syn should call the LM UDF:\n%s", resp.SQL)
+	}
+	if resp.Answer != "[5]" {
+		t.Errorf("answer = %s, want [5] (Titanic, Casablanca, Roman Holiday, Ghost, When Harry Met Sally)", resp.Answer)
+	}
+	if sys.LMSeconds() <= 0 {
+		t.Error("LM time should accrue")
+	}
+}
+
+func TestSystemFrameSemanticOps(t *testing.T) {
+	sys, err := Open("movies", WithProfile(OracleProfile()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	df, err := sys.FrameQuery("SELECT title, revenue FROM movies WHERE genre = 'Romance' ORDER BY revenue DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classics, err := df.SemFilter(ctx, sys.Model(), "{title} is a movie widely considered a classic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classics.Len() == 0 || classics.Value(0, "title").AsText() != "Titanic" {
+		t.Errorf("highest grossing classic should be Titanic, got %v", classics.Value(0, "title"))
+	}
+	if _, err := sys.Frame("movies"); err != nil {
+		t.Errorf("Frame: %v", err)
+	}
+	if _, err := sys.Frame("nope"); err == nil {
+		t.Error("Frame on missing table must fail")
+	}
+}
+
+func TestNewWithCustomDatabase(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE notes (id INTEGER PRIMARY KEY, body TEXT)")
+	db.MustExec("INSERT INTO notes VALUES (1, 'an absolute masterpiece from start to finish')")
+	sys := New("notes", db, WithProfile(OracleProfile()))
+	df, err := sys.Frame("notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := df.SemFilter(context.Background(), sys.Model(), "the following text is positive: {body}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Len() != 1 {
+		t.Errorf("positive notes = %d", pos.Len())
+	}
+}
+
+func TestBenchmarkQueriesExposed(t *testing.T) {
+	qs := BenchmarkQueries()
+	if len(qs) != 80 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+}
+
+func TestExplainPipeline(t *testing.T) {
+	out, err := ExplainPipeline("RR-01")
+	if err != nil || !strings.Contains(out, "sem_topk") {
+		t.Errorf("ExplainPipeline: %q err=%v", out, err)
+	}
+	if _, err := ExplainPipeline("ZZ-99"); err == nil {
+		t.Error("unknown query id must fail")
+	}
+}
+
+func TestRunBenchmarkSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark in -short mode")
+	}
+	rep, err := RunBenchmark(context.Background(), DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Table1(), "Hand-written TAG") {
+		t.Error("Table 1 missing TAG row")
+	}
+}
+
+func TestFigure2Exposed(t *testing.T) {
+	fig, err := Figure2(context.Background(), DefaultProfile())
+	if err != nil || !strings.Contains(fig, "Sepang") {
+		t.Errorf("Figure2: err=%v", err)
+	}
+}

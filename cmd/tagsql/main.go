@@ -1,0 +1,121 @@
+// Command tagsql is an interactive SQL shell over the embedded engine,
+// with the built-in benchmark domains preloaded and — with -udf — the LM
+// user-defined functions registered, so semantic predicates run inside
+// SQL:
+//
+//	tagsql -domain movies -udf
+//	sql> SELECT title FROM movies WHERE LLM_FILTER('classic movie', title);
+//
+// Meta commands: .tables, .schema, .domains, .quit.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tag/internal/core"
+	"tag/internal/llm"
+	"tag/internal/sqldb"
+	"tag/internal/tagbench/domains"
+	"tag/internal/world"
+)
+
+func main() {
+	domain := flag.String("domain", "movies", "built-in domain to load (see .domains)")
+	udf := flag.Bool("udf", false, "register LM UDFs (LLM_FILTER/LLM_SCORE/LLM_MAP)")
+	execSQL := flag.String("e", "", "execute one statement and exit")
+	flag.Parse()
+
+	db, err := domains.Build(*domain)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tagsql:", err)
+		os.Exit(1)
+	}
+	if *udf {
+		model := llm.NewSimLM(world.Default(), llm.DefaultProfile(), llm.NewClock(), llm.DefaultCostModel())
+		core.RegisterLMUDFs(context.Background(), db, model)
+	}
+
+	if *execSQL != "" {
+		run(db, *execSQL)
+		return
+	}
+
+	fmt.Printf("tagsql — embedded TAG SQL shell (domain %s, LM UDFs %v)\n", *domain, *udf)
+	fmt.Println(`type SQL terminated by ';', or .tables / .schema / .domains / .explain <sql> / .quit`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("sql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == ".quit" || trimmed == ".exit":
+			return
+		case trimmed == ".tables":
+			for _, t := range db.TableNames() {
+				fmt.Println(t)
+			}
+			fmt.Print("sql> ")
+			continue
+		case trimmed == ".schema":
+			fmt.Println(db.SchemaSQL())
+			fmt.Print("sql> ")
+			continue
+		case strings.HasPrefix(trimmed, ".explain "):
+			lines, err := db.Explain(strings.TrimPrefix(trimmed, ".explain "))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				for _, l := range lines {
+					fmt.Println(l)
+				}
+			}
+			fmt.Print("sql> ")
+			continue
+		case trimmed == ".domains":
+			for _, d := range append(domains.Names(), "movies") {
+				fmt.Println(d)
+			}
+			fmt.Print("sql> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.Contains(line, ";") {
+			run(db, buf.String())
+			buf.Reset()
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("  -> ")
+		}
+	}
+}
+
+func run(db *sqldb.Database, src string) {
+	src = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), ";"))
+	if src == "" {
+		return
+	}
+	if strings.HasPrefix(strings.ToUpper(src), "SELECT") {
+		res, err := db.Query(src)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(res.String())
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	n, err := db.Exec(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows affected)\n", n)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"tag/internal/llm"
+	"tag/internal/nlq"
+	"tag/internal/world"
+)
+
+func TestDropLastConjunct(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{
+			"SELECT a FROM t WHERE x = 1 AND y = 2 ORDER BY a DESC LIMIT 1",
+			"SELECT a FROM t WHERE x = 1 ORDER BY a DESC LIMIT 1",
+			true,
+		},
+		{
+			"SELECT a FROM t WHERE x = 1",
+			"SELECT a FROM t",
+			true,
+		},
+		{
+			"SELECT a FROM t WHERE x = 1 LIMIT 3",
+			"SELECT a FROM t LIMIT 3",
+			true,
+		},
+		{"SELECT a FROM t", "", false},
+	}
+	for _, c := range cases {
+		got, ok := dropLastConjunct(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("dropLastConjunct(%q) = %q,%v; want %q,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestAgenticRepairsFailedSQL(t *testing.T) {
+	env := envsForTest(t)["european_football_2"]
+	// A model whose first synthesis is broken: wrap the oracle and corrupt
+	// the first Text2SQL output.
+	broken := &corruptFirstSQL{inner: oracleLM()}
+	m := &AgenticTAG{Model: broken, MaxHops: 3}
+	q := queryByID(t, "CK-01")
+	ans, trace, err := m.AnswerTraced(context.Background(), env, q)
+	if err != nil {
+		t.Fatalf("agentic should recover: %v (trace %v)", err, trace.Hops)
+	}
+	if len(ans.Values) != 1 {
+		t.Fatalf("answer = %+v", ans)
+	}
+	if len(trace.Hops) < 2 {
+		t.Errorf("expected repair hops, trace = %v", trace.Hops)
+	}
+}
+
+// corruptFirstSQL breaks the first query-synthesis completion, forcing the
+// agentic loop to repair or fall back.
+type corruptFirstSQL struct {
+	inner *llm.SimLM
+	done  bool
+}
+
+func (c *corruptFirstSQL) Name() string       { return "corrupt-" + c.inner.Name() }
+func (c *corruptFirstSQL) ContextWindow() int { return c.inner.ContextWindow() }
+
+func (c *corruptFirstSQL) Complete(ctx context.Context, prompt string) (string, error) {
+	out, err := c.inner.Complete(ctx, prompt)
+	if err == nil && !c.done && strings.HasPrefix(out, "SELECT") {
+		c.done = true
+		return out + " AND no_such_column = 1", nil
+	}
+	return out, err
+}
+
+func (c *corruptFirstSQL) CompleteBatch(ctx context.Context, prompts []string) ([]string, []error) {
+	return c.inner.CompleteBatch(ctx, prompts)
+}
+
+func TestAgenticFallsBackToHandwritten(t *testing.T) {
+	env := envsForTest(t)["codebase_community"]
+	// emptyAnswers forces pipeline answers to be empty lists so the loop
+	// reaches the hand-written fallback.
+	m := &AgenticTAG{Model: &emptyListGen{inner: oracleLM()}, MaxHops: 3}
+	q := queryByID(t, "CR-01")
+	ans, trace, err := m.AnswerTraced(context.Background(), env, q)
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	found := false
+	for _, h := range trace.Hops {
+		if h == "handwritten-fallback" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace = %v, want handwritten-fallback", trace.Hops)
+	}
+	if len(ans.Values) != 1 || ans.Values[0] != "3" {
+		t.Errorf("fallback answer = %v, want [3]", ans.Values)
+	}
+}
+
+// emptyListGen blanks answer-generation outputs while leaving other heads
+// intact.
+type emptyListGen struct {
+	inner *llm.SimLM
+}
+
+func (c *emptyListGen) Name() string       { return c.inner.Name() }
+func (c *emptyListGen) ContextWindow() int { return c.inner.ContextWindow() }
+
+func (c *emptyListGen) Complete(ctx context.Context, prompt string) (string, error) {
+	out, err := c.inner.Complete(ctx, prompt)
+	if err == nil && strings.HasPrefix(prompt, "You will be given a list of data points") {
+		return "[]", nil
+	}
+	return out, err
+}
+
+func (c *emptyListGen) CompleteBatch(ctx context.Context, prompts []string) ([]string, []error) {
+	return c.inner.CompleteBatch(ctx, prompts)
+}
+
+func TestAgenticBeatsPlainPipeline(t *testing.T) {
+	// Over the full benchmark with the calibrated profile, the agentic
+	// wrapper should never do worse than the plain auto-syn pipeline.
+	envs := envsForTest(t)
+	w := world.Default()
+	plainModel := llm.NewSimLM(w, llm.DefaultProfile(), llm.NewClock(), llm.DefaultCostModel())
+	agenticModel := llm.NewSimLM(w, llm.DefaultProfile(), llm.NewClock(), llm.DefaultCostModel())
+	plain := &TAGPipelineMethod{Pipeline: Pipeline{Model: plainModel, UseLMUDFs: true}}
+	agentic := &AgenticTAG{Model: agenticModel, MaxHops: 3, UseLMUDFs: true}
+	rep, err := RunBenchmark(context.Background(), envs, []Method{plain, agentic}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := rep.CellFor(plain.Name(), func(o Outcome) bool { return o.Type != nlq.Aggregation })
+	ac := rep.CellFor(agentic.Name(), func(o Outcome) bool { return o.Type != nlq.Aggregation })
+	if ac.Exact < pc.Exact {
+		t.Errorf("agentic %.2f should be >= plain pipeline %.2f", ac.Exact, pc.Exact)
+	}
+	t.Logf("plain pipeline %.2f vs agentic %.2f (TAG hand-written: 0.58)", pc.Exact, ac.Exact)
+}
+
+func TestAgenticOnBenchmarkQuery(t *testing.T) {
+	env := envsForTest(t)["formula_1"]
+	m := &AgenticTAG{Model: oracleLM(), MaxHops: 2}
+	q := queryByID(t, "AK-01")
+	ans, _, err := m.AnswerTraced(context.Background(), env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.Text, "1999") {
+		t.Errorf("agentic Sepang answer: %s", ans.Text)
+	}
+}

@@ -1,0 +1,159 @@
+// Package core implements the TAG model (query synthesis → query execution
+// → answer generation) and the five methods the paper evaluates:
+//
+//	Text2SQL            — LM writes SQL whose result *is* the answer
+//	RAG                 — embed rows, retrieve top-10, single LM call
+//	Retrieval + LM Rank — RAG with an LM reranking pass
+//	Text2SQL + LM       — LM writes retrieval SQL, rows go in context
+//	Hand-written TAG    — expert pipelines over semantic operators
+//
+// plus the benchmark harness that regenerates Table 1, Table 2 and
+// Figure 2.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"tag/internal/embed"
+	"tag/internal/llm"
+	"tag/internal/sqldb"
+	"tag/internal/tagbench"
+	"tag/internal/tagbench/domains"
+	"tag/internal/vector"
+	"tag/internal/world"
+)
+
+// Answer is a method's response to a benchmark query: a value list for
+// match/comparison/ranking queries, or free text for aggregation queries.
+type Answer struct {
+	Values []string
+	Text   string
+}
+
+// Method answers natural-language questions over a database environment.
+type Method interface {
+	Name() string
+	// Answer resolves the question. Errors (invalid SQL, context length)
+	// count as incorrect; their time is still charged.
+	Answer(ctx context.Context, env *Env, q *tagbench.Query) (*Answer, error)
+}
+
+// Env is one benchmark domain's execution environment, shared by all
+// methods: the database, its schema prompt, and a lazily built row-level
+// embedding index for the retrieval baselines.
+type Env struct {
+	Domain string
+	DB     *sqldb.Database
+	Schema string
+	World  *world.World
+
+	embedder *embed.Embedder
+
+	ragOnce  sync.Once
+	ragIndex *vector.Flat
+	ragRows  []llm.DataPoint
+	ragCols  [][]string // column order per row (for stable serialisation)
+	ragErr   error
+}
+
+// NewEnv wraps a database as a method environment.
+func NewEnv(domain string, db *sqldb.Database) *Env {
+	return &Env{
+		Domain:   domain,
+		DB:       db,
+		Schema:   db.SchemaSQL(),
+		World:    world.Default(),
+		embedder: embed.New(0),
+	}
+}
+
+// BuildEnvs constructs environments for all five benchmark domains.
+func BuildEnvs() (map[string]*Env, error) {
+	envs := make(map[string]*Env)
+	for _, name := range domains.Names() {
+		db, err := domains.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		envs[name] = NewEnv(name, db)
+	}
+	return envs, nil
+}
+
+// ragState builds (once) the row-level embedding index over every table in
+// the domain: each row serialised as "- col: val" lines, embedded, and
+// stored in an exact flat index — the paper's RAG setup.
+func (e *Env) ragState() (*vector.Flat, []llm.DataPoint, error) {
+	e.ragOnce.Do(func() {
+		idx := vector.NewFlat(e.embedder.Dim(), vector.Cosine)
+		id := 0
+		for _, table := range e.DB.TableNames() {
+			res, err := e.DB.Query("SELECT * FROM " + table)
+			if err != nil {
+				e.ragErr = err
+				return
+			}
+			for _, row := range res.Rows {
+				dp := make(llm.DataPoint, len(res.Columns))
+				text := ""
+				for ci, col := range res.Columns {
+					v := row[ci].AsText()
+					dp[col] = v
+					text += "- " + col + ": " + v + "\n"
+				}
+				if err := idx.Add(id, e.embedder.Embed(text)); err != nil {
+					e.ragErr = err
+					return
+				}
+				e.ragRows = append(e.ragRows, dp)
+				e.ragCols = append(e.ragCols, res.Columns)
+				id++
+			}
+		}
+		e.ragIndex = idx
+	})
+	return e.ragIndex, e.ragRows, e.ragErr
+}
+
+// retrieve returns the top-k rows for a question by embedding similarity.
+func (e *Env) retrieve(question string, k int) ([]llm.DataPoint, error) {
+	idx, rows, err := e.ragState()
+	if err != nil {
+		return nil, err
+	}
+	hits, err := idx.Search(e.embedder.Embed(question), k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]llm.DataPoint, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, rows[h.ID])
+	}
+	return out, nil
+}
+
+// resultToAnswer converts a SQL result into an Answer: single-column
+// results become a value list; multi-column results flatten row-major.
+func resultToAnswer(res *sqldb.Result) *Answer {
+	a := &Answer{}
+	for _, row := range res.Rows {
+		for _, v := range row {
+			a.Values = append(a.Values, v.AsText())
+		}
+	}
+	a.Text = res.String()
+	return a
+}
+
+// parseListAnswer converts an LM's "[v1, v2]" output to an Answer.
+func parseListAnswer(raw string) *Answer {
+	return &Answer{Values: llm.ParseAnswerList(raw), Text: raw}
+}
+
+// countAnswer renders an exact count as an Answer.
+func countAnswer(n int) *Answer {
+	return &Answer{Values: []string{strconv.Itoa(n)}, Text: fmt.Sprintf("[%d]", n)}
+}

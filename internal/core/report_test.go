@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tag/internal/nlq"
+)
+
+func TestUsageTableShowsBatchingAsymmetry(t *testing.T) {
+	rep := reportForTest(t)
+	tagU, ok := rep.Usage["Hand-written TAG"]
+	if !ok {
+		t.Fatal("no usage recorded for TAG")
+	}
+	ragU := rep.Usage["RAG"]
+	// The paper's efficiency mechanism: TAG routes work through batches,
+	// RAG through per-query single calls.
+	if tagU.BatchCalls == 0 || tagU.BatchedItems < 1000 {
+		t.Errorf("TAG usage = %+v; expected heavy batching", tagU)
+	}
+	if ragU.BatchCalls != 0 || ragU.Calls != 80 {
+		t.Errorf("RAG usage = %+v; expected 80 single calls", ragU)
+	}
+	out := rep.UsageTable()
+	for _, frag := range []string{"Method", "batches", "Hand-written TAG", "RAG"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("usage table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	rep := reportForTest(t)
+	out := rep.Table1()
+	for _, frag := range []string{
+		"Table 1", "Match-based", "Comparison", "Ranking", "Aggregation",
+		"Text2SQL", "RAG", "Retrieval + LM Rank", "Text2SQL + LM", "Hand-written TAG",
+		"N/A", // the aggregation accuracy column
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 1 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	out := reportForTest(t).Table2()
+	for _, frag := range []string{"Table 2", "Knowledge", "Reasoning"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 2 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSpeedupLine(t *testing.T) {
+	line := reportForTest(t).SpeedupLine()
+	if !strings.Contains(line, "Hand-written TAG mean ET") || !strings.Contains(line, "x lower than") {
+		t.Errorf("speedup line = %q", line)
+	}
+}
+
+func TestCellForEmptySlice(t *testing.T) {
+	rep := reportForTest(t)
+	c := rep.CellFor("Hand-written TAG", func(o Outcome) bool { return false })
+	if c.N != 0 || c.Seconds != 0 {
+		t.Errorf("empty cell = %+v", c)
+	}
+	if cellString(c) != "-" {
+		t.Errorf("empty cell renders %q", cellString(c))
+	}
+	// Aggregation-only slice renders N/A accuracy.
+	agg := rep.CellFor("RAG", func(o Outcome) bool { return o.Type == nlq.Aggregation })
+	if agg.Exact != -1 {
+		t.Errorf("aggregation-only cell Exact = %v, want -1", agg.Exact)
+	}
+	if !strings.HasPrefix(cellString(agg), "N/A") {
+		t.Errorf("aggregation cell renders %q", cellString(agg))
+	}
+}
+
+func TestSortOutcomesStable(t *testing.T) {
+	rep := reportForTest(t)
+	cp := &Report{Methods: rep.Methods, Outcomes: append([]Outcome(nil), rep.Outcomes...)}
+	cp.SortOutcomes()
+	for i := 1; i < len(cp.Outcomes); i++ {
+		a, b := cp.Outcomes[i-1], cp.Outcomes[i]
+		if a.QueryID > b.QueryID || (a.QueryID == b.QueryID && a.Method > b.Method) {
+			t.Fatalf("outcomes not sorted at %d: %s/%s after %s/%s", i, b.QueryID, b.Method, a.QueryID, a.Method)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package embed provides the deterministic text-embedding model that
+// stands in for the E5-base encoder in the TAG paper's RAG baseline.
+//
+// The embedder hashes unigram and bigram features into a fixed-dimension
+// vector with sublinear term weighting and L2 normalisation. Like a real
+// sentence encoder, it maps lexically/thematically similar strings to
+// nearby vectors; unlike one, it is exactly reproducible and dependency-
+// free. The RAG baseline only needs "retrieves rows sharing salient terms
+// with the query", which this preserves.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+	"unicode"
+)
+
+// DefaultDim is the embedding dimensionality (E5-base uses 768; 256 keeps
+// the flat index fast at benchmark scale with the same behaviour).
+const DefaultDim = 256
+
+// Embedder converts text to fixed-dimension unit vectors.
+type Embedder struct {
+	dim int
+}
+
+// New returns an embedder with the given dimension (<=0 selects
+// DefaultDim).
+func New(dim int) *Embedder {
+	if dim <= 0 {
+		dim = DefaultDim
+	}
+	return &Embedder{dim: dim}
+}
+
+// Dim reports the embedding dimension.
+func (e *Embedder) Dim() int { return e.dim }
+
+// stopwords are excluded from features; they carry no retrieval signal.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "in": true, "on": true,
+	"is": true, "are": true, "and": true, "or": true, "to": true, "it": true,
+	"that": true, "this": true, "with": true, "for": true, "at": true,
+	"be": true, "by": true, "as": true, "was": true, "were": true,
+}
+
+// tokenize lower-cases and splits text into alphanumeric word tokens.
+func tokenize(s string) []string {
+	var toks []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			w := b.String()
+			if !stopwords[w] {
+				toks = append(toks, w)
+			}
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// feature hashes a feature string to (index, sign).
+func (e *Embedder) feature(f string) (int, float32) {
+	h := fnv.New64a()
+	h.Write([]byte(f))
+	v := h.Sum64()
+	idx := int(v % uint64(e.dim))
+	sign := float32(1)
+	if (v>>63)&1 == 1 {
+		sign = -1
+	}
+	return idx, sign
+}
+
+// Embed returns the L2-normalised embedding of the text. Empty or
+// stopword-only text embeds to the zero vector.
+func (e *Embedder) Embed(text string) []float32 {
+	vec := make([]float32, e.dim)
+	toks := tokenize(text)
+	counts := make(map[string]int, len(toks)*2)
+	for i, t := range toks {
+		counts[t]++
+		if i+1 < len(toks) {
+			counts[t+"_"+toks[i+1]]++
+		}
+	}
+	for f, c := range counts {
+		idx, sign := e.feature(f)
+		// Sublinear TF; bigrams get extra weight (they are more specific).
+		w := float32(1 + math.Log(float64(c)))
+		if strings.Contains(f, "_") {
+			w *= 1.5
+		}
+		vec[idx] += sign * w
+	}
+	normalize(vec)
+	return vec
+}
+
+// EmbedBatch embeds many texts.
+func (e *Embedder) EmbedBatch(texts []string) [][]float32 {
+	out := make([][]float32, len(texts))
+	for i, t := range texts {
+		out[i] = e.Embed(t)
+	}
+	return out
+}
+
+// normalize scales a vector to unit L2 norm in place (zero vectors are
+// left as-is).
+func normalize(v []float32) {
+	var sum float64
+	for _, x := range v {
+		sum += float64(x) * float64(x)
+	}
+	if sum == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(sum))
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Cosine computes cosine similarity between two vectors of equal length.
+// For unit vectors this equals the dot product.
+func Cosine(a, b []float32) float32 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return float32(dot / math.Sqrt(na*nb))
+}

@@ -1,0 +1,90 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedDeterministic(t *testing.T) {
+	e := New(0)
+	a := e.Embed("comments on gradient boosting")
+	b := e.Embed("comments on gradient boosting")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding must be deterministic")
+		}
+	}
+	if e.Dim() != DefaultDim || len(a) != DefaultDim {
+		t.Errorf("dim = %d", len(a))
+	}
+}
+
+func TestEmbedUnitNorm(t *testing.T) {
+	e := New(128)
+	if err := quick.Check(func(s string) bool {
+		v := e.Embed(s)
+		var sum float64
+		for _, x := range v {
+			sum += float64(x) * float64(x)
+		}
+		// Zero vector (no tokens) or unit norm.
+		return sum == 0 || math.Abs(sum-1) < 1e-4
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmbedSimilarityOrdering(t *testing.T) {
+	e := New(0)
+	q := e.Embed("schools with high math scores in Palo Alto")
+	close1 := e.Embed("School: Gunn High, City: Palo Alto, AvgScrMath: 620")
+	far := e.Embed("TransactionID: 9, GasStationID: 44, Amount: 30, Price: 21.5")
+	if Cosine(q, close1) <= Cosine(q, far) {
+		t.Errorf("related row should be closer: close=%v far=%v", Cosine(q, close1), Cosine(q, far))
+	}
+}
+
+func TestEmbedStopwordsIgnored(t *testing.T) {
+	e := New(0)
+	a := e.Embed("the school of the city")
+	b := e.Embed("school city")
+	if Cosine(a, b) < 0.99 {
+		t.Errorf("stopwords should not change the embedding much: %v", Cosine(a, b))
+	}
+}
+
+func TestEmbedEmpty(t *testing.T) {
+	e := New(0)
+	v := e.Embed("")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty text must embed to zero vector")
+		}
+	}
+	if Cosine(v, v) != 0 {
+		t.Error("cosine of zero vectors is 0 by convention")
+	}
+}
+
+func TestEmbedBatch(t *testing.T) {
+	e := New(64)
+	vs := e.EmbedBatch([]string{"a b", "c d"})
+	if len(vs) != 2 || len(vs[0]) != 64 {
+		t.Fatalf("batch shape wrong")
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	e := New(0)
+	if err := quick.Check(func(s1, s2 string) bool {
+		c := Cosine(e.Embed(s1), e.Embed(s2))
+		return c >= -1.0001 && c <= 1.0001
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	v := e.Embed("identical text here")
+	if Cosine(v, v) < 0.999 {
+		t.Error("self-similarity should be 1")
+	}
+}

@@ -1,0 +1,95 @@
+package llm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests over the serving cost model: the latency conclusions of
+// Table 1 rest on these monotonicity and amortisation facts.
+
+func TestCallSecondsMonotone(t *testing.T) {
+	m := DefaultCostModel()
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 2000; i++ {
+		p, o := r.Intn(5000), r.Intn(500)
+		dp, do := r.Intn(1000), r.Intn(100)
+		if m.CallSeconds(p+dp, o) < m.CallSeconds(p, o) {
+			t.Fatal("more prompt tokens must not be cheaper")
+		}
+		if m.CallSeconds(p, o+do) < m.CallSeconds(p, o) {
+			t.Fatal("more output tokens must not be cheaper")
+		}
+	}
+}
+
+func TestBatchNeverWorseThanSequential(t *testing.T) {
+	m := DefaultCostModel()
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(60)
+		prompts := make([]int, n)
+		outs := make([]int, n)
+		sequential := 0.0
+		for i := range prompts {
+			prompts[i] = 10 + r.Intn(200)
+			outs[i] = 1 + r.Intn(30)
+			sequential += m.CallSeconds(prompts[i], outs[i])
+		}
+		batched := m.BatchSeconds(prompts, outs)
+		if batched > sequential+1e-9 {
+			t.Fatalf("batch of %d costs %.3f > sequential %.3f", n, batched, sequential)
+		}
+	}
+}
+
+func TestBatchOfOneEqualsSingleCall(t *testing.T) {
+	m := DefaultCostModel()
+	for _, p := range []int{10, 100, 1000} {
+		for _, o := range []int{1, 50} {
+			single := m.CallSeconds(p, o)
+			batch := m.BatchSeconds([]int{p}, []int{o})
+			if diff := single - batch; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("batch-of-one %.4f != single call %.4f (p=%d o=%d)", batch, single, p, o)
+			}
+		}
+	}
+}
+
+func TestBatchAmortisationImprovesWithSize(t *testing.T) {
+	m := DefaultCostModel()
+	perItem := func(n int) float64 {
+		prompts := make([]int, n)
+		outs := make([]int, n)
+		for i := range prompts {
+			prompts[i] = 40
+			outs[i] = 2
+		}
+		return m.BatchSeconds(prompts, outs) / float64(n)
+	}
+	last := perItem(1)
+	for _, n := range []int{2, 5, 10, 50, 200} {
+		cur := perItem(n)
+		if cur >= last {
+			t.Fatalf("per-item cost at n=%d (%.4f) should fall below previous (%.4f)", n, cur, last)
+		}
+		last = cur
+	}
+}
+
+func TestSimLMClockMatchesCostModel(t *testing.T) {
+	// The clock advance of a Complete call equals CallSeconds of its
+	// actual token counts.
+	m := newTestLM(OracleProfile())
+	prompt := SemFilterPrompt("Oakland is a city in the Bay Area region")
+	before := m.Clock().Now()
+	out, err := m.Complete(nil, prompt) //nolint:staticcheck // ctx unused by SimLM
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Clock().Now() - before
+	want := DefaultCostModel().CallSeconds(CountTokens(prompt), CountTokens(out))
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("clock advance %.6f != cost model %.6f", got, want)
+	}
+}

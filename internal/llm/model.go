@@ -1,0 +1,74 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrContextLength is returned when a prompt exceeds the model's context
+// window. The paper reports these failures on the Text2SQL + LM baseline
+// for match-based and comparison queries ("several context length errors
+// occur trying to feed in many rows to the model").
+var ErrContextLength = errors.New("llm: prompt exceeds model context window")
+
+// Model is the inference interface every pipeline component programs
+// against. Implementations must be safe for concurrent use.
+type Model interface {
+	// Name identifies the model (for reports).
+	Name() string
+	// ContextWindow is the maximum prompt size in tokens.
+	ContextWindow() int
+	// Complete runs a single prompt to completion.
+	Complete(ctx context.Context, prompt string) (string, error)
+	// CompleteBatch runs prompts as one batched inference call. Results
+	// align with prompts; per-prompt errors are reported in the error
+	// slice (a nil slice means every prompt succeeded).
+	CompleteBatch(ctx context.Context, prompts []string) ([]string, []error)
+}
+
+// Stats counts inference traffic; the benchmark report includes them.
+type Stats struct {
+	Calls        int // single Complete invocations
+	BatchCalls   int // CompleteBatch invocations
+	BatchedItems int // prompts served through batches
+	PromptTokens int
+	OutputTokens int
+}
+
+// statsRecorder is embedded by models to track usage.
+type statsRecorder struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+func (s *statsRecorder) recordCall(promptTokens, outputTokens int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Calls++
+	s.stats.PromptTokens += promptTokens
+	s.stats.OutputTokens += outputTokens
+}
+
+func (s *statsRecorder) recordBatch(n, promptTokens, outputTokens int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.BatchCalls++
+	s.stats.BatchedItems += n
+	s.stats.PromptTokens += promptTokens
+	s.stats.OutputTokens += outputTokens
+}
+
+// Stats returns a snapshot of accumulated usage.
+func (s *statsRecorder) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the counters (between benchmark phases).
+func (s *statsRecorder) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}

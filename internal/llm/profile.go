@@ -1,0 +1,128 @@
+package llm
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Profile is the fallibility configuration of a simulated LM. Every knob
+// maps to a failure mode the TAG paper's evaluation observes:
+//
+//   - knowledge coverage/noise     → Text2SQL's wrong world-knowledge clauses
+//   - score noise                  → imperfect semantic filtering/ranking
+//   - arithmetic error growth      → RAG's inability to compute over rows
+//   - context window               → Text2SQL+LM's context-length failures
+//   - SQL skill error              → residual Text2SQL mistakes on the
+//     relational skeleton
+type Profile struct {
+	// Name identifies the profile in logs and EXPERIMENTS.md.
+	Name string
+	// Seed drives all deterministic noise.
+	Seed uint64
+
+	// ContextWindow is the maximum prompt size in tokens; prompts beyond it
+	// fail with ErrContextLength (the paper observes such errors on the
+	// Text2SQL + LM baseline).
+	ContextWindow int
+	// MaxOutputTokens caps generations (summaries are budgeted against it).
+	MaxOutputTokens int
+
+	// KnowledgeRecall is the probability the model can *recognise* a true
+	// fact when asked directly (e.g. "is Cupertino in Silicon Valley?").
+	KnowledgeRecall float64
+	// EnumerationRecall is the probability a true fact surfaces when the
+	// model must *enumerate* members of a set (e.g. writing the full
+	// IN-list of Silicon Valley cities inside SQL). Recognition is far
+	// easier than recall-by-generation for real LMs; this asymmetry is why
+	// per-row semantic filters beat knowledge clauses compiled into SQL.
+	EnumerationRecall float64
+	// JudgeFlipRate is the probability an easy surface-form judgement
+	// (named-after-a-person, premium-sounding) flips — borderline-case
+	// errors only.
+	JudgeFlipRate float64
+	// KnowledgeFalsePositive is the probability the model wrongly believes
+	// a false fact of the same shape (e.g. that Stockton is in the Bay
+	// Area).
+	KnowledgeFalsePositive float64
+	// HeightErrorCM is the magnitude of recall error on numeric facts.
+	HeightErrorCM float64
+
+	// ScoreNoise is the amplitude of deterministic noise added to semantic
+	// trait scores (sentiment/technicality/sarcasm), in trait units.
+	ScoreNoise float64
+
+	// ArithBase and ArithPerRow give the probability of an in-context
+	// computation slip: p = min(0.9, ArithBase + ArithPerRow*rows). This is
+	// what makes "feed 400 rows to the model and ask it to count" fail.
+	ArithBase   float64
+	ArithPerRow float64
+
+	// SQLSkillError is the probability of a subtly wrong relational
+	// skeleton during query synthesis (dropped filter, flipped order).
+	SQLSkillError float64
+}
+
+// DefaultProfile models an instruction-tuned 70B chat model, tuned so the
+// five baselines land near the paper's Table 1 numbers.
+func DefaultProfile() Profile {
+	return Profile{
+		Name:                   "sim-70b-instruct",
+		Seed:                   0x7A67,
+		ContextWindow:          8192,
+		MaxOutputTokens:        512,
+		KnowledgeRecall:        0.96,
+		EnumerationRecall:      0.34,
+		KnowledgeFalsePositive: 0.05,
+		JudgeFlipRate:          0.02,
+		HeightErrorCM:          2,
+		ScoreNoise:             0.12,
+		ArithBase:              0.18,
+		ArithPerRow:            0.022,
+		SQLSkillError:          0.18,
+	}
+}
+
+// OracleProfile is a perfect model: full recall, no noise, huge context.
+// Used by tests to separate pipeline bugs from modelled fallibility, and by
+// ablation benchmarks.
+func OracleProfile() Profile {
+	return Profile{
+		Name:              "oracle",
+		Seed:              1,
+		ContextWindow:     1 << 20,
+		MaxOutputTokens:   1 << 16,
+		KnowledgeRecall:   1,
+		EnumerationRecall: 1,
+	}
+}
+
+// noise returns a deterministic pseudo-random float in [0, 1) keyed by the
+// profile seed and the given strings. The same question about the same
+// entity always gets the same answer — models are consistently wrong, not
+// randomly wrong.
+func (p Profile) noise(keys ...string) float64 {
+	h := fnv.New64a()
+	var seed [8]byte
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(p.Seed >> (8 * i))
+	}
+	h.Write(seed[:])
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0x1f})
+	}
+	// 53-bit mantissa to float in [0,1).
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// signedNoise returns deterministic noise in [-1, 1).
+func (p Profile) signedNoise(keys ...string) float64 {
+	return 2*p.noise(keys...) - 1
+}
+
+// arithmeticSlips reports whether an in-context computation over n rows
+// goes wrong, keyed by the task description.
+func (p Profile) arithmeticSlips(task string, n int) bool {
+	prob := math.Min(0.9, p.ArithBase+p.ArithPerRow*float64(n))
+	return p.noise("arith", task) < prob
+}

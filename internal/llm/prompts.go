@@ -1,0 +1,241 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file defines the prompt formats shared between the pipelines (which
+// build prompts) and SimLM (which recognises them). The Text2SQL and answer
+// generation formats follow the TAG paper's Appendix B verbatim; the
+// semantic-operator formats follow LOTUS's per-row instruction style.
+
+// Prompt markers used for routing inside SimLM.
+const (
+	markText2SQL   = "-- Using valid SQLite and understanding External Knowledge, answer the following questions for the tables provided above."
+	markAnswerList = "You will be given a list of data points and a question. Use the data points to answer the question. Your answer must be a list of values"
+	markAnswerAgg  = "You will be given a list of data points and a question. Use the data points to answer the question. If a value is a string"
+	markRerank     = "Rate the relevance of the data point to the question"
+	markSemFilter  = "Decide whether the claim is true. Answer True or False only."
+	markSemCompare = "Given the criterion, decide which item satisfies it more. Answer A or B only."
+	markSemAgg     = "Summarize the following items according to the instruction."
+	markSemMap     = "Apply the instruction to the item and respond with the result only."
+	markFactHeight = "State the height of "
+)
+
+// Text2SQLPrompt renders the BIRD-style query synthesis prompt (Appendix
+// B.1): the full schema, an external-knowledge line, and the question.
+func Text2SQLPrompt(schemaSQL, question string) string {
+	var b strings.Builder
+	b.WriteString(schemaSQL)
+	b.WriteString("\n-- External Knowledge: None\n")
+	b.WriteString(markText2SQL)
+	b.WriteString("\n-- ")
+	b.WriteString(question)
+	b.WriteString("\nSELECT")
+	return b.String()
+}
+
+// questionFromText2SQL extracts the question line back out of a Text2SQL
+// prompt.
+func questionFromText2SQL(prompt string) (string, bool) {
+	i := strings.Index(prompt, markText2SQL)
+	if i < 0 {
+		return "", false
+	}
+	rest := prompt[i+len(markText2SQL):]
+	rest = strings.TrimPrefix(rest, "\n-- ")
+	q, _, ok := strings.Cut(rest, "\nSELECT")
+	return strings.TrimSpace(q), ok
+}
+
+// DataPoint is one row serialised for in-context use, in the paper's
+// "- col: val" format.
+type DataPoint map[string]string
+
+// renderDataPoint serialises a data point with deterministic column order.
+func renderDataPoint(b *strings.Builder, idx int, dp DataPoint, order []string) {
+	fmt.Fprintf(b, "Data Point %d:\n", idx)
+	if order == nil {
+		order = make([]string, 0, len(dp))
+		for k := range dp {
+			order = append(order, k)
+		}
+		sort.Strings(order)
+	}
+	for _, k := range order {
+		if v, ok := dp[k]; ok {
+			fmt.Fprintf(b, "- %s: %s\n", k, v)
+		}
+	}
+}
+
+// AnswerPrompt renders the answer-generation prompt for match-based,
+// comparison and ranking queries (Appendix B.2, list-format variant).
+// order fixes the column rendering order (nil = sorted).
+func AnswerPrompt(points []DataPoint, order []string, question string) string {
+	var b strings.Builder
+	b.WriteString(markAnswerList)
+	b.WriteString(" that is evaluatable in Python. Respond in the format [value1, value2, ..., valueN]. If you are unable to answer the question, respond with []. Respond with only the list of values and nothing else. If a value is a string, it must be enclosed in double quotes.\n\n")
+	for i, dp := range points {
+		renderDataPoint(&b, i+1, dp, order)
+	}
+	b.WriteString("\nQuestion: ")
+	b.WriteString(question)
+	return b.String()
+}
+
+// AggAnswerPrompt renders the aggregation-variant answer prompt (free-form
+// answer, Appendix B.2 second template).
+func AggAnswerPrompt(points []DataPoint, order []string, question string) string {
+	var b strings.Builder
+	b.WriteString(markAnswerAgg)
+	b.WriteString(", it must be enclosed in double quotes.\n\n")
+	for i, dp := range points {
+		renderDataPoint(&b, i+1, dp, order)
+	}
+	b.WriteString("\nQuestion: ")
+	b.WriteString(question)
+	return b.String()
+}
+
+// parseAnswerPrompt recovers the data points and question from an answer
+// prompt (either variant).
+func parseAnswerPrompt(prompt string) (points []DataPoint, question string, ok bool) {
+	qi := strings.LastIndex(prompt, "\nQuestion: ")
+	if qi < 0 {
+		return nil, "", false
+	}
+	question = strings.TrimSpace(prompt[qi+len("\nQuestion: "):])
+	body := prompt[:qi]
+	var cur DataPoint
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.HasPrefix(line, "Data Point ") {
+			if cur != nil {
+				points = append(points, cur)
+			}
+			cur = DataPoint{}
+			continue
+		}
+		if cur != nil && strings.HasPrefix(line, "- ") {
+			kv := line[2:]
+			k, v, found := strings.Cut(kv, ": ")
+			if found {
+				cur[k] = v
+			}
+		}
+	}
+	if cur != nil {
+		points = append(points, cur)
+	}
+	return points, question, true
+}
+
+// RerankPrompt renders the 0–1 relevance-scoring prompt used by the
+// Retrieval + LM Rank baseline (after STaRK).
+func RerankPrompt(point DataPoint, order []string, question string) string {
+	var b strings.Builder
+	b.WriteString(markRerank)
+	b.WriteString(" on a scale from 0 to 1. Respond with only a number.\n\n")
+	renderDataPoint(&b, 1, point, order)
+	b.WriteString("\nQuestion: ")
+	b.WriteString(question)
+	return b.String()
+}
+
+// SemFilterPrompt renders a LOTUS-style per-row boolean claim. The claim
+// must already have its {Column} placeholders substituted.
+func SemFilterPrompt(claim string) string {
+	return markSemFilter + "\nClaim: " + claim
+}
+
+// SemComparePrompt renders a pairwise comparison used by semantic top-k.
+func SemComparePrompt(criterion, itemA, itemB string) string {
+	return markSemCompare + "\nCriterion: " + criterion +
+		"\nItem A: " + itemA + "\nItem B: " + itemB
+}
+
+// SemAggPrompt renders a hierarchical-aggregation step over items.
+func SemAggPrompt(instruction string, items []string) string {
+	var b strings.Builder
+	b.WriteString(markSemAgg)
+	b.WriteString("\nInstruction: ")
+	b.WriteString(instruction)
+	b.WriteString("\nItems:\n")
+	for _, it := range items {
+		b.WriteString("- ")
+		b.WriteString(it)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SemMapPrompt renders a per-row transformation.
+func SemMapPrompt(instruction, item string) string {
+	return markSemMap + "\nInstruction: " + instruction + "\nItem: " + item
+}
+
+// HeightPrompt asks the model for an athlete's height — the single
+// fact-lookup call an expert pipeline makes before filtering relationally.
+func HeightPrompt(person string) string {
+	return markFactHeight + person + " in centimeters. Respond with only a number."
+}
+
+// FormatAnswerList renders values in the paper's answer format:
+// [v1, v2, ...] with strings double-quoted.
+func FormatAnswerList(values []string, quoted []bool) string {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, v := range values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if i < len(quoted) && quoted[i] {
+			b.WriteString("\"" + v + "\"")
+		} else {
+			b.WriteString(v)
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// ParseAnswerList parses a "[v1, v2]"-style answer into raw values with
+// quotes stripped. Unparseable answers return nil.
+func ParseAnswerList(s string) []string {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return nil
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return []string{}
+	}
+	var out []string
+	for len(inner) > 0 {
+		inner = strings.TrimLeft(inner, " ,")
+		if inner == "" {
+			break
+		}
+		if inner[0] == '"' {
+			end := strings.IndexByte(inner[1:], '"')
+			if end < 0 {
+				out = append(out, inner[1:])
+				break
+			}
+			out = append(out, inner[1:1+end])
+			inner = inner[2+end:]
+			continue
+		}
+		j := strings.IndexByte(inner, ',')
+		if j < 0 {
+			out = append(out, strings.TrimSpace(inner))
+			break
+		}
+		out = append(out, strings.TrimSpace(inner[:j]))
+		inner = inner[j+1:]
+	}
+	return out
+}

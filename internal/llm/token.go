@@ -1,0 +1,67 @@
+// Package llm implements the simulated language model that stands in for
+// Llama-3.1-70B-Instruct served by vLLM in the TAG paper's experiments.
+//
+// SimLM is deterministic: all apparent stochasticity (forgotten facts,
+// scoring noise, arithmetic slips) is derived by hashing the inputs with a
+// seed, so benchmark runs are exactly reproducible while failure patterns
+// still vary across queries the way a real model's do.
+//
+// The package also provides the serving-side pieces the evaluation's
+// latency column depends on: an approximate tokenizer, a virtual clock and
+// a cost model with vLLM-style batch amortisation (§4.3 attributes the TAG
+// pipeline's speed to "efficient batched inference").
+package llm
+
+import (
+	"strings"
+	"unicode"
+)
+
+// CountTokens approximates an LLM tokenizer's token count: one token per
+// word piece of up to four characters plus one per punctuation rune. The
+// approximation only needs to be monotone and stable — it drives context
+// window enforcement and the latency model, not any text processing.
+func CountTokens(s string) int {
+	tokens := 0
+	inWord := 0
+	flush := func() {
+		if inWord > 0 {
+			tokens += (inWord + 3) / 4
+			inWord = 0
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			inWord++
+		case unicode.IsSpace(r):
+			flush()
+		default:
+			flush()
+			tokens++
+		}
+	}
+	flush()
+	return tokens
+}
+
+// TruncateToTokens cuts s so that CountTokens(result) <= budget, on a word
+// boundary. Used to simulate prompt truncation strategies.
+func TruncateToTokens(s string, budget int) string {
+	if CountTokens(s) <= budget {
+		return s
+	}
+	words := strings.Fields(s)
+	var b strings.Builder
+	for _, w := range words {
+		add := w
+		if b.Len() > 0 {
+			add = " " + w
+		}
+		if CountTokens(b.String()+add) > budget {
+			break
+		}
+		b.WriteString(add)
+	}
+	return b.String()
+}

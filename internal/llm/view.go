@@ -1,0 +1,183 @@
+package llm
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"tag/internal/world"
+)
+
+// View is the simulated LM's parametric knowledge: the true World seen
+// through a lossy, deterministic lens. A fact is *recalled* with
+// probability Profile.KnowledgeRecall (keyed by entity, so the model is
+// consistently ignorant of the same facts), and false facts of the same
+// shape are *hallucinated* with probability KnowledgeFalsePositive.
+type View struct {
+	w *world.World
+	p Profile
+}
+
+// NewView wraps a world in the profile's noise.
+func NewView(w *world.World, p Profile) *View {
+	return &View{w: w, p: p}
+}
+
+// recalls reports whether the model recognises a (relation, entity) fact
+// when asked directly.
+func (v *View) recalls(relation, entity string) bool {
+	return v.p.noise("recall", relation, strings.ToLower(entity)) < v.p.KnowledgeRecall
+}
+
+// enumerates reports whether a true fact surfaces when the model must
+// generate the member list itself (a much harder task than recognition).
+func (v *View) enumerates(relation, entity string) bool {
+	return v.p.noise("enum", relation, strings.ToLower(entity)) < v.p.EnumerationRecall
+}
+
+// hallucinates reports whether the model wrongly asserts a false
+// (relation, entity) fact.
+func (v *View) hallucinates(relation, entity string) bool {
+	return v.p.noise("halluc", relation, strings.ToLower(entity)) < v.p.KnowledgeFalsePositive
+}
+
+// believesFact is the generic boolean-fact channel: truth ∧ recalled, or
+// ¬truth ∧ hallucinated.
+func (v *View) believesFact(relation, entity string, truth bool) bool {
+	if truth {
+		return v.recalls(relation, entity)
+	}
+	return v.hallucinates(relation, entity)
+}
+
+// InRegion is the view of world.InRegion.
+func (v *View) InRegion(city, region string) bool {
+	rel := "region:" + strings.ToLower(region)
+	return v.believesFact(rel, city, v.w.InRegion(city, region))
+}
+
+// CountyInBayArea is the view of world.CountyInBayArea.
+func (v *View) CountyInBayArea(county string) bool {
+	return v.believesFact("bayarea_county", county, v.w.CountyInBayArea(county))
+}
+
+// RegionCitiesBelieved enumerates the cities the model believes are in the
+// region, drawing candidates from the same pool the data generators use
+// (so hallucinated members are plausible Californian cities).
+func (v *View) RegionCitiesBelieved(region string) []string {
+	rel := "region:" + strings.ToLower(region)
+	var out []string
+	for _, c := range world.CACities {
+		truth := v.w.InRegion(c, region)
+		if truth && v.enumerates(rel, c) || !truth && v.hallucinates(rel, c) {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BayAreaCountiesBelieved enumerates believed Bay Area counties from the
+// generator's county pool.
+func (v *View) BayAreaCountiesBelieved() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, county := range world.CACounties {
+		if seen[county] {
+			continue
+		}
+		seen[county] = true
+		truth := v.w.CountyInBayArea(county)
+		if truth && v.enumerates("bayarea_county", county) || !truth && v.hallucinates("bayarea_county", county) {
+			out = append(out, county)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AthleteHeightCM recalls an athlete's height with bounded numeric error;
+// the model may fail to recall the athlete at all.
+func (v *View) AthleteHeightCM(name string) (float64, bool) {
+	h, ok := v.w.AthleteHeightCM(name)
+	if !ok || !v.recalls("athlete_height", name) {
+		return 0, false
+	}
+	err := v.p.signedNoise("height_err", name) * v.p.HeightErrorCM
+	return math.Round(h + err), true
+}
+
+// IsClassicMovie is the view of world.IsClassicMovie.
+func (v *View) IsClassicMovie(title string) bool {
+	return v.believesFact("classic", title, v.w.IsClassicMovie(title))
+}
+
+// IsEUCountry is the view of world.IsEUCountry.
+func (v *View) IsEUCountry(country string) bool {
+	return v.believesFact("eu", country, v.w.IsEUCountry(country))
+}
+
+// EUCountriesBelieved enumerates the believed EU members from the
+// generator's country pool.
+func (v *View) EUCountriesBelieved() []string {
+	var out []string
+	for _, c := range world.EuropeanCountries {
+		truth := v.w.IsEUCountry(c)
+		if truth && v.enumerates("eu", c) || !truth && v.hallucinates("eu", c) {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Circuit recalls circuit facts; well-known circuits are assumed recalled
+// (they pass through the generic recall channel like everything else).
+func (v *View) Circuit(name string) (world.CircuitFact, bool) {
+	c, ok := v.w.Circuit(name)
+	if !ok || !v.recalls("circuit", name) {
+		return world.CircuitFact{}, false
+	}
+	return c, true
+}
+
+// Traits estimates the latent traits of a text: the true traits plus
+// bounded deterministic noise, clamped to [0, 1]. This is the semantic
+// judgement channel behind sem_filter / sem_topk / sentiment tasks.
+func (v *View) Traits(text string) world.Traits {
+	t := world.TextTraits(text)
+	perturb := func(x float64, channel string) float64 {
+		x += v.p.signedNoise("trait", channel, text) * v.p.ScoreNoise
+		return math.Max(0, math.Min(1, x))
+	}
+	return world.Traits{
+		Sentiment:    perturb(t.Sentiment, "sent"),
+		Technicality: perturb(t.Technicality, "tech"),
+		Sarcasm:      perturb(t.Sarcasm, "sarc"),
+	}
+}
+
+// IsNamedAfterPerson judges whether an institution name is named after a
+// person — a reasoning task, so it runs through the trait noise channel
+// rather than the knowledge channel.
+func (v *View) IsNamedAfterPerson(name string) bool {
+	truth := world.IsNamedAfterPerson(name)
+	// Surface form makes this an easy task; only rare borderline slips.
+	if v.p.noise("namedperson", name) < v.p.JudgeFlipRate {
+		return !truth
+	}
+	return truth
+}
+
+// IsPremiumProduct judges whether a product description sounds premium.
+func (v *View) IsPremiumProduct(desc string) bool {
+	truth := world.IsPremiumProduct(desc)
+	if v.p.noise("premium", desc) < v.p.JudgeFlipRate {
+		return !truth
+	}
+	return truth
+}
+
+// World exposes the wrapped world for code that needs ground truth (the
+// benchmark harness; never the baselines).
+func (v *View) World() *world.World { return v.w }

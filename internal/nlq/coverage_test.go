@@ -1,0 +1,145 @@
+package nlq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEveryAugKindRoundTrips builds one spec per augment kind per legal
+// frame and asserts Render/Parse round-trips, so new kinds cannot be added
+// without surface forms.
+func TestEveryAugKindRoundTrips(t *testing.T) {
+	specs := []*Spec{
+		// Filter kinds in the comparison frame.
+		{Domain: "california_schools", Type: Comparison, Table: "schools",
+			Aug: &Augment{Kind: AugCityRegion, Column: "schools.City", Arg: "Bay Area"}},
+		{Domain: "california_schools", Type: Comparison, Table: "schools",
+			Aug: &Augment{Kind: AugCountyRegion, Column: "schools.County", Arg: "Bay Area"}},
+		{Domain: "debit_card_specializing", Type: Comparison, Table: "gasstations",
+			Aug: &Augment{Kind: AugEUCountry, Column: "gasstations.Country"}},
+		{Domain: "european_football_2", Type: Comparison, Table: "Player",
+			Aug: &Augment{Kind: AugTallerThan, Column: "Player.height", Arg: "Usain Bolt"}},
+		{Domain: "movies", Type: Comparison, Table: "movies",
+			Aug: &Augment{Kind: AugClassic, Column: "movies.title"}},
+		{Domain: "california_schools", Type: Comparison, Table: "schools",
+			Aug: &Augment{Kind: AugNamedAfterPerson, Column: "schools.School"}},
+		{Domain: "debit_card_specializing", Type: Comparison, Table: "products",
+			Aug: &Augment{Kind: AugPremium, Column: "products.Description"}},
+		{Domain: "codebase_community", Type: Comparison, Table: "comments",
+			Aug: &Augment{Kind: AugPositive, Column: "comments.Text"}},
+		{Domain: "codebase_community", Type: Comparison, Table: "comments",
+			Aug: &Augment{Kind: AugNegative, Column: "comments.Text"}},
+		{Domain: "codebase_community", Type: Comparison, Table: "comments",
+			Aug: &Augment{Kind: AugSarcastic, Column: "comments.Text"}},
+		{Domain: "codebase_community", Type: Comparison, Table: "posts",
+			Aug: &Augment{Kind: AugTechnical, Column: "posts.Title"}},
+		// Trait rankings in both ranking frames.
+		{Domain: "codebase_community", Type: Ranking, Table: "posts",
+			Target: "posts.Title", OrderBy: "posts.ViewCount", OrderDesc: true, Limit: 4,
+			Aug: &Augment{Kind: AugTopSarcastic, Column: "posts.Title", K: 4}},
+		{Domain: "codebase_community", Type: Ranking, Table: "comments",
+			Target: "comments.Text", Limit: 2,
+			Aug: &Augment{Kind: AugTopPositive, Column: "comments.Text", K: 2}},
+		// Aggregations.
+		{Domain: "codebase_community", Type: Aggregation, Table: "comments",
+			Target: "comments.Text",
+			Aug:    &Augment{Kind: AugSummarize, Column: "comments.Text"}},
+		{Domain: "formula_1", Type: Aggregation, Table: "races",
+			Join: &Join{Table: "circuits", Left: "races.circuitId", Right: "circuits.circuitId"},
+			Aug:  &Augment{Kind: AugCircuitInfo, Column: "circuits.name", Arg: "Suzuka Circuit"}},
+	}
+	for _, s := range specs {
+		if s.Aug.Kind.IsKnowledge() {
+			s.Category = Knowledge
+		} else {
+			s.Category = Reasoning
+		}
+		q := Render(s)
+		got, err := Parse(q)
+		if err != nil {
+			t.Errorf("kind %d: Parse(%q): %v", s.Aug.Kind, q, err)
+			continue
+		}
+		if !got.Equal(s) {
+			t.Errorf("kind %d round trip:\n  NL: %s\n got: %+v (%+v)\nwant: %+v (%+v)",
+				s.Aug.Kind, q, got, got.Aug, s, s.Aug)
+		}
+	}
+}
+
+func TestSpecCloneIsDeep(t *testing.T) {
+	s := &Spec{
+		Domain: "movies", Type: Match, Table: "movies",
+		Join:    &Join{Table: "reviews", Left: "movies.id", Right: "reviews.movie_id"},
+		Filters: []Filter{{Column: "movies.genre", Op: "=", Value: "Romance"}},
+		Aug:     &Augment{Kind: AugClassic, Column: "movies.title"},
+	}
+	c := s.Clone()
+	c.Join.Table = "other"
+	c.Filters[0].Value = "Action"
+	c.Aug.Arg = "changed"
+	if s.Join.Table != "reviews" || s.Filters[0].Value != "Romance" || s.Aug.Arg != "" {
+		t.Error("Clone shares storage with the original")
+	}
+	if !s.Equal(s.Clone()) {
+		t.Error("Clone must compare equal to the original")
+	}
+}
+
+func TestSpecEqualDistinguishes(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Domain: "movies", Type: Match, Table: "movies", Target: "movies.title",
+			Limit: 1, Aug: &Augment{Kind: AugClassic, Column: "movies.title"},
+		}
+	}
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Domain = "x" },
+		func(s *Spec) { s.Type = Ranking },
+		func(s *Spec) { s.Table = "reviews" },
+		func(s *Spec) { s.Target = "movies.genre" },
+		func(s *Spec) { s.Limit = 2 },
+		func(s *Spec) { s.OrderDesc = true },
+		func(s *Spec) { s.Aug = nil },
+		func(s *Spec) { s.Aug.Kind = AugPositive },
+		func(s *Spec) { s.Filters = []Filter{{Column: "movies.genre", Op: "=", Value: "x"}} },
+		func(s *Spec) { s.Join = &Join{Table: "reviews", Left: "a", Right: "b"} },
+	}
+	for i, mutate := range mutations {
+		a, b := base(), base()
+		mutate(b)
+		if a.Equal(b) {
+			t.Errorf("mutation %d not detected by Equal", i)
+		}
+	}
+	var nilSpec *Spec
+	if nilSpec.Equal(base()) || !nilSpec.Equal(nil) {
+		t.Error("nil handling")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	regions := []string{"Bay Area", "Silicon Valley"}
+	for i := 0; i < 200; i++ {
+		s := &Spec{
+			Domain: "california_schools", Type: Comparison, Table: "schools",
+			Aug: &Augment{Kind: AugCityRegion, Column: "schools.City", Arg: regions[r.Intn(2)]},
+		}
+		if Render(s) != Render(s) {
+			t.Fatal("Render must be deterministic")
+		}
+	}
+}
+
+func TestQueryTypeAndCategoryStrings(t *testing.T) {
+	if Match.String() != "Match-based" || Aggregation.String() != "Aggregation" {
+		t.Error("QueryType.String")
+	}
+	if Knowledge.String() != "Knowledge" || Reasoning.String() != "Reasoning" {
+		t.Error("Category.String")
+	}
+	if QueryType(99).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}

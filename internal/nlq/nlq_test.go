@@ -1,0 +1,222 @@
+package nlq
+
+import (
+	"strings"
+	"testing"
+)
+
+// roundTripSpecs is a representative sample covering every frame, augment
+// kind and domain. The full 80-query round-trip is asserted again in
+// tagbench's tests.
+func roundTripSpecs() []*Spec {
+	return []*Spec{
+		// Match + knowledge (the paper's Appendix A example).
+		{
+			Domain: "california_schools", Type: Match, Category: Knowledge,
+			Table: "schools", Target: "schools.GSoffered",
+			OrderBy: "schools.Longitude", OrderDesc: true, Limit: 1,
+			Aug: &Augment{Kind: AugCityRegion, Column: "schools.City", Arg: "Silicon Valley"},
+		},
+		// Match + order + filter + join.
+		{
+			Domain: "california_schools", Type: Match, Category: Knowledge,
+			Table: "schools", Target: "schools.School",
+			Join:    &Join{Table: "satscores", Left: "schools.CDSCode", Right: "satscores.cds"},
+			Filters: []Filter{{Column: "satscores.AvgScrMath", Op: ">", Value: "560", Num: true}},
+			OrderBy: "satscores.AvgScrRead", OrderDesc: true, Limit: 1,
+			Aug: &Augment{Kind: AugCountyRegion, Column: "schools.County", Arg: "Bay Area"},
+		},
+		// Comparison + knowledge (paper's Stephen Curry example).
+		{
+			Domain: "european_football_2", Type: Comparison, Category: Knowledge,
+			Table: "Player",
+			Filters: []Filter{
+				{Column: "Player.height", Op: ">", Value: "180", Num: true},
+				{Column: "Player.volleys", Op: ">", Value: "70", Num: true},
+			},
+			Aug: &Augment{Kind: AugTallerThan, Column: "Player.height", Arg: "Stephen Curry"},
+		},
+		// Comparison + reasoning with cross-table filter.
+		{
+			Domain: "codebase_community", Type: Comparison, Category: Reasoning,
+			Table: "comments",
+			Join:  &Join{Table: "posts", Left: "comments.PostId", Right: "posts.Id"},
+			Filters: []Filter{
+				{Column: "posts.Title", Op: "=", Value: "How does gentle boosting differ from AdaBoost?"},
+			},
+			Aug: &Augment{Kind: AugSarcastic, Column: "comments.Text"},
+		},
+		// Ranking + reasoning, paper's re-rank style.
+		{
+			Domain: "codebase_community", Type: Ranking, Category: Reasoning,
+			Table: "posts", Target: "posts.Title",
+			OrderBy: "posts.ViewCount", OrderDesc: true, Limit: 5,
+			Aug: &Augment{Kind: AugTopTechnical, Column: "posts.Title", K: 5},
+		},
+		// Ranking + reasoning, direct trait top-K with join filter.
+		{
+			Domain: "codebase_community", Type: Ranking, Category: Reasoning,
+			Table: "comments", Target: "comments.Text",
+			Join: &Join{Table: "posts", Left: "comments.PostId", Right: "posts.Id"},
+			Filters: []Filter{
+				{Column: "posts.Title", Op: "=", Value: "Choosing k in k means"},
+			},
+			Limit: 3,
+			Aug:   &Augment{Kind: AugTopSarcastic, Column: "comments.Text", K: 3},
+		},
+		// Ranking + knowledge.
+		{
+			Domain: "california_schools", Type: Ranking, Category: Knowledge,
+			Table: "schools", Target: "schools.School",
+			Join:    &Join{Table: "satscores", Left: "schools.CDSCode", Right: "satscores.cds"},
+			OrderBy: "satscores.AvgScrMath", OrderDesc: true, Limit: 5,
+			Aug: &Augment{Kind: AugCityRegion, Column: "schools.City", Arg: "Bay Area"},
+		},
+		// Aggregation + reasoning (paper's summarize example).
+		{
+			Domain: "codebase_community", Type: Aggregation, Category: Reasoning,
+			Table: "comments", Target: "comments.Text",
+			Join: &Join{Table: "posts", Left: "comments.PostId", Right: "posts.Id"},
+			Filters: []Filter{
+				{Column: "posts.Title", Op: "=", Value: "How does gentle boosting differ from AdaBoost?"},
+			},
+			Aug: &Augment{Kind: AugSummarize, Column: "comments.Text"},
+		},
+		// Aggregation + knowledge (Figure 2's Sepang query).
+		{
+			Domain: "formula_1", Type: Aggregation, Category: Knowledge,
+			Table: "races",
+			Join:  &Join{Table: "circuits", Left: "races.circuitId", Right: "circuits.circuitId"},
+			Aug:   &Augment{Kind: AugCircuitInfo, Column: "circuits.name", Arg: "Sepang International Circuit"},
+		},
+		// Knowledge aggregation via provide-information frame.
+		{
+			Domain: "debit_card_specializing", Type: Aggregation, Category: Knowledge,
+			Table: "gasstations",
+			Aug:   &Augment{Kind: AugEUCountry, Column: "gasstations.Country"},
+		},
+		// Match + reasoning on products.
+		{
+			Domain: "debit_card_specializing", Type: Match, Category: Reasoning,
+			Table: "products", Target: "products.Description",
+			OrderBy: "products.ProductID", OrderDesc: false, Limit: 1,
+			Aug: &Augment{Kind: AugPremium, Column: "products.Description"},
+		},
+		// Movies (Figure 1 / examples domain).
+		{
+			Domain: "movies", Type: Aggregation, Category: Knowledge,
+			Table: "reviews", Target: "reviews.body",
+			Join: &Join{Table: "movies", Left: "reviews.movie_id", Right: "movies.id"},
+			Filters: []Filter{
+				{Column: "movies.genre", Op: "=", Value: "Romance"},
+			},
+			Aug: &Augment{Kind: AugSummarize, Column: "reviews.body"},
+		},
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	for _, spec := range roundTripSpecs() {
+		q := Render(spec)
+		if q == "" {
+			t.Fatalf("Render produced empty question for %+v", spec)
+		}
+		got, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		// Summarize/CircuitInfo parses don't carry Category for AugSummarize
+		// (it is reasoning) — Parse derives it; normalise before compare.
+		want := spec.Clone()
+		if want.Aug != nil && !want.Aug.Kind.IsKnowledge() {
+			want.Category = Reasoning
+		} else if want.Aug != nil {
+			want.Category = Knowledge
+		}
+		if !got.Equal(want) {
+			t.Errorf("round trip mismatch for %q:\n got: %+v (aug %+v, join %+v)\nwant: %+v (aug %+v, join %+v)",
+				q, got, got.Aug, got.Join, want, want.Aug, want.Join)
+		}
+	}
+}
+
+func TestRenderReadableSurfaceForms(t *testing.T) {
+	spec := roundTripSpecs()[0]
+	q := Render(spec)
+	want := "What is the grade span offered of the school with the highest longitude located in a city that is part of the 'Silicon Valley' region?"
+	if q != want {
+		t.Errorf("surface form drifted:\n got: %s\nwant: %s", q, want)
+	}
+	spec = roundTripSpecs()[4]
+	q = Render(spec)
+	want = "Of the 5 posts with the highest view count, list their title in order of most technical to least technical."
+	if q != want {
+		t.Errorf("rerank surface form drifted:\n got: %s\nwant: %s", q, want)
+	}
+}
+
+func TestParseRejectsUnknownForms(t *testing.T) {
+	bad := []string{
+		"",
+		"Tell me everything.",
+		"What is the fizzbuzz of the gadget with the highest sprocket?",
+		"Among the unicorns, how many of them fly?",
+		"List the title of the five most melodic posts.",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): expected error", q)
+		}
+	}
+}
+
+func TestCutNounPrefersLongestMatch(t *testing.T) {
+	d, tbl, rest, err := cutNoun("gas stations whose country is 'Italy'")
+	if err != nil || d != "debit_card_specializing" || tbl != "gasstations" {
+		t.Fatalf("cutNoun: %s %s %q %v", d, tbl, rest, err)
+	}
+	if !strings.HasPrefix(rest, " whose") {
+		t.Errorf("rest = %q", rest)
+	}
+}
+
+func TestJoinFor(t *testing.T) {
+	j, ok := JoinFor("california_schools", "schools", "satscores.AvgScrMath")
+	if !ok || j == nil || j.Table != "satscores" {
+		t.Fatalf("JoinFor satscores: %+v ok=%v", j, ok)
+	}
+	// Same-table column needs no join.
+	j, ok = JoinFor("california_schools", "schools", "schools.City")
+	if !ok || j != nil {
+		t.Fatalf("JoinFor same table: %+v ok=%v", j, ok)
+	}
+	// Unknown relationship.
+	if _, ok := JoinFor("california_schools", "schools", "nosuch.col"); ok {
+		t.Error("JoinFor should fail for unknown table")
+	}
+}
+
+func TestFilterPhrases(t *testing.T) {
+	s := &Spec{
+		Domain: "european_football_2", Table: "Player", Type: Comparison,
+		Filters: []Filter{
+			{Column: "Player.height", Op: ">", Value: "180", Num: true},
+			{Column: "Player.volleys", Op: ">=", Value: "70", Num: true},
+			{Column: "Player.player_name", Op: "!=", Value: "Nobody"},
+		},
+		Aug: &Augment{Kind: AugTallerThan, Column: "Player.height", Arg: "Stephen Curry"},
+	}
+	q := Render(s)
+	for _, frag := range []string{"whose height is over 180", "whose volley score is at least 70", "whose name is not 'Nobody'"} {
+		if !strings.Contains(q, frag) {
+			t.Errorf("rendered question %q missing %q", q, frag)
+		}
+	}
+	got, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Filters) != 3 || got.Filters[2].Op != "!=" {
+		t.Errorf("filters parsed = %+v", got.Filters)
+	}
+}

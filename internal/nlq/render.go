@@ -1,0 +1,245 @@
+package nlq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render produces the English question for a spec. The surface forms follow
+// the TAG paper's Appendix A examples ("What is the grade span offered in
+// the school with the highest longitude in cities that are part of the
+// 'Silicon Valley' region?", "Of the 5 posts with highest popularity, list
+// their titles in order of most technical to least technical.", ...).
+func Render(s *Spec) string {
+	switch s.Type {
+	case Match:
+		return renderMatch(s)
+	case Comparison:
+		return renderComparison(s)
+	case Ranking:
+		return renderRanking(s)
+	case Aggregation:
+		return renderAggregation(s)
+	default:
+		return ""
+	}
+}
+
+func renderMatch(s *Spec) string {
+	sing, _ := nounFor(s.Domain, s.Table)
+	var b strings.Builder
+	b.WriteString("What is the ")
+	b.WriteString(labelFor(s.Domain, s.Target))
+	b.WriteString(" of the ")
+	b.WriteString(sing)
+	if s.OrderBy != "" {
+		b.WriteString(" with the ")
+		b.WriteString(direction(s.OrderDesc))
+		b.WriteString(" ")
+		b.WriteString(labelFor(s.Domain, s.OrderBy))
+	}
+	b.WriteString(renderFilters(s))
+	b.WriteString(renderAugClause(s))
+	b.WriteString("?")
+	return b.String()
+}
+
+func renderComparison(s *Spec) string {
+	_, plur := nounFor(s.Domain, s.Table)
+	var b strings.Builder
+	b.WriteString("Among the ")
+	b.WriteString(plur)
+	b.WriteString(renderFilters(s))
+	b.WriteString(", how many of them ")
+	b.WriteString(renderAugPredicate(s))
+	b.WriteString("?")
+	return b.String()
+}
+
+func renderRanking(s *Spec) string {
+	_, plur := nounFor(s.Domain, s.Table)
+	target := labelFor(s.Domain, s.Target)
+	a := s.Aug
+	if a != nil && isTraitKind(a.Kind) && s.OrderBy != "" {
+		// Paper style: re-rank the top-K of a relational ordering.
+		return fmt.Sprintf("Of the %d %s with the %s %s%s, list their %s in order of most %s to least %s.",
+			s.Limit, plur, direction(s.OrderDesc), labelFor(s.Domain, s.OrderBy),
+			renderFilters(s), target, traitWord(a.Kind), traitWord(a.Kind))
+	}
+	if a != nil && isTraitKind(a.Kind) {
+		// Direct trait top-K.
+		return fmt.Sprintf("List the %s of the %d most %s %s%s.",
+			target, a.K, traitWord(a.Kind), plur, renderFilters(s))
+	}
+	// Knowledge-augmented relational ranking.
+	return fmt.Sprintf("List the %s of the %d %s with the %s %s%s%s.",
+		target, s.Limit, plur, direction(s.OrderDesc), labelFor(s.Domain, s.OrderBy),
+		renderFilters(s), renderAugClause(s))
+}
+
+func renderAggregation(s *Spec) string {
+	_, plur := nounFor(s.Domain, s.Table)
+	if s.Aug != nil && s.Aug.Kind == AugCircuitInfo {
+		return fmt.Sprintf("Provide information about the races held on %s.", s.Aug.Arg)
+	}
+	if s.Aug != nil && s.Aug.Kind == AugSummarize {
+		return fmt.Sprintf("Summarize the %s of the %s%s.",
+			labelFor(s.Domain, s.Target), plur, renderFilters(s))
+	}
+	// Knowledge aggregation: gather information about an augmented subset.
+	return fmt.Sprintf("Provide information about the %s%s%s.",
+		plur, renderFilters(s), renderAugClause(s))
+}
+
+func direction(desc bool) string {
+	if desc {
+		return "highest"
+	}
+	return "lowest"
+}
+
+// renderFilters renders the spec's relational filters as attached clauses.
+// Filters on the primary table read "whose X is over N"; filters on a
+// joined table read "belonging to the <noun> whose X is 'v'".
+func renderFilters(s *Spec) string {
+	var b strings.Builder
+	for i, f := range s.Filters {
+		if i == 0 {
+			b.WriteString(" ")
+		} else {
+			b.WriteString(" and ")
+		}
+		// Column labels are unique within a domain, so cross-table filters
+		// read the same as local ones; the parser re-derives the join.
+		b.WriteString("whose ")
+		b.WriteString(labelFor(s.Domain, f.Column))
+		b.WriteString(" is ")
+		b.WriteString(opPhrase(f))
+	}
+	return b.String()
+}
+
+func opPhrase(f Filter) string {
+	val := f.Value
+	if !f.Num {
+		val = "'" + f.Value + "'"
+	}
+	switch f.Op {
+	case ">":
+		return "over " + val
+	case "<":
+		return "under " + val
+	case ">=":
+		return "at least " + val
+	case "<=":
+		return "at most " + val
+	case "!=":
+		return "not " + val
+	default: // "="
+		if f.Num {
+			return "exactly " + val
+		}
+		return val
+	}
+}
+
+// renderAugClause renders the augment as a trailing participial clause
+// (match / ranking / aggregation frames).
+func renderAugClause(s *Spec) string {
+	if s.Aug == nil {
+		return ""
+	}
+	switch s.Aug.Kind {
+	case AugCityRegion:
+		return fmt.Sprintf(" located in a city that is part of the '%s' region", s.Aug.Arg)
+	case AugCountyRegion:
+		return fmt.Sprintf(" located in a county that is part of the '%s' region", s.Aug.Arg)
+	case AugEUCountry:
+		return " located in a country that is a member of the European Union"
+	case AugTallerThan:
+		return fmt.Sprintf(" who are taller than %s", s.Aug.Arg)
+	case AugClassic:
+		return " that are considered a 'classic'"
+	case AugNamedAfterPerson:
+		return " that are named after a person"
+	case AugPositive:
+		return " that are positive in sentiment"
+	case AugNegative:
+		return " that are negative in sentiment"
+	case AugPremium:
+		return " whose description sounds premium"
+	case AugSarcastic:
+		return " that are sarcastic in tone"
+	case AugTechnical:
+		return " that are technical in nature"
+	default:
+		return ""
+	}
+}
+
+// renderAugPredicate renders the augment as a verb phrase for the
+// comparison frame ("how many of them ...").
+func renderAugPredicate(s *Spec) string {
+	if s.Aug == nil {
+		return "exist"
+	}
+	switch s.Aug.Kind {
+	case AugCityRegion:
+		return fmt.Sprintf("are located in a city that is part of the '%s' region", s.Aug.Arg)
+	case AugCountyRegion:
+		return fmt.Sprintf("are located in a county that is part of the '%s' region", s.Aug.Arg)
+	case AugEUCountry:
+		return "are located in a country that is a member of the European Union"
+	case AugTallerThan:
+		return fmt.Sprintf("are taller than %s", s.Aug.Arg)
+	case AugClassic:
+		return "are considered a 'classic'"
+	case AugNamedAfterPerson:
+		return "are named after a person"
+	case AugPositive:
+		return "are positive in sentiment"
+	case AugNegative:
+		return "are negative in sentiment"
+	case AugPremium:
+		return "have a description that sounds premium"
+	case AugSarcastic:
+		return "are sarcastic in tone"
+	case AugTechnical:
+		return "are technical in nature"
+	default:
+		return "exist"
+	}
+}
+
+// isTraitKind reports whether the kind is a trait-ranking augment.
+func isTraitKind(k AugKind) bool {
+	return k == AugTopSarcastic || k == AugTopTechnical || k == AugTopPositive
+}
+
+// traitWord is the English adjective for a trait-ranking augment.
+func traitWord(k AugKind) string {
+	switch k {
+	case AugTopSarcastic:
+		return "sarcastic"
+	case AugTopTechnical:
+		return "technical"
+	case AugTopPositive:
+		return "positive"
+	default:
+		return ""
+	}
+}
+
+// traitKindFor reverses traitWord.
+func traitKindFor(word string) (AugKind, bool) {
+	switch word {
+	case "sarcastic":
+		return AugTopSarcastic, true
+	case "technical":
+		return AugTopTechnical, true
+	case "positive":
+		return AugTopPositive, true
+	default:
+		return AugNone, false
+	}
+}

@@ -1,0 +1,188 @@
+// Package nlq defines the controlled natural-language layer shared by the
+// benchmark generator and the simulated language model.
+//
+// A Spec is the formal meaning of a benchmark question: a relational
+// skeleton (table, join, filters, ordering, projection) plus at most one
+// *augment* — the world-knowledge or semantic-reasoning requirement that
+// BIRD queries were modified with in the TAG paper (§4.1).
+//
+// Render turns a Spec into an English question; Parse turns an English
+// question back into a Spec. The benchmark generator renders, the simulated
+// LM parses. Because both directions share one lexicon, Parse∘Render is the
+// identity on every benchmark query (property-tested), which pins the
+// simulated LM's *language understanding* at "reliable" and leaves its
+// failure modes where the paper locates them: parametric knowledge,
+// semantic scoring, and in-context computation.
+package nlq
+
+import "fmt"
+
+// QueryType is the BIRD query taxonomy used by TAG-Bench.
+type QueryType uint8
+
+// Query types (Table 1 columns).
+const (
+	Match QueryType = iota
+	Comparison
+	Ranking
+	Aggregation
+)
+
+// String returns the paper's name for the query type.
+func (t QueryType) String() string {
+	switch t {
+	case Match:
+		return "Match-based"
+	case Comparison:
+		return "Comparison"
+	case Ranking:
+		return "Ranking"
+	case Aggregation:
+		return "Aggregation"
+	default:
+		return fmt.Sprintf("QueryType(%d)", uint8(t))
+	}
+}
+
+// Category splits queries by the capability they demand (Table 2 rows).
+type Category uint8
+
+// Query categories.
+const (
+	Knowledge Category = iota
+	Reasoning
+)
+
+// String returns the paper's name for the category.
+func (c Category) String() string {
+	if c == Knowledge {
+		return "Knowledge"
+	}
+	return "Reasoning"
+}
+
+// AugKind enumerates the knowledge/reasoning augmentations applied to the
+// relational skeletons.
+type AugKind uint8
+
+// Augment kinds. Knowledge kinds require facts outside the database;
+// reasoning kinds require semantic judgement over a text column.
+const (
+	AugNone AugKind = iota
+
+	// Knowledge.
+	AugCityRegion   // Column is a city; Arg is a region ("Silicon Valley")
+	AugCountyRegion // Column is a county; Arg is a region ("Bay Area")
+	AugEUCountry    // Column is a country; keep EU members
+	AugTallerThan   // Column is a height in cm; Arg is a famous person
+	AugClassic      // Column is a movie title; keep widely-acknowledged classics
+	AugCircuitInfo  // Arg is a circuit name (aggregation: "provide information")
+
+	// Reasoning.
+	AugPositive         // Column is text; keep positive-sentiment rows
+	AugNegative         // Column is text; keep negative-sentiment rows
+	AugSarcastic        // Column is text; keep sarcastic rows
+	AugTechnical        // Column is text; keep technical rows
+	AugNamedAfterPerson // Column is an institution name; keep person-named rows
+	AugPremium          // Column is a product description; keep premium-sounding rows
+	AugTopSarcastic     // rank rows by sarcasm of Column
+	AugTopTechnical     // rank rows by technicality of Column
+	AugTopPositive      // rank rows by positivity of Column
+	AugSummarize        // aggregate: summarise Column
+)
+
+// IsKnowledge reports whether the kind draws on world knowledge (vs
+// semantic reasoning over text).
+func (k AugKind) IsKnowledge() bool {
+	switch k {
+	case AugCityRegion, AugCountyRegion, AugEUCountry, AugTallerThan, AugClassic, AugCircuitInfo:
+		return true
+	default:
+		return false
+	}
+}
+
+// Augment is the single knowledge/reasoning requirement of a query.
+type Augment struct {
+	Kind   AugKind
+	Column string // fully qualified "table.column" the augment applies to
+	Arg    string // region / person / circuit name, where applicable
+	K      int    // result size for ranking augments
+}
+
+// Filter is one relational predicate. Column is fully qualified
+// "table.column"; Op is one of = != < <= > >=.
+type Filter struct {
+	Column string
+	Op     string
+	Value  string
+	Num    bool // Value is numeric (render and compare as a number)
+}
+
+// Join names a secondary table reachable from the primary table via a
+// foreign key. Left and Right are fully qualified columns.
+type Join struct {
+	Table string
+	Left  string
+	Right string
+}
+
+// Spec is the formal meaning of a benchmark question.
+type Spec struct {
+	Domain   string
+	Type     QueryType
+	Category Category
+
+	Table   string // primary table
+	Join    *Join  // optional second table
+	Filters []Filter
+
+	Target    string // projected column, fully qualified (match/ranking/agg)
+	OrderBy   string // relational order column, fully qualified
+	OrderDesc bool
+	Limit     int // top-K for ranking; 1 for match
+
+	Aug *Augment
+}
+
+// Clone returns a deep copy of the spec.
+func (s *Spec) Clone() *Spec {
+	out := *s
+	if s.Join != nil {
+		j := *s.Join
+		out.Join = &j
+	}
+	if s.Aug != nil {
+		a := *s.Aug
+		out.Aug = &a
+	}
+	out.Filters = append([]Filter(nil), s.Filters...)
+	return &out
+}
+
+// Equal reports deep equality of two specs.
+func (s *Spec) Equal(o *Spec) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.Domain != o.Domain || s.Type != o.Type || s.Category != o.Category ||
+		s.Table != o.Table || s.Target != o.Target || s.OrderBy != o.OrderBy ||
+		s.OrderDesc != o.OrderDesc || s.Limit != o.Limit {
+		return false
+	}
+	if (s.Join == nil) != (o.Join == nil) || (s.Join != nil && *s.Join != *o.Join) {
+		return false
+	}
+	if (s.Aug == nil) != (o.Aug == nil) || (s.Aug != nil && *s.Aug != *o.Aug) {
+		return false
+	}
+	if len(s.Filters) != len(o.Filters) {
+		return false
+	}
+	for i := range s.Filters {
+		if s.Filters[i] != o.Filters[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package sem
+
+import (
+	"fmt"
+	"sort"
+
+	"tag/internal/sqldb"
+)
+
+// AggFunc is a relational aggregation over a group's values.
+type AggFunc func(vals []sqldb.Value) sqldb.Value
+
+// Standard aggregation functions for GroupBy.
+var (
+	// CountAgg counts the rows of the group.
+	CountAgg AggFunc = func(vals []sqldb.Value) sqldb.Value {
+		return sqldb.Int(int64(len(vals)))
+	}
+	// SumAgg sums numeric values (NULLs skipped).
+	SumAgg AggFunc = func(vals []sqldb.Value) sqldb.Value {
+		var sum float64
+		for _, v := range vals {
+			if !v.IsNull() {
+				sum += v.AsFloat()
+			}
+		}
+		return sqldb.Float(sum)
+	}
+	// MeanAgg averages numeric values (NULL for empty groups).
+	MeanAgg AggFunc = func(vals []sqldb.Value) sqldb.Value {
+		var sum float64
+		n := 0
+		for _, v := range vals {
+			if !v.IsNull() {
+				sum += v.AsFloat()
+				n++
+			}
+		}
+		if n == 0 {
+			return sqldb.Null
+		}
+		return sqldb.Float(sum / float64(n))
+	}
+	// MaxAgg takes the maximum under Value.Compare (NULLs skipped).
+	MaxAgg AggFunc = func(vals []sqldb.Value) sqldb.Value {
+		best := sqldb.Null
+		for _, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			if best.IsNull() || v.Compare(best) > 0 {
+				best = v
+			}
+		}
+		return best
+	}
+	// MinAgg takes the minimum under Value.Compare (NULLs skipped).
+	MinAgg AggFunc = func(vals []sqldb.Value) sqldb.Value {
+		best := sqldb.Null
+		for _, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			if best.IsNull() || v.Compare(best) < 0 {
+				best = v
+			}
+		}
+		return best
+	}
+)
+
+// Aggregation names one aggregated output column: apply Fn to the values
+// of Col within each group, emitting the result under As.
+type Aggregation struct {
+	Col string
+	Fn  AggFunc
+	As  string
+}
+
+// GroupBy partitions rows by the key column and computes aggregations per
+// group. The output frame has the key column followed by one column per
+// aggregation, with groups ordered by first appearance (deterministic).
+func (d *DataFrame) GroupBy(key string, aggs ...Aggregation) (*DataFrame, error) {
+	ki := d.colIndex(key)
+	if ki < 0 {
+		return nil, fmt.Errorf("sem: no column %q", key)
+	}
+	colIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		ci := d.colIndex(a.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("sem: no column %q", a.Col)
+		}
+		colIdx[i] = ci
+	}
+	type group struct {
+		key  sqldb.Value
+		vals [][]sqldb.Value // per aggregation
+		seq  int
+	}
+	groups := make(map[string]*group)
+	for _, r := range d.rows {
+		k := r[ki].Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: r[ki], vals: make([][]sqldb.Value, len(aggs)), seq: len(groups)}
+			groups[k] = g
+		}
+		for i, ci := range colIdx {
+			g.vals[i] = append(g.vals[i], r[ci])
+		}
+	}
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+
+	cols := []string{key}
+	for _, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = a.Col + "_agg"
+		}
+		cols = append(cols, name)
+	}
+	rows := make([]sqldb.Row, 0, len(ordered))
+	for _, g := range ordered {
+		row := sqldb.Row{g.key}
+		for i, a := range aggs {
+			row = append(row, a.Fn(g.vals[i]))
+		}
+		rows = append(rows, row)
+	}
+	return &DataFrame{cols: cols, rows: rows}, nil
+}

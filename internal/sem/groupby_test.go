@@ -1,0 +1,110 @@
+package sem
+
+import (
+	"testing"
+
+	"tag/internal/sqldb"
+)
+
+func salesFrame(t *testing.T) *DataFrame {
+	t.Helper()
+	d, err := New(
+		[]string{"region", "amount"},
+		[]sqldb.Row{
+			{sqldb.Text("west"), sqldb.Int(10)},
+			{sqldb.Text("east"), sqldb.Int(5)},
+			{sqldb.Text("west"), sqldb.Int(30)},
+			{sqldb.Text("east"), sqldb.Int(7)},
+			{sqldb.Text("west"), sqldb.Int(20)},
+			{sqldb.Text("north"), sqldb.Null},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGroupByAggregations(t *testing.T) {
+	d := salesFrame(t)
+	g, err := d.GroupBy("region",
+		Aggregation{Col: "amount", Fn: CountAgg, As: "n"},
+		Aggregation{Col: "amount", Fn: SumAgg, As: "total"},
+		Aggregation{Col: "amount", Fn: MeanAgg, As: "avg"},
+		Aggregation{Col: "amount", Fn: MinAgg, As: "lo"},
+		Aggregation{Col: "amount", Fn: MaxAgg, As: "hi"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("groups = %d", g.Len())
+	}
+	// Insertion order: west, east, north.
+	if g.Value(0, "region").AsText() != "west" || g.Value(1, "region").AsText() != "east" {
+		t.Errorf("group order: %v, %v", g.Value(0, "region"), g.Value(1, "region"))
+	}
+	if g.Value(0, "n").AsInt() != 3 || g.Value(0, "total").AsFloat() != 60 ||
+		g.Value(0, "avg").AsFloat() != 20 || g.Value(0, "lo").AsInt() != 10 || g.Value(0, "hi").AsInt() != 30 {
+		t.Errorf("west aggregates wrong: n=%v total=%v avg=%v lo=%v hi=%v",
+			g.Value(0, "n"), g.Value(0, "total"), g.Value(0, "avg"), g.Value(0, "lo"), g.Value(0, "hi"))
+	}
+	// All-NULL group: count counts rows; min/max/mean are NULL.
+	if g.Value(2, "n").AsInt() != 1 || !g.Value(2, "avg").IsNull() || !g.Value(2, "hi").IsNull() {
+		t.Errorf("north aggregates: n=%v avg=%v hi=%v", g.Value(2, "n"), g.Value(2, "avg"), g.Value(2, "hi"))
+	}
+}
+
+func TestGroupByMatchesSQLEngine(t *testing.T) {
+	// GroupBy must agree with the SQL engine's GROUP BY on the same data.
+	db := sqldb.NewDatabase()
+	db.MustExec("CREATE TABLE s (region TEXT, amount INTEGER)")
+	db.MustExec(`INSERT INTO s VALUES ('west', 10), ('east', 5), ('west', 30), ('east', 7), ('west', 20)`)
+	res, err := db.Query("SELECT region, COUNT(*), SUM(amount) FROM s GROUP BY region ORDER BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, _ := FromTable(db, "s")
+	g, err := df.GroupBy("region",
+		Aggregation{Col: "amount", Fn: CountAgg, As: "n"},
+		Aggregation{Col: "amount", Fn: SumAgg, As: "total"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = g.Sort("region", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != len(res.Rows) {
+		t.Fatalf("group counts differ: %d vs %d", g.Len(), len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if g.Value(i, "region").AsText() != row[0].AsText() ||
+			g.Value(i, "n").AsInt() != row[1].AsInt() ||
+			g.Value(i, "total").AsFloat() != row[2].AsFloat() {
+			t.Errorf("group %d differs from SQL: %v vs %v", i, g.Value(i, "total"), row[2])
+		}
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	d := salesFrame(t)
+	if _, err := d.GroupBy("nope"); err == nil {
+		t.Error("unknown key column must fail")
+	}
+	if _, err := d.GroupBy("region", Aggregation{Col: "nope", Fn: CountAgg}); err == nil {
+		t.Error("unknown aggregation column must fail")
+	}
+}
+
+func TestGroupByDefaultName(t *testing.T) {
+	d := salesFrame(t)
+	g, err := d.GroupBy("region", Aggregation{Col: "amount", Fn: CountAgg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.colIndex("amount_agg") < 0 {
+		t.Errorf("default aggregation name missing: %v", g.Columns())
+	}
+}

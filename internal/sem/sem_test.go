@@ -1,0 +1,298 @@
+package sem
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"tag/internal/llm"
+	"tag/internal/sqldb"
+	"tag/internal/world"
+)
+
+func oracle() *llm.SimLM {
+	return llm.NewSimLM(world.Default(), llm.OracleProfile(), llm.NewClock(), llm.DefaultCostModel())
+}
+
+func schoolsFrame(t *testing.T) *DataFrame {
+	t.Helper()
+	d, err := New(
+		[]string{"School", "City", "Longitude", "GSoffered"},
+		[]sqldb.Row{
+			{sqldb.Text("Gunn High"), sqldb.Text("Palo Alto"), sqldb.Float(-122.1), sqldb.Text("9-12")},
+			{sqldb.Text("Fresno High"), sqldb.Text("Fresno"), sqldb.Float(-119.8), sqldb.Text("9-12")},
+			{sqldb.Text("Homestead High"), sqldb.Text("Cupertino"), sqldb.Float(-122.0), sqldb.Text("K-12")},
+			{sqldb.Text("Oakland Tech"), sqldb.Text("Oakland"), sqldb.Float(-122.2), sqldb.Text("9-12")},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDataFrameBasics(t *testing.T) {
+	d := schoolsFrame(t)
+	if d.Len() != 4 || len(d.Columns()) != 4 {
+		t.Fatalf("shape = %d x %d", d.Len(), len(d.Columns()))
+	}
+	if d.Value(0, "city").AsText() != "Palo Alto" {
+		t.Error("case-insensitive column access failed")
+	}
+	if !d.Value(99, "City").IsNull() {
+		t.Error("out-of-range must be NULL")
+	}
+	sorted, err := d.Sort("Longitude", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.Value(0, "School").AsText() != "Oakland Tech" {
+		t.Errorf("sort asc first = %s", sorted.Value(0, "School").AsText())
+	}
+	// The receiver is unchanged.
+	if d.Value(0, "School").AsText() != "Gunn High" {
+		t.Error("Sort mutated the receiver")
+	}
+	head := sorted.Head(2)
+	if head.Len() != 2 {
+		t.Error("Head")
+	}
+	if d.Head(-1).Len() != 0 || d.Head(100).Len() != 4 {
+		t.Error("Head bounds")
+	}
+}
+
+func TestDataFrameFilterSelectDistinct(t *testing.T) {
+	d := schoolsFrame(t)
+	nine12 := d.FilterEq("GSoffered", sqldb.Text("9-12"))
+	if nine12.Len() != 3 {
+		t.Errorf("FilterEq = %d rows", nine12.Len())
+	}
+	proj, err := d.Select("School", "City")
+	if err != nil || len(proj.Columns()) != 2 {
+		t.Fatalf("Select: %v", err)
+	}
+	if _, err := d.Select("nosuch"); err == nil {
+		t.Error("Select unknown column should fail")
+	}
+	dist, err := d.Distinct("GSoffered")
+	if err != nil || dist.Len() != 2 {
+		t.Fatalf("Distinct = %d rows, err %v", dist.Len(), err)
+	}
+}
+
+func TestDataFrameJoin(t *testing.T) {
+	left := schoolsFrame(t)
+	right, err := New(
+		[]string{"City", "County"},
+		[]sqldb.Row{
+			{sqldb.Text("Palo Alto"), sqldb.Text("Santa Clara")},
+			{sqldb.Text("Oakland"), sqldb.Text("Alameda")},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := left.Join(right, "City", "City")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("join rows = %d", j.Len())
+	}
+	// Collided column gets prefixed.
+	if j.colIndex("right_City") < 0 {
+		t.Errorf("columns = %v", j.Columns())
+	}
+	if j.Value(0, "County").AsText() != "Santa Clara" {
+		t.Errorf("joined county = %s", j.Value(0, "County").AsText())
+	}
+}
+
+func TestDataFrameFromTable(t *testing.T) {
+	db := sqldb.NewDatabase()
+	db.MustExec("CREATE TABLE t (a INTEGER, b TEXT)")
+	db.MustExec("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+	d, err := FromTable(db, "t")
+	if err != nil || d.Len() != 2 {
+		t.Fatalf("FromTable: %v", err)
+	}
+	if _, err := FromTable(db, "missing"); err == nil {
+		t.Error("missing table should error")
+	}
+}
+
+func TestSemFilterRegion(t *testing.T) {
+	d := schoolsFrame(t)
+	m := oracle()
+	got, err := d.SemFilter(context.Background(), m, "{City} is a city in the Silicon Valley region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("SemFilter kept %d rows, want 2 (Palo Alto, Cupertino)", got.Len())
+	}
+	cities, _ := got.Strings("City")
+	if cities[0] != "Palo Alto" || cities[1] != "Cupertino" {
+		t.Errorf("cities = %v", cities)
+	}
+	// Operator batched: one batch call, not N singles.
+	if m.Stats().BatchCalls != 1 || m.Stats().Calls != 0 {
+		t.Errorf("stats = %+v", m.Stats())
+	}
+}
+
+func TestSemTopKTechnical(t *testing.T) {
+	rows := []sqldb.Row{
+		{sqldb.Text("which laptop should I buy for studying")},
+		{sqldb.Text("the gradient boosting residuals are reweighted per iteration")},
+		{sqldb.Text("what music do you listen to while working")},
+		{sqldb.Text("eigenvalue decomposition of the covariance matrix")},
+		{sqldb.Text("favorite statistics jokes to share with students")},
+	}
+	d, _ := New([]string{"Title"}, rows)
+	m := oracle()
+	top, err := d.SemTopK(context.Background(), m, "more technical", "Title", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles, _ := top.Strings("Title")
+	if len(titles) != 2 {
+		t.Fatalf("topk = %v", titles)
+	}
+	for _, ti := range titles {
+		if !strings.Contains(ti, "gradient") && !strings.Contains(ti, "eigenvalue") {
+			t.Errorf("non-technical title in top-2: %q", ti)
+		}
+	}
+}
+
+func TestSemTopKBounds(t *testing.T) {
+	d, _ := New([]string{"T"}, []sqldb.Row{{sqldb.Text("a")}})
+	m := oracle()
+	if got, err := d.SemTopK(context.Background(), m, "more positive", "T", 0); err != nil || got.Len() != 0 {
+		t.Errorf("k=0: %v %d", err, got.Len())
+	}
+	got, err := d.SemTopK(context.Background(), m, "more positive", "T", 5)
+	if err != nil || got.Len() != 1 {
+		t.Errorf("k>n: %v %d", err, got.Len())
+	}
+	if _, err := d.SemTopK(context.Background(), m, "x", "nosuch", 1); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestSemAggSummarises(t *testing.T) {
+	rows := []sqldb.Row{
+		{sqldb.Text("an absolute masterpiece from start to finish")},
+		{sqldb.Text("still the best thing I have ever watched")},
+		{sqldb.Text("flawless pacing and unforgettable characters")},
+	}
+	d, _ := New([]string{"body"}, rows)
+	m := oracle()
+	out, err := d.SemAgg(context.Background(), m, "Summarize the reviews", "body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "largely positive") {
+		t.Errorf("summary = %s", out)
+	}
+}
+
+func TestSemAggHierarchicalFold(t *testing.T) {
+	// Force multi-level folding with a small context window.
+	p := llm.OracleProfile()
+	p.ContextWindow = 300
+	p.MaxOutputTokens = 200
+	m := llm.NewSimLM(world.Default(), p, llm.NewClock(), llm.DefaultCostModel())
+	var rows []sqldb.Row
+	for i := 0; i < 60; i++ {
+		rows = append(rows, sqldb.Row{sqldb.Text("solid and dependable, worth your time")})
+	}
+	d, _ := New([]string{"body"}, rows)
+	out, err := d.SemAgg(context.Background(), m, "Summarize the reviews", "body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" || strings.Contains(out, "Nothing to summarize") {
+		t.Errorf("fold output = %q", out)
+	}
+	if m.Stats().BatchCalls < 2 {
+		t.Errorf("expected hierarchical fold (>=2 batch calls), got %+v", m.Stats())
+	}
+}
+
+func TestSemAggEmpty(t *testing.T) {
+	d, _ := New([]string{"body"}, nil)
+	out, err := d.SemAgg(context.Background(), oracle(), "Summarize", "body")
+	if err != nil || !strings.Contains(out, "Nothing") {
+		t.Errorf("empty agg = %q err=%v", out, err)
+	}
+}
+
+func TestSemMapSentiment(t *testing.T) {
+	rows := []sqldb.Row{
+		{sqldb.Text("an absolute masterpiece from start to finish")},
+		{sqldb.Text("astonishingly bad on every level")},
+	}
+	d, _ := New([]string{"body"}, rows)
+	vals, err := d.SemMap(context.Background(), oracle(), "label the sentiment", "body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].AsText() != "positive" || vals[1].AsText() != "negative" {
+		t.Errorf("map = %v, %v", vals[0], vals[1])
+	}
+	d2, err := d.WithColumn("sentiment", vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Value(0, "sentiment").AsText() != "positive" {
+		t.Error("WithColumn")
+	}
+}
+
+func TestSemJoin(t *testing.T) {
+	left, _ := New([]string{"City"}, []sqldb.Row{
+		{sqldb.Text("Palo Alto")}, {sqldb.Text("Fresno")},
+	})
+	right, _ := New([]string{"Region"}, []sqldb.Row{
+		{sqldb.Text("Silicon Valley")}, {sqldb.Text("Bay Area")},
+	})
+	got, err := left.SemJoin(context.Background(), oracle(), right,
+		"{City} is a city in the {right:Region} region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Palo Alto matches both regions; Fresno matches neither.
+	if got.Len() != 2 {
+		t.Fatalf("semjoin rows = %d, want 2", got.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.Value(i, "City").AsText() != "Palo Alto" {
+			t.Errorf("unexpected joined city %s", got.Value(i, "City").AsText())
+		}
+	}
+}
+
+func TestRowStringAndSubstitute(t *testing.T) {
+	d := schoolsFrame(t)
+	rs := d.RowString(0)
+	if !strings.Contains(rs, "School=Gunn High") || !strings.Contains(rs, "City=Palo Alto") {
+		t.Errorf("RowString = %s", rs)
+	}
+	sub := d.substitute("{School} is in {City}", 0)
+	if sub != "Gunn High is in Palo Alto" {
+		t.Errorf("substitute = %s", sub)
+	}
+	if d.RowString(-1) != "" {
+		t.Error("RowString out of range")
+	}
+}
+
+func TestNewValidatesShape(t *testing.T) {
+	_, err := New([]string{"a"}, []sqldb.Row{{sqldb.Int(1), sqldb.Int(2)}})
+	if err == nil {
+		t.Error("mismatched row width should fail")
+	}
+}

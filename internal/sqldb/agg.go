@@ -1,0 +1,207 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// isAggregateName reports whether the (upper-cased) function name denotes an
+// aggregate.
+func isAggregateName(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX", "GROUP_CONCAT", "TOTAL":
+		return true
+	default:
+		return false
+	}
+}
+
+// aggState accumulates one aggregate over the rows of a group.
+type aggState interface {
+	add(v Value)
+	result() Value
+}
+
+// newAggState builds the accumulator for the named aggregate.
+func newAggState(fc *FuncCall) (aggState, error) {
+	var base aggState
+	switch fc.Name {
+	case "COUNT":
+		base = &countState{star: fc.Star}
+	case "SUM":
+		base = &sumState{}
+	case "TOTAL":
+		base = &sumState{total: true}
+	case "AVG":
+		base = &avgState{}
+	case "MIN":
+		base = &minMaxState{min: true}
+	case "MAX":
+		base = &minMaxState{}
+	case "GROUP_CONCAT":
+		sep := ","
+		if len(fc.Args) == 2 {
+			if lit, ok := fc.Args[1].(*Literal); ok {
+				sep = lit.Val.AsText()
+			}
+		}
+		base = &concatState{sep: sep}
+	default:
+		return nil, fmt.Errorf("sql: unknown aggregate %s()", fc.Name)
+	}
+	if fc.Distinct {
+		return &distinctState{inner: base, seen: make(map[string]bool)}, nil
+	}
+	return base, nil
+}
+
+// countState implements COUNT(*) and COUNT(expr).
+type countState struct {
+	star bool
+	n    int64
+}
+
+func (s *countState) add(v Value) {
+	if s.star || !v.IsNull() {
+		s.n++
+	}
+}
+func (s *countState) result() Value { return Int(s.n) }
+
+// sumState implements SUM (NULL over empty input) and TOTAL (0.0 over empty
+// input, always REAL), matching SQLite.
+type sumState struct {
+	total   bool
+	sawAny  bool
+	allInts bool
+	i       int64
+	f       float64
+}
+
+func (s *sumState) add(v Value) {
+	if v.IsNull() {
+		return
+	}
+	if !s.sawAny {
+		s.sawAny = true
+		s.allInts = true
+	}
+	if v.Kind() == KindInt {
+		s.i += v.AsInt()
+	} else {
+		s.allInts = false
+	}
+	s.f += v.AsFloat()
+}
+
+func (s *sumState) result() Value {
+	if !s.sawAny {
+		if s.total {
+			return Float(0)
+		}
+		return Null
+	}
+	if s.total {
+		return Float(s.f)
+	}
+	if s.allInts {
+		return Int(s.i)
+	}
+	return Float(s.f)
+}
+
+// avgState implements AVG (REAL; NULL over empty input).
+type avgState struct {
+	n   int64
+	sum float64
+}
+
+func (s *avgState) add(v Value) {
+	if v.IsNull() {
+		return
+	}
+	s.n++
+	s.sum += v.AsFloat()
+}
+
+func (s *avgState) result() Value {
+	if s.n == 0 {
+		return Null
+	}
+	return Float(s.sum / float64(s.n))
+}
+
+// minMaxState implements MIN/MAX with NULLs ignored.
+type minMaxState struct {
+	min    bool
+	sawAny bool
+	best   Value
+}
+
+func (s *minMaxState) add(v Value) {
+	if v.IsNull() {
+		return
+	}
+	if !s.sawAny {
+		s.sawAny = true
+		s.best = v
+		return
+	}
+	c := v.Compare(s.best)
+	if (s.min && c < 0) || (!s.min && c > 0) {
+		s.best = v
+	}
+}
+
+func (s *minMaxState) result() Value {
+	if !s.sawAny {
+		return Null
+	}
+	return s.best
+}
+
+// concatState implements GROUP_CONCAT.
+type concatState struct {
+	sep    string
+	sawAny bool
+	b      strings.Builder
+}
+
+func (s *concatState) add(v Value) {
+	if v.IsNull() {
+		return
+	}
+	if s.sawAny {
+		s.b.WriteString(s.sep)
+	}
+	s.sawAny = true
+	s.b.WriteString(v.AsText())
+}
+
+func (s *concatState) result() Value {
+	if !s.sawAny {
+		return Null
+	}
+	return Text(s.b.String())
+}
+
+// distinctState deduplicates inputs before delegating to the wrapped state.
+type distinctState struct {
+	inner aggState
+	seen  map[string]bool
+}
+
+func (s *distinctState) add(v Value) {
+	if v.IsNull() {
+		s.inner.add(v) // inner decides whether NULL counts
+		return
+	}
+	k := v.Key()
+	if s.seen[k] {
+		return
+	}
+	s.seen[k] = true
+	s.inner.add(v)
+}
+
+func (s *distinctState) result() Value { return s.inner.result() }

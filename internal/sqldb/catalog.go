@@ -1,0 +1,288 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name       string
+	Type       Kind // affinity: values are coerced toward this kind on insert
+	DeclType   string
+	NotNull    bool
+	PrimaryKey bool
+	Unique     bool
+}
+
+// Table is an in-memory heap of rows plus secondary indexes.
+// All access must go through Database, which provides locking.
+type Table struct {
+	Name     string
+	Columns  []Column
+	colIndex map[string]int    // lower-cased column name -> ordinal
+	rows     []Row             // the heap; row ids are slice positions
+	indexes  map[string]*Index // lower-cased column name -> index
+}
+
+// Index is an equality index: value key -> row ids. Ordered scans sort keys
+// lazily; the benchmark workload is equality-lookup dominated.
+type Index struct {
+	Name   string
+	Column int
+	Unique bool
+	m      map[string][]int
+}
+
+// Database is an embedded in-memory SQL database. It is safe for concurrent
+// use; reads take a shared lock and writes an exclusive one.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	funcs  *FuncRegistry
+}
+
+// NewDatabase returns an empty database with the built-in function registry.
+func NewDatabase() *Database {
+	return &Database{
+		tables: make(map[string]*Table),
+		funcs:  NewFuncRegistry(),
+	}
+}
+
+// Funcs exposes the database's function registry so callers can register
+// UDFs (notably the TAG layer's LM UDFs).
+func (db *Database) Funcs() *FuncRegistry { return db.funcs }
+
+// Table returns the named table, or an error if it does not exist.
+func (db *Database) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tableLocked(name)
+}
+
+func (db *Database) tableLocked(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table: %s", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the names of all tables in sorted order.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SchemaSQL renders the CREATE TABLE statements for every table, in sorted
+// order — the BIRD-style schema prompt fed to the LM during query synthesis.
+func (db *Database) SchemaSQL() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		t := db.tables[n]
+		b.WriteString("CREATE TABLE " + quoteIdent(t.Name) + " (\n")
+		for i, c := range t.Columns {
+			b.WriteString("    " + quoteIdent(c.Name) + " " + c.DeclType)
+			if c.PrimaryKey {
+				b.WriteString(" PRIMARY KEY")
+			}
+			if c.NotNull && !c.PrimaryKey {
+				b.WriteString(" NOT NULL")
+			}
+			if i < len(t.Columns)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString(");\n")
+	}
+	return b.String()
+}
+
+// affinityKind maps a declared SQL type name to a storage kind, following
+// SQLite's affinity rules loosely.
+func affinityKind(decl string) Kind {
+	d := strings.ToUpper(decl)
+	switch {
+	case strings.Contains(d, "INT"):
+		return KindInt
+	case strings.Contains(d, "BOOL"):
+		return KindBool
+	case strings.Contains(d, "REAL"), strings.Contains(d, "FLOA"),
+		strings.Contains(d, "DOUB"), strings.Contains(d, "NUMERIC"),
+		strings.Contains(d, "DECIMAL"):
+		return KindFloat
+	default:
+		return KindText
+	}
+}
+
+// coerce nudges a value toward the column's affinity, mirroring SQLite:
+// numeric affinities parse numeric-looking text; TEXT affinity renders
+// numbers to strings only when explicitly requested (we keep them as-is).
+func coerce(v Value, k Kind) Value {
+	if v.IsNull() {
+		return v
+	}
+	switch k {
+	case KindInt:
+		if v.Kind() == KindText {
+			f := v.AsFloat()
+			s := strings.TrimSpace(v.AsText())
+			if s != "" && fmt.Sprint(f) != "0" || s == "0" {
+				// Only coerce when the text is actually numeric.
+				if isNumericText(s) {
+					if f == float64(int64(f)) {
+						return Int(int64(f))
+					}
+					return Float(f)
+				}
+			}
+			return v
+		}
+		if v.Kind() == KindFloat && v.AsFloat() == float64(int64(v.AsFloat())) {
+			return Int(int64(v.AsFloat()))
+		}
+		return v
+	case KindFloat:
+		if v.Kind() == KindInt {
+			return Float(float64(v.AsInt()))
+		}
+		if v.Kind() == KindText && isNumericText(strings.TrimSpace(v.AsText())) {
+			return Float(v.AsFloat())
+		}
+		return v
+	case KindBool:
+		if v.Kind() == KindInt {
+			return Bool(v.AsInt() != 0)
+		}
+		return v
+	default:
+		return v
+	}
+}
+
+func isNumericText(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot, digits := false, false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digits = true
+		case r == '.' && !dot:
+			dot = true
+		case (r == '-' || r == '+') && i == 0:
+		default:
+			return false
+		}
+	}
+	return digits
+}
+
+// newTable builds a Table from a CREATE TABLE statement.
+func newTable(stmt *CreateTableStmt) (*Table, error) {
+	t := &Table{
+		Name:     stmt.Name,
+		colIndex: make(map[string]int, len(stmt.Columns)),
+		indexes:  make(map[string]*Index),
+	}
+	for i, cd := range stmt.Columns {
+		lower := strings.ToLower(cd.Name)
+		if _, dup := t.colIndex[lower]; dup {
+			return nil, fmt.Errorf("sql: duplicate column %q in table %q", cd.Name, stmt.Name)
+		}
+		t.Columns = append(t.Columns, Column{
+			Name:       cd.Name,
+			Type:       affinityKind(cd.Type),
+			DeclType:   cd.Type,
+			NotNull:    cd.NotNull || cd.PrimaryKey,
+			PrimaryKey: cd.PrimaryKey,
+			Unique:     cd.Unique || cd.PrimaryKey,
+		})
+		t.colIndex[lower] = i
+	}
+	// Primary keys and UNIQUE columns get an index automatically.
+	for i, c := range t.Columns {
+		if c.PrimaryKey || c.Unique {
+			t.indexes[strings.ToLower(c.Name)] = &Index{
+				Name:   "auto_" + t.Name + "_" + c.Name,
+				Column: i,
+				Unique: true,
+				m:      make(map[string][]int),
+			}
+		}
+	}
+	return t, nil
+}
+
+// ColumnIndex returns the ordinal of the named column (case-insensitive)
+// or -1 if absent.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIndex[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// RowCount reports the number of stored rows.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// insertRow appends a row (already aligned to table order and coerced) and
+// maintains indexes. It enforces NOT NULL and UNIQUE constraints.
+func (t *Table) insertRow(r Row) error {
+	if len(r) != len(t.Columns) {
+		return fmt.Errorf("sql: table %s expects %d values, got %d", t.Name, len(t.Columns), len(r))
+	}
+	for i, c := range t.Columns {
+		r[i] = coerce(r[i], c.Type)
+		if c.NotNull && r[i].IsNull() {
+			return fmt.Errorf("sql: NOT NULL constraint failed: %s.%s", t.Name, c.Name)
+		}
+	}
+	for _, idx := range t.indexes {
+		key := r[idx.Column].Key()
+		if idx.Unique && len(idx.m[key]) > 0 && !r[idx.Column].IsNull() {
+			return fmt.Errorf("sql: UNIQUE constraint failed: %s.%s = %s",
+				t.Name, t.Columns[idx.Column].Name, r[idx.Column])
+		}
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, r)
+	for _, idx := range t.indexes {
+		key := r[idx.Column].Key()
+		idx.m[key] = append(idx.m[key], id)
+	}
+	return nil
+}
+
+// rebuildIndexes recomputes all index maps after a bulk mutation.
+func (t *Table) rebuildIndexes() {
+	for _, idx := range t.indexes {
+		idx.m = make(map[string][]int, len(t.rows))
+		for id, r := range t.rows {
+			key := r[idx.Column].Key()
+			idx.m[key] = append(idx.m[key], id)
+		}
+	}
+}
+
+// lookup returns the ids of rows whose indexed column equals v.
+func (idx *Index) lookup(v Value) []int { return idx.m[v.Key()] }

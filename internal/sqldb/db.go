@@ -1,0 +1,416 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is a fully materialised query result.
+type Result struct {
+	Columns []string
+	Rows    []Row
+}
+
+// ColumnIndex returns the ordinal of the named result column
+// (case-insensitive), or -1.
+func (r *Result) ColumnIndex(name string) int {
+	for i, c := range r.Columns {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns the value at (row, named column). Missing columns or
+// out-of-range rows return NULL.
+func (r *Result) Value(row int, col string) Value {
+	i := r.ColumnIndex(col)
+	if i < 0 || row < 0 || row >= len(r.Rows) {
+		return Null
+	}
+	return r.Rows[row][i]
+}
+
+// String renders the result as an aligned text table (for the CLI shell and
+// for debugging).
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.AsText()
+			if v.IsNull() {
+				s = "NULL"
+			}
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(pad(c, widths[i]))
+	}
+	b.WriteByte('\n')
+	for i := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(s, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Query parses and executes a SELECT statement, returning its rows.
+func (db *Database) Query(sql string, params ...any) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query requires a SELECT statement, got %T", stmt)
+	}
+	return db.QueryStmt(sel, params...)
+}
+
+// QueryStmt executes an already parsed SELECT.
+func (db *Database) QueryStmt(sel *SelectStmt, params ...any) (*Result, error) {
+	vals := bindParams(params)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rows, cols, err := execSelect(sel, db, vals, nil)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.name
+	}
+	return &Result{Columns: names, Rows: rows}, nil
+}
+
+// Exec parses and executes any statement. For SELECT it discards rows and
+// returns their count; for DML it returns the number of affected rows; for
+// DDL it returns 0.
+func (db *Database) Exec(sql string, params ...any) (int, error) {
+	stmts, err := ParseAll(sql)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, stmt := range stmts {
+		n, err := db.execStmt(stmt, bindParams(params))
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// MustExec is Exec that panics on error — intended for test fixtures and
+// generated data loading where failure is a programming bug.
+func (db *Database) MustExec(sql string, params ...any) {
+	if _, err := db.Exec(sql, params...); err != nil {
+		panic(fmt.Sprintf("sqldb: MustExec(%.80q): %v", sql, err))
+	}
+}
+
+func bindParams(params []any) []Value {
+	vals := make([]Value, len(params))
+	for i, p := range params {
+		vals[i] = GoValue(p)
+	}
+	return vals
+}
+
+func (db *Database) execStmt(stmt Statement, params []Value) (int, error) {
+	switch t := stmt.(type) {
+	case *SelectStmt:
+		db.mu.RLock()
+		rows, _, err := execSelect(t, db, params, nil)
+		db.mu.RUnlock()
+		return len(rows), err
+	case *CreateTableStmt:
+		return 0, db.createTable(t)
+	case *CreateIndexStmt:
+		return 0, db.createIndex(t)
+	case *DropTableStmt:
+		return 0, db.dropTable(t)
+	case *InsertStmt:
+		return db.execInsert(t, params)
+	case *UpdateStmt:
+		return db.execUpdate(t, params)
+	case *DeleteStmt:
+		return db.execDelete(t, params)
+	default:
+		return 0, fmt.Errorf("sql: cannot execute %T", stmt)
+	}
+}
+
+func (db *Database) createTable(stmt *CreateTableStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(stmt.Name)
+	if _, exists := db.tables[key]; exists {
+		if stmt.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("sql: table %s already exists", stmt.Name)
+	}
+	t, err := newTable(stmt)
+	if err != nil {
+		return err
+	}
+	db.tables[key] = t
+	return nil
+}
+
+func (db *Database) createIndex(stmt *CreateIndexStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(stmt.Table)
+	if err != nil {
+		return err
+	}
+	ci := t.ColumnIndex(stmt.Column)
+	if ci < 0 {
+		return fmt.Errorf("sql: no such column %s.%s", stmt.Table, stmt.Column)
+	}
+	key := strings.ToLower(stmt.Column)
+	if _, exists := t.indexes[key]; exists {
+		return nil // idempotent: one index per column is all we support
+	}
+	idx := &Index{Name: stmt.Name, Column: ci, Unique: stmt.Unique, m: make(map[string][]int)}
+	for id, r := range t.rows {
+		k := r[ci].Key()
+		if stmt.Unique && len(idx.m[k]) > 0 && !r[ci].IsNull() {
+			return fmt.Errorf("sql: cannot create UNIQUE index %s: duplicate value %s", stmt.Name, r[ci])
+		}
+		idx.m[k] = append(idx.m[k], id)
+	}
+	t.indexes[key] = idx
+	return nil
+}
+
+func (db *Database) dropTable(stmt *DropTableStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(stmt.Name)
+	if _, exists := db.tables[key]; !exists {
+		if stmt.IfExists {
+			return nil
+		}
+		return fmt.Errorf("sql: no such table: %s", stmt.Name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+func (db *Database) execInsert(stmt *InsertStmt, params []Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(stmt.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Map the statement's column list to table ordinals.
+	colOrder := make([]int, 0, len(t.Columns))
+	if len(stmt.Columns) == 0 {
+		for i := range t.Columns {
+			colOrder = append(colOrder, i)
+		}
+	} else {
+		for _, name := range stmt.Columns {
+			ci := t.ColumnIndex(name)
+			if ci < 0 {
+				return 0, fmt.Errorf("sql: table %s has no column named %s", t.Name, name)
+			}
+			colOrder = append(colOrder, ci)
+		}
+	}
+
+	var sourceRows []Row
+	if stmt.Select != nil {
+		rows, _, err := execSelect(stmt.Select, db, params, nil)
+		if err != nil {
+			return 0, err
+		}
+		sourceRows = rows
+	} else {
+		env := newEvalEnv(nil, db, params, nil)
+		for _, exprs := range stmt.Rows {
+			row := make(Row, len(exprs))
+			for i, e := range exprs {
+				v, err := evalExpr(e, env)
+				if err != nil {
+					return 0, err
+				}
+				row[i] = v
+			}
+			sourceRows = append(sourceRows, row)
+		}
+	}
+
+	n := 0
+	for _, src := range sourceRows {
+		if len(src) != len(colOrder) {
+			return n, fmt.Errorf("sql: table %s expects %d values, got %d", t.Name, len(colOrder), len(src))
+		}
+		full := make(Row, len(t.Columns))
+		for i := range full {
+			full[i] = Null
+		}
+		for i, ci := range colOrder {
+			full[ci] = src[i]
+		}
+		if err := t.insertRow(full); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (db *Database) execUpdate(stmt *UpdateStmt, params []Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(stmt.Table)
+	if err != nil {
+		return 0, err
+	}
+	setCols := make([]int, len(stmt.Set))
+	for i, sc := range stmt.Set {
+		ci := t.ColumnIndex(sc.Column)
+		if ci < 0 {
+			return 0, fmt.Errorf("sql: table %s has no column named %s", t.Name, sc.Column)
+		}
+		setCols[i] = ci
+	}
+	cols := make([]colInfo, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = colInfo{qual: t.Name, name: c.Name}
+	}
+	env := newEvalEnv(cols, db, params, nil)
+	n := 0
+	for id, r := range t.rows {
+		env.row = r
+		if stmt.Where != nil {
+			v, err := evalExpr(stmt.Where, env)
+			if err != nil {
+				return n, err
+			}
+			if v.IsNull() || !v.AsBool() {
+				continue
+			}
+		}
+		updated := r.Clone()
+		for i, sc := range stmt.Set {
+			v, err := evalExpr(sc.Expr, env)
+			if err != nil {
+				return n, err
+			}
+			updated[setCols[i]] = coerce(v, t.Columns[setCols[i]].Type)
+		}
+		for i, c := range t.Columns {
+			if c.NotNull && updated[i].IsNull() {
+				return n, fmt.Errorf("sql: NOT NULL constraint failed: %s.%s", t.Name, c.Name)
+			}
+		}
+		t.rows[id] = updated
+		n++
+	}
+	if n > 0 {
+		t.rebuildIndexes()
+	}
+	return n, nil
+}
+
+func (db *Database) execDelete(stmt *DeleteStmt, params []Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(stmt.Table)
+	if err != nil {
+		return 0, err
+	}
+	cols := make([]colInfo, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = colInfo{qual: t.Name, name: c.Name}
+	}
+	env := newEvalEnv(cols, db, params, nil)
+	kept := t.rows[:0]
+	n := 0
+	for _, r := range t.rows {
+		keep := true
+		if stmt.Where != nil {
+			env.row = r
+			v, err := evalExpr(stmt.Where, env)
+			if err != nil {
+				return n, err
+			}
+			if !v.IsNull() && v.AsBool() {
+				keep = false
+			}
+		} else {
+			keep = false
+		}
+		if keep {
+			kept = append(kept, r)
+		} else {
+			n++
+		}
+	}
+	t.rows = kept
+	if n > 0 {
+		t.rebuildIndexes()
+	}
+	return n, nil
+}
+
+// InsertRows bulk-loads rows (Go values, table column order) into a table.
+// It is the fast path used by the benchmark data generators.
+func (db *Database) InsertRows(table string, rows [][]any) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return err
+	}
+	for _, raw := range rows {
+		row := make(Row, len(raw))
+		for i, x := range raw {
+			row[i] = GoValue(x)
+		}
+		if err := t.insertRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

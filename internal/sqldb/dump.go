@@ -1,0 +1,105 @@
+package sqldb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump writes the database as a SQL script (CREATE TABLE + INSERT
+// statements) that LoadScript can replay — the engine's persistence story.
+// Tables are emitted in sorted order; rows in storage order. Indexes
+// created by CREATE INDEX are re-emitted after the data so reloads rebuild
+// them.
+func (db *Database) Dump(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if _, err := io.WriteString(w, db.schemaSQLLocked()); err != nil {
+		return err
+	}
+	for _, name := range db.tableNamesLocked() {
+		t := db.tables[strings.ToLower(name)]
+		for _, row := range t.rows {
+			var b strings.Builder
+			b.WriteString("INSERT INTO " + quoteIdent(t.Name) + " VALUES (")
+			for i, v := range row {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(v.String())
+			}
+			b.WriteString(");\n")
+			if _, err := io.WriteString(w, b.String()); err != nil {
+				return err
+			}
+		}
+		// Secondary (non-automatic) indexes.
+		for _, idx := range t.indexes {
+			if strings.HasPrefix(idx.Name, "auto_") {
+				continue
+			}
+			unique := ""
+			if idx.Unique {
+				unique = "UNIQUE "
+			}
+			stmt := fmt.Sprintf("CREATE %sINDEX %s ON %s (%s);\n",
+				unique, quoteIdent(idx.Name), quoteIdent(t.Name),
+				quoteIdent(t.Columns[idx.Column].Name))
+			if _, err := io.WriteString(w, stmt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadScript executes a multi-statement SQL script (as produced by Dump).
+func (db *Database) LoadScript(src string) error {
+	_, err := db.Exec(src)
+	return err
+}
+
+// schemaSQLLocked is SchemaSQL without re-taking the lock.
+func (db *Database) schemaSQLLocked() string {
+	names := db.tableNamesLocked()
+	var b strings.Builder
+	for _, n := range names {
+		t := db.tables[strings.ToLower(n)]
+		b.WriteString("CREATE TABLE " + quoteIdent(t.Name) + " (")
+		for i, c := range t.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteIdent(c.Name) + " " + c.DeclType)
+			if c.PrimaryKey {
+				b.WriteString(" PRIMARY KEY")
+			}
+			if c.NotNull && !c.PrimaryKey {
+				b.WriteString(" NOT NULL")
+			}
+			if c.Unique && !c.PrimaryKey {
+				b.WriteString(" UNIQUE")
+			}
+		}
+		b.WriteString(");\n")
+	}
+	return b.String()
+}
+
+func (db *Database) tableNamesLocked() []string {
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sortStrings(names)
+	return names
+}
+
+// sortStrings is a tiny insertion sort to avoid re-importing sort here.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

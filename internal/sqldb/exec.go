@@ -1,0 +1,930 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements SELECT execution: a volcano-style iterator tree for
+// the FROM/WHERE stages (scans, index lookups, hash and nested-loop joins)
+// with materialisation at the aggregation, sort and distinct boundaries.
+
+// operator is a pull-based row iterator.
+type operator interface {
+	columns() []colInfo
+	// next returns the next row. ok=false signals exhaustion.
+	next() (row Row, ok bool, err error)
+	// reset rewinds the operator so it can be iterated again (used by
+	// nested-loop joins).
+	reset()
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+
+// scanOp iterates a base table's heap, optionally restricted to a set of
+// row ids produced by an index lookup.
+type scanOp struct {
+	table *Table
+	qual  string // alias the table is addressable by
+	cols  []colInfo
+	ids   []int // nil = full scan
+	pos   int
+}
+
+func newScanOp(t *Table, qual string) *scanOp {
+	cols := make([]colInfo, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = colInfo{qual: qual, name: c.Name}
+	}
+	return &scanOp{table: t, qual: qual, cols: cols}
+}
+
+func (s *scanOp) columns() []colInfo { return s.cols }
+func (s *scanOp) reset()             { s.pos = 0 }
+
+func (s *scanOp) next() (Row, bool, error) {
+	if s.ids != nil {
+		if s.pos >= len(s.ids) {
+			return nil, false, nil
+		}
+		r := s.table.rows[s.ids[s.pos]]
+		s.pos++
+		return r, true, nil
+	}
+	if s.pos >= len(s.table.rows) {
+		return nil, false, nil
+	}
+	r := s.table.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// valuesOp replays pre-materialised rows (derived tables, join builds).
+type valuesOp struct {
+	cols []colInfo
+	rows []Row
+	pos  int
+}
+
+func (v *valuesOp) columns() []colInfo { return v.cols }
+func (v *valuesOp) reset()             { v.pos = 0 }
+func (v *valuesOp) next() (Row, bool, error) {
+	if v.pos >= len(v.rows) {
+		return nil, false, nil
+	}
+	r := v.rows[v.pos]
+	v.pos++
+	return r, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+
+// filterOp passes through rows satisfying the predicate (NULL = drop).
+type filterOp struct {
+	child operator
+	pred  Expr
+	env   *evalEnv
+}
+
+func newFilterOp(child operator, pred Expr, db *Database, params []Value, outer *evalEnv) *filterOp {
+	return &filterOp{
+		child: child,
+		pred:  pred,
+		env:   newEvalEnv(child.columns(), db, params, outer),
+	}
+}
+
+func (f *filterOp) columns() []colInfo { return f.child.columns() }
+func (f *filterOp) reset()             { f.child.reset() }
+
+func (f *filterOp) next() (Row, bool, error) {
+	for {
+		r, ok, err := f.child.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.env.row = r
+		v, err := evalExpr(f.pred, f.env)
+		if err != nil {
+			return nil, false, err
+		}
+		if !v.IsNull() && v.AsBool() {
+			return r, true, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+
+// hashJoinOp performs an equi-join: the right side is built into a hash
+// table keyed by rightKey; left rows probe it. A residual predicate (the
+// non-equi remainder of the ON clause) is applied to candidate pairs.
+// Supports inner and left joins.
+type hashJoinOp struct {
+	left      operator
+	rightCols []colInfo
+	cols      []colInfo
+	leftKey   Expr
+	rightKey  Expr // retained for EXPLAIN
+	rightRows map[string][]Row
+	residual  Expr
+	leftOuter bool
+	db        *Database
+	params    []Value
+	outer     *evalEnv
+
+	leftEnv  *evalEnv
+	pairEnv  *evalEnv
+	cur      Row // current left row
+	matches  []Row
+	matchPos int
+	emitted  bool // whether cur produced any output (for LEFT JOIN)
+	haveCur  bool
+}
+
+func newHashJoinOp(left operator, rightCols []colInfo, rightRows []Row,
+	leftKey, rightKey Expr, residual Expr, leftOuter bool,
+	db *Database, params []Value, outer *evalEnv) (*hashJoinOp, error) {
+
+	h := &hashJoinOp{
+		left:      left,
+		rightCols: rightCols,
+		cols:      append(append([]colInfo{}, left.columns()...), rightCols...),
+		leftKey:   leftKey,
+		rightKey:  rightKey,
+		residual:  residual,
+		leftOuter: leftOuter,
+		db:        db,
+		params:    params,
+		outer:     outer,
+		rightRows: make(map[string][]Row),
+	}
+	// Build phase.
+	rightEnv := newEvalEnv(rightCols, db, params, outer)
+	for _, r := range rightRows {
+		rightEnv.row = r
+		k, err := evalExpr(rightKey, rightEnv)
+		if err != nil {
+			return nil, err
+		}
+		if k.IsNull() {
+			continue // NULL keys never join
+		}
+		h.rightRows[k.Key()] = append(h.rightRows[k.Key()], r)
+	}
+	h.leftEnv = newEvalEnv(left.columns(), db, params, outer)
+	h.pairEnv = newEvalEnv(h.cols, db, params, outer)
+	return h, nil
+}
+
+func (h *hashJoinOp) columns() []colInfo { return h.cols }
+func (h *hashJoinOp) reset() {
+	h.left.reset()
+	h.haveCur = false
+	h.matches = nil
+	h.matchPos = 0
+}
+
+func (h *hashJoinOp) next() (Row, bool, error) {
+	for {
+		if !h.haveCur {
+			r, ok, err := h.left.next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			h.cur = r
+			h.haveCur = true
+			h.emitted = false
+			h.matchPos = 0
+			h.leftEnv.row = r
+			k, err := evalExpr(h.leftKey, h.leftEnv)
+			if err != nil {
+				return nil, false, err
+			}
+			if k.IsNull() {
+				h.matches = nil
+			} else {
+				h.matches = h.rightRows[k.Key()]
+			}
+		}
+		for h.matchPos < len(h.matches) {
+			rr := h.matches[h.matchPos]
+			h.matchPos++
+			out := make(Row, 0, len(h.cur)+len(rr))
+			out = append(out, h.cur...)
+			out = append(out, rr...)
+			if h.residual != nil {
+				h.pairEnv.row = out
+				v, err := evalExpr(h.residual, h.pairEnv)
+				if err != nil {
+					return nil, false, err
+				}
+				if v.IsNull() || !v.AsBool() {
+					continue
+				}
+			}
+			h.emitted = true
+			return out, true, nil
+		}
+		// Left row exhausted its matches.
+		if h.leftOuter && !h.emitted {
+			h.haveCur = false
+			out := make(Row, 0, len(h.cols))
+			out = append(out, h.cur...)
+			for range h.rightCols {
+				out = append(out, Null)
+			}
+			return out, true, nil
+		}
+		h.haveCur = false
+	}
+}
+
+// nestedLoopJoinOp is the fallback join for non-equi ON conditions and
+// CROSS joins. The right side is materialised.
+type nestedLoopJoinOp struct {
+	left      operator
+	rightCols []colInfo
+	rightRows []Row
+	cols      []colInfo
+	on        Expr // nil for CROSS
+	leftOuter bool
+	env       *evalEnv
+
+	cur      Row
+	haveCur  bool
+	emitted  bool
+	rightPos int
+}
+
+func newNestedLoopJoinOp(left operator, rightCols []colInfo, rightRows []Row,
+	on Expr, leftOuter bool, db *Database, params []Value, outer *evalEnv) *nestedLoopJoinOp {
+	cols := append(append([]colInfo{}, left.columns()...), rightCols...)
+	return &nestedLoopJoinOp{
+		left:      left,
+		rightCols: rightCols,
+		rightRows: rightRows,
+		cols:      cols,
+		on:        on,
+		leftOuter: leftOuter,
+		env:       newEvalEnv(cols, db, params, outer),
+	}
+}
+
+func (n *nestedLoopJoinOp) columns() []colInfo { return n.cols }
+func (n *nestedLoopJoinOp) reset() {
+	n.left.reset()
+	n.haveCur = false
+	n.rightPos = 0
+}
+
+func (n *nestedLoopJoinOp) next() (Row, bool, error) {
+	for {
+		if !n.haveCur {
+			r, ok, err := n.left.next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			n.cur = r
+			n.haveCur = true
+			n.emitted = false
+			n.rightPos = 0
+		}
+		for n.rightPos < len(n.rightRows) {
+			rr := n.rightRows[n.rightPos]
+			n.rightPos++
+			out := make(Row, 0, len(n.cols))
+			out = append(out, n.cur...)
+			out = append(out, rr...)
+			if n.on != nil {
+				n.env.row = out
+				v, err := evalExpr(n.on, n.env)
+				if err != nil {
+					return nil, false, err
+				}
+				if v.IsNull() || !v.AsBool() {
+					continue
+				}
+			}
+			n.emitted = true
+			return out, true, nil
+		}
+		if n.leftOuter && !n.emitted {
+			n.haveCur = false
+			out := make(Row, 0, len(n.cols))
+			out = append(out, n.cur...)
+			for range n.rightCols {
+				out = append(out, Null)
+			}
+			return out, true, nil
+		}
+		n.haveCur = false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SELECT driver
+
+// execSubquery runs a nested SELECT with the enclosing row environment
+// available for correlated references.
+func execSubquery(stmt *SelectStmt, outer *evalEnv) ([]Row, []colInfo, error) {
+	return execSelect(stmt, outer.db, outer.params, outer)
+}
+
+// execSelect runs a SELECT and materialises its result.
+func execSelect(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv) ([]Row, []colInfo, error) {
+	src, where, err := buildFrom(stmt, db, params, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	if where != nil {
+		src = newFilterOp(src, where, db, params, outer)
+	}
+
+	aggregate := len(stmt.GroupBy) > 0
+	if !aggregate {
+		for _, it := range stmt.Items {
+			if exprContainsAggregate(it.Expr) {
+				aggregate = true
+				break
+			}
+		}
+		if stmt.Having != nil && !aggregate {
+			aggregate = true
+		}
+	}
+
+	items, outCols, err := expandItems(stmt.Items, src.columns())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	type projRow struct {
+		out Row
+		env *evalEnv // row environment for ORDER BY over non-projected columns
+	}
+	var projected []projRow
+
+	if aggregate {
+		groups, err := runAggregation(stmt, items, src, db, params, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, genv := range groups {
+			if stmt.Having != nil {
+				hv, err := evalExpr(stmt.Having, genv)
+				if err != nil {
+					return nil, nil, err
+				}
+				if hv.IsNull() || !hv.AsBool() {
+					continue
+				}
+			}
+			out := make(Row, len(items))
+			for i, it := range items {
+				v, err := evalExpr(it.Expr, genv)
+				if err != nil {
+					return nil, nil, err
+				}
+				out[i] = v
+			}
+			projected = append(projected, projRow{out: out, env: genv})
+		}
+	} else {
+		base := newEvalEnv(src.columns(), db, params, outer)
+		for {
+			r, ok, err := src.next()
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				break
+			}
+			// Each row needs its own env snapshot for deferred ORDER BY.
+			env := &evalEnv{
+				cols: base.cols, lookup: base.lookup, row: r,
+				params: params, db: db, outer: outer,
+			}
+			out := make(Row, len(items))
+			for i, it := range items {
+				v, err := evalExpr(it.Expr, env)
+				if err != nil {
+					return nil, nil, err
+				}
+				out[i] = v
+			}
+			projected = append(projected, projRow{out: out, env: env})
+		}
+	}
+
+	if stmt.Distinct {
+		seen := make(map[string]bool, len(projected))
+		kept := projected[:0]
+		for _, pr := range projected {
+			k := rowKey(pr.out)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, pr)
+		}
+		projected = kept
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		type keyed struct {
+			pr   projRow
+			keys []Value
+		}
+		keyedRows := make([]keyed, len(projected))
+		for i, pr := range projected {
+			// ORDER BY resolves output aliases first, then input columns.
+			oenv := &evalEnv{
+				cols: outCols, lookup: buildLookup(outCols), row: pr.out,
+				params: params, db: db, outer: pr.env,
+			}
+			if pr.env != nil {
+				oenv.aggVals = pr.env.aggVals
+				oenv.groupVals = pr.env.groupVals
+			}
+			keys := make([]Value, len(stmt.OrderBy))
+			for j, ob := range stmt.OrderBy {
+				k, err := evalOrderKey(ob.Expr, oenv, pr.out)
+				if err != nil {
+					return nil, nil, err
+				}
+				keys[j] = k
+			}
+			keyedRows[i] = keyed{pr: pr, keys: keys}
+		}
+		sort.SliceStable(keyedRows, func(a, b int) bool {
+			for j, ob := range stmt.OrderBy {
+				c := keyedRows[a].keys[j].Compare(keyedRows[b].keys[j])
+				if c != 0 {
+					if ob.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		for i := range keyedRows {
+			projected[i] = keyedRows[i].pr
+		}
+	}
+
+	// LIMIT / OFFSET.
+	start, end := 0, len(projected)
+	if stmt.Offset != nil {
+		ov, err := evalConst(stmt.Offset, db, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		start = int(ov.AsInt())
+		if start < 0 {
+			start = 0
+		}
+		if start > end {
+			start = end
+		}
+	}
+	if stmt.Limit != nil {
+		lv, err := evalConst(stmt.Limit, db, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := int(lv.AsInt())
+		if n >= 0 && start+n < end {
+			end = start + n
+		}
+	}
+
+	rows := make([]Row, 0, end-start)
+	for _, pr := range projected[start:end] {
+		rows = append(rows, pr.out)
+	}
+	return rows, outCols, nil
+}
+
+// evalOrderKey evaluates an ORDER BY key: integer literals are 1-based
+// output ordinals (SQLite), everything else is an expression over the
+// combined output+input environment.
+func evalOrderKey(e Expr, env *evalEnv, out Row) (Value, error) {
+	if lit, ok := e.(*Literal); ok && lit.Val.Kind() == KindInt {
+		i := int(lit.Val.AsInt())
+		if i < 1 || i > len(out) {
+			return Null, fmt.Errorf("sql: ORDER BY ordinal %d out of range", i)
+		}
+		return out[i-1], nil
+	}
+	return evalExpr(e, env)
+}
+
+// evalConst evaluates an expression that must not reference any columns
+// (LIMIT/OFFSET operands).
+func evalConst(e Expr, db *Database, params []Value) (Value, error) {
+	env := newEvalEnv(nil, db, params, nil)
+	return evalExpr(e, env)
+}
+
+// rowKey builds a hashable identity for a row (used by DISTINCT, GROUP BY).
+func rowKey(r Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(v.Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// expandItems resolves `*` and `tbl.*` select items against the input
+// schema and derives output column names.
+func expandItems(items []SelectItem, in []colInfo) ([]SelectItem, []colInfo, error) {
+	var out []SelectItem
+	for _, it := range items {
+		if st, ok := it.Expr.(*Star); ok {
+			matched := false
+			for _, c := range in {
+				if st.Table == "" || strings.EqualFold(st.Table, c.qual) {
+					out = append(out, SelectItem{Expr: &ColumnRef{Table: c.qual, Column: c.name, index: -1}})
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, nil, fmt.Errorf("sql: no columns match %s", st)
+			}
+			continue
+		}
+		out = append(out, it)
+	}
+	cols := make([]colInfo, len(out))
+	for i, it := range out {
+		switch {
+		case it.Alias != "":
+			cols[i] = colInfo{name: it.Alias}
+		default:
+			if cr, ok := it.Expr.(*ColumnRef); ok {
+				cols[i] = colInfo{name: cr.Column}
+			} else {
+				cols[i] = colInfo{name: it.Expr.String()}
+			}
+		}
+	}
+	return out, cols, nil
+}
+
+// runAggregation materialises the child, groups rows, accumulates every
+// aggregate referenced by the query, and returns one environment per group.
+func runAggregation(stmt *SelectStmt, items []SelectItem, src operator,
+	db *Database, params []Value, outer *evalEnv) ([]*evalEnv, error) {
+
+	// Collect the aggregate calls the query references anywhere.
+	var aggs []*FuncCall
+	for _, it := range items {
+		aggs = collectAggregates(it.Expr, aggs)
+	}
+	if stmt.Having != nil {
+		aggs = collectAggregates(stmt.Having, aggs)
+	}
+	for _, ob := range stmt.OrderBy {
+		aggs = collectAggregates(ob.Expr, aggs)
+	}
+
+	type group struct {
+		keyVals []Value
+		states  []aggState
+		repRow  Row
+		n       int
+	}
+	groups := make(map[string]*group)
+	var order []string // insertion order for determinism
+
+	env := newEvalEnv(src.columns(), db, params, outer)
+	for {
+		r, ok, err := src.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		env.row = r
+		keyVals := make([]Value, len(stmt.GroupBy))
+		for i, ge := range stmt.GroupBy {
+			v, err := evalExpr(ge, env)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		k := rowKey(keyVals)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{keyVals: keyVals, repRow: r.Clone()}
+			g.states = make([]aggState, len(aggs))
+			for i, fc := range aggs {
+				st, err := newAggState(fc)
+				if err != nil {
+					return nil, err
+				}
+				g.states[i] = st
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.n++
+		for i, fc := range aggs {
+			if fc.Star {
+				g.states[i].add(Int(1))
+				continue
+			}
+			if len(fc.Args) == 0 {
+				continue
+			}
+			v, err := evalExpr(fc.Args[0], env)
+			if err != nil {
+				return nil, err
+			}
+			g.states[i].add(v)
+		}
+	}
+
+	// A query with aggregates but no GROUP BY always yields one group,
+	// even over empty input.
+	if len(stmt.GroupBy) == 0 && len(order) == 0 {
+		g := &group{repRow: make(Row, len(src.columns()))}
+		for i := range g.repRow {
+			g.repRow[i] = Null
+		}
+		g.states = make([]aggState, len(aggs))
+		for i, fc := range aggs {
+			st, err := newAggState(fc)
+			if err != nil {
+				return nil, err
+			}
+			g.states[i] = st
+		}
+		groups["\x00empty"] = g
+		order = append(order, "\x00empty")
+	}
+
+	out := make([]*evalEnv, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		genv := newEvalEnv(src.columns(), db, params, outer)
+		genv.row = g.repRow
+		genv.aggVals = make(map[*FuncCall]Value, len(aggs))
+		for i, fc := range aggs {
+			genv.aggVals[fc] = g.states[i].result()
+		}
+		genv.groupVals = make(map[string]Value, len(stmt.GroupBy))
+		for i, ge := range stmt.GroupBy {
+			genv.groupVals[ge.String()] = g.keyVals[i]
+		}
+		out = append(out, genv)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// FROM construction and simple planning
+
+// buildFrom constructs the operator tree for the FROM clause (including
+// joins) and returns the possibly simplified WHERE predicate (index-served
+// conjuncts are removed).
+func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv) (operator, Expr, error) {
+	if stmt.From == nil {
+		// SELECT without FROM: a single empty row.
+		return &valuesOp{cols: nil, rows: []Row{{}}}, stmt.Where, nil
+	}
+	left, err := buildTableRef(*stmt.From, db, params, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	where := stmt.Where
+
+	// Index selection: only for a single-table FROM with no joins, where a
+	// top-level conjunct is `col = literal` over an indexed column.
+	if len(stmt.Joins) == 0 {
+		if sc, ok := left.(*scanOp); ok && where != nil {
+			where = tryIndexScan(sc, where)
+		}
+	}
+
+	for _, jc := range stmt.Joins {
+		rightOp, err := buildTableRef(jc.Table, db, params, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		rightCols := rightOp.columns()
+		rightRows, err := drain(rightOp)
+		if err != nil {
+			return nil, nil, err
+		}
+		if jc.Kind == JoinCross {
+			left = newNestedLoopJoinOp(left, rightCols, rightRows, nil, false, db, params, outer)
+			continue
+		}
+		leftKey, rightKey, residual := splitEquiJoin(jc.On, left.columns(), rightCols)
+		if leftKey != nil {
+			h, err := newHashJoinOp(left, rightCols, rightRows, leftKey, rightKey,
+				residual, jc.Kind == JoinLeft, db, params, outer)
+			if err != nil {
+				return nil, nil, err
+			}
+			left = h
+		} else {
+			left = newNestedLoopJoinOp(left, rightCols, rightRows, jc.On,
+				jc.Kind == JoinLeft, db, params, outer)
+		}
+	}
+	return left, where, nil
+}
+
+func buildTableRef(tr TableRef, db *Database, params []Value, outer *evalEnv) (operator, error) {
+	if tr.Sub != nil {
+		rows, cols, err := execSelect(tr.Sub, db, params, outer)
+		if err != nil {
+			return nil, err
+		}
+		// Re-qualify the derived table's columns by its alias.
+		qcols := make([]colInfo, len(cols))
+		for i, c := range cols {
+			qcols[i] = colInfo{qual: tr.Alias, name: c.name}
+		}
+		return &valuesOp{cols: qcols, rows: rows}, nil
+	}
+	t, err := db.tableLocked(tr.Name)
+	if err != nil {
+		return nil, err
+	}
+	return newScanOp(t, tr.effectiveName()), nil
+}
+
+// drain materialises an operator's full output.
+func drain(op operator) ([]Row, error) {
+	var rows []Row
+	for {
+		r, ok, err := op.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		rows = append(rows, r)
+	}
+}
+
+// tryIndexScan rewrites `scan + (col = literal AND rest)` into an index
+// lookup plus `rest` when an equality index exists. Returns the residual
+// predicate (possibly nil).
+func tryIndexScan(sc *scanOp, where Expr) Expr {
+	conjuncts := splitConjuncts(where)
+	for i, c := range conjuncts {
+		b, ok := c.(*BinaryOp)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		col, lit := asColLiteral(b.Left, b.Right)
+		if col == nil {
+			col, lit = asColLiteral(b.Right, b.Left)
+		}
+		if col == nil {
+			continue
+		}
+		if col.Table != "" && !strings.EqualFold(col.Table, sc.qual) {
+			continue
+		}
+		idx, ok := sc.table.indexes[strings.ToLower(col.Column)]
+		if !ok {
+			continue
+		}
+		ids := idx.lookup(coerce(lit.Val, sc.table.Columns[idx.Column].Type))
+		sc.ids = append([]int{}, ids...)
+		sort.Ints(sc.ids)
+		rest := append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
+		return joinConjuncts(rest)
+	}
+	return where
+}
+
+func asColLiteral(a, b Expr) (*ColumnRef, *Literal) {
+	col, ok1 := a.(*ColumnRef)
+	lit, ok2 := b.(*Literal)
+	if ok1 && ok2 {
+		return col, lit
+	}
+	return nil, nil
+}
+
+// splitConjuncts flattens a tree of ANDs into a list.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinaryOp); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+func joinConjuncts(es []Expr) Expr {
+	if len(es) == 0 {
+		return nil
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &BinaryOp{Op: "AND", Left: out, Right: e}
+	}
+	return out
+}
+
+// splitEquiJoin inspects an ON clause for an equality between a left-side
+// column expression and a right-side one. It returns (leftKey, rightKey,
+// residual); leftKey == nil means no hashable equality was found.
+func splitEquiJoin(on Expr, leftCols, rightCols []colInfo) (Expr, Expr, Expr) {
+	if on == nil {
+		return nil, nil, nil
+	}
+	leftSet := sideSet(leftCols)
+	rightSet := sideSet(rightCols)
+	conjuncts := splitConjuncts(on)
+	for i, c := range conjuncts {
+		b, ok := c.(*BinaryOp)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		ls, rs := exprSide(b.Left, leftSet, rightSet), exprSide(b.Right, leftSet, rightSet)
+		var lk, rk Expr
+		switch {
+		case ls == sideLeft && rs == sideRight:
+			lk, rk = b.Left, b.Right
+		case ls == sideRight && rs == sideLeft:
+			lk, rk = b.Right, b.Left
+		default:
+			continue
+		}
+		rest := append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
+		return lk, rk, joinConjuncts(rest)
+	}
+	return nil, nil, nil
+}
+
+type side int
+
+const (
+	sideNone side = iota
+	sideLeft
+	sideRight
+	sideBoth
+)
+
+func sideSet(cols []colInfo) map[string]bool {
+	m := make(map[string]bool, len(cols)*2)
+	for _, c := range cols {
+		m[strings.ToLower(c.name)] = true
+		if c.qual != "" {
+			m[strings.ToLower(c.qual)+"."+strings.ToLower(c.name)] = true
+		}
+	}
+	return m
+}
+
+// exprSide classifies which join side an expression's column references
+// belong to.
+func exprSide(e Expr, leftSet, rightSet map[string]bool) side {
+	s := sideNone
+	walkExpr(e, func(x Expr) bool {
+		cr, ok := x.(*ColumnRef)
+		if !ok {
+			return true
+		}
+		key := strings.ToLower(cr.Column)
+		if cr.Table != "" {
+			key = strings.ToLower(cr.Table) + "." + key
+		}
+		inL, inR := leftSet[key], rightSet[key]
+		var cs side
+		switch {
+		case inL && inR:
+			cs = sideBoth
+		case inL:
+			cs = sideLeft
+		case inR:
+			cs = sideRight
+		default:
+			cs = sideBoth // unknown (outer reference): be conservative
+		}
+		switch {
+		case s == sideNone:
+			s = cs
+		case s != cs:
+			s = sideBoth
+		}
+		return true
+	})
+	return s
+}

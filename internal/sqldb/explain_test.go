@@ -1,0 +1,107 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func explainJoined(t *testing.T, lines []string) string {
+	t.Helper()
+	return strings.Join(lines, "\n")
+}
+
+func TestExplainSeqScan(t *testing.T) {
+	db := testDB(t)
+	lines, err := db.Explain("SELECT title FROM movies WHERE genre = 'Romance'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := explainJoined(t, lines)
+	if !strings.Contains(out, "seq scan movies") {
+		t.Errorf("expected seq scan:\n%s", out)
+	}
+	if !strings.Contains(out, "filter") {
+		t.Errorf("expected filter stage:\n%s", out)
+	}
+}
+
+func TestExplainIndexScan(t *testing.T) {
+	db := testDB(t)
+	lines, err := db.Explain("SELECT title FROM movies WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := explainJoined(t, lines)
+	if !strings.Contains(out, "index scan movies") {
+		t.Errorf("primary-key equality should use the index:\n%s", out)
+	}
+	if strings.Contains(out, "filter") {
+		t.Errorf("index-served predicate should be removed from the filter:\n%s", out)
+	}
+}
+
+func TestExplainHashJoin(t *testing.T) {
+	db := testDB(t)
+	lines, err := db.Explain("SELECT m.title FROM movies m JOIN reviews r ON m.id = r.movie_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := explainJoined(t, lines)
+	if !strings.Contains(out, "hash join") {
+		t.Errorf("equi-join should hash:\n%s", out)
+	}
+}
+
+func TestExplainNestedLoopAndCross(t *testing.T) {
+	db := testDB(t)
+	lines, err := db.Explain("SELECT COUNT(*) FROM movies a JOIN movies b ON a.revenue > b.revenue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := explainJoined(t, lines)
+	if !strings.Contains(out, "nested loop join") {
+		t.Errorf("non-equi join should nest:\n%s", out)
+	}
+	if !strings.Contains(out, "aggregate") {
+		t.Errorf("COUNT should aggregate:\n%s", out)
+	}
+	lines, err = db.Explain("SELECT * FROM movies, reviews")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explainJoined(t, lines), "cross join") {
+		t.Errorf("comma join should be cross:\n%s", explainJoined(t, lines))
+	}
+}
+
+func TestExplainStages(t *testing.T) {
+	db := testDB(t)
+	lines, err := db.Explain(`SELECT DISTINCT genre FROM movies
+		GROUP BY genre ORDER BY genre LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := explainJoined(t, lines)
+	for _, stage := range []string{"limit/offset", "sort by", "distinct", "hash aggregate"} {
+		if !strings.Contains(out, stage) {
+			t.Errorf("missing stage %q:\n%s", stage, out)
+		}
+	}
+	// Stage order: limit outermost, then sort, distinct, aggregate.
+	li := strings.Index(out, "limit/offset")
+	si := strings.Index(out, "sort by")
+	ai := strings.Index(out, "hash aggregate")
+	if !(li < si && si < ai) {
+		t.Errorf("stage order wrong:\n%s", out)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Explain("INSERT INTO movies VALUES (99, 'x', 'y', 1, 2000)"); err == nil {
+		t.Error("EXPLAIN of non-SELECT must fail")
+	}
+	if _, err := db.Explain("SELECT nope FROM nowhere"); err == nil {
+		t.Error("EXPLAIN of invalid query must fail")
+	}
+}

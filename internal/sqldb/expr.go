@@ -1,0 +1,550 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// colInfo names one column of an intermediate result: an optional table
+// qualifier plus the column (or alias) name.
+type colInfo struct {
+	qual string
+	name string
+}
+
+func (c colInfo) String() string {
+	if c.qual != "" {
+		return c.qual + "." + c.name
+	}
+	return c.name
+}
+
+// evalEnv carries everything expression evaluation needs: the current row
+// and its schema, bound parameters, the database (for subqueries), the
+// enclosing row environment (for correlated subqueries), and — under
+// aggregation — precomputed aggregate and group-key values.
+type evalEnv struct {
+	cols    []colInfo
+	lookup  map[string]int // "qual.col" and bare "col" -> ordinal; ambiguous = -2
+	row     Row
+	params  []Value
+	db      *Database
+	outer   *evalEnv
+	aggVals map[*FuncCall]Value
+	// groupVals maps the canonical String() of each GROUP BY expression to
+	// its value for the current group, so projecting the grouping
+	// expression (or HAVING over it) resolves without re-evaluation.
+	groupVals map[string]Value
+}
+
+// newEvalEnv builds an environment over the given schema.
+func newEvalEnv(cols []colInfo, db *Database, params []Value, outer *evalEnv) *evalEnv {
+	env := &evalEnv{cols: cols, db: db, params: params, outer: outer}
+	env.lookup = buildLookup(cols)
+	return env
+}
+
+func buildLookup(cols []colInfo) map[string]int {
+	m := make(map[string]int, len(cols)*2)
+	for i, c := range cols {
+		bare := strings.ToLower(c.name)
+		if prev, ok := m[bare]; ok && prev != i {
+			m[bare] = -2 // ambiguous
+		} else {
+			m[bare] = i
+		}
+		if c.qual != "" {
+			q := strings.ToLower(c.qual) + "." + bare
+			if prev, ok := m[q]; ok && prev != i {
+				m[q] = -2
+			} else {
+				m[q] = i
+			}
+		}
+	}
+	return m
+}
+
+// resolve finds the ordinal for a column reference, walking outer scopes for
+// correlated subqueries. The second result reports which env owned it.
+func (env *evalEnv) resolve(ref *ColumnRef) (int, *evalEnv, error) {
+	key := strings.ToLower(ref.Column)
+	if ref.Table != "" {
+		key = strings.ToLower(ref.Table) + "." + key
+	}
+	for e := env; e != nil; e = e.outer {
+		if i, ok := e.lookup[key]; ok {
+			if i == -2 {
+				return 0, nil, fmt.Errorf("sql: ambiguous column name: %s", ref)
+			}
+			return i, e, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("sql: no such column: %s", ref)
+}
+
+// evalExpr evaluates e in env with SQL three-valued-logic semantics.
+func evalExpr(e Expr, env *evalEnv) (Value, error) {
+	// Under aggregation, grouping expressions resolve to their group key.
+	if env.groupVals != nil {
+		if v, ok := env.groupVals[e.String()]; ok {
+			return v, nil
+		}
+	}
+	switch t := e.(type) {
+	case *Literal:
+		return t.Val, nil
+	case *Param:
+		if t.Index >= len(env.params) {
+			return Null, fmt.Errorf("sql: statement expects at least %d parameters, got %d", t.Index+1, len(env.params))
+		}
+		return env.params[t.Index], nil
+	case *ColumnRef:
+		i, owner, err := env.resolve(t)
+		if err != nil {
+			return Null, err
+		}
+		if i >= len(owner.row) {
+			return Null, fmt.Errorf("sql: internal: column %s out of range", t)
+		}
+		return owner.row[i], nil
+	case *BinaryOp:
+		return evalBinary(t, env)
+	case *UnaryOp:
+		return evalUnary(t, env)
+	case *IsNull:
+		v, err := evalExpr(t.Expr, env)
+		if err != nil {
+			return Null, err
+		}
+		return Bool(v.IsNull() != t.Not), nil
+	case *InList:
+		return evalIn(t, env)
+	case *Between:
+		return evalBetween(t, env)
+	case *FuncCall:
+		if env.aggVals != nil {
+			if v, ok := env.aggVals[t]; ok {
+				return v, nil
+			}
+		}
+		return evalFunc(t, env)
+	case *CaseExpr:
+		return evalCase(t, env)
+	case *CastExpr:
+		v, err := evalExpr(t.Expr, env)
+		if err != nil {
+			return Null, err
+		}
+		return castValue(v, t.Type), nil
+	case *Subquery:
+		rows, _, err := execSubquery(t.Select, env)
+		if err != nil {
+			return Null, err
+		}
+		if len(rows) == 0 || len(rows[0]) == 0 {
+			return Null, nil
+		}
+		return rows[0][0], nil
+	case *ExistsExpr:
+		rows, _, err := execSubquery(t.Select, env)
+		if err != nil {
+			return Null, err
+		}
+		return Bool((len(rows) > 0) != t.Not), nil
+	case *Star:
+		return Null, fmt.Errorf("sql: '*' is not valid in this context")
+	default:
+		return Null, fmt.Errorf("sql: cannot evaluate %T", e)
+	}
+}
+
+func evalBinary(b *BinaryOp, env *evalEnv) (Value, error) {
+	switch b.Op {
+	case "AND":
+		l, err := evalExpr(b.Left, env)
+		if err != nil {
+			return Null, err
+		}
+		if !l.IsNull() && !l.AsBool() {
+			return Bool(false), nil
+		}
+		r, err := evalExpr(b.Right, env)
+		if err != nil {
+			return Null, err
+		}
+		if !r.IsNull() && !r.AsBool() {
+			return Bool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return Bool(true), nil
+	case "OR":
+		l, err := evalExpr(b.Left, env)
+		if err != nil {
+			return Null, err
+		}
+		if !l.IsNull() && l.AsBool() {
+			return Bool(true), nil
+		}
+		r, err := evalExpr(b.Right, env)
+		if err != nil {
+			return Null, err
+		}
+		if !r.IsNull() && r.AsBool() {
+			return Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return Bool(false), nil
+	}
+	l, err := evalExpr(b.Left, env)
+	if err != nil {
+		return Null, err
+	}
+	r, err := evalExpr(b.Right, env)
+	if err != nil {
+		return Null, err
+	}
+	switch b.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		c := l.Compare(r)
+		switch b.Op {
+		case "=":
+			return Bool(c == 0), nil
+		case "!=":
+			return Bool(c != 0), nil
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return Bool(likeMatch(r.AsText(), l.AsText())), nil
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return Text(l.AsText() + r.AsText()), nil
+	case "+", "-", "*", "/", "%":
+		return evalArith(b.Op, l, r)
+	default:
+		return Null, fmt.Errorf("sql: unknown operator %q", b.Op)
+	}
+}
+
+// evalArith implements SQLite-style arithmetic: integer op integer stays
+// integral (with truncating division); any REAL operand promotes to REAL;
+// division or modulo by zero yields NULL.
+func evalArith(op string, l, r Value) (Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return Null, nil
+	}
+	bothInt := l.Kind() == KindInt && r.Kind() == KindInt
+	if bothInt {
+		a, b := l.AsInt(), r.AsInt()
+		switch op {
+		case "+":
+			return Int(a + b), nil
+		case "-":
+			return Int(a - b), nil
+		case "*":
+			return Int(a * b), nil
+		case "/":
+			if b == 0 {
+				return Null, nil
+			}
+			return Int(a / b), nil
+		case "%":
+			if b == 0 {
+				return Null, nil
+			}
+			return Int(a % b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case "+":
+		return Float(a + b), nil
+	case "-":
+		return Float(a - b), nil
+	case "*":
+		return Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return Null, nil
+		}
+		return Float(a / b), nil
+	case "%":
+		if b == 0 {
+			return Null, nil
+		}
+		return Float(math.Mod(a, b)), nil
+	}
+	return Null, fmt.Errorf("sql: unknown arithmetic operator %q", op)
+}
+
+func evalUnary(u *UnaryOp, env *evalEnv) (Value, error) {
+	v, err := evalExpr(u.Expr, env)
+	if err != nil {
+		return Null, err
+	}
+	switch u.Op {
+	case "-":
+		if v.IsNull() {
+			return Null, nil
+		}
+		if v.Kind() == KindInt {
+			return Int(-v.AsInt()), nil
+		}
+		return Float(-v.AsFloat()), nil
+	case "NOT":
+		if v.IsNull() {
+			return Null, nil
+		}
+		return Bool(!v.AsBool()), nil
+	default:
+		return Null, fmt.Errorf("sql: unknown unary operator %q", u.Op)
+	}
+}
+
+func evalIn(in *InList, env *evalEnv) (Value, error) {
+	needle, err := evalExpr(in.Expr, env)
+	if err != nil {
+		return Null, err
+	}
+	if needle.IsNull() {
+		return Null, nil
+	}
+	var hayrows []Value
+	if in.Sub != nil {
+		rows, _, err := execSubquery(in.Sub, env)
+		if err != nil {
+			return Null, err
+		}
+		for _, r := range rows {
+			if len(r) > 0 {
+				hayrows = append(hayrows, r[0])
+			}
+		}
+	} else {
+		for _, e := range in.List {
+			v, err := evalExpr(e, env)
+			if err != nil {
+				return Null, err
+			}
+			hayrows = append(hayrows, v)
+		}
+	}
+	sawNull := false
+	for _, h := range hayrows {
+		if h.IsNull() {
+			sawNull = true
+			continue
+		}
+		if needle.Compare(h) == 0 {
+			return Bool(!in.Not), nil
+		}
+	}
+	if sawNull {
+		return Null, nil
+	}
+	return Bool(in.Not), nil
+}
+
+func evalBetween(bt *Between, env *evalEnv) (Value, error) {
+	v, err := evalExpr(bt.Expr, env)
+	if err != nil {
+		return Null, err
+	}
+	lo, err := evalExpr(bt.Lo, env)
+	if err != nil {
+		return Null, err
+	}
+	hi, err := evalExpr(bt.Hi, env)
+	if err != nil {
+		return Null, err
+	}
+	if v.IsNull() || lo.IsNull() || hi.IsNull() {
+		return Null, nil
+	}
+	in := v.Compare(lo) >= 0 && v.Compare(hi) <= 0
+	return Bool(in != bt.Not), nil
+}
+
+func evalCase(c *CaseExpr, env *evalEnv) (Value, error) {
+	if c.Operand != nil {
+		op, err := evalExpr(c.Operand, env)
+		if err != nil {
+			return Null, err
+		}
+		for _, w := range c.Whens {
+			wv, err := evalExpr(w.When, env)
+			if err != nil {
+				return Null, err
+			}
+			if !op.IsNull() && !wv.IsNull() && op.Compare(wv) == 0 {
+				return evalExpr(w.Then, env)
+			}
+		}
+	} else {
+		for _, w := range c.Whens {
+			wv, err := evalExpr(w.When, env)
+			if err != nil {
+				return Null, err
+			}
+			if !wv.IsNull() && wv.AsBool() {
+				return evalExpr(w.Then, env)
+			}
+		}
+	}
+	if c.Else != nil {
+		return evalExpr(c.Else, env)
+	}
+	return Null, nil
+}
+
+// castValue implements CAST with SQLite-like conversions.
+func castValue(v Value, typ string) Value {
+	if v.IsNull() {
+		return Null
+	}
+	switch affinityKind(typ) {
+	case KindInt:
+		return Int(v.AsInt())
+	case KindFloat:
+		return Float(v.AsFloat())
+	case KindBool:
+		return Bool(v.AsBool())
+	default:
+		return Text(v.AsText())
+	}
+}
+
+// likeMatch implements SQL LIKE: '%' matches any run, '_' any single
+// character, comparison is ASCII case-insensitive (SQLite default).
+func likeMatch(pattern, s string) bool {
+	return likeRec(strings.ToLower(pattern), strings.ToLower(s))
+}
+
+func likeRec(p, s string) bool {
+	for {
+		if p == "" {
+			return s == ""
+		}
+		switch p[0] {
+		case '%':
+			// Collapse consecutive % and try all split points.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if p == "" {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(p, s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if s == "" {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		default:
+			if s == "" || p[0] != s[0] {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		}
+	}
+}
+
+// exprContainsAggregate reports whether e contains a call to an aggregate
+// function (COUNT, SUM, AVG, MIN, MAX, GROUP_CONCAT, TOTAL) at any depth,
+// without descending into subqueries (their aggregates are their own).
+func exprContainsAggregate(e Expr) bool {
+	found := false
+	walkExpr(e, func(x Expr) bool {
+		if fc, ok := x.(*FuncCall); ok && isAggregateName(fc.Name) {
+			found = true
+			return false
+		}
+		switch x.(type) {
+		case *Subquery, *ExistsExpr:
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// collectAggregates appends every aggregate FuncCall in e (excluding
+// subqueries) to out, returning the extended slice.
+func collectAggregates(e Expr, out []*FuncCall) []*FuncCall {
+	walkExpr(e, func(x Expr) bool {
+		if fc, ok := x.(*FuncCall); ok && isAggregateName(fc.Name) {
+			out = append(out, fc)
+			return false // aggregate args cannot nest aggregates
+		}
+		switch x.(type) {
+		case *Subquery, *ExistsExpr:
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// walkExpr visits e and its children in depth-first order. The visitor
+// returns false to prune the subtree.
+func walkExpr(e Expr, visit func(Expr) bool) {
+	if e == nil || !visit(e) {
+		return
+	}
+	switch t := e.(type) {
+	case *BinaryOp:
+		walkExpr(t.Left, visit)
+		walkExpr(t.Right, visit)
+	case *UnaryOp:
+		walkExpr(t.Expr, visit)
+	case *IsNull:
+		walkExpr(t.Expr, visit)
+	case *InList:
+		walkExpr(t.Expr, visit)
+		for _, x := range t.List {
+			walkExpr(x, visit)
+		}
+	case *Between:
+		walkExpr(t.Expr, visit)
+		walkExpr(t.Lo, visit)
+		walkExpr(t.Hi, visit)
+	case *FuncCall:
+		for _, a := range t.Args {
+			walkExpr(a, visit)
+		}
+	case *CaseExpr:
+		walkExpr(t.Operand, visit)
+		for _, w := range t.Whens {
+			walkExpr(w.When, visit)
+			walkExpr(w.Then, visit)
+		}
+		walkExpr(t.Else, visit)
+	case *CastExpr:
+		walkExpr(t.Expr, visit)
+	}
+}

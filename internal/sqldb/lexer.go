@@ -1,0 +1,202 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenType enumerates lexical token classes produced by the lexer.
+type tokenType uint8
+
+const (
+	tokEOF tokenType = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // punctuation and operators: ( ) , ; . = != < <= > >= + - * / % ||
+	tokParam // ? placeholder
+)
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	typ tokenType
+	// text holds the token text. Keywords are upper-cased; identifiers and
+	// strings preserve their original spelling (quotes stripped).
+	text string
+	pos  int
+}
+
+// keywords is the set of reserved words recognised by the parser. Words not
+// listed here lex as identifiers even if they look special.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true, "IS": true, "IN": true,
+	"LIKE": true, "BETWEEN": true, "DISTINCT": true, "ASC": true, "DESC": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"CROSS": true, "ON": true, "CREATE": true, "TABLE": true, "INDEX": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "DROP": true, "PRIMARY": true, "KEY": true, "UNIQUE": true,
+	"TRUE": true, "FALSE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "EXISTS": true, "CAST": true, "UNION": true,
+	"ALL": true, "IF": true,
+}
+
+// lexError reports a lexical error with byte position context.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("sql: lex error at offset %d: %s", e.pos, e.msg)
+}
+
+// lex tokenises a SQL string. It never panics; malformed input yields an
+// error identifying the offending offset.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			// Line comment.
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, &lexError{pos: i, msg: "unterminated block comment"}
+			}
+			i += end + 4
+		case c == '\'':
+			s, next, err := lexString(src, i, '\'')
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{typ: tokString, text: s, pos: i})
+			i = next
+		case c == '"' || c == '`':
+			// Quoted identifier.
+			s, next, err := lexString(src, i, rune(c))
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{typ: tokIdent, text: s, pos: i})
+			i = next
+		case c == '[':
+			// Bracket-quoted identifier (SQLite/T-SQL style).
+			end := strings.IndexByte(src[i+1:], ']')
+			if end < 0 {
+				return nil, &lexError{pos: i, msg: "unterminated [identifier]"}
+			}
+			toks = append(toks, token{typ: tokIdent, text: src[i+1 : i+1+end], pos: i})
+			i += end + 2
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			seenDot := false
+			seenExp := false
+			for i < n {
+				d := src[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < n && (src[i] == '+' || src[i] == '-') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{typ: tokNumber, text: src[start:i], pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{typ: tokKeyword, text: up, pos: start})
+			} else {
+				toks = append(toks, token{typ: tokIdent, text: word, pos: start})
+			}
+		case c == '?':
+			toks = append(toks, token{typ: tokParam, text: "?", pos: i})
+			i++
+		default:
+			op, width, err := lexOp(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{typ: tokOp, text: op, pos: i})
+			i += width
+		}
+	}
+	toks = append(toks, token{typ: tokEOF, text: "", pos: n})
+	return toks, nil
+}
+
+// lexString scans a quoted literal starting at src[start] (which must be the
+// opening quote). Doubled quotes escape themselves. It returns the unescaped
+// contents and the index just past the closing quote.
+func lexString(src string, start int, quote rune) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	n := len(src)
+	for i < n {
+		c := rune(src[i])
+		if c == quote {
+			if i+1 < n && rune(src[i+1]) == quote {
+				b.WriteRune(quote)
+				i += 2
+				continue
+			}
+			return b.String(), i + 1, nil
+		}
+		b.WriteByte(src[i])
+		i++
+	}
+	return "", 0, &lexError{pos: start, msg: "unterminated string literal"}
+}
+
+// lexOp scans a one- or two-character operator at src[i].
+func lexOp(src string, i int) (string, int, error) {
+	two := ""
+	if i+1 < len(src) {
+		two = src[i : i+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>", "||":
+		return two, 2, nil
+	}
+	switch src[i] {
+	case '(', ')', ',', ';', '.', '=', '<', '>', '+', '-', '*', '/', '%':
+		return string(src[i]), 1, nil
+	}
+	return "", 0, &lexError{pos: i, msg: fmt.Sprintf("unexpected character %q", src[i])}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,289 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// This file holds property-based tests over the engine's core invariants,
+// complementing the behavioural tests in exec_test.go.
+
+// referenceLike is an an oracle implementation of SQL LIKE built on a
+// different algorithm (dynamic programming) for cross-checking likeMatch.
+func referenceLike(pattern, s string) bool {
+	p := strings.ToLower(pattern)
+	t := strings.ToLower(s)
+	dp := make([][]bool, len(p)+1)
+	for i := range dp {
+		dp[i] = make([]bool, len(t)+1)
+	}
+	dp[0][0] = true
+	for i := 1; i <= len(p); i++ {
+		if p[i-1] == '%' {
+			dp[i][0] = dp[i-1][0]
+		}
+	}
+	for i := 1; i <= len(p); i++ {
+		for j := 1; j <= len(t); j++ {
+			switch p[i-1] {
+			case '%':
+				dp[i][j] = dp[i-1][j] || dp[i][j-1]
+			case '_':
+				dp[i][j] = dp[i-1][j-1]
+			default:
+				dp[i][j] = dp[i-1][j-1] && p[i-1] == t[j-1]
+			}
+		}
+	}
+	return dp[len(p)][len(t)]
+}
+
+func TestLikeMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	alphabet := "ab%_c"
+	randStr := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	for i := 0; i < 5000; i++ {
+		pattern := randStr(r.Intn(8))
+		s := strings.ReplaceAll(strings.ReplaceAll(randStr(r.Intn(10)), "%", "x"), "_", "y")
+		if likeMatch(pattern, s) != referenceLike(pattern, s) {
+			t.Fatalf("likeMatch(%q, %q) = %v disagrees with reference", pattern, s, likeMatch(pattern, s))
+		}
+	}
+}
+
+func TestCoerceIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	kinds := []Kind{KindInt, KindFloat, KindText, KindBool}
+	for i := 0; i < 5000; i++ {
+		v := randomValue(r)
+		k := kinds[r.Intn(len(kinds))]
+		once := coerce(v, k)
+		twice := coerce(once, k)
+		if !once.Equal(twice) || once.Kind() != twice.Kind() {
+			t.Fatalf("coerce not idempotent: %v -> %v -> %v (kind %v)", v, once, twice, k)
+		}
+	}
+}
+
+func TestOrderByIsStableSort(t *testing.T) {
+	// Rows with equal keys must keep insertion order.
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (k INTEGER, seq INTEGER)")
+	r := rand.New(rand.NewSource(4))
+	var rows [][]any
+	for i := 0; i < 300; i++ {
+		rows = append(rows, []any{r.Intn(5), i})
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT k, seq FROM t ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastSeq := map[int64]int64{}
+	for _, row := range res.Rows {
+		k, seq := row[0].AsInt(), row[1].AsInt()
+		if prev, ok := lastSeq[k]; ok && seq < prev {
+			t.Fatalf("ORDER BY not stable: key %d saw seq %d after %d", k, seq, prev)
+		}
+		lastSeq[k] = seq
+	}
+}
+
+func TestConjunctsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		n := 1 + r.Intn(5)
+		var parts []Expr
+		for j := 0; j < n; j++ {
+			parts = append(parts, &BinaryOp{
+				Op:   "=",
+				Left: &ColumnRef{Column: fmt.Sprintf("c%d", j), index: -1},
+				Right: &Literal{
+					Val: Int(int64(r.Intn(10))),
+				},
+			})
+		}
+		joined := joinConjuncts(parts)
+		split := splitConjuncts(joined)
+		if len(split) != n {
+			t.Fatalf("round trip: %d conjuncts -> %d", n, len(split))
+		}
+		for j := range split {
+			if split[j].String() != parts[j].String() {
+				t.Fatalf("conjunct %d changed: %s vs %s", j, split[j], parts[j])
+			}
+		}
+	}
+	if joinConjuncts(nil) != nil {
+		t.Error("empty conjunct list should join to nil")
+	}
+}
+
+func TestRowKeyInjectiveOnDistinctRows(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	seen := map[string]Row{}
+	for i := 0; i < 3000; i++ {
+		row := Row{randomValue(r), randomValue(r)}
+		k := rowKey(row)
+		if prev, ok := seen[k]; ok {
+			// Same key requires pairwise-equal values.
+			for j := range row {
+				if !row[j].Equal(prev[j]) {
+					t.Fatalf("rowKey collision: %v vs %v", row, prev)
+				}
+			}
+		}
+		seen[k] = row
+	}
+}
+
+func TestInsertSelectRoundTrip(t *testing.T) {
+	// Copying a table through INSERT..SELECT preserves every row.
+	if err := quick.Check(func(vals []int16) bool {
+		db := NewDatabase()
+		db.MustExec("CREATE TABLE a (v INTEGER)")
+		db.MustExec("CREATE TABLE b (v INTEGER)")
+		var rows [][]any
+		for _, v := range vals {
+			rows = append(rows, []any{int(v)})
+		}
+		if err := db.InsertRows("a", rows); err != nil {
+			return false
+		}
+		if _, err := db.Exec("INSERT INTO b SELECT v FROM a"); err != nil {
+			return false
+		}
+		ra, _ := db.Query("SELECT v FROM a ORDER BY v")
+		rb, _ := db.Query("SELECT v FROM b ORDER BY v")
+		return reflect.DeepEqual(ra.Rows, rb.Rows)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregatesMatchManualComputation(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (v INTEGER)")
+	var rows [][]any
+	sum, minV, maxV := int64(0), int64(1<<62), int64(-1<<62)
+	n := 200
+	for i := 0; i < n; i++ {
+		v := int64(r.Intn(2001) - 1000)
+		rows = append(rows, []any{v})
+		sum += v
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0].AsInt() != int64(n) || row[1].AsInt() != sum ||
+		row[2].AsInt() != minV || row[3].AsInt() != maxV {
+		t.Fatalf("aggregates %v; want n=%d sum=%d min=%d max=%d", row, n, sum, minV, maxV)
+	}
+	wantAvg := float64(sum) / float64(n)
+	if diff := row[4].AsFloat() - wantAvg; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("avg = %v, want %v", row[4].AsFloat(), wantAvg)
+	}
+}
+
+func TestGroupByPartitionsExactly(t *testing.T) {
+	// Sum of group counts equals the table size; groups are disjoint.
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (g TEXT, v INTEGER)")
+	r := rand.New(rand.NewSource(23))
+	groups := []string{"a", "b", "c", "d"}
+	var rows [][]any
+	for i := 0; i < 400; i++ {
+		rows = append(rows, []any{groups[r.Intn(len(groups))], i})
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT g, COUNT(*) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	seen := map[string]bool{}
+	for _, row := range res.Rows {
+		g := row[0].AsText()
+		if seen[g] {
+			t.Fatalf("group %q appears twice", g)
+		}
+		seen[g] = true
+		total += row[1].AsInt()
+	}
+	if total != 400 {
+		t.Fatalf("group counts sum to %d, want 400", total)
+	}
+}
+
+func TestLeftJoinRowCountInvariant(t *testing.T) {
+	// A LEFT JOIN on a unique right key yields exactly one output row per
+	// left row when keys are unique on the right.
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE l (k INTEGER)")
+	db.MustExec("CREATE TABLE r (k INTEGER PRIMARY KEY, tag TEXT)")
+	var lrows, rrows [][]any
+	for i := 0; i < 100; i++ {
+		lrows = append(lrows, []any{i})
+		if i%2 == 0 {
+			rrows = append(rrows, []any{i, fmt.Sprintf("r%d", i)})
+		}
+	}
+	if err := db.InsertRows("l", lrows); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRows("r", rrows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT l.k, r.tag FROM l LEFT JOIN r ON l.k = r.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 100 {
+		t.Fatalf("left join rows = %d, want 100", len(res.Rows))
+	}
+	nulls := 0
+	for _, row := range res.Rows {
+		if row[1].IsNull() {
+			nulls++
+		}
+	}
+	if nulls != 50 {
+		t.Fatalf("unmatched rows = %d, want 50", nulls)
+	}
+}
+
+func TestDistinctIsIdempotent(t *testing.T) {
+	db := testDB(t)
+	once := queryStrings(t, db, "SELECT DISTINCT genre FROM movies ORDER BY genre")
+	// Selecting DISTINCT over an already-distinct projection is a no-op.
+	twice := queryStrings(t, db, "SELECT DISTINCT genre FROM (SELECT DISTINCT genre FROM movies) d ORDER BY genre")
+	if !reflect.DeepEqual(once, twice) {
+		t.Fatalf("distinct not idempotent: %v vs %v", once, twice)
+	}
+}

@@ -1,0 +1,336 @@
+// Package sqldb implements an embedded, in-memory relational database
+// engine with a pragmatic SQL subset. It is the substrate for the TAG
+// pipeline's query-execution step (the paper uses SQLite3; sqldb is a
+// behavioural stand-in at benchmark scale).
+//
+// The engine is organised as:
+//
+//	lexer.go / parser.go / ast.go   SQL text -> AST
+//	catalog.go / storage.go         schemas, tables, indexes
+//	expr.go / func.go / agg.go      expression and function evaluation
+//	plan.go / exec.go               planning and volcano-style execution
+//	db.go                           the public Database API
+//
+// Values use dynamic typing with SQLite-flavoured affinity: every cell is a
+// Value of kind null, integer, real, text, or boolean, and comparisons
+// coerce across the numeric kinds.
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic types a Value can hold.
+type Kind uint8
+
+// Value kinds, in comparison order (Null sorts first, Text last).
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindText
+)
+
+// String returns the SQL-facing name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "REAL"
+	case KindText:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single dynamically-typed SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an INTEGER value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a REAL value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Text returns a TEXT value.
+func Text(v string) Value { return Value{kind: KindText, s: v} }
+
+// Bool returns a BOOLEAN value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the value's dynamic type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the value as an int64, coercing REAL and BOOLEAN.
+// NULL and TEXT that does not parse return 0.
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindText:
+		n, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if ferr != nil {
+				return 0
+			}
+			return int64(f)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the value as a float64, coercing INTEGER, BOOLEAN and
+// numeric TEXT. NULL and non-numeric TEXT return 0.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindText:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		if err != nil {
+			return 0
+		}
+		return f
+	default:
+		return 0
+	}
+}
+
+// AsText renders the value as a string. NULL renders as the empty string.
+func (v Value) AsText() string {
+	switch v.kind {
+	case KindText:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return formatFloat(v.f)
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return ""
+	}
+}
+
+// AsBool returns SQL truthiness: non-zero numbers and the literal TRUE are
+// true. NULL is false (callers needing three-valued logic must check IsNull
+// before conversion).
+func (v Value) AsBool() bool {
+	switch v.kind {
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindText:
+		return v.s != ""
+	default:
+		return false
+	}
+}
+
+// IsNumeric reports whether the value is INTEGER or REAL.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String implements fmt.Stringer with SQL literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindText:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	default:
+		return v.AsText()
+	}
+}
+
+// formatFloat renders a float the way SQLite prints it: integral values get
+// a trailing ".0" so that REAL and INTEGER remain visually distinct.
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "Inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-Inf"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', 1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Compare defines a total order over non-NULL values and a partial order
+// involving NULL. It returns:
+//
+//	-1 if v sorts before o
+//	 0 if v equals o
+//	+1 if v sorts after o
+//
+// Numeric kinds compare by value across INTEGER/REAL/BOOLEAN; otherwise the
+// order is NULL < numeric kinds < TEXT by storage class, exactly as in
+// SQLite (affinity coercion happens at insert time, never at comparison
+// time, which keeps Compare a total order).
+func (v Value) Compare(o Value) int {
+	// NULLs sort first and compare equal to each other (for ORDER BY /
+	// GROUP BY purposes; WHERE-clause semantics handle NULL separately).
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == o.kind:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	vn, on := v.numericRank(), o.numericRank()
+	if vn && on {
+		a, b := v.AsFloat(), o.AsFloat()
+		// Exact integer comparison when both sides are integers avoids
+		// float rounding for large int64s.
+		if v.kind == KindInt && o.kind == KindInt {
+			switch {
+			case v.i < o.i:
+				return -1
+			case v.i > o.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if vn != on {
+		// Mixed numeric/text: numbers sort before text, unconditionally.
+		if v.kind == KindText {
+			return 1
+		}
+		return -1
+	}
+	// Both text.
+	return strings.Compare(v.s, o.s)
+}
+
+// numericRank reports whether the kind participates in numeric comparison.
+func (v Value) numericRank() bool {
+	return v.kind == KindInt || v.kind == KindFloat || v.kind == KindBool
+}
+
+// Equal reports whether two values compare equal under Compare. NULL equals
+// NULL here; use SQL three-valued logic in predicates instead.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Key returns a string usable as a hash-map key that respects Equal:
+// values that compare equal produce identical keys.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindText:
+		return "t:" + v.s
+	default:
+		return "n:" + strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+	}
+}
+
+// GoValue converts a Go value into a Value. Supported inputs: nil, bool,
+// all int/uint widths, float32/64, string, and Value itself. Anything else
+// is rendered with fmt.Sprint as TEXT.
+func GoValue(x any) Value {
+	switch t := x.(type) {
+	case nil:
+		return Null
+	case Value:
+		return t
+	case bool:
+		return Bool(t)
+	case int:
+		return Int(int64(t))
+	case int8:
+		return Int(int64(t))
+	case int16:
+		return Int(int64(t))
+	case int32:
+		return Int(int64(t))
+	case int64:
+		return Int(t)
+	case uint:
+		return Int(int64(t))
+	case uint8:
+		return Int(int64(t))
+	case uint16:
+		return Int(int64(t))
+	case uint32:
+		return Int(int64(t))
+	case uint64:
+		return Int(int64(t))
+	case float32:
+		return Float(float64(t))
+	case float64:
+		return Float(t)
+	case string:
+		return Text(t)
+	default:
+		return Text(fmt.Sprint(x))
+	}
+}
+
+// Row is a tuple of values aligned with an output schema.
+type Row []Value
+
+// Clone returns a copy of the row sharing no backing storage.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}

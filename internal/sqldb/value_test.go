@@ -1,0 +1,182 @@
+package sqldb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null, KindNull},
+		{Int(7), KindInt},
+		{Float(2.5), KindFloat},
+		{Text("hi"), KindText},
+		{Bool(true), KindBool},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+		}
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if got := Text("42").AsInt(); got != 42 {
+		t.Errorf("Text(42).AsInt() = %d", got)
+	}
+	if got := Text("3.5").AsFloat(); got != 3.5 {
+		t.Errorf("Text(3.5).AsFloat() = %v", got)
+	}
+	if got := Text("3.9").AsInt(); got != 3 {
+		t.Errorf("Text(3.9).AsInt() = %d, want 3 (truncate)", got)
+	}
+	if got := Float(3.0).AsText(); got != "3.0" {
+		t.Errorf("Float(3).AsText() = %q, want 3.0", got)
+	}
+	if got := Int(-5).AsText(); got != "-5" {
+		t.Errorf("Int(-5).AsText() = %q", got)
+	}
+	if got := Bool(true).AsInt(); got != 1 {
+		t.Errorf("Bool(true).AsInt() = %d", got)
+	}
+	if Text("abc").AsInt() != 0 || Text("abc").AsFloat() != 0 {
+		t.Error("non-numeric text should convert to 0")
+	}
+	if Null.AsText() != "" {
+		t.Error("Null.AsText() should be empty")
+	}
+}
+
+func TestValueCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(2), Float(2.0), 0},
+		{Float(1.5), Int(2), -1},
+		{Text("a"), Text("b"), -1},
+		{Text("b"), Text("b"), 0},
+		{Null, Int(1), -1},
+		{Int(1), Null, 1},
+		{Null, Null, 0},
+		{Int(5), Text("banana"), -1}, // numbers before non-numeric text
+		{Text("10"), Int(10), 1},     // strict storage-class order: text after numbers
+		{Bool(true), Int(1), 0},
+		{Bool(false), Int(0), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareLargeInts(t *testing.T) {
+	a := Int(1 << 62)
+	b := Int(1<<62 + 1)
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Error("large int comparison lost precision")
+	}
+}
+
+// randomValue generates arbitrary values for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null
+	case 1:
+		return Int(int64(r.Intn(2001) - 1000))
+	case 2:
+		return Float(float64(r.Intn(2001)-1000) / 8)
+	case 3:
+		letters := []string{"", "a", "ab", "zebra", "10", "-3.5", "Hello World"}
+		return Text(letters[r.Intn(len(letters))])
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+func TestValueCompareProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	// Antisymmetry and reflexivity.
+	f := func() bool {
+		a, b := randomValue(r), randomValue(r)
+		if a.Compare(a) != 0 || b.Compare(b) != 0 {
+			return false
+		}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	for i := 0; i < 2000; i++ {
+		if !f() {
+			t.Fatal("Compare violates antisymmetry/reflexivity")
+		}
+	}
+	// Transitivity over random triples.
+	for i := 0; i < 2000; i++ {
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("Compare violates transitivity: %v, %v, %v", a, b, c)
+		}
+	}
+}
+
+func TestValueKeyConsistentWithEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a, b := randomValue(r), randomValue(r)
+		if a.Equal(b) && a.Key() != b.Key() {
+			t.Fatalf("Equal values with different keys: %v (%q) vs %v (%q)", a, a.Key(), b, b.Key())
+		}
+		if !a.Equal(b) && a.Key() == b.Key() {
+			t.Fatalf("Unequal values with same key: %v vs %v (key %q)", a, b, a.Key())
+		}
+	}
+}
+
+func TestGoValueRoundTrip(t *testing.T) {
+	if err := quick.Check(func(i int64, f float64, s string, b bool) bool {
+		return GoValue(i).AsInt() == i &&
+			(GoValue(f).AsFloat() == f || f != f) && // NaN allowed to differ
+			GoValue(s).AsText() == s &&
+			GoValue(b).AsBool() == b
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if !GoValue(nil).IsNull() {
+		t.Error("GoValue(nil) should be NULL")
+	}
+	if GoValue(uint8(3)).AsInt() != 3 {
+		t.Error("GoValue(uint8) mismatch")
+	}
+}
+
+func TestValueStringSQLLiterals(t *testing.T) {
+	if got := Text("it's").String(); got != "'it''s'" {
+		t.Errorf("Text escape = %q", got)
+	}
+	if got := Null.String(); got != "NULL" {
+		t.Errorf("Null literal = %q", got)
+	}
+	if got := Int(12).String(); got != "12" {
+		t.Errorf("Int literal = %q", got)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{Int(1), Text("x")}
+	c := r.Clone()
+	c[0] = Int(99)
+	if r[0].AsInt() != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}

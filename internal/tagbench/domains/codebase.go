@@ -1,0 +1,176 @@
+package domains
+
+import (
+	"math/rand"
+	"strings"
+
+	"tag/internal/sqldb"
+	"tag/internal/world"
+)
+
+// AnchorPosts are the fixed post titles the benchmark queries reference.
+// They are the 6 highest-view-count posts (so "top 5 posts by view count"
+// selects from them deterministically) and their technicality values are
+// pairwise distinct, which keeps ranking ground truth unambiguous.
+var AnchorPosts = []string{
+	"How does gentle boosting differ from AdaBoost?",   // T1
+	"Choosing k in k means without overfitting",        // T2
+	"Interpreting p values in a regression output",     // T3
+	"Which laptop should I buy for studying",           // T4
+	"Favorite statistics jokes to share with students", // T5
+	"When to prefer median over mean",                  // T6
+}
+
+// anchorComments fixes, per anchor post, the comment mix the comparison
+// and ranking queries depend on: (phrase predicate, count). Texts are
+// drawn without replacement so sarcasm/positivity rankings have no ties.
+type commentPlan struct {
+	pred  func(world.Traits) bool
+	count int
+}
+
+// buildCodebase generates the codebase_community domain: users, posts,
+// comments. Post titles are unique phrases from the world lexicon; every
+// post's ViewCount and Score are globally distinct.
+func buildCodebase(db *sqldb.Database, w *world.World, r *rand.Rand) error {
+	db.MustExec(`CREATE TABLE users (
+		Id INTEGER PRIMARY KEY,
+		DisplayName TEXT,
+		Reputation INTEGER
+	)`)
+	db.MustExec(`CREATE TABLE posts (
+		Id INTEGER PRIMARY KEY,
+		Title TEXT,
+		Body TEXT,
+		ViewCount INTEGER,
+		Score INTEGER,
+		OwnerUserId INTEGER
+	)`)
+	db.MustExec(`CREATE TABLE comments (
+		Id INTEGER PRIMARY KEY,
+		PostId INTEGER,
+		Text TEXT,
+		Score INTEGER,
+		UserId INTEGER
+	)`)
+	db.MustExec(`CREATE INDEX idx_comments_post ON comments (PostId)`)
+
+	// Users.
+	const nUsers = 60
+	var userRows [][]any
+	for i := 1; i <= nUsers; i++ {
+		name := pick(r, []string{"stat", "data", "ml", "prob", "bayes", "metric"}) +
+			pick(r, []string{"fan", "nerd", "head", "smith", "wright", "seeker"})
+		userRows = append(userRows, []any{i, name, r.Intn(20000)})
+	}
+	if err := db.InsertRows("users", userRows); err != nil {
+		return err
+	}
+
+	// Posts: anchors first (highest view counts), then unique-phrase fill.
+	titles := append([]string(nil), AnchorPosts...)
+	for _, p := range world.Phrases {
+		if len(titles) >= 36 {
+			break
+		}
+		t := strings.ToUpper(p.Text[:1]) + p.Text[1:]
+		dup := false
+		for _, existing := range titles {
+			if strings.EqualFold(existing, t) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			titles = append(titles, t)
+		}
+	}
+	nPosts := len(titles)
+	views := permutedInts(r, nPosts-len(AnchorPosts), 100, 5000)
+	scores := permutedInts(r, nPosts, 1, 400)
+	var postRows [][]any
+	for i, title := range titles {
+		var vc int
+		if i < len(AnchorPosts) {
+			vc = 10000 + (len(AnchorPosts) - i) // anchors own the top view counts
+		} else {
+			vc = views[i-len(AnchorPosts)]
+		}
+		postRows = append(postRows, []any{
+			i + 1, title, "Discussion of: " + title, vc, scores[i], 1 + r.Intn(nUsers),
+		})
+	}
+	if err := db.InsertRows("posts", postRows); err != nil {
+		return err
+	}
+
+	// Comments. Anchor posts get controlled mixes; every text within one
+	// post is a distinct phrase so trait rankings have no ties.
+	plans := map[int][]commentPlan{
+		1: { // T1: 3 sarcastic, 4 positive-sincere, 2 negative
+			{func(t world.Traits) bool { return t.Sarcasm > 0.8 }, 3},
+			{func(t world.Traits) bool { return t.Sentiment > 0.65 && t.Sarcasm < 0.3 }, 4},
+			{func(t world.Traits) bool { return t.Sentiment < 0.35 && t.Sarcasm < 0.3 }, 2},
+		},
+		2: { // T2: 2 sarcastic, 3 positive, 3 negative
+			{func(t world.Traits) bool { return t.Sarcasm > 0.8 }, 2},
+			{func(t world.Traits) bool { return t.Sentiment > 0.65 && t.Sarcasm < 0.3 }, 3},
+			{func(t world.Traits) bool { return t.Sentiment < 0.35 && t.Sarcasm < 0.3 }, 3},
+		},
+		3: { // T3: 1 sarcastic, 2 positive, 4 negative
+			{func(t world.Traits) bool { return t.Sarcasm > 0.8 }, 1},
+			{func(t world.Traits) bool { return t.Sentiment > 0.65 && t.Sarcasm < 0.3 }, 2},
+			{func(t world.Traits) bool { return t.Sentiment < 0.35 && t.Sarcasm < 0.3 }, 4},
+		},
+		4: { // T4: 4 sarcastic, 2 positive
+			{func(t world.Traits) bool { return t.Sarcasm > 0.8 }, 4},
+			{func(t world.Traits) bool { return t.Sentiment > 0.65 && t.Sarcasm < 0.3 }, 2},
+		},
+		5: { // T5: 2 sarcastic, 5 positive
+			{func(t world.Traits) bool { return t.Sarcasm > 0.8 }, 2},
+			{func(t world.Traits) bool { return t.Sentiment > 0.65 && t.Sarcasm < 0.3 }, 5},
+		},
+		6: { // T6: 3 positive, 3 negative
+			{func(t world.Traits) bool { return t.Sentiment > 0.65 && t.Sarcasm < 0.3 }, 3},
+			{func(t world.Traits) bool { return t.Sentiment < 0.35 && t.Sarcasm < 0.3 }, 3},
+		},
+	}
+	commentScores := permutedInts(r, 500, 0, 2000)
+	var commentRows [][]any
+	cid := 1
+	addComment := func(postID int, text string) {
+		commentRows = append(commentRows, []any{
+			cid, postID, text, commentScores[cid-1], 1 + r.Intn(nUsers),
+		})
+		cid++
+	}
+	for postID := 1; postID <= len(plans); postID++ {
+		plan := plans[postID]
+		used := make(map[string]bool)
+		for _, cp := range plan {
+			candidates := world.PhrasesWhere(cp.pred)
+			n := 0
+			for _, c := range candidates {
+				if n >= cp.count {
+					break
+				}
+				if used[c.Text] {
+					continue
+				}
+				used[c.Text] = true
+				addComment(postID, c.Text)
+				n++
+			}
+			if n < cp.count {
+				panic("domains: not enough distinct phrases for comment plan")
+			}
+		}
+	}
+	// Fill comments land only on non-anchor posts, so the anchors' trait
+	// mixes (and therefore ranking ground truth) stay exactly as planned.
+	for cid <= 420 {
+		postID := len(AnchorPosts) + 1 + r.Intn(nPosts-len(AnchorPosts))
+		addComment(postID, pick(r, world.Phrases).Text)
+	}
+	return db.InsertRows("comments", commentRows)
+}

@@ -1,0 +1,118 @@
+package domains
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tag/internal/sqldb"
+	"tag/internal/world"
+)
+
+// productCatalog pairs base product names with premium/standard variants.
+// Premiumness is decided purely by the description's surface form, which
+// is what both ground truth (world.IsPremiumProduct) and the simulated LM
+// judge.
+var productBases = []string{
+	"Synthetic Motor Oil", "Diesel Fuel", "Windshield Washer Fluid",
+	"Car Wash", "Engine Coolant", "Brake Fluid", "Tire Sealant",
+	"Air Freshener", "Snack Box", "Coffee Blend", "Motor Grease",
+	"LED Headlight", "Wiper Blades", "Battery Charger", "Phone Mount",
+	"Road Atlas", "Travel Pillow", "Energy Drink", "Mineral Water",
+	"Chocolate Bar",
+}
+
+var premiumPrefixes = []string{"Premium", "Deluxe", "Platinum", "Ultra", "Signature", "Executive"}
+var standardPrefixes = []string{"Standard", "Basic", "Everyday", "Value", "Classic", "Regular"}
+
+// buildDebit generates the debit_card_specializing domain: customers,
+// gasstations, products, transactions_1k.
+func buildDebit(db *sqldb.Database, w *world.World, r *rand.Rand) error {
+	db.MustExec(`CREATE TABLE customers (
+		CustomerID INTEGER PRIMARY KEY,
+		Segment TEXT,
+		Currency TEXT
+	)`)
+	db.MustExec(`CREATE TABLE gasstations (
+		GasStationID INTEGER PRIMARY KEY,
+		ChainID INTEGER,
+		Country TEXT,
+		Segment TEXT
+	)`)
+	db.MustExec(`CREATE TABLE products (
+		ProductID INTEGER PRIMARY KEY,
+		Description TEXT
+	)`)
+	db.MustExec(`CREATE TABLE transactions_1k (
+		TransactionID INTEGER PRIMARY KEY,
+		Date TEXT,
+		CustomerID INTEGER,
+		GasStationID INTEGER,
+		ProductID INTEGER,
+		Amount INTEGER,
+		Price REAL
+	)`)
+	db.MustExec(`CREATE INDEX idx_tx_station ON transactions_1k (GasStationID)`)
+
+	const nCustomers = 60
+	var custRows [][]any
+	for i := 1; i <= nCustomers; i++ {
+		custRows = append(custRows, []any{
+			i, pick(r, []string{"SME", "LAM", "KAM"}), pick(r, []string{"EUR", "CZK"}),
+		})
+	}
+	if err := db.InsertRows("customers", custRows); err != nil {
+		return err
+	}
+
+	const nStations = 90
+	var stationRows [][]any
+	for i := 1; i <= nStations; i++ {
+		stationRows = append(stationRows, []any{
+			i, 1 + r.Intn(25), pick(r, world.EuropeanCountries),
+			pick(r, []string{"Value for money", "Premium", "Other", "Noname", "Discount"}),
+		})
+	}
+	if err := db.InsertRows("gasstations", stationRows); err != nil {
+		return err
+	}
+
+	// Products: alternate premium/standard variants across the catalogue.
+	var productRows [][]any
+	pid := 1
+	for _, base := range productBases {
+		prefix := standardPrefixes[pid%len(standardPrefixes)]
+		if pid%3 == 0 {
+			prefix = premiumPrefixes[pid%len(premiumPrefixes)]
+		}
+		productRows = append(productRows, []any{pid, prefix + " " + base})
+		pid++
+		// A second variant with the opposite tier for some bases.
+		if r.Float64() < 0.5 {
+			prefix2 := premiumPrefixes[pid%len(premiumPrefixes)]
+			if pid%3 == 0 {
+				prefix2 = standardPrefixes[pid%len(standardPrefixes)]
+			}
+			productRows = append(productRows, []any{pid, prefix2 + " " + base})
+			pid++
+		}
+	}
+	if err := db.InsertRows("products", productRows); err != nil {
+		return err
+	}
+	nProducts := pid - 1
+
+	const nTx = 1000
+	var txRows [][]any
+	for i := 1; i <= nTx; i++ {
+		date := fmt.Sprintf("2012-%02d-%02d", 1+r.Intn(12), 1+r.Intn(28))
+		amount := 1 + r.Intn(100)
+		price := float64(amount) * (10 + 40*r.Float64())
+		txRows = append(txRows, []any{
+			i, date, 1 + r.Intn(nCustomers), 1 + r.Intn(nStations),
+			1 + r.Intn(nProducts), amount, round2(price),
+		})
+	}
+	return db.InsertRows("transactions_1k", txRows)
+}
+
+func round2(f float64) float64 { return float64(int(f*100)) / 100 }

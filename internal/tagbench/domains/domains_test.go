@@ -1,0 +1,252 @@
+package domains
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tag/internal/sqldb"
+	"tag/internal/world"
+)
+
+func build(t *testing.T, name string) *sqldb.Database {
+	t.Helper()
+	db, err := Build(name)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	return db
+}
+
+func count(t *testing.T, db *sqldb.Database, sql string, params ...any) int64 {
+	t.Helper()
+	res, err := db.Query(sql, params...)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res.Rows[0][0].AsInt()
+}
+
+func TestBuildUnknownDomain(t *testing.T) {
+	if _, err := Build("atlantis"); err == nil {
+		t.Fatal("unknown domain must fail")
+	}
+}
+
+func TestNamesAreBuildable(t *testing.T) {
+	for _, n := range Names() {
+		build(t, n)
+	}
+}
+
+func TestSchoolsInvariants(t *testing.T) {
+	db := build(t, "california_schools")
+	// Every school's city must come from the generator pool with a county.
+	res, err := db.Query("SELECT DISTINCT City, County FROM schools")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		city, county := r[0].AsText(), r[1].AsText()
+		want, ok := world.CACounties[city]
+		if !ok {
+			t.Errorf("city %q not in generator pool", city)
+		} else if want != county {
+			t.Errorf("city %q county = %q, want %q", city, county, want)
+		}
+	}
+	// SAT scores are distinct (ranking ground truth needs this).
+	if n := count(t, db, "SELECT COUNT(*) - COUNT(DISTINCT AvgScrMath) FROM satscores"); n != 0 {
+		t.Errorf("%d duplicate math scores", n)
+	}
+	// Coordinates live in California's bounding box.
+	if n := count(t, db, "SELECT COUNT(*) FROM schools WHERE Longitude > -113 OR Longitude < -125"); n != 0 {
+		t.Errorf("%d schools outside longitude range", n)
+	}
+	// frpm covers every school exactly once.
+	if a, b := count(t, db, "SELECT COUNT(*) FROM schools"), count(t, db, "SELECT COUNT(*) FROM frpm"); a != b {
+		t.Errorf("frpm rows %d != schools %d", b, a)
+	}
+	// Some schools are person-named and some are not (both query classes
+	// must be non-degenerate).
+	res, _ = db.Query("SELECT School FROM schools")
+	named := 0
+	for _, r := range res.Rows {
+		if world.IsNamedAfterPerson(r[0].AsText()) {
+			named++
+		}
+	}
+	if named == 0 || named == len(res.Rows) {
+		t.Errorf("person-named schools = %d of %d; need a mix", named, len(res.Rows))
+	}
+}
+
+func TestDebitInvariants(t *testing.T) {
+	db := build(t, "debit_card_specializing")
+	// Transactions reference valid stations, customers, products.
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM transactions_1k t LEFT JOIN gasstations g ON t.GasStationID = g.GasStationID WHERE g.GasStationID IS NULL",
+		"SELECT COUNT(*) FROM transactions_1k t LEFT JOIN customers c ON t.CustomerID = c.CustomerID WHERE c.CustomerID IS NULL",
+		"SELECT COUNT(*) FROM transactions_1k t LEFT JOIN products p ON t.ProductID = p.ProductID WHERE p.ProductID IS NULL",
+	} {
+		if n := count(t, db, sql); n != 0 {
+			t.Errorf("%d dangling foreign keys: %s", n, sql)
+		}
+	}
+	// Premium and standard products both exist.
+	res, _ := db.Query("SELECT Description FROM products")
+	premium := 0
+	for _, r := range res.Rows {
+		if world.IsPremiumProduct(r[0].AsText()) {
+			premium++
+		}
+	}
+	if premium == 0 || premium == len(res.Rows) {
+		t.Errorf("premium products = %d of %d; need a mix", premium, len(res.Rows))
+	}
+	// Station countries include EU and non-EU members.
+	w := world.Default()
+	res, _ = db.Query("SELECT DISTINCT Country FROM gasstations")
+	eu := 0
+	for _, r := range res.Rows {
+		if w.IsEUCountry(r[0].AsText()) {
+			eu++
+		}
+	}
+	if eu == 0 || eu == len(res.Rows) {
+		t.Errorf("EU countries = %d of %d distinct; need a mix", eu, len(res.Rows))
+	}
+}
+
+func TestFormula1Invariants(t *testing.T) {
+	db := build(t, "formula_1")
+	w := world.Default()
+	// Sepang's race history matches world knowledge exactly.
+	fact, _ := w.Circuit("Sepang International Circuit")
+	res, err := db.Query(`SELECT r.year FROM races r JOIN circuits c ON r.circuitId = c.circuitId
+		WHERE c.name = 'Sepang International Circuit' ORDER BY r.year`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != fact.LastGPYear-fact.FirstGPYear+1 {
+		t.Fatalf("Sepang races = %d, want %d", len(res.Rows), fact.LastGPYear-fact.FirstGPYear+1)
+	}
+	for i, r := range res.Rows {
+		if int(r[0].AsInt()) != fact.FirstGPYear+i {
+			t.Errorf("Sepang year %d = %d, want %d", i, r[0].AsInt(), fact.FirstGPYear+i)
+		}
+	}
+	// Races dates embed their year.
+	res, _ = db.Query("SELECT year, date FROM races")
+	for _, r := range res.Rows {
+		if !strings.HasPrefix(r[1].AsText(), r[0].AsText()+"-") {
+			t.Errorf("race date %q does not match year %s", r[1].AsText(), r[0].AsText())
+		}
+	}
+	// Every race has exactly 10 results with positions 1..10.
+	if n := count(t, db, `SELECT COUNT(*) FROM races r LEFT JOIN results x ON x.raceId = r.raceId
+		WHERE x.resultId IS NULL`); n != 0 {
+		t.Errorf("%d races without results", n)
+	}
+	if n := count(t, db, "SELECT COUNT(*) FROM results WHERE position < 1 OR position > 10"); n != 0 {
+		t.Errorf("%d results with bad positions", n)
+	}
+}
+
+func TestCodebaseInvariants(t *testing.T) {
+	db := build(t, "codebase_community")
+	// Post titles are unique; view counts are unique.
+	if n := count(t, db, "SELECT COUNT(*) - COUNT(DISTINCT Title) FROM posts"); n != 0 {
+		t.Errorf("%d duplicate titles", n)
+	}
+	if n := count(t, db, "SELECT COUNT(*) - COUNT(DISTINCT ViewCount) FROM posts"); n != 0 {
+		t.Errorf("%d duplicate view counts", n)
+	}
+	// Anchor posts exist with planned comment counts.
+	wantComments := map[string]int64{
+		AnchorPosts[0]: 9, AnchorPosts[1]: 8, AnchorPosts[2]: 7,
+		AnchorPosts[3]: 6, AnchorPosts[4]: 7, AnchorPosts[5]: 6,
+	}
+	for title, want := range wantComments {
+		got := count(t, db, `SELECT COUNT(*) FROM comments c JOIN posts p ON c.PostId = p.Id WHERE p.Title = ?`, title)
+		if got != want {
+			t.Errorf("%q has %d comments, want %d", title, got, want)
+		}
+	}
+	// Comments reference valid posts.
+	if n := count(t, db, `SELECT COUNT(*) FROM comments c LEFT JOIN posts p ON c.PostId = p.Id WHERE p.Id IS NULL`); n != 0 {
+		t.Errorf("%d orphan comments", n)
+	}
+	// Within each anchor post, comment texts are distinct (no trait ties).
+	for _, title := range AnchorPosts {
+		res, _ := db.Query(`SELECT c.Text FROM comments c JOIN posts p ON c.PostId = p.Id WHERE p.Title = ?`, title)
+		seen := map[string]bool{}
+		for _, r := range res.Rows {
+			if seen[r[0].AsText()] {
+				t.Errorf("%q has duplicate comment text %q", title, r[0].AsText())
+			}
+			seen[r[0].AsText()] = true
+		}
+	}
+}
+
+func TestFootballInvariants(t *testing.T) {
+	db := build(t, "european_football_2")
+	// Heights cover both sides of every benchmark athlete threshold.
+	for _, threshold := range []float64{170, 178, 187, 188, 195, 201} {
+		above := count(t, db, "SELECT COUNT(*) FROM Player WHERE height > ?", threshold)
+		below := count(t, db, "SELECT COUNT(*) FROM Player WHERE height <= ?", threshold)
+		if above == 0 || below == 0 {
+			t.Errorf("threshold %.0f: above=%d below=%d; need players on both sides", threshold, above, below)
+		}
+	}
+	// Names are unique.
+	if n := count(t, db, "SELECT COUNT(*) - COUNT(DISTINCT player_name) FROM Player"); n != 0 {
+		t.Errorf("%d duplicate player names", n)
+	}
+}
+
+func TestMoviesInvariants(t *testing.T) {
+	db := build(t, "movies")
+	w := world.Default()
+	// Titanic must be the highest grossing romance classic (Figure 1).
+	res, err := db.Query("SELECT title, revenue FROM movies WHERE genre = 'Romance' ORDER BY revenue DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var topClassic string
+	for _, r := range res.Rows {
+		if w.IsClassicMovie(r[0].AsText()) {
+			topClassic = r[0].AsText()
+			break
+		}
+	}
+	if topClassic != "Titanic" {
+		t.Errorf("highest grossing romance classic = %q, want Titanic", topClassic)
+	}
+	// Every movie has reviews.
+	if n := count(t, db, `SELECT COUNT(*) FROM movies m LEFT JOIN reviews r ON r.movie_id = m.id WHERE r.id IS NULL`); n != 0 {
+		t.Errorf("%d movies without reviews", n)
+	}
+}
+
+func TestPermutedInts(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	vals := permutedInts(r, 100, 10, 200)
+	seen := map[int]bool{}
+	for _, v := range vals {
+		if v < 10 || v >= 210 {
+			t.Fatalf("value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("span < n must panic")
+		}
+	}()
+	permutedInts(r, 10, 0, 5)
+}

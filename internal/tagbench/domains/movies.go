@@ -1,0 +1,90 @@
+package domains
+
+import (
+	"math/rand"
+
+	"tag/internal/sqldb"
+	"tag/internal/world"
+)
+
+// buildMovies generates the movies database behind Figure 1 and the
+// example programs: a movies table with revenue/genre and a reviews table
+// with free-text bodies. Titanic is the highest-grossing romance classic,
+// exactly as in the paper's worked example.
+func buildMovies(db *sqldb.Database, w *world.World, r *rand.Rand) error {
+	db.MustExec(`CREATE TABLE movies (
+		id INTEGER PRIMARY KEY,
+		title TEXT,
+		genre TEXT,
+		revenue REAL,
+		year INTEGER
+	)`)
+	db.MustExec(`CREATE TABLE reviews (
+		id INTEGER PRIMARY KEY,
+		movie_id INTEGER,
+		stars INTEGER,
+		body TEXT
+	)`)
+	db.MustExec(`CREATE INDEX idx_reviews_movie ON reviews (movie_id)`)
+
+	type movie struct {
+		title   string
+		genre   string
+		revenue float64
+		year    int
+	}
+	movies := []movie{
+		// Classics (per world knowledge), led by Titanic.
+		{"Titanic", "Romance", 2257.8, 1997},
+		{"Casablanca", "Romance", 102.1, 1942},
+		{"Roman Holiday", "Romance", 82.3, 1953},
+		{"Ghost", "Romance", 505.7, 1990},
+		{"When Harry Met Sally", "Romance", 92.8, 1989},
+		{"The Godfather", "Crime", 250.3, 1972},
+		// Non-classics.
+		{"Shang-Chi", "Action", 432.2, 2021},
+		{"The Notebook", "Romance", 115.6, 2004},
+		{"Quiet Nights", "Romance", 48.9, 2019},
+		{"Harbor Lights", "Romance", 330.4, 2016},
+		{"Steel Horizon", "Action", 610.5, 2018},
+		{"Midnight Ledger", "Crime", 205.7, 2014},
+		{"Paper Swans", "Drama", 77.2, 2012},
+		{"Neon Tide", "Action", 154.9, 2020},
+		{"Gentle Rain", "Drama", 61.3, 2011},
+	}
+	var movieRows [][]any
+	for i, m := range movies {
+		movieRows = append(movieRows, []any{i + 1, m.title, m.genre, m.revenue, m.year})
+	}
+	if err := db.InsertRows("movies", movieRows); err != nil {
+		return err
+	}
+
+	// Reviews: classics skew positive; every movie gets 3–6 reviews.
+	isReviewish := func(t world.Traits) bool { return t.Sarcasm < 0.4 && t.Technicality < 0.5 }
+	positive := world.PhrasesWhere(func(t world.Traits) bool { return t.Sentiment > 0.6 && isReviewish(t) })
+	negative := world.PhrasesWhere(func(t world.Traits) bool { return t.Sentiment < 0.4 && isReviewish(t) })
+	mixed := world.PhrasesWhere(func(t world.Traits) bool { return t.Sentiment >= 0.4 && t.Sentiment <= 0.6 && isReviewish(t) })
+
+	var reviewRows [][]any
+	rid := 1
+	for i, m := range movies {
+		n := 3 + r.Intn(4)
+		for j := 0; j < n; j++ {
+			pool := mixed
+			u := r.Float64()
+			classic := w.IsClassicMovie(m.title)
+			switch {
+			case classic && u < 0.7, !classic && u < 0.4:
+				pool = positive
+			case u < 0.85:
+				pool = negative
+			}
+			ph := pick(r, pool)
+			stars := 1 + int(ph.Traits.Sentiment*4.99)
+			reviewRows = append(reviewRows, []any{rid, i + 1, stars, ph.Text})
+			rid++
+		}
+	}
+	return db.InsertRows("reviews", reviewRows)
+}

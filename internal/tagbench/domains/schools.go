@@ -1,0 +1,127 @@
+package domains
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tag/internal/sqldb"
+	"tag/internal/world"
+)
+
+// newCityGeo assigns every generator city a deterministic coordinate base
+// up front (so repeated Builds in one process see identical data); schools
+// jitter around it. Longitudes are negative (California); "highest
+// longitude" therefore means "furthest east".
+func newCityGeo(r *rand.Rand) map[string][2]float64 {
+	m := make(map[string][2]float64, len(world.CACities))
+	for _, city := range world.CACities {
+		m[city] = [2]float64{
+			-124 + 9*r.Float64(),
+			32.5 + 9.5*r.Float64(),
+		}
+	}
+	return m
+}
+
+// School level suffixes paired with grade spans.
+var schoolLevels = []struct {
+	suffix string
+	spans  []string
+}{
+	{"Elementary School", []string{"K-5", "K-6", "K-8"}},
+	{"Middle School", []string{"6-8", "7-8"}},
+	{"High School", []string{"9-12", "K-12"}},
+}
+
+// buildSchools generates the california_schools domain: schools,
+// satscores, frpm. Around half the schools sit in Bay Area cities, a
+// quarter in Silicon Valley, the rest spread across distractor cities.
+func buildSchools(db *sqldb.Database, w *world.World, r *rand.Rand) error {
+	db.MustExec(`CREATE TABLE schools (
+		CDSCode TEXT PRIMARY KEY,
+		School TEXT NOT NULL,
+		District TEXT,
+		City TEXT,
+		County TEXT,
+		Longitude REAL,
+		Latitude REAL,
+		GSoffered TEXT,
+		Charter INTEGER
+	)`)
+	db.MustExec(`CREATE TABLE satscores (
+		cds TEXT PRIMARY KEY,
+		School TEXT,
+		AvgScrRead INTEGER,
+		AvgScrMath INTEGER,
+		AvgScrWrite INTEGER,
+		NumTstTakr INTEGER
+	)`)
+	db.MustExec(`CREATE TABLE frpm (
+		CDSCode TEXT PRIMARY KEY,
+		AcademicYear TEXT,
+		FRPMCount INTEGER,
+		Enrollment INTEGER
+	)`)
+	db.MustExec(`CREATE INDEX idx_schools_city ON schools (City)`)
+
+	cityGeo := newCityGeo(r)
+
+	const nSchools = 360
+	// Distinct metric pools keep ranking answers unambiguous.
+	mathScores := permutedInts(r, nSchools, 380, 420)
+	readScores := permutedInts(r, nSchools, 380, 420)
+	writeScores := permutedInts(r, nSchools, 380, 420)
+	enrollments := permutedInts(r, nSchools, 150, 4000)
+	frpmCounts := permutedInts(r, nSchools, 50, 4000)
+
+	var schoolRows, satRows, frpmRows [][]any
+	for i := 0; i < nSchools; i++ {
+		city := pick(r, world.CACities)
+		county := world.CACounties[city]
+		base := cityGeo[city]
+		lon, lat := base[0], base[1]
+		// Jitter keeps coordinates distinct within a city.
+		lon += r.Float64()*0.15 + float64(i)*1e-5
+		lat += r.Float64()*0.15 + float64(i)*1e-5
+
+		level := pick(r, schoolLevels)
+		var name string
+		if r.Float64() < 0.35 {
+			name = pick(r, world.PersonNames) + " " + level.suffix
+		} else {
+			name = city + " " + level.suffix
+		}
+		// Make names unique by numbering repeats.
+		name = fmt.Sprintf("%s No. %d", name, i+1)
+
+		cds := fmt.Sprintf("CA%07d", 1000000+i)
+		charter := 0
+		if r.Float64() < 0.2 {
+			charter = 1
+		}
+		schoolRows = append(schoolRows, []any{
+			cds, name, city + " Unified", city, county,
+			round5(lon), round5(lat), pick(r, level.spans), charter,
+		})
+		// ~70% of schools report SAT scores (high schools always).
+		if level.suffix == "High School" || r.Float64() < 0.5 {
+			satRows = append(satRows, []any{
+				cds, name, readScores[i], mathScores[i], writeScores[i], 50 + r.Intn(900),
+			})
+		}
+		frpmRows = append(frpmRows, []any{
+			cds, "2014-2015", frpmCounts[i], enrollments[i],
+		})
+	}
+	if err := db.InsertRows("schools", schoolRows); err != nil {
+		return err
+	}
+	if err := db.InsertRows("satscores", satRows); err != nil {
+		return err
+	}
+	return db.InsertRows("frpm", frpmRows)
+}
+
+func round5(f float64) float64 {
+	return float64(int(f*1e5)) / 1e5
+}

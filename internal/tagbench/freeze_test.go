@@ -1,0 +1,69 @@
+package tagbench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"testing"
+
+	"tag/internal/sqldb"
+	"tag/internal/tagbench/domains"
+	"tag/internal/world"
+)
+
+// dbHandle caches one built domain during fingerprinting.
+type dbHandle struct {
+	db *sqldb.Database
+}
+
+// benchmarkFingerprint is the released benchmark's identity: a hash over
+// every query's id, NL text and ground truth. Any change to the
+// generators, the world model, the query registry or the grammar rotates
+// it — which is exactly when reported numbers stop being comparable.
+// Update the constant deliberately, alongside EXPERIMENTS.md.
+const benchmarkFingerprint = "37da29cfa3d08f0a826a61c9157ce979c36462f9dfe7d5825ceb38888ce2a3f4"
+
+func computeFingerprint(t *testing.T) string {
+	t.Helper()
+	h := sha256.New()
+	w := world.Default()
+	dbcache := map[string]*dbHandle{}
+	for _, q := range Queries() {
+		io.WriteString(h, q.ID)
+		io.WriteString(h, "\x1f")
+		io.WriteString(h, q.NL)
+		io.WriteString(h, "\x1f")
+		hd, ok := dbcache[q.Spec.Domain]
+		if !ok {
+			db, err := domains.Build(q.Spec.Domain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hd = &dbHandle{db: db}
+			dbcache[q.Spec.Domain] = hd
+		}
+		truth, err := ComputeTruth(hd.db, w, q.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range truth.Values {
+			io.WriteString(h, v)
+			io.WriteString(h, "\x1e")
+		}
+		fmt.Fprintf(h, "facts=%d\x1d", len(truth.Facts))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestBenchmarkFingerprintFrozen(t *testing.T) {
+	got := computeFingerprint(t)
+	if benchmarkFingerprint == "UNSET" {
+		t.Fatalf("benchmark fingerprint not pinned; set benchmarkFingerprint to %q", got)
+	}
+	if got != benchmarkFingerprint {
+		t.Fatalf("benchmark content changed: fingerprint %s != pinned %s\n"+
+			"If the change is intentional, update benchmarkFingerprint and re-record EXPERIMENTS.md.",
+			got, benchmarkFingerprint)
+	}
+}

@@ -1,0 +1,424 @@
+// Package tagbench defines TAG-Bench: the 80 modified-BIRD benchmark
+// queries of the TAG paper (§4.1), their formal specs, ground-truth
+// computation and exact-match scoring.
+//
+// The taxonomy matches the paper exactly: 20 queries of each BIRD type
+// (match-based, comparison, ranking, aggregation), split 10/10 between
+// Knowledge and Reasoning within each type — 40 knowledge and 40 reasoning
+// queries overall.
+package tagbench
+
+import (
+	"fmt"
+
+	"tag/internal/nlq"
+	"tag/internal/tagbench/domains"
+)
+
+// Query is one benchmark query: its id (e.g. "MK-03"), formal spec and the
+// rendered natural-language question.
+type Query struct {
+	ID   string
+	Spec *nlq.Spec
+	NL   string
+}
+
+// Queries returns the 80 TAG-Bench queries in a stable order. The NL field
+// is rendered from the spec; Parse(NL) round-trips back to the spec
+// (asserted by tests), so the simulated LM's language understanding is
+// held constant across methods.
+func Queries() []*Query {
+	var out []*Query
+	add := func(prefix string, specs []*nlq.Spec) {
+		for i, s := range specs {
+			out = append(out, &Query{
+				ID:   fmt.Sprintf("%s-%02d", prefix, i+1),
+				Spec: s,
+				NL:   nlq.Render(s),
+			})
+		}
+	}
+	add("MK", matchKnowledge())
+	add("MR", matchReasoning())
+	add("CK", comparisonKnowledge())
+	add("CR", comparisonReasoning())
+	add("RK", rankingKnowledge())
+	add("RR", rankingReasoning())
+	add("AK", aggregationKnowledge())
+	add("AR", aggregationReasoning())
+	return out
+}
+
+// QueriesByType groups the benchmark by query type.
+func QueriesByType(t nlq.QueryType) []*Query {
+	var out []*Query
+	for _, q := range Queries() {
+		if q.Spec.Type == t {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// --- spec constructors ------------------------------------------------------
+
+func numFilter(col, op, val string) nlq.Filter {
+	return nlq.Filter{Column: col, Op: op, Value: val, Num: true}
+}
+
+func textFilter(col, op, val string) nlq.Filter {
+	return nlq.Filter{Column: col, Op: op, Value: val}
+}
+
+// finish resolves joins and category exactly the way nlq.Parse would, so
+// hand-built specs compare equal to parsed ones.
+func finish(s *nlq.Spec) *nlq.Spec {
+	if s.Aug != nil {
+		if s.Aug.Kind.IsKnowledge() {
+			s.Category = nlq.Knowledge
+		} else {
+			s.Category = nlq.Reasoning
+		}
+	}
+	check := func(qcol string) {
+		if qcol == "" {
+			return
+		}
+		if j, ok := nlq.JoinFor(s.Domain, s.Table, qcol); ok && j != nil && s.Join == nil {
+			s.Join = j
+		}
+	}
+	check(s.Target)
+	check(s.OrderBy)
+	for _, f := range s.Filters {
+		check(f.Column)
+	}
+	if s.Aug != nil {
+		check(s.Aug.Column)
+	}
+	return s
+}
+
+func schoolsMatch(target, orderBy string, desc bool, aug *nlq.Augment, filters ...nlq.Filter) *nlq.Spec {
+	return finish(&nlq.Spec{
+		Domain: "california_schools", Type: nlq.Match, Table: "schools",
+		Target: target, OrderBy: orderBy, OrderDesc: desc, Limit: 1,
+		Filters: filters, Aug: aug,
+	})
+}
+
+func regionAug(kind nlq.AugKind, region string) *nlq.Augment {
+	col := "schools.City"
+	if kind == nlq.AugCountyRegion {
+		col = "schools.County"
+	}
+	return &nlq.Augment{Kind: kind, Column: col, Arg: region}
+}
+
+func tallerAug(person string) *nlq.Augment {
+	return &nlq.Augment{Kind: nlq.AugTallerThan, Column: "Player.height", Arg: person}
+}
+
+// --- the 8 cells ------------------------------------------------------------
+
+func matchKnowledge() []*nlq.Spec {
+	playerMatch := func(target, orderBy string, person string) *nlq.Spec {
+		return finish(&nlq.Spec{
+			Domain: "european_football_2", Type: nlq.Match, Table: "Player",
+			Target: target, OrderBy: orderBy, OrderDesc: true, Limit: 1,
+			Aug: tallerAug(person),
+		})
+	}
+	return []*nlq.Spec{
+		// The paper's Appendix A example.
+		schoolsMatch("schools.GSoffered", "schools.Longitude", true,
+			regionAug(nlq.AugCityRegion, "Silicon Valley")),
+		schoolsMatch("schools.School", "satscores.AvgScrMath", true,
+			regionAug(nlq.AugCountyRegion, "Bay Area")),
+		schoolsMatch("schools.School", "schools.Latitude", true,
+			regionAug(nlq.AugCityRegion, "Bay Area")),
+		schoolsMatch("schools.District", "frpm.Enrollment", true,
+			regionAug(nlq.AugCityRegion, "Silicon Valley")),
+		playerMatch("Player.player_name", "Player.volleys", "Stephen Curry"),
+		playerMatch("Player.player_name", "Player.dribbling", "Cristiano Ronaldo"),
+		finish(&nlq.Spec{
+			Domain: "debit_card_specializing", Type: nlq.Match, Table: "gasstations",
+			Target: "gasstations.Segment", OrderBy: "gasstations.ChainID", OrderDesc: true, Limit: 1,
+			Aug: &nlq.Augment{Kind: nlq.AugEUCountry, Column: "gasstations.Country"},
+		}),
+		finish(&nlq.Spec{
+			Domain: "formula_1", Type: nlq.Match, Table: "races",
+			Target: "races.name", OrderBy: "races.year", OrderDesc: true, Limit: 1,
+			Aug: &nlq.Augment{Kind: nlq.AugEUCountry, Column: "circuits.country"},
+		}),
+		playerMatch("Player.player_name", "Player.overall_rating", "Zlatan Ibrahimovic"),
+		schoolsMatch("schools.GSoffered", "satscores.AvgScrRead", true,
+			regionAug(nlq.AugCityRegion, "Silicon Valley")),
+	}
+}
+
+func matchReasoning() []*nlq.Spec {
+	commentMatch := func(title string, desc bool, kind nlq.AugKind) *nlq.Spec {
+		return finish(&nlq.Spec{
+			Domain: "codebase_community", Type: nlq.Match, Table: "comments",
+			Target: "comments.Text", OrderBy: "comments.Score", OrderDesc: desc, Limit: 1,
+			Filters: []nlq.Filter{textFilter("posts.Title", "=", title)},
+			Aug:     &nlq.Augment{Kind: kind, Column: "comments.Text"},
+		})
+	}
+	return []*nlq.Spec{
+		commentMatch(domains.AnchorPosts[0], true, nlq.AugPositive),
+		finish(&nlq.Spec{
+			Domain: "codebase_community", Type: nlq.Match, Table: "posts",
+			Target: "posts.Title", OrderBy: "posts.ViewCount", OrderDesc: true, Limit: 1,
+			Aug: &nlq.Augment{Kind: nlq.AugTechnical, Column: "posts.Title"},
+		}),
+		finish(&nlq.Spec{
+			Domain: "codebase_community", Type: nlq.Match, Table: "posts",
+			Target: "posts.Title", OrderBy: "posts.Score", OrderDesc: true, Limit: 1,
+			Aug: &nlq.Augment{Kind: nlq.AugTechnical, Column: "posts.Title"},
+		}),
+		finish(&nlq.Spec{
+			Domain: "debit_card_specializing", Type: nlq.Match, Table: "products",
+			Target: "products.Description", OrderBy: "products.ProductID", OrderDesc: true, Limit: 1,
+			Aug: &nlq.Augment{Kind: nlq.AugPremium, Column: "products.Description"},
+		}),
+		finish(&nlq.Spec{
+			Domain: "debit_card_specializing", Type: nlq.Match, Table: "products",
+			Target: "products.Description", OrderBy: "products.ProductID", OrderDesc: false, Limit: 1,
+			Aug: &nlq.Augment{Kind: nlq.AugPremium, Column: "products.Description"},
+		}),
+		schoolsMatch("schools.School", "frpm.Enrollment", true,
+			&nlq.Augment{Kind: nlq.AugNamedAfterPerson, Column: "schools.School"}),
+		schoolsMatch("schools.School", "schools.Longitude", false,
+			&nlq.Augment{Kind: nlq.AugNamedAfterPerson, Column: "schools.School"}),
+		commentMatch(domains.AnchorPosts[1], true, nlq.AugNegative),
+		commentMatch(domains.AnchorPosts[2], false, nlq.AugSarcastic),
+		schoolsMatch("schools.GSoffered", "schools.Latitude", true,
+			&nlq.Augment{Kind: nlq.AugNamedAfterPerson, Column: "schools.School"}),
+	}
+}
+
+func comparisonKnowledge() []*nlq.Spec {
+	playerCount := func(person string, filters ...nlq.Filter) *nlq.Spec {
+		return finish(&nlq.Spec{
+			Domain: "european_football_2", Type: nlq.Comparison, Table: "Player",
+			Filters: filters, Aug: tallerAug(person),
+		})
+	}
+	schoolsCount := func(aug *nlq.Augment, filters ...nlq.Filter) *nlq.Spec {
+		return finish(&nlq.Spec{
+			Domain: "california_schools", Type: nlq.Comparison, Table: "schools",
+			Filters: filters, Aug: aug,
+		})
+	}
+	return []*nlq.Spec{
+		// The paper's Appendix A example.
+		playerCount("Stephen Curry",
+			numFilter("Player.height", ">", "180"), numFilter("Player.volleys", ">", "70")),
+		playerCount("Kylian Mbappe", numFilter("Player.height", ">", "175")),
+		playerCount("Lionel Messi", numFilter("Player.overall_rating", ">", "85")),
+		schoolsCount(regionAug(nlq.AugCityRegion, "Bay Area"),
+			numFilter("satscores.AvgScrMath", ">", "560")),
+		schoolsCount(regionAug(nlq.AugCityRegion, "Silicon Valley")),
+		schoolsCount(regionAug(nlq.AugCountyRegion, "Bay Area"),
+			numFilter("frpm.Enrollment", ">", "2000")),
+		finish(&nlq.Spec{
+			Domain: "debit_card_specializing", Type: nlq.Comparison, Table: "gasstations",
+			Aug: &nlq.Augment{Kind: nlq.AugEUCountry, Column: "gasstations.Country"},
+		}),
+		finish(&nlq.Spec{
+			Domain: "debit_card_specializing", Type: nlq.Comparison, Table: "gasstations",
+			Filters: []nlq.Filter{numFilter("gasstations.ChainID", ">", "10")},
+			Aug:     &nlq.Augment{Kind: nlq.AugEUCountry, Column: "gasstations.Country"},
+		}),
+		finish(&nlq.Spec{
+			Domain: "formula_1", Type: nlq.Comparison, Table: "races",
+			Filters: []nlq.Filter{numFilter("races.year", ">", "2010")},
+			Aug:     &nlq.Augment{Kind: nlq.AugEUCountry, Column: "circuits.country"},
+		}),
+		playerCount("Cristiano Ronaldo",
+			numFilter("Player.height", ">", "185"), numFilter("Player.finishing", ">", "60")),
+	}
+}
+
+func comparisonReasoning() []*nlq.Spec {
+	commentCount := func(kind nlq.AugKind, filters ...nlq.Filter) *nlq.Spec {
+		return finish(&nlq.Spec{
+			Domain: "codebase_community", Type: nlq.Comparison, Table: "comments",
+			Filters: filters, Aug: &nlq.Augment{Kind: kind, Column: "comments.Text"},
+		})
+	}
+	onPost := func(i int) nlq.Filter { return textFilter("posts.Title", "=", domains.AnchorPosts[i]) }
+	return []*nlq.Spec{
+		commentCount(nlq.AugSarcastic, onPost(0)),
+		commentCount(nlq.AugPositive, onPost(0)),
+		commentCount(nlq.AugNegative, onPost(1)),
+		finish(&nlq.Spec{
+			Domain: "codebase_community", Type: nlq.Comparison, Table: "posts",
+			Filters: []nlq.Filter{numFilter("posts.ViewCount", ">", "4000")},
+			Aug:     &nlq.Augment{Kind: nlq.AugTechnical, Column: "posts.Title"},
+		}),
+		finish(&nlq.Spec{
+			Domain: "debit_card_specializing", Type: nlq.Comparison, Table: "products",
+			Aug: &nlq.Augment{Kind: nlq.AugPremium, Column: "products.Description"},
+		}),
+		finish(&nlq.Spec{
+			Domain: "california_schools", Type: nlq.Comparison, Table: "schools",
+			Aug: &nlq.Augment{Kind: nlq.AugNamedAfterPerson, Column: "schools.School"},
+		}),
+		finish(&nlq.Spec{
+			Domain: "california_schools", Type: nlq.Comparison, Table: "schools",
+			Filters: []nlq.Filter{numFilter("schools.Charter", "=", "1")},
+			Aug:     &nlq.Augment{Kind: nlq.AugNamedAfterPerson, Column: "schools.School"},
+		}),
+		commentCount(nlq.AugSarcastic, onPost(3)),
+		commentCount(nlq.AugPositive, numFilter("comments.Score", ">", "1800")),
+		finish(&nlq.Spec{
+			Domain: "debit_card_specializing", Type: nlq.Comparison, Table: "products",
+			Filters: []nlq.Filter{numFilter("products.ProductID", ">", "20")},
+			Aug:     &nlq.Augment{Kind: nlq.AugPremium, Column: "products.Description"},
+		}),
+	}
+}
+
+func rankingKnowledge() []*nlq.Spec {
+	schoolsRank := func(target, orderBy string, k int, aug *nlq.Augment) *nlq.Spec {
+		return finish(&nlq.Spec{
+			Domain: "california_schools", Type: nlq.Ranking, Table: "schools",
+			Target: target, OrderBy: orderBy, OrderDesc: true, Limit: k, Aug: aug,
+		})
+	}
+	playerRank := func(orderBy string, k int, person string) *nlq.Spec {
+		return finish(&nlq.Spec{
+			Domain: "european_football_2", Type: nlq.Ranking, Table: "Player",
+			Target: "Player.player_name", OrderBy: orderBy, OrderDesc: true, Limit: k,
+			Aug: tallerAug(person),
+		})
+	}
+	return []*nlq.Spec{
+		schoolsRank("schools.School", "satscores.AvgScrMath", 5, regionAug(nlq.AugCityRegion, "Bay Area")),
+		schoolsRank("schools.School", "satscores.AvgScrRead", 3, regionAug(nlq.AugCityRegion, "Silicon Valley")),
+		schoolsRank("schools.School", "frpm.Enrollment", 5, regionAug(nlq.AugCountyRegion, "Bay Area")),
+		playerRank("Player.overall_rating", 5, "Stephen Curry"),
+		playerRank("Player.volleys", 3, "Peter Crouch"),
+		finish(&nlq.Spec{
+			Domain: "formula_1", Type: nlq.Ranking, Table: "races",
+			Target: "races.name", OrderBy: "races.year", OrderDesc: true, Limit: 5,
+			Aug: &nlq.Augment{Kind: nlq.AugEUCountry, Column: "circuits.country"},
+		}),
+		finish(&nlq.Spec{
+			Domain: "debit_card_specializing", Type: nlq.Ranking, Table: "gasstations",
+			Target: "gasstations.Country", OrderBy: "gasstations.ChainID", OrderDesc: true, Limit: 3,
+			Aug: &nlq.Augment{Kind: nlq.AugEUCountry, Column: "gasstations.Country"},
+		}),
+		schoolsRank("schools.School", "frpm.FRPMCount", 5, regionAug(nlq.AugCityRegion, "Bay Area")),
+		playerRank("Player.dribbling", 5, "Cristiano Ronaldo"),
+		schoolsRank("schools.School", "schools.Longitude", 3, regionAug(nlq.AugCityRegion, "Silicon Valley")),
+	}
+}
+
+func rankingReasoning() []*nlq.Spec {
+	rerank := func(orderBy string, desc bool, k int, kind nlq.AugKind, filters ...nlq.Filter) *nlq.Spec {
+		return finish(&nlq.Spec{
+			Domain: "codebase_community", Type: nlq.Ranking, Table: "posts",
+			Target: "posts.Title", OrderBy: orderBy, OrderDesc: desc, Limit: k,
+			Filters: filters,
+			Aug:     &nlq.Augment{Kind: kind, Column: "posts.Title", K: k},
+		})
+	}
+	traitTop := func(k int, kind nlq.AugKind, filters ...nlq.Filter) *nlq.Spec {
+		return finish(&nlq.Spec{
+			Domain: "codebase_community", Type: nlq.Ranking, Table: "comments",
+			Target: "comments.Text", Limit: k,
+			Filters: filters,
+			Aug:     &nlq.Augment{Kind: kind, Column: "comments.Text", K: k},
+		})
+	}
+	onPost := func(i int) nlq.Filter { return textFilter("posts.Title", "=", domains.AnchorPosts[i]) }
+	return []*nlq.Spec{
+		// The paper's Appendix A example: top-5 posts by popularity,
+		// re-ranked most→least technical.
+		rerank("posts.ViewCount", true, 5, nlq.AugTopTechnical),
+		traitTop(3, nlq.AugTopSarcastic, onPost(0)),
+		rerank("posts.Score", true, 5, nlq.AugTopTechnical),
+		traitTop(3, nlq.AugTopPositive, onPost(1)),
+		traitTop(3, nlq.AugTopSarcastic, onPost(4)),
+		rerank("posts.ViewCount", true, 4, nlq.AugTopTechnical, numFilter("posts.Score", ">", "100")),
+		traitTop(5, nlq.AugTopPositive, numFilter("comments.Score", ">", "1500")),
+		traitTop(2, nlq.AugTopSarcastic, onPost(3)),
+		traitTop(3, nlq.AugTopPositive, onPost(4)),
+		rerank("posts.ViewCount", false, 5, nlq.AugTopTechnical),
+	}
+}
+
+func aggregationKnowledge() []*nlq.Spec {
+	circuitInfo := func(name string) *nlq.Spec {
+		return finish(&nlq.Spec{
+			Domain: "formula_1", Type: nlq.Aggregation, Table: "races",
+			Aug: &nlq.Augment{Kind: nlq.AugCircuitInfo, Column: "circuits.name", Arg: name},
+		})
+	}
+	return []*nlq.Spec{
+		// Figure 2's query.
+		circuitInfo("Sepang International Circuit"),
+		circuitInfo("Circuit de Monaco"),
+		circuitInfo("Silverstone Circuit"),
+		circuitInfo("Suzuka Circuit"),
+		finish(&nlq.Spec{
+			Domain: "california_schools", Type: nlq.Aggregation, Table: "schools",
+			Aug: regionAug(nlq.AugCityRegion, "Silicon Valley"),
+		}),
+		finish(&nlq.Spec{
+			Domain: "california_schools", Type: nlq.Aggregation, Table: "schools",
+			Aug: regionAug(nlq.AugCountyRegion, "Bay Area"),
+		}),
+		finish(&nlq.Spec{
+			Domain: "debit_card_specializing", Type: nlq.Aggregation, Table: "gasstations",
+			Aug: &nlq.Augment{Kind: nlq.AugEUCountry, Column: "gasstations.Country"},
+		}),
+		circuitInfo("Hungaroring"),
+		circuitInfo("Autodromo Nazionale Monza"),
+		finish(&nlq.Spec{
+			Domain: "california_schools", Type: nlq.Aggregation, Table: "schools",
+			Filters: []nlq.Filter{numFilter("schools.Charter", "=", "1")},
+			Aug:     regionAug(nlq.AugCityRegion, "Silicon Valley"),
+		}),
+	}
+}
+
+func aggregationReasoning() []*nlq.Spec {
+	summarizeComments := func(filters ...nlq.Filter) *nlq.Spec {
+		return finish(&nlq.Spec{
+			Domain: "codebase_community", Type: nlq.Aggregation, Table: "comments",
+			Target: "comments.Text", Filters: filters,
+			Aug: &nlq.Augment{Kind: nlq.AugSummarize, Column: "comments.Text"},
+		})
+	}
+	onPost := func(i int) nlq.Filter { return textFilter("posts.Title", "=", domains.AnchorPosts[i]) }
+	return []*nlq.Spec{
+		// The paper's Appendix A example.
+		summarizeComments(onPost(0)),
+		summarizeComments(onPost(1)),
+		summarizeComments(onPost(2)),
+		summarizeComments(onPost(3)),
+		summarizeComments(onPost(4)),
+		finish(&nlq.Spec{
+			Domain: "codebase_community", Type: nlq.Aggregation, Table: "posts",
+			Target: "posts.Title", Filters: []nlq.Filter{numFilter("posts.ViewCount", ">", "4000")},
+			Aug: &nlq.Augment{Kind: nlq.AugSummarize, Column: "posts.Title"},
+		}),
+		finish(&nlq.Spec{
+			Domain: "debit_card_specializing", Type: nlq.Aggregation, Table: "products",
+			Target: "products.Description",
+			Aug:    &nlq.Augment{Kind: nlq.AugSummarize, Column: "products.Description"},
+		}),
+		summarizeComments(numFilter("comments.Score", ">", "1900")),
+		finish(&nlq.Spec{
+			Domain: "codebase_community", Type: nlq.Aggregation, Table: "posts",
+			Target: "posts.Body", Filters: []nlq.Filter{numFilter("posts.Score", ">", "350")},
+			Aug: &nlq.Augment{Kind: nlq.AugSummarize, Column: "posts.Body"},
+		}),
+		summarizeComments(onPost(5)),
+	}
+}

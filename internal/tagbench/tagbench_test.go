@@ -1,0 +1,308 @@
+package tagbench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"tag/internal/nlq"
+	"tag/internal/sqldb"
+	"tag/internal/tagbench/domains"
+	"tag/internal/world"
+)
+
+func TestBenchmarkComposition(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 80 {
+		t.Fatalf("benchmark has %d queries, want 80", len(qs))
+	}
+	typeCount := make(map[nlq.QueryType]int)
+	catCount := make(map[nlq.Category]int)
+	cell := make(map[string]int)
+	ids := make(map[string]bool)
+	for _, q := range qs {
+		if ids[q.ID] {
+			t.Errorf("duplicate id %s", q.ID)
+		}
+		ids[q.ID] = true
+		typeCount[q.Spec.Type]++
+		catCount[q.Spec.Category]++
+		cell[q.Spec.Type.String()+"/"+q.Spec.Category.String()]++
+		if q.NL == "" {
+			t.Errorf("%s: empty NL", q.ID)
+		}
+		if q.Spec.Aug == nil {
+			t.Errorf("%s: benchmark queries must carry an augment", q.ID)
+		}
+	}
+	// Paper §4.1: 20 of each type; 40 knowledge + 40 reasoning; 10 per cell.
+	for _, ty := range []nlq.QueryType{nlq.Match, nlq.Comparison, nlq.Ranking, nlq.Aggregation} {
+		if typeCount[ty] != 20 {
+			t.Errorf("type %v has %d queries, want 20", ty, typeCount[ty])
+		}
+	}
+	if catCount[nlq.Knowledge] != 40 || catCount[nlq.Reasoning] != 40 {
+		t.Errorf("category split = %v", catCount)
+	}
+	for k, n := range cell {
+		if n != 10 {
+			t.Errorf("cell %s has %d queries, want 10", k, n)
+		}
+	}
+}
+
+// TestNLRoundTripsAll80 pins the central contract: the simulated LM can
+// recover every benchmark query's formal meaning from its English text.
+func TestNLRoundTripsAll80(t *testing.T) {
+	for _, q := range Queries() {
+		got, err := nlq.Parse(q.NL)
+		if err != nil {
+			t.Errorf("%s: Parse(%q): %v", q.ID, q.NL, err)
+			continue
+		}
+		if !got.Equal(q.Spec) {
+			t.Errorf("%s: round-trip mismatch\n  NL: %s\n got: %+v (aug %+v)\nwant: %+v (aug %+v)",
+				q.ID, q.NL, got, got.Aug, q.Spec, q.Spec.Aug)
+		}
+	}
+}
+
+func buildAll(t *testing.T) map[string]*sqldb.Database {
+	t.Helper()
+	dbs := make(map[string]*sqldb.Database)
+	for _, name := range domains.Names() {
+		db, err := domains.Build(name)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		dbs[name] = db
+	}
+	return dbs
+}
+
+func TestDomainsPopulated(t *testing.T) {
+	dbs := buildAll(t)
+	counts := map[string]map[string]int{
+		"california_schools":      {"schools": 360, "frpm": 360},
+		"debit_card_specializing": {"transactions_1k": 1000, "customers": 60},
+		"formula_1":               {"circuits": 15},
+		"codebase_community":      {"users": 60},
+		"european_football_2":     {"Player": 420},
+	}
+	for dom, tables := range counts {
+		for table, want := range tables {
+			res, err := dbs[dom].Query("SELECT COUNT(*) FROM " + table)
+			if err != nil {
+				t.Fatalf("%s.%s: %v", dom, table, err)
+			}
+			if got := int(res.Rows[0][0].AsInt()); got != want {
+				t.Errorf("%s.%s rows = %d, want %d", dom, table, got, want)
+			}
+		}
+	}
+}
+
+func TestDomainsDeterministic(t *testing.T) {
+	a, err := domains.Build("codebase_community")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := domains.Build("codebase_community")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := a.Query("SELECT Id, Title, ViewCount FROM posts ORDER BY Id")
+	rb, _ := b.Query("SELECT Id, Title, ViewCount FROM posts ORDER BY Id")
+	if len(ra.Rows) != len(rb.Rows) {
+		t.Fatal("row counts differ between builds")
+	}
+	for i := range ra.Rows {
+		for j := range ra.Rows[i] {
+			if !ra.Rows[i][j].Equal(rb.Rows[i][j]) {
+				t.Fatalf("row %d differs between builds", i)
+			}
+		}
+	}
+}
+
+func TestAnchorPostsOwnTopViewCounts(t *testing.T) {
+	db, err := domains.Build("codebase_community")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT Title FROM posts ORDER BY ViewCount DESC LIMIT ?", len(domains.AnchorPosts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, r := range res.Rows {
+		got[r[0].AsText()] = true
+	}
+	for _, a := range domains.AnchorPosts {
+		if !got[a] {
+			t.Errorf("anchor post %q not among top view counts", a)
+		}
+	}
+}
+
+func TestAnchorCommentMixes(t *testing.T) {
+	db, err := domains.Build("codebase_community")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T1 plan: 3 sarcastic, 4 positive-sincere, 2 negative = 9 comments.
+	res, err := db.Query(`SELECT c.Text FROM comments c JOIN posts p ON c.PostId = p.Id WHERE p.Title = ?`,
+		domains.AnchorPosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("T1 has %d comments, want 9", len(res.Rows))
+	}
+	sarcastic := 0
+	for _, r := range res.Rows {
+		if world.TextTraits(r[0].AsText()).Sarcasm > 0.5 {
+			sarcastic++
+		}
+	}
+	if sarcastic != 3 {
+		t.Errorf("T1 sarcastic comments = %d, want 3", sarcastic)
+	}
+}
+
+func TestComputeTruthAllQueriesNonDegenerate(t *testing.T) {
+	dbs := buildAll(t)
+	w := world.Default()
+	for _, q := range Queries() {
+		truth, err := ComputeTruth(dbs[q.Spec.Domain], w, q.Spec)
+		if err != nil {
+			t.Errorf("%s: truth: %v", q.ID, err)
+			continue
+		}
+		switch q.Spec.Type {
+		case nlq.Aggregation:
+			if len(truth.Facts) == 0 {
+				t.Errorf("%s: aggregation query with no facts", q.ID)
+			}
+		case nlq.Comparison:
+			if len(truth.Values) != 1 {
+				t.Errorf("%s: comparison truth = %v", q.ID, truth.Values)
+			}
+			if n, err := strconv.Atoi(truth.Values[0]); err != nil || n == 0 {
+				t.Errorf("%s: comparison count %v should be a positive number (degenerate benchmark otherwise)", q.ID, truth.Values)
+			}
+		default:
+			if len(truth.Values) == 0 {
+				t.Errorf("%s: empty truth values", q.ID)
+			}
+			for _, v := range truth.Values {
+				if strings.TrimSpace(v) == "" {
+					t.Errorf("%s: blank truth value in %v", q.ID, truth.Values)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeTruthRankingSizes(t *testing.T) {
+	dbs := buildAll(t)
+	w := world.Default()
+	for _, q := range QueriesByType(nlq.Ranking) {
+		truth, err := ComputeTruth(dbs[q.Spec.Domain], w, q.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		wantK := q.Spec.Limit
+		if q.Spec.Aug.K > 0 && q.Spec.Aug.K < wantK {
+			wantK = q.Spec.Aug.K
+		}
+		if len(truth.Values) != wantK {
+			t.Errorf("%s: ranking truth has %d values, want %d (%v)", q.ID, len(truth.Values), wantK, truth.Values)
+		}
+	}
+}
+
+func TestComputeTruthKnownCases(t *testing.T) {
+	dbs := buildAll(t)
+	w := world.Default()
+
+	// Figure 2: Sepang raced 1999..2017 → 19 facts.
+	var sepang *Query
+	for _, q := range Queries() {
+		if q.ID == "AK-01" {
+			sepang = q
+		}
+	}
+	truth, err := ComputeTruth(dbs["formula_1"], w, sepang.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.Facts) != 19 {
+		t.Errorf("Sepang facts = %d, want 19 (1999-2017)", len(truth.Facts))
+	}
+	for _, f := range truth.Facts {
+		if !strings.Contains(f, "Malaysian Grand Prix") {
+			t.Errorf("Sepang fact without race name: %s", f)
+		}
+	}
+
+	// CR-01: sarcastic comments on T1 — generator plan says exactly 3.
+	var cr1 *Query
+	for _, q := range Queries() {
+		if q.ID == "CR-01" {
+			cr1 = q
+		}
+	}
+	truth, err = ComputeTruth(dbs["codebase_community"], w, cr1.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.Values) != 1 || truth.Values[0] != "3" {
+		t.Errorf("CR-01 truth = %v, want [3]", truth.Values)
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	cases := []struct {
+		got, want []string
+		ok        bool
+	}{
+		{[]string{"3"}, []string{"3"}, true},
+		{[]string{"3.0"}, []string{"3"}, true},
+		{[]string{"K-12"}, []string{"k-12"}, true},
+		{[]string{"a", "b"}, []string{"a", "b"}, true},
+		{[]string{"b", "a"}, []string{"a", "b"}, false}, // order matters
+		{[]string{"a"}, []string{"a", "b"}, false},
+		{nil, nil, true},
+	}
+	for _, c := range cases {
+		if ExactMatch(c.got, c.want) != c.ok {
+			t.Errorf("ExactMatch(%v, %v) != %v", c.got, c.want, c.ok)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	facts := []string{"year=1999; date=1999-10-17", "year=2000; date=2000-10-22"}
+	full := Coverage("races on 1999-10-17 and 2000-10-22", facts)
+	if full != 1 {
+		t.Errorf("full coverage = %v", full)
+	}
+	half := Coverage("there was a race on 1999-10-17", facts)
+	if half != 0.5 {
+		t.Errorf("half coverage = %v", half)
+	}
+	if Coverage("anything", nil) != 1 {
+		t.Error("no facts = full coverage")
+	}
+}
+
+func TestRelationalSQLExecutes(t *testing.T) {
+	dbs := buildAll(t)
+	for _, q := range Queries() {
+		sql := RelationalSQL(q.Spec, false)
+		if _, err := dbs[q.Spec.Domain].Query(sql); err != nil {
+			t.Errorf("%s: relational SQL fails: %v\n%s", q.ID, err, sql)
+		}
+	}
+}

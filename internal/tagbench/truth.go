@@ -1,0 +1,409 @@
+package tagbench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tag/internal/nlq"
+	"tag/internal/sqldb"
+	"tag/internal/world"
+)
+
+// Truth is the reference answer for a query. Match/comparison/ranking
+// queries have Values (exact-match scored); aggregation queries have
+// Facts — the row serialisations a complete answer must cover (scored
+// qualitatively, plus the coverage metric this reproduction adds).
+type Truth struct {
+	Values []string
+	Facts  []string
+}
+
+// ComputeTruth evaluates a spec against the real database and the real
+// world model — no LM anywhere. The relational part runs on the same SQL
+// engine every method uses (so tie-breaking is consistent); the augment is
+// resolved with perfect knowledge and exact latent traits.
+func ComputeTruth(db *sqldb.Database, w *world.World, spec *nlq.Spec) (*Truth, error) {
+	rows, err := relationalRows(db, spec)
+	if err != nil {
+		return nil, err
+	}
+	rows = filterByAugTruth(w, spec, rows)
+
+	switch spec.Type {
+	case nlq.Comparison:
+		return &Truth{Values: []string{strconv.Itoa(len(rows))}}, nil
+
+	case nlq.Match:
+		limit := spec.Limit
+		if limit <= 0 {
+			limit = 1
+		}
+		if limit > len(rows) {
+			limit = len(rows)
+		}
+		var vals []string
+		for _, r := range rows[:limit] {
+			vals = append(vals, r.target)
+		}
+		return &Truth{Values: vals}, nil
+
+	case nlq.Ranking:
+		if spec.Aug != nil && isTraitRank(spec.Aug.Kind) {
+			// Optional relational pre-selection (the paper's "top 5 posts
+			// by popularity" step), then exact latent-trait ordering.
+			if spec.OrderBy != "" && spec.Limit > 0 && spec.Limit < len(rows) {
+				rows = rows[:spec.Limit]
+			}
+			sort.SliceStable(rows, func(i, j int) bool {
+				return traitOf(spec.Aug.Kind, rows[i].augVal) > traitOf(spec.Aug.Kind, rows[j].augVal)
+			})
+			k := spec.Aug.K
+			if k <= 0 || k > len(rows) {
+				k = len(rows)
+			}
+			var vals []string
+			for _, r := range rows[:k] {
+				vals = append(vals, r.target)
+			}
+			return &Truth{Values: vals}, nil
+		}
+		k := spec.Limit
+		if k <= 0 || k > len(rows) {
+			k = len(rows)
+		}
+		var vals []string
+		for _, r := range rows[:k] {
+			vals = append(vals, r.target)
+		}
+		return &Truth{Values: vals}, nil
+
+	case nlq.Aggregation:
+		var facts []string
+		for _, r := range rows {
+			facts = append(facts, r.rowString)
+		}
+		return &Truth{Facts: facts}, nil
+
+	default:
+		return nil, fmt.Errorf("tagbench: unsupported query type %v", spec.Type)
+	}
+}
+
+// truthRow is one relational result row with the spec's salient values
+// extracted.
+type truthRow struct {
+	target    string
+	augVal    string
+	rowString string
+}
+
+// RelationalSQL builds the spec's relational retrieval query: joins and
+// plain filters only, ordered by the spec's order column. The augment is
+// *not* compiled in — callers resolve it themselves (ground truth with the
+// world; pipelines with the LM).
+func RelationalSQL(spec *nlq.Spec, selectAll bool) string {
+	var sel string
+	if selectAll {
+		sel = spec.Table + ".*"
+		if spec.Join != nil {
+			sel += ", " + spec.Join.Table + ".*"
+		}
+	} else {
+		cols := neededColumns(spec)
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = fmt.Sprintf("%s AS c%d", c, i)
+		}
+		sel = strings.Join(parts, ", ")
+	}
+	var b strings.Builder
+	b.WriteString("SELECT " + sel + " FROM " + spec.Table)
+	if spec.Join != nil {
+		b.WriteString(" JOIN " + spec.Join.Table + " ON " + spec.Join.Left + " = " + spec.Join.Right)
+	}
+	if len(spec.Filters) > 0 {
+		b.WriteString(" WHERE ")
+		for i, f := range spec.Filters {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			val := f.Value
+			if !f.Num {
+				val = "'" + strings.ReplaceAll(f.Value, "'", "''") + "'"
+			}
+			b.WriteString(f.Column + " " + f.Op + " " + val)
+		}
+	}
+	if spec.OrderBy != "" {
+		b.WriteString(" ORDER BY " + spec.OrderBy)
+		if spec.OrderDesc {
+			b.WriteString(" DESC")
+		} else {
+			b.WriteString(" ASC")
+		}
+	}
+	return b.String()
+}
+
+// neededColumns lists the distinct qualified columns the evaluator reads:
+// target, order, augment column.
+func neededColumns(spec *nlq.Spec) []string {
+	var cols []string
+	add := func(c string) {
+		if c == "" {
+			return
+		}
+		for _, x := range cols {
+			if x == c {
+				return
+			}
+		}
+		cols = append(cols, c)
+	}
+	add(spec.Target)
+	add(spec.OrderBy)
+	if spec.Aug != nil {
+		add(spec.Aug.Column)
+	}
+	if len(cols) == 0 {
+		add(spec.Table + ".*")
+	}
+	return cols
+}
+
+// relationalRows executes the relational part and extracts salient values.
+func relationalRows(db *sqldb.Database, spec *nlq.Spec) ([]truthRow, error) {
+	// Aggregation needs full rows for fact coverage; others only salient
+	// columns.
+	if spec.Type == nlq.Aggregation {
+		// Select full rows for fact coverage, plus the augment and target
+		// columns under reserved aliases (bare names can collide across
+		// joined tables, e.g. races.name vs circuits.name).
+		sql := RelationalSQL(spec, true)
+		extra := ""
+		if spec.Aug != nil && spec.Aug.Column != "" {
+			extra += ", " + spec.Aug.Column + " AS __augval"
+		}
+		if spec.Target != "" {
+			extra += ", " + spec.Target + " AS __targetval"
+		}
+		if extra != "" {
+			sql = strings.Replace(sql, " FROM ", extra+" FROM ", 1)
+		}
+		res, err := db.Query(sql)
+		if err != nil {
+			return nil, err
+		}
+		augIdx := res.ColumnIndex("__augval")
+		targetIdx := res.ColumnIndex("__targetval")
+		nBase := len(res.Columns)
+		if targetIdx >= 0 {
+			nBase--
+		}
+		if augIdx >= 0 {
+			nBase--
+		}
+		out := make([]truthRow, len(res.Rows))
+		for i, r := range res.Rows {
+			tr := truthRow{rowString: rowToString(res.Columns[:nBase], r[:nBase])}
+			if augIdx >= 0 {
+				tr.augVal = r[augIdx].AsText()
+			}
+			if targetIdx >= 0 {
+				tr.target = r[targetIdx].AsText()
+			}
+			out[i] = tr
+		}
+		return out, nil
+	}
+	res, err := db.Query(RelationalSQL(spec, false))
+	if err != nil {
+		return nil, err
+	}
+	cols := neededColumns(spec)
+	idxOf := func(qcol string) int {
+		for i, c := range cols {
+			if c == qcol {
+				return i
+			}
+		}
+		return -1
+	}
+	ti := idxOf(spec.Target)
+	ai := -1
+	if spec.Aug != nil {
+		ai = idxOf(spec.Aug.Column)
+	}
+	out := make([]truthRow, len(res.Rows))
+	for i, r := range res.Rows {
+		tr := truthRow{}
+		if ti >= 0 && ti < len(r) {
+			tr.target = r[ti].AsText()
+		}
+		if ai >= 0 && ai < len(r) {
+			tr.augVal = r[ai].AsText()
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// filterByAugTruth applies the augment with perfect knowledge.
+func filterByAugTruth(w *world.World, spec *nlq.Spec, rows []truthRow) []truthRow {
+	a := spec.Aug
+	if a == nil || isTraitRank(a.Kind) || a.Kind == nlq.AugSummarize {
+		return rows
+	}
+	keep := func(v string) bool {
+		switch a.Kind {
+		case nlq.AugCityRegion:
+			return w.InRegion(v, a.Arg)
+		case nlq.AugCountyRegion:
+			return w.CountyInBayArea(v)
+		case nlq.AugEUCountry:
+			return w.IsEUCountry(v)
+		case nlq.AugTallerThan:
+			h, ok := w.AthleteHeightCM(a.Arg)
+			if !ok {
+				return false
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			return err == nil && f > h
+		case nlq.AugClassic:
+			return w.IsClassicMovie(v)
+		case nlq.AugNamedAfterPerson:
+			return world.IsNamedAfterPerson(v)
+		case nlq.AugPremium:
+			return world.IsPremiumProduct(v)
+		case nlq.AugPositive:
+			return world.TextTraits(v).Sentiment > 0.5
+		case nlq.AugNegative:
+			return world.TextTraits(v).Sentiment < 0.5
+		case nlq.AugSarcastic:
+			return world.TextTraits(v).Sarcasm > 0.5
+		case nlq.AugTechnical:
+			return world.TextTraits(v).Technicality > 0.5
+		case nlq.AugCircuitInfo:
+			return strings.EqualFold(v, a.Arg)
+		default:
+			return true
+		}
+	}
+	var out []truthRow
+	for _, r := range rows {
+		if keep(r.augVal) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func isTraitRank(k nlq.AugKind) bool {
+	return k == nlq.AugTopSarcastic || k == nlq.AugTopTechnical || k == nlq.AugTopPositive
+}
+
+func traitOf(k nlq.AugKind, text string) float64 {
+	t := world.TextTraits(text)
+	switch k {
+	case nlq.AugTopSarcastic:
+		return t.Sarcasm
+	case nlq.AugTopTechnical:
+		return t.Technicality
+	default:
+		return t.Sentiment
+	}
+}
+
+func bare(qcol string) string {
+	if i := strings.IndexByte(qcol, '.'); i >= 0 {
+		return qcol[i+1:]
+	}
+	return qcol
+}
+
+func rowToString(cols []string, r sqldb.Row) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(c + "=" + r[i].AsText())
+	}
+	return b.String()
+}
+
+// ExactMatch compares an answer value list against the truth: same length,
+// same order, values equal (numeric values compare with tolerance).
+func ExactMatch(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if !valueEqual(got[i], want[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func valueEqual(a, b string) bool {
+	a, b = strings.TrimSpace(a), strings.TrimSpace(b)
+	if strings.EqualFold(a, b) {
+		return true
+	}
+	fa, ea := strconv.ParseFloat(a, 64)
+	fb, eb := strconv.ParseFloat(b, 64)
+	if ea == nil && eb == nil {
+		diff := fa - fb
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-6
+	}
+	return false
+}
+
+// Coverage reports the fraction of truth facts that appear (by their
+// salient date/name tokens) in an aggregation answer — the quantitative
+// extension this reproduction adds for aggregation queries (the paper
+// scores them qualitatively only).
+func Coverage(answer string, facts []string) float64 {
+	if len(facts) == 0 {
+		return 1
+	}
+	low := strings.ToLower(answer)
+	hit := 0
+	for _, f := range facts {
+		token := salientToken(f)
+		if token == "" || strings.Contains(low, strings.ToLower(token)) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(facts))
+}
+
+// salientToken extracts the most identifying field value from a fact row
+// string ("col=val; ..."): preferring date, then name-like, then the first
+// value.
+func salientToken(fact string) string {
+	fields := strings.Split(fact, "; ")
+	var first string
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || v == "" {
+			continue
+		}
+		if first == "" {
+			first = v
+		}
+		switch strings.ToLower(k) {
+		case "date":
+			return v
+		case "school", "title", "text", "description":
+			return v
+		}
+	}
+	return first
+}

@@ -1,0 +1,303 @@
+// Package vector implements the vector store that stands in for FAISS in
+// the TAG paper's RAG baseline: an exact flat index and an IVF-style
+// partitioned approximate index, both over float32 vectors with cosine,
+// dot-product or Euclidean metrics.
+package vector
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metric selects the similarity function.
+type Metric uint8
+
+// Metrics. Higher is better for Cosine and Dot; lower is better for L2
+// (scores are negated internally so "higher wins" uniformly).
+const (
+	Cosine Metric = iota
+	Dot
+	L2
+)
+
+// ErrDimension is returned when a vector's length does not match the
+// index dimension.
+var ErrDimension = errors.New("vector: dimension mismatch")
+
+// Hit is one search result: the stored id and its similarity score
+// (higher is more similar, for every metric).
+type Hit struct {
+	ID    int
+	Score float32
+}
+
+// Index is the common interface of the flat and IVF indexes.
+type Index interface {
+	// Add stores a vector under id. Ids need not be dense or ordered.
+	Add(id int, vec []float32) error
+	// Search returns the k nearest stored vectors, best first.
+	Search(query []float32, k int) ([]Hit, error)
+	// Len reports the number of stored vectors.
+	Len() int
+}
+
+// score computes the (higher-is-better) similarity under a metric.
+func score(m Metric, a, b []float32) float32 {
+	switch m {
+	case L2:
+		var d float64
+		for i := range a {
+			diff := float64(a[i]) - float64(b[i])
+			d += diff * diff
+		}
+		return float32(-d)
+	default: // Cosine over unit vectors == Dot; compute dot with fallback norm.
+		var dot float64
+		for i := range a {
+			dot += float64(a[i]) * float64(b[i])
+		}
+		if m == Dot {
+			return float32(dot)
+		}
+		var na, nb float64
+		for i := range a {
+			na += float64(a[i]) * float64(a[i])
+			nb += float64(b[i]) * float64(b[i])
+		}
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		return float32(dot / math.Sqrt(na*nb))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Flat (exact) index
+
+// Flat is an exact brute-force index — the behavioural equivalent of
+// faiss.IndexFlat, which is what the paper's RAG baseline uses.
+type Flat struct {
+	dim    int
+	metric Metric
+	ids    []int
+	vecs   [][]float32
+}
+
+// NewFlat creates an exact index of the given dimension.
+func NewFlat(dim int, metric Metric) *Flat {
+	return &Flat{dim: dim, metric: metric}
+}
+
+// Add implements Index.
+func (f *Flat) Add(id int, vec []float32) error {
+	if len(vec) != f.dim {
+		return fmt.Errorf("%w: got %d, index dim %d", ErrDimension, len(vec), f.dim)
+	}
+	f.ids = append(f.ids, id)
+	f.vecs = append(f.vecs, vec)
+	return nil
+}
+
+// Len implements Index.
+func (f *Flat) Len() int { return len(f.ids) }
+
+// hitHeap is a min-heap on score (so the worst of the current top-k is on
+// top and can be evicted cheaply).
+type hitHeap []Hit
+
+func (h hitHeap) Len() int           { return len(h) }
+func (h hitHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h hitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x any)        { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Search implements Index.
+func (f *Flat) Search(query []float32, k int) ([]Hit, error) {
+	if len(query) != f.dim {
+		return nil, fmt.Errorf("%w: query %d, index dim %d", ErrDimension, len(query), f.dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	h := make(hitHeap, 0, k)
+	for i, v := range f.vecs {
+		s := score(f.metric, query, v)
+		if len(h) < k {
+			heap.Push(&h, Hit{ID: f.ids[i], Score: s})
+		} else if s > h[0].Score {
+			h[0] = Hit{ID: f.ids[i], Score: s}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Hit, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// IVF (inverted file) index
+
+// IVF partitions vectors into nlist clusters by k-means and searches only
+// the nprobe closest clusters — the classic FAISS IVF design. It trades
+// recall for speed; the benchmark uses Flat, IVF backs the ablation bench.
+type IVF struct {
+	dim     int
+	metric  Metric
+	nlist   int
+	nprobe  int
+	trained bool
+	cents   [][]float32
+	lists   [][]int // cluster -> positions in ids/vecs
+	ids     []int
+	vecs    [][]float32
+}
+
+// NewIVF creates an IVF index with nlist partitions, probing nprobe of
+// them per query.
+func NewIVF(dim int, metric Metric, nlist, nprobe int) *IVF {
+	if nlist < 1 {
+		nlist = 1
+	}
+	if nprobe < 1 {
+		nprobe = 1
+	}
+	if nprobe > nlist {
+		nprobe = nlist
+	}
+	return &IVF{dim: dim, metric: metric, nlist: nlist, nprobe: nprobe}
+}
+
+// Train runs a few rounds of k-means over the sample to position the
+// cluster centroids. Must be called before Add.
+func (ivf *IVF) Train(sample [][]float32) error {
+	for _, v := range sample {
+		if len(v) != ivf.dim {
+			return ErrDimension
+		}
+	}
+	if len(sample) == 0 {
+		return errors.New("vector: IVF training needs a non-empty sample")
+	}
+	n := ivf.nlist
+	if n > len(sample) {
+		n = len(sample)
+	}
+	// Deterministic init: evenly strided picks.
+	cents := make([][]float32, n)
+	stride := len(sample) / n
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < n; i++ {
+		src := sample[(i*stride)%len(sample)]
+		cents[i] = append([]float32(nil), src...)
+	}
+	assign := make([]int, len(sample))
+	for iter := 0; iter < 8; iter++ {
+		for i, v := range sample {
+			assign[i] = nearestCentroid(ivf.metric, cents, v)
+		}
+		sums := make([][]float64, n)
+		counts := make([]int, n)
+		for i := range sums {
+			sums[i] = make([]float64, ivf.dim)
+		}
+		for i, v := range sample {
+			c := assign[i]
+			counts[c]++
+			for j, x := range v {
+				sums[c][j] += float64(x)
+			}
+		}
+		for c := 0; c < n; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range cents[c] {
+				cents[c][j] = float32(sums[c][j] / float64(counts[c]))
+			}
+		}
+	}
+	ivf.cents = cents
+	ivf.lists = make([][]int, n)
+	ivf.trained = true
+	return nil
+}
+
+func nearestCentroid(m Metric, cents [][]float32, v []float32) int {
+	best, bestScore := 0, float32(math.Inf(-1))
+	for i, c := range cents {
+		if s := score(m, v, c); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Add implements Index. The index must be trained first.
+func (ivf *IVF) Add(id int, vec []float32) error {
+	if !ivf.trained {
+		return errors.New("vector: IVF index is untrained")
+	}
+	if len(vec) != ivf.dim {
+		return ErrDimension
+	}
+	pos := len(ivf.ids)
+	ivf.ids = append(ivf.ids, id)
+	ivf.vecs = append(ivf.vecs, vec)
+	c := nearestCentroid(ivf.metric, ivf.cents, vec)
+	ivf.lists[c] = append(ivf.lists[c], pos)
+	return nil
+}
+
+// Len implements Index.
+func (ivf *IVF) Len() int { return len(ivf.ids) }
+
+// Search implements Index: probe the nprobe nearest clusters.
+func (ivf *IVF) Search(query []float32, k int) ([]Hit, error) {
+	if !ivf.trained {
+		return nil, errors.New("vector: IVF index is untrained")
+	}
+	if len(query) != ivf.dim {
+		return nil, ErrDimension
+	}
+	type cscore struct {
+		c int
+		s float32
+	}
+	cs := make([]cscore, len(ivf.cents))
+	for i, c := range ivf.cents {
+		cs[i] = cscore{c: i, s: score(ivf.metric, query, c)}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].s > cs[j].s })
+	h := make(hitHeap, 0, k)
+	for p := 0; p < ivf.nprobe && p < len(cs); p++ {
+		for _, pos := range ivf.lists[cs[p].c] {
+			s := score(ivf.metric, query, ivf.vecs[pos])
+			if len(h) < k {
+				heap.Push(&h, Hit{ID: ivf.ids[pos], Score: s})
+			} else if s > h[0].Score {
+				h[0] = Hit{ID: ivf.ids[pos], Score: s}
+				heap.Fix(&h, 0)
+			}
+		}
+	}
+	out := make([]Hit, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}

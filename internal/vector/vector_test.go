@@ -1,0 +1,185 @@
+package vector
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomVecs(r *rand.Rand, n, dim int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestFlatExactTopK(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	dim := 16
+	vecs := randomVecs(r, 200, dim)
+	idx := NewFlat(dim, Cosine)
+	for i, v := range vecs {
+		if err := idx.Add(i*7, v); err != nil { // non-dense ids
+			t.Fatal(err)
+		}
+	}
+	if idx.Len() != 200 {
+		t.Fatalf("len = %d", idx.Len())
+	}
+	q := randomVecs(r, 1, dim)[0]
+	hits, err := idx.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 10 {
+		t.Fatalf("k hits = %d", len(hits))
+	}
+	// Brute-force verification.
+	type pair struct {
+		id int
+		s  float32
+	}
+	var all []pair
+	for i, v := range vecs {
+		all = append(all, pair{id: i * 7, s: score(Cosine, q, v)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].id < all[j].id
+	})
+	for i := range hits {
+		if hits[i].ID != all[i].id {
+			t.Fatalf("hit %d = id %d, want %d", i, hits[i].ID, all[i].id)
+		}
+	}
+	// Scores must be non-increasing.
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("hits not sorted by score")
+		}
+	}
+}
+
+func TestFlatMetrics(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	c := []float32{2, 0}
+	for _, m := range []Metric{Cosine, Dot, L2} {
+		idx := NewFlat(2, m)
+		idx.Add(1, b)
+		idx.Add(2, c)
+		hits, err := idx.Search(a, 1)
+		if err != nil || len(hits) != 1 {
+			t.Fatalf("metric %v: %v", m, err)
+		}
+		if hits[0].ID != 2 {
+			t.Errorf("metric %v: nearest to (1,0) should be (2,0), got id %d", m, hits[0].ID)
+		}
+	}
+}
+
+func TestFlatErrors(t *testing.T) {
+	idx := NewFlat(4, Cosine)
+	if err := idx.Add(1, []float32{1, 2}); err == nil {
+		t.Error("dimension mismatch on Add should fail")
+	}
+	if _, err := idx.Search([]float32{1}, 3); err == nil {
+		t.Error("dimension mismatch on Search should fail")
+	}
+	hits, err := idx.Search(make([]float32, 4), 0)
+	if err != nil || hits != nil {
+		t.Error("k=0 should return nothing")
+	}
+}
+
+func TestFlatKLargerThanIndex(t *testing.T) {
+	idx := NewFlat(2, Cosine)
+	idx.Add(1, []float32{1, 0})
+	hits, err := idx.Search([]float32{1, 0}, 10)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("hits = %v err = %v", hits, err)
+	}
+}
+
+func TestIVFRecall(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	dim := 24
+	vecs := randomVecs(r, 1000, dim)
+	flat := NewFlat(dim, Cosine)
+	ivf := NewIVF(dim, Cosine, 16, 8)
+	if err := ivf.Train(vecs[:400]); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vecs {
+		flat.Add(i, v)
+		if err := ivf.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Probing half the lists should recover most of the true top-10.
+	totalRecall := 0.0
+	queries := randomVecs(r, 20, dim)
+	for _, q := range queries {
+		exact, _ := flat.Search(q, 10)
+		approx, _ := ivf.Search(q, 10)
+		exactIDs := make(map[int]bool)
+		for _, h := range exact {
+			exactIDs[h.ID] = true
+		}
+		found := 0
+		for _, h := range approx {
+			if exactIDs[h.ID] {
+				found++
+			}
+		}
+		totalRecall += float64(found) / 10
+	}
+	if avg := totalRecall / 20; avg < 0.5 {
+		t.Errorf("IVF recall@10 = %.2f, want >= 0.5 with nprobe=nlist/2", avg)
+	}
+}
+
+func TestIVFUntrained(t *testing.T) {
+	ivf := NewIVF(8, Cosine, 4, 2)
+	if err := ivf.Add(1, make([]float32, 8)); err == nil {
+		t.Error("Add before Train should fail")
+	}
+	if _, err := ivf.Search(make([]float32, 8), 1); err == nil {
+		t.Error("Search before Train should fail")
+	}
+	if err := ivf.Train(nil); err == nil {
+		t.Error("empty training sample should fail")
+	}
+}
+
+func TestIVFFullProbeMatchesFlat(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	dim := 8
+	vecs := randomVecs(r, 300, dim)
+	flat := NewFlat(dim, Dot)
+	ivf := NewIVF(dim, Dot, 10, 10) // probe everything = exact
+	if err := ivf.Train(vecs); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vecs {
+		flat.Add(i, v)
+		ivf.Add(i, v)
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := randomVecs(r, 1, dim)[0]
+		a, _ := flat.Search(q, 5)
+		b, _ := ivf.Search(q, 5)
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("full-probe IVF must equal flat: %v vs %v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package world
+
+import "strings"
+
+// PersonNames are full names of (fictional but person-shaped) historical
+// figures that institutions in the generated data may be named after.
+// The benchmark's "named after a person" reasoning queries resolve against
+// this list; the simulated LM judges the same question from surface form,
+// with noise.
+var PersonNames = []string{
+	"Abraham Lincoln", "Cesar Chavez", "John Muir", "Rosa Parks",
+	"Thomas Edison", "Amelia Earhart", "Mark Twain", "Benjamin Franklin",
+	"Harriet Tubman", "Theodore Roosevelt", "Susan Anthony", "George Washington",
+	"Eleanor Roosevelt", "Martin Luther King", "Clara Barton", "Booker Washington",
+	"Frederick Douglass", "Helen Keller", "Jane Addams", "Walt Whitman",
+}
+
+// personSurnames is derived from PersonNames for partial-name matching
+// ("Lincoln Elementary" is still named after a person).
+var personSurnames = func() map[string]bool {
+	m := make(map[string]bool, len(PersonNames))
+	for _, n := range PersonNames {
+		parts := strings.Fields(n)
+		m[strings.ToLower(parts[len(parts)-1])] = true
+	}
+	return m
+}()
+
+// IsNamedAfterPerson reports whether an institution name (e.g. a school)
+// is named after a person: it begins with a known person's full name or
+// surname. This is ground truth; the LM view answers the same question
+// with configurable noise.
+func IsNamedAfterPerson(name string) bool {
+	low := strings.ToLower(name)
+	for _, p := range PersonNames {
+		if strings.HasPrefix(low, strings.ToLower(p)) {
+			return true
+		}
+	}
+	fields := strings.Fields(low)
+	if len(fields) == 0 {
+		return false
+	}
+	return personSurnames[fields[0]]
+}
+
+// premiumMarkers are the lexical cues of a premium product description.
+var premiumMarkers = []string{
+	"premium", "deluxe", "platinum", "ultra", "gold class", "signature",
+	"top shelf", "executive",
+}
+
+// IsPremiumProduct reports whether a product description sounds premium.
+func IsPremiumProduct(desc string) bool {
+	low := strings.ToLower(desc)
+	for _, m := range premiumMarkers {
+		if strings.Contains(low, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// CACities is the pool of California cities the schools generator draws
+// from: every Silicon Valley city, a sample of other Bay Area cities, and
+// non-Bay-Area distractors. The LM view's false-positive channel draws
+// from this same pool, so its hallucinated region members are plausible.
+var CACities = []string{
+	// Silicon Valley.
+	"San Jose", "Palo Alto", "Mountain View", "Sunnyvale", "Santa Clara",
+	"Cupertino", "Menlo Park", "Redwood City", "Milpitas", "Campbell",
+	"Los Gatos", "Saratoga", "Los Altos", "Morgan Hill", "Gilroy",
+	"East Palo Alto", "Foster City", "San Carlos", "Belmont", "San Mateo",
+	// Bay Area, outside Silicon Valley.
+	"San Francisco", "Oakland", "Berkeley", "Fremont", "Hayward",
+	"Richmond", "Concord", "Vallejo", "Santa Rosa", "Napa",
+	"San Rafael", "Daly City", "San Leandro", "Alameda", "Walnut Creek",
+	"Pleasanton", "Livermore", "Dublin", "Union City", "Novato",
+	// Distractors elsewhere in California.
+	"Los Angeles", "San Diego", "Sacramento", "Fresno", "Bakersfield",
+	"Long Beach", "Anaheim", "Riverside", "Stockton", "Modesto",
+	"Irvine", "Chula Vista", "Santa Barbara", "Monterey", "Eureka",
+	"Redding", "Chico", "Visalia", "Santa Cruz", "San Luis Obispo",
+}
+
+// CACounties pairs each generator city with its county; Bay Area counties
+// are ground truth for county-region queries.
+var CACounties = map[string]string{
+	"San Jose": "Santa Clara", "Palo Alto": "Santa Clara", "Mountain View": "Santa Clara",
+	"Sunnyvale": "Santa Clara", "Santa Clara": "Santa Clara", "Cupertino": "Santa Clara",
+	"Milpitas": "Santa Clara", "Campbell": "Santa Clara", "Los Gatos": "Santa Clara",
+	"Saratoga": "Santa Clara", "Los Altos": "Santa Clara", "Morgan Hill": "Santa Clara",
+	"Gilroy":     "Santa Clara",
+	"Menlo Park": "San Mateo", "Redwood City": "San Mateo", "East Palo Alto": "San Mateo",
+	"Foster City": "San Mateo", "San Carlos": "San Mateo", "Belmont": "San Mateo",
+	"San Mateo": "San Mateo", "Daly City": "San Mateo",
+	"San Francisco": "San Francisco",
+	"Oakland":       "Alameda", "Berkeley": "Alameda", "Fremont": "Alameda",
+	"Hayward": "Alameda", "San Leandro": "Alameda", "Alameda": "Alameda",
+	"Pleasanton": "Alameda", "Livermore": "Alameda", "Dublin": "Alameda",
+	"Union City": "Alameda",
+	"Richmond":   "Contra Costa", "Concord": "Contra Costa", "Walnut Creek": "Contra Costa",
+	"Vallejo":    "Solano",
+	"Santa Rosa": "Sonoma", "Petaluma": "Sonoma",
+	"Napa":       "Napa",
+	"San Rafael": "Marin", "Novato": "Marin",
+	"Los Angeles": "Los Angeles", "Long Beach": "Los Angeles",
+	"San Diego": "San Diego", "Chula Vista": "San Diego",
+	"Sacramento": "Sacramento", "Fresno": "Fresno", "Bakersfield": "Kern",
+	"Anaheim": "Orange", "Irvine": "Orange", "Riverside": "Riverside",
+	"Stockton": "San Joaquin", "Modesto": "Stanislaus",
+	"Santa Barbara": "Santa Barbara", "Monterey": "Monterey",
+	"Eureka": "Humboldt", "Redding": "Shasta", "Chico": "Butte",
+	"Visalia": "Tulare", "Santa Cruz": "Santa Cruz",
+	"San Luis Obispo": "San Luis Obispo",
+}
+
+// EuropeanCountries is the country pool for gas stations and football
+// teams: EU members plus non-EU distractors.
+var EuropeanCountries = []string{
+	// EU members (subset).
+	"Austria", "Belgium", "Czech Republic", "Denmark", "Finland", "France",
+	"Germany", "Greece", "Hungary", "Ireland", "Italy", "Netherlands",
+	"Poland", "Portugal", "Slovakia", "Spain", "Sweden", "Croatia",
+	// Non-EU.
+	"Switzerland", "Norway", "UK", "Serbia", "Ukraine", "Turkey",
+	"Iceland", "Albania", "Bosnia", "Moldova",
+}

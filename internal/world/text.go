@@ -1,0 +1,214 @@
+package world
+
+import (
+	"strings"
+)
+
+// Traits are the latent semantic attributes of a piece of text that the
+// benchmark's reasoning queries ask about. All values are in [0, 1].
+type Traits struct {
+	Sentiment    float64 // 0 = very negative, 1 = very positive
+	Technicality float64 // 0 = casual, 1 = deeply technical
+	Sarcasm      float64 // 0 = sincere, 1 = dripping sarcasm
+}
+
+// Phrase is a text fragment with known latent traits. The benchmark's data
+// generators compose free-text fields (reviews, comments, post bodies) from
+// these fragments, which makes every generated text's true traits exactly
+// computable — that is what ground-truth labelling uses. The simulated LM
+// recovers traits from the text via TextTraits plus noise, the way a real
+// LM estimates sentiment from words.
+type Phrase struct {
+	Text   string
+	Traits Traits
+}
+
+// Phrases is the master fragment lexicon. Sentiment spans the full range,
+// technicality and sarcasm have dedicated high/low fragments so generators
+// can dial any trait combination.
+var Phrases = []Phrase{
+	// Strongly positive.
+	{"an absolute masterpiece from start to finish", Traits{0.98, 0.2, 0.02}},
+	{"still the best thing I have ever watched", Traits{0.95, 0.1, 0.05}},
+	{"flawless pacing and unforgettable characters", Traits{0.93, 0.35, 0.02}},
+	{"I was moved to tears, wonderful in every way", Traits{0.92, 0.05, 0.03}},
+	{"a triumph that rewards repeat viewing", Traits{0.9, 0.3, 0.05}},
+	// Mildly positive.
+	{"solid and dependable, worth your time", Traits{0.72, 0.25, 0.05}},
+	{"better than I expected, pleasantly surprised", Traits{0.7, 0.15, 0.08}},
+	{"a guilty pleasure I keep coming back to", Traits{0.68, 0.1, 0.12}},
+	{"charming in places even if uneven", Traits{0.62, 0.2, 0.08}},
+	{"decent effort with a few bright moments", Traits{0.6, 0.2, 0.05}},
+	// Neutral.
+	{"it exists and it is fine I suppose", Traits{0.5, 0.05, 0.25}},
+	{"middle of the road in every respect", Traits{0.5, 0.15, 0.1}},
+	{"hard to feel strongly about either way", Traits{0.48, 0.1, 0.08}},
+	// Mildly negative.
+	{"overlong and frequently dull", Traits{0.32, 0.15, 0.05}},
+	{"a disappointing retread of better work", Traits{0.3, 0.25, 0.08}},
+	{"the middle act drags badly", Traits{0.35, 0.3, 0.04}},
+	{"forgettable despite a strong premise", Traits{0.33, 0.2, 0.05}},
+	// Strongly negative.
+	{"an incoherent mess with nothing to say", Traits{0.08, 0.2, 0.1}},
+	{"I want those hours of my life back", Traits{0.05, 0.05, 0.3}},
+	{"astonishingly bad on every level", Traits{0.03, 0.1, 0.08}},
+	{"a complete waste of talent and budget", Traits{0.06, 0.15, 0.05}},
+	// Highly technical (for post titles / technical comments).
+	{"the gradient boosting residuals are reweighted per iteration", Traits{0.55, 0.97, 0.02}},
+	{"derive the closed form of the regularized loss", Traits{0.5, 0.95, 0.02}},
+	{"eigenvalue decomposition of the covariance matrix", Traits{0.5, 0.93, 0.01}},
+	{"stochastic gradient descent with momentum term", Traits{0.52, 0.9, 0.02}},
+	{"the bias variance tradeoff under k fold cross validation", Traits{0.5, 0.88, 0.02}},
+	{"marginal likelihood of the hierarchical prior", Traits{0.5, 0.92, 0.01}},
+	{"asymptotic convergence of the estimator", Traits{0.5, 0.9, 0.01}},
+	{"backpropagation through the softmax layer", Traits{0.52, 0.87, 0.02}},
+	// Moderately technical.
+	{"how to normalize features before clustering", Traits{0.5, 0.65, 0.02}},
+	{"choosing k in k means without overfitting", Traits{0.5, 0.68, 0.03}},
+	{"interpreting p values in a regression output", Traits{0.5, 0.6, 0.03}},
+	{"when to prefer median over mean", Traits{0.5, 0.5, 0.02}},
+	// Non-technical.
+	{"which laptop should I buy for studying", Traits{0.5, 0.15, 0.02}},
+	{"favorite statistics jokes to share with students", Traits{0.6, 0.1, 0.15}},
+	{"how do I stay motivated while learning", Traits{0.55, 0.08, 0.02}},
+	{"what music do you listen to while working", Traits{0.55, 0.05, 0.02}},
+	// Sarcastic.
+	{"oh fantastic, yet another groundbreaking insight nobody asked for", Traits{0.25, 0.2, 0.97}},
+	{"sure, because that worked so well the last hundred times", Traits{0.25, 0.15, 0.95}},
+	{"truly the pinnacle of human achievement right here", Traits{0.3, 0.1, 0.93}},
+	{"wow what a shocker, who could possibly have predicted this", Traits{0.28, 0.1, 0.9}},
+	{"slow clap for this revolutionary discovery", Traits{0.25, 0.12, 0.92}},
+	{"ah yes the classic solution of ignoring the problem entirely", Traits{0.3, 0.2, 0.88}},
+	// Sincere counterparts.
+	{"thanks, this genuinely helped me understand", Traits{0.85, 0.3, 0.02}},
+	{"great explanation, clear and well sourced", Traits{0.88, 0.45, 0.02}},
+	{"could you expand on the second step please", Traits{0.6, 0.4, 0.02}},
+	{"adding a reference for anyone reading later", Traits{0.65, 0.5, 0.01}},
+}
+
+// init perturbs every phrase's traits by a tiny index-dependent epsilon so
+// that no two phrases share an exact trait value. Ranking queries then have
+// a unique correct order (mirroring unambiguous human-labelled ground
+// truth), while the epsilons (< 0.002) are far below the LM's score noise.
+func init() {
+	for i := range Phrases {
+		eps := float64(i+1) * 0.00004
+		t := &Phrases[i].Traits
+		t.Sentiment = clamp01(t.Sentiment + eps)
+		t.Technicality = clamp01(t.Technicality + 2*eps)
+		t.Sarcasm = clamp01(t.Sarcasm + 3*eps)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 0.9999 {
+		return 0.9999
+	}
+	return x
+}
+
+// positiveWords and negativeWords back the fallback heuristic for text not
+// composed from the phrase lexicon (e.g. user-supplied strings in examples).
+var positiveWords = []string{
+	"great", "good", "excellent", "wonderful", "best", "love", "amazing",
+	"masterpiece", "charming", "triumph", "beautiful", "perfect", "enjoyed",
+	"helpful", "thanks", "fantastic",
+}
+
+var negativeWords = []string{
+	"bad", "awful", "terrible", "worst", "boring", "dull", "mess", "waste",
+	"disappointing", "hate", "poor", "incoherent", "forgettable",
+}
+
+var technicalWords = []string{
+	"gradient", "regression", "eigenvalue", "covariance", "stochastic",
+	"estimator", "likelihood", "softmax", "backpropagation", "regularized",
+	"convergence", "algorithm", "boosting", "variance", "hyperparameter",
+}
+
+var sarcasmMarkers = []string{
+	"oh fantastic", "sure,", "truly the pinnacle", "what a shocker",
+	"slow clap", "ah yes", "yeah right", "oh great",
+}
+
+// TextTraits computes the latent traits of a text. Text composed from the
+// Phrases lexicon (as all generated benchmark text is) is scored exactly by
+// averaging the traits of the fragments found; other text falls back to
+// keyword heuristics. The result is deterministic.
+func TextTraits(s string) Traits {
+	low := strings.ToLower(s)
+	var sum Traits
+	n := 0
+	for _, p := range Phrases {
+		if strings.Contains(low, strings.ToLower(p.Text)) {
+			sum.Sentiment += p.Traits.Sentiment
+			sum.Technicality += p.Traits.Technicality
+			sum.Sarcasm += p.Traits.Sarcasm
+			n++
+		}
+	}
+	if n > 0 {
+		return Traits{
+			Sentiment:    sum.Sentiment / float64(n),
+			Technicality: sum.Technicality / float64(n),
+			Sarcasm:      sum.Sarcasm / float64(n),
+		}
+	}
+	return heuristicTraits(low)
+}
+
+func heuristicTraits(low string) Traits {
+	t := Traits{Sentiment: 0.5, Technicality: 0.1, Sarcasm: 0.05}
+	pos, neg := 0, 0
+	for _, w := range positiveWords {
+		if strings.Contains(low, w) {
+			pos++
+		}
+	}
+	for _, w := range negativeWords {
+		if strings.Contains(low, w) {
+			neg++
+		}
+	}
+	if pos+neg > 0 {
+		t.Sentiment = float64(pos) / float64(pos+neg)
+	}
+	tech := 0
+	for _, w := range technicalWords {
+		if strings.Contains(low, w) {
+			tech++
+		}
+	}
+	if tech > 0 {
+		t.Technicality = 0.5 + 0.45*minF(float64(tech)/3, 1)
+	}
+	for _, m := range sarcasmMarkers {
+		if strings.Contains(low, m) {
+			t.Sarcasm = 0.9
+			break
+		}
+	}
+	return t
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PhrasesWhere returns the phrases whose traits satisfy the predicate —
+// the generators' fragment-selection helper.
+func PhrasesWhere(pred func(Traits) bool) []Phrase {
+	var out []Phrase
+	for _, p := range Phrases {
+		if pred(p.Traits) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+// Package world is the single source of truth for "reality" in the TAG
+// reproduction: the world knowledge the paper's benchmark queries require
+// (geography, athlete heights, classic films, EU membership, Formula 1
+// facts) and the latent semantic traits of generated text (sentiment,
+// technicality, sarcasm).
+//
+// Three parties consume it with different fidelity:
+//
+//   - the benchmark data generators use it directly (reality),
+//   - ground-truth computation uses it directly (reality),
+//   - the simulated LM sees it only through a lossy View (parametric
+//     knowledge: mostly right, sometimes missing, occasionally wrong),
+//     mirroring the relationship between the real world and a pre-trained
+//     model's weights.
+package world
+
+import (
+	"sort"
+	"strings"
+)
+
+// World holds the canonical facts. It is immutable after construction and
+// safe for concurrent use.
+type World struct {
+	bayAreaCities       map[string]bool
+	siliconValleyCities map[string]bool
+	bayAreaCounties     map[string]bool
+	athleteHeightCM     map[string]float64
+	classicMovies       map[string]bool
+	euCountries         map[string]bool
+	f1Circuits          map[string]CircuitFact
+	famousDrivers       map[string]DriverFact
+}
+
+// CircuitFact records world knowledge about a Formula 1 circuit.
+type CircuitFact struct {
+	Name        string
+	City        string
+	Country     string
+	FirstGPYear int
+	LastGPYear  int
+}
+
+// DriverFact records world knowledge about a famous F1 driver.
+type DriverFact struct {
+	Name        string
+	Nationality string
+	Titles      int
+}
+
+// Default returns the canonical world used by the benchmark, the examples
+// and the simulated LM. The fact tables are intentionally modest in size —
+// they cover everything the 80 benchmark queries touch, plus distractors.
+func Default() *World {
+	w := &World{
+		bayAreaCities:       make(map[string]bool),
+		siliconValleyCities: make(map[string]bool),
+		bayAreaCounties:     make(map[string]bool),
+		athleteHeightCM:     make(map[string]float64),
+		classicMovies:       make(map[string]bool),
+		euCountries:         make(map[string]bool),
+		f1Circuits:          make(map[string]CircuitFact),
+		famousDrivers:       make(map[string]DriverFact),
+	}
+
+	// --- California geography -------------------------------------------
+	// Bay Area counties (the canonical nine-county definition).
+	for _, c := range []string{
+		"Alameda", "Contra Costa", "Marin", "Napa", "San Francisco",
+		"San Mateo", "Santa Clara", "Solano", "Sonoma",
+	} {
+		w.bayAreaCounties[norm(c)] = true
+	}
+	// Cities in the Bay Area. A superset of the Silicon Valley list.
+	bayArea := []string{
+		"San Francisco", "Oakland", "Berkeley", "Fremont", "Hayward",
+		"Richmond", "Concord", "Vallejo", "Santa Rosa", "Napa",
+		"San Rafael", "Daly City", "San Leandro", "Alameda", "Walnut Creek",
+		"Pleasanton", "Livermore", "Dublin", "Union City", "Novato",
+		"San Bruno", "Pacifica", "Millbrae", "Burlingame", "Petaluma",
+		"Fairfield", "Antioch", "Pittsburg", "Martinez", "Benicia",
+	}
+	siliconValley := []string{
+		"San Jose", "Palo Alto", "Mountain View", "Sunnyvale",
+		"Santa Clara", "Cupertino", "Menlo Park", "Redwood City",
+		"Milpitas", "Campbell", "Los Gatos", "Saratoga", "Los Altos",
+		"Morgan Hill", "Gilroy", "East Palo Alto", "Foster City",
+		"San Carlos", "Belmont", "San Mateo",
+	}
+	for _, c := range bayArea {
+		w.bayAreaCities[norm(c)] = true
+	}
+	for _, c := range siliconValley {
+		w.siliconValleyCities[norm(c)] = true
+		w.bayAreaCities[norm(c)] = true // Silicon Valley ⊂ Bay Area
+	}
+
+	// --- Athletes ---------------------------------------------------------
+	for name, cm := range map[string]float64{
+		"Stephen Curry":      188,
+		"LeBron James":       206,
+		"Lionel Messi":       170,
+		"Cristiano Ronaldo":  187,
+		"Kevin Durant":       208,
+		"Peter Crouch":       201,
+		"Zlatan Ibrahimovic": 195,
+		"Kylian Mbappe":      178,
+		"Usain Bolt":         195,
+		"Michael Jordan":     198,
+	} {
+		w.athleteHeightCM[norm(name)] = cm
+	}
+
+	// --- Classic movies ----------------------------------------------------
+	for _, m := range []string{
+		"Titanic", "Casablanca", "Gone with the Wind", "The Godfather",
+		"Roman Holiday", "Breakfast at Tiffany's", "Ghost",
+		"When Harry Met Sally", "Sleepless in Seattle", "An Affair to Remember",
+		"Doctor Zhivago", "West Side Story", "Out of Africa",
+		"The Way We Were", "Love Story",
+	} {
+		w.classicMovies[norm(m)] = true
+	}
+
+	// --- EU membership ------------------------------------------------------
+	for _, c := range []string{
+		"Austria", "Belgium", "Bulgaria", "Croatia", "Cyprus", "Czech Republic",
+		"Denmark", "Estonia", "Finland", "France", "Germany", "Greece",
+		"Hungary", "Ireland", "Italy", "Latvia", "Lithuania", "Luxembourg",
+		"Malta", "Netherlands", "Poland", "Portugal", "Romania", "Slovakia",
+		"Slovenia", "Spain", "Sweden",
+	} {
+		w.euCountries[norm(c)] = true
+	}
+
+	// --- Formula 1 -----------------------------------------------------------
+	for _, c := range []CircuitFact{
+		{Name: "Sepang International Circuit", City: "Kuala Lumpur", Country: "Malaysia", FirstGPYear: 1999, LastGPYear: 2017},
+		{Name: "Circuit de Monaco", City: "Monte Carlo", Country: "Monaco", FirstGPYear: 1950, LastGPYear: 2023},
+		{Name: "Silverstone Circuit", City: "Silverstone", Country: "UK", FirstGPYear: 1950, LastGPYear: 2023},
+		{Name: "Autodromo Nazionale Monza", City: "Monza", Country: "Italy", FirstGPYear: 1950, LastGPYear: 2023},
+		{Name: "Suzuka Circuit", City: "Suzuka", Country: "Japan", FirstGPYear: 1987, LastGPYear: 2023},
+		{Name: "Interlagos", City: "Sao Paulo", Country: "Brazil", FirstGPYear: 1973, LastGPYear: 2023},
+		{Name: "Circuit Gilles Villeneuve", City: "Montreal", Country: "Canada", FirstGPYear: 1978, LastGPYear: 2023},
+		{Name: "Hungaroring", City: "Budapest", Country: "Hungary", FirstGPYear: 1986, LastGPYear: 2023},
+		{Name: "Circuit de Spa-Francorchamps", City: "Spa", Country: "Belgium", FirstGPYear: 1950, LastGPYear: 2023},
+		{Name: "Shanghai International Circuit", City: "Shanghai", Country: "China", FirstGPYear: 2004, LastGPYear: 2019},
+	} {
+		w.f1Circuits[norm(c.Name)] = c
+	}
+	for _, d := range []DriverFact{
+		{Name: "Lewis Hamilton", Nationality: "British", Titles: 7},
+		{Name: "Michael Schumacher", Nationality: "German", Titles: 7},
+		{Name: "Sebastian Vettel", Nationality: "German", Titles: 4},
+		{Name: "Fernando Alonso", Nationality: "Spanish", Titles: 2},
+		{Name: "Kimi Raikkonen", Nationality: "Finnish", Titles: 1},
+		{Name: "Max Verstappen", Nationality: "Dutch", Titles: 3},
+		{Name: "Ayrton Senna", Nationality: "Brazilian", Titles: 3},
+	} {
+		w.famousDrivers[norm(d.Name)] = d
+	}
+	return w
+}
+
+// norm canonicalises an entity name for lookup.
+func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// Region names understood by InRegion.
+const (
+	RegionBayArea       = "Bay Area"
+	RegionSiliconValley = "Silicon Valley"
+)
+
+// InRegion reports whether the city belongs to the named region.
+// Unknown regions are false for every city.
+func (w *World) InRegion(city, region string) bool {
+	switch norm(region) {
+	case norm(RegionBayArea):
+		return w.bayAreaCities[norm(city)]
+	case norm(RegionSiliconValley):
+		return w.siliconValleyCities[norm(city)]
+	default:
+		return false
+	}
+}
+
+// RegionCities lists the cities of a region in sorted order.
+func (w *World) RegionCities(region string) []string {
+	var m map[string]bool
+	switch norm(region) {
+	case norm(RegionBayArea):
+		m = w.bayAreaCities
+	case norm(RegionSiliconValley):
+		m = w.siliconValleyCities
+	default:
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountyInBayArea reports whether a county is one of the nine Bay Area
+// counties.
+func (w *World) CountyInBayArea(county string) bool {
+	return w.bayAreaCounties[norm(county)]
+}
+
+// AthleteHeightCM returns an athlete's height in centimetres.
+func (w *World) AthleteHeightCM(name string) (float64, bool) {
+	h, ok := w.athleteHeightCM[norm(name)]
+	return h, ok
+}
+
+// IsClassicMovie reports whether the title is widely considered a classic.
+func (w *World) IsClassicMovie(title string) bool {
+	return w.classicMovies[norm(title)]
+}
+
+// IsEUCountry reports whether the country is an EU member state.
+func (w *World) IsEUCountry(country string) bool {
+	return w.euCountries[norm(country)]
+}
+
+// Circuit returns world knowledge about the named circuit.
+func (w *World) Circuit(name string) (CircuitFact, bool) {
+	c, ok := w.f1Circuits[norm(name)]
+	return c, ok
+}
+
+// Driver returns world knowledge about a famous driver.
+func (w *World) Driver(name string) (DriverFact, bool) {
+	d, ok := w.famousDrivers[norm(name)]
+	return d, ok
+}
+
+// Entities enumerates every entity name the world knows for a relation,
+// sorted. Used by tests and by the LM view's coverage accounting.
+func (w *World) Entities(relation string) []string {
+	var m map[string]bool
+	switch relation {
+	case "bay_area_city":
+		m = w.bayAreaCities
+	case "silicon_valley_city":
+		m = w.siliconValleyCities
+	case "classic_movie":
+		m = w.classicMovies
+	case "eu_country":
+		m = w.euCountries
+	default:
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,175 @@
+package world
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegions(t *testing.T) {
+	w := Default()
+	if !w.InRegion("Palo Alto", RegionSiliconValley) {
+		t.Error("Palo Alto should be in Silicon Valley")
+	}
+	if !w.InRegion("palo alto", "silicon valley") {
+		t.Error("region lookup should be case-insensitive")
+	}
+	if w.InRegion("Fresno", RegionSiliconValley) || w.InRegion("Fresno", RegionBayArea) {
+		t.Error("Fresno is not in the Bay Area")
+	}
+	if !w.InRegion("Oakland", RegionBayArea) {
+		t.Error("Oakland is in the Bay Area")
+	}
+	if w.InRegion("Oakland", RegionSiliconValley) {
+		t.Error("Oakland is not in Silicon Valley")
+	}
+	// Silicon Valley ⊂ Bay Area.
+	for _, c := range w.RegionCities(RegionSiliconValley) {
+		if !w.InRegion(c, RegionBayArea) {
+			t.Errorf("%s in Silicon Valley but not Bay Area", c)
+		}
+	}
+	if w.InRegion("Palo Alto", "Atlantis") {
+		t.Error("unknown regions must be empty")
+	}
+}
+
+func TestCounties(t *testing.T) {
+	w := Default()
+	if !w.CountyInBayArea("Santa Clara") || !w.CountyInBayArea("alameda") {
+		t.Error("Bay Area county lookup failed")
+	}
+	if w.CountyInBayArea("Fresno") {
+		t.Error("Fresno county is not Bay Area")
+	}
+	// Every generator city has a county assignment.
+	for _, c := range CACities {
+		if _, ok := CACounties[c]; !ok {
+			t.Errorf("city %s missing county", c)
+		}
+	}
+}
+
+func TestAthletes(t *testing.T) {
+	w := Default()
+	h, ok := w.AthleteHeightCM("Stephen Curry")
+	if !ok || h != 188 {
+		t.Errorf("Curry height = %v ok=%v", h, ok)
+	}
+	if _, ok := w.AthleteHeightCM("Nobody Inparticular"); ok {
+		t.Error("unknown athlete should not resolve")
+	}
+}
+
+func TestClassicsAndEU(t *testing.T) {
+	w := Default()
+	if !w.IsClassicMovie("Titanic") || !w.IsClassicMovie("casablanca") {
+		t.Error("classic lookup failed")
+	}
+	if w.IsClassicMovie("Shang-Chi") {
+		t.Error("Shang-Chi is not a classic")
+	}
+	if !w.IsEUCountry("Germany") || w.IsEUCountry("Switzerland") || w.IsEUCountry("UK") {
+		t.Error("EU membership wrong")
+	}
+}
+
+func TestCircuits(t *testing.T) {
+	w := Default()
+	c, ok := w.Circuit("Sepang International Circuit")
+	if !ok || c.City != "Kuala Lumpur" || c.FirstGPYear != 1999 || c.LastGPYear != 2017 {
+		t.Errorf("Sepang fact = %+v ok=%v", c, ok)
+	}
+}
+
+func TestTextTraitsExactOnPhrases(t *testing.T) {
+	for _, p := range Phrases {
+		got := TextTraits("Honestly, " + p.Text + ".")
+		if got != p.Traits {
+			t.Errorf("TextTraits(%q) = %+v, want %+v", p.Text, got, p.Traits)
+		}
+	}
+}
+
+func TestTextTraitsAveragesFragments(t *testing.T) {
+	a, b := Phrases[0], Phrases[17] // strongly positive + strongly negative
+	got := TextTraits(a.Text + ", but " + b.Text)
+	wantSent := (a.Traits.Sentiment + b.Traits.Sentiment) / 2
+	if diff := got.Sentiment - wantSent; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("blended sentiment = %v, want %v", got.Sentiment, wantSent)
+	}
+}
+
+func TestTextTraitsHeuristicFallback(t *testing.T) {
+	pos := TextTraits("this was a great and wonderful experience")
+	if pos.Sentiment <= 0.5 {
+		t.Errorf("heuristic positive sentiment = %v", pos.Sentiment)
+	}
+	neg := TextTraits("an awful, boring waste")
+	if neg.Sentiment >= 0.5 {
+		t.Errorf("heuristic negative sentiment = %v", neg.Sentiment)
+	}
+	tech := TextTraits("we ran gradient descent on the regression")
+	if tech.Technicality <= 0.5 {
+		t.Errorf("heuristic technicality = %v", tech.Technicality)
+	}
+	sarc := TextTraits("oh great, yeah right, as if")
+	if sarc.Sarcasm < 0.5 {
+		t.Errorf("heuristic sarcasm = %v", sarc.Sarcasm)
+	}
+	neutral := TextTraits("the quick brown fox")
+	if neutral.Sentiment != 0.5 {
+		t.Errorf("neutral sentiment = %v", neutral.Sentiment)
+	}
+}
+
+func TestPersonNames(t *testing.T) {
+	if !IsNamedAfterPerson("Abraham Lincoln Elementary School") {
+		t.Error("full-name school should match")
+	}
+	if !IsNamedAfterPerson("Lincoln High School") {
+		t.Error("surname-first school should match")
+	}
+	if IsNamedAfterPerson("Palo Alto High School") {
+		t.Error("city-named school should not match")
+	}
+	if IsNamedAfterPerson("") {
+		t.Error("empty name")
+	}
+}
+
+func TestPremiumProducts(t *testing.T) {
+	if !IsPremiumProduct("Premium Synthetic Motor Oil") {
+		t.Error("premium marker missed")
+	}
+	if IsPremiumProduct("Standard Diesel Fuel") {
+		t.Error("standard product flagged premium")
+	}
+}
+
+func TestPhrasesWhere(t *testing.T) {
+	sarcs := PhrasesWhere(func(tr Traits) bool { return tr.Sarcasm > 0.8 })
+	if len(sarcs) < 4 {
+		t.Fatalf("want several sarcastic phrases, got %d", len(sarcs))
+	}
+	for _, p := range sarcs {
+		if p.Traits.Sarcasm <= 0.8 {
+			t.Errorf("phrase %q not sarcastic", p.Text)
+		}
+	}
+}
+
+func TestEntities(t *testing.T) {
+	w := Default()
+	sv := w.Entities("silicon_valley_city")
+	if len(sv) != 20 {
+		t.Errorf("silicon valley cities = %d, want 20", len(sv))
+	}
+	for i := 1; i < len(sv); i++ {
+		if strings.Compare(sv[i-1], sv[i]) >= 0 {
+			t.Error("entities must be sorted and unique")
+		}
+	}
+	if w.Entities("nonexistent_relation") != nil {
+		t.Error("unknown relation should be nil")
+	}
+}
