@@ -43,6 +43,10 @@ import (
 type (
 	// Database is the embedded SQL engine (the exec substrate).
 	Database = sqldb.Database
+	// Stmt is a prepared SELECT statement: parsed once via Database.Prepare,
+	// executable many times. Database.Query also consults an internal LRU
+	// plan cache, so hot query strings are parsed only once either way.
+	Stmt = sqldb.Stmt
 	// Result is a materialised query result.
 	Result = sqldb.Result
 	// Value is a dynamically typed SQL value.
@@ -179,6 +183,12 @@ func (s *System) Ask(ctx context.Context, question string) (*Response, error) {
 // relational and semantic operators.
 func (s *System) Frame(table string) (*DataFrame, error) {
 	return sem.FromTable(s.env.DB, table)
+}
+
+// Prepare parses a SELECT once for repeated execution against the system's
+// database — the low-latency path for hot queries under heavy traffic.
+func (s *System) Prepare(sql string) (*Stmt, error) {
+	return s.env.DB.Prepare(sql)
 }
 
 // FrameQuery runs SQL and wraps the result as a DataFrame.

@@ -1,0 +1,3 @@
+module tag
+
+go 1.22

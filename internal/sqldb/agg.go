@@ -186,9 +186,12 @@ func (s *concatState) result() Value {
 }
 
 // distinctState deduplicates inputs before delegating to the wrapped state.
+// Keys encode into a reused scratch buffer, so only the first sighting of
+// each distinct value allocates.
 type distinctState struct {
 	inner aggState
 	seen  map[string]bool
+	buf   []byte
 }
 
 func (s *distinctState) add(v Value) {
@@ -196,11 +199,11 @@ func (s *distinctState) add(v Value) {
 		s.inner.add(v) // inner decides whether NULL counts
 		return
 	}
-	k := v.Key()
-	if s.seen[k] {
+	s.buf = appendValueKey(s.buf[:0], v)
+	if s.seen[string(s.buf)] {
 		return
 	}
-	s.seen[k] = true
+	s.seen[string(s.buf)] = true
 	s.inner.add(v)
 }
 

@@ -45,7 +45,11 @@ type ColumnRef struct {
 	Table  string // optional qualifier
 	Column string // column name, or "*" in StarExpr contexts
 
-	// resolved index into the input row; set by the binder during planning.
+	// index is a pre-resolved ordinal into the input schema, or -1 when
+	// unresolved. The parser always emits -1; star expansion stamps the
+	// ordinal it expanded from, letting compileColumnRef skip name
+	// resolution (it still verifies the stamp against the compile-time
+	// schema before trusting it, since ASTs are shared via the plan cache).
 	index int
 }
 

@@ -1,0 +1,141 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the executor hot paths. Run with:
+//
+//	go test ./internal/sqldb -run xxx -bench . -benchmem
+//
+// Every benchmark reports allocations; the compiled-execution refactor is
+// judged on allocs/op as much as ns/op.
+
+// benchDB builds a two-table database: `items` (n rows, indexed primary
+// key) and `cats` (n/10 rows) joinable on cat_id.
+func benchDB(b *testing.B, n int) *Database {
+	b.Helper()
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE items (
+		id INTEGER PRIMARY KEY,
+		cat_id INTEGER,
+		name TEXT,
+		price REAL,
+		qty INTEGER
+	)`)
+	db.MustExec("CREATE TABLE cats (id INTEGER PRIMARY KEY, label TEXT)")
+	r := rand.New(rand.NewSource(42))
+	ncats := n / 10
+	if ncats == 0 {
+		ncats = 1
+	}
+	catRows := make([][]any, 0, ncats)
+	for i := 0; i < ncats; i++ {
+		catRows = append(catRows, []any{i, fmt.Sprintf("cat-%d", i)})
+	}
+	if err := db.InsertRows("cats", catRows); err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]any, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, []any{
+			i,
+			r.Intn(ncats),
+			fmt.Sprintf("item-%d", i),
+			float64(r.Intn(10000)) / 100,
+			r.Intn(50),
+		})
+	}
+	if err := db.InsertRows("items", rows); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchQuery(b *testing.B, db *Database, sql string) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanFilter(b *testing.B) {
+	db := benchDB(b, 2000)
+	benchQuery(b, db, "SELECT name, price FROM items WHERE price > 50 AND qty < 25")
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := benchDB(b, 2000)
+	// cats.id is indexed, so force a hash join by joining on the
+	// un-indexed cat_id from the probe side's perspective only.
+	benchQuery(b, db, "SELECT items.name, cats.label FROM cats JOIN items ON cats.id = items.cat_id")
+}
+
+func BenchmarkIndexJoin(b *testing.B) {
+	db := benchDB(b, 2000)
+	// items JOIN cats ON items.cat_id = cats.id: cats.id is the indexed
+	// primary key, so the planner uses an index nested loop.
+	benchQuery(b, db, "SELECT items.name, cats.label FROM items JOIN cats ON items.cat_id = cats.id")
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	db := benchDB(b, 2000)
+	benchQuery(b, db, "SELECT cat_id, COUNT(*), SUM(price), AVG(qty) FROM items GROUP BY cat_id")
+}
+
+func BenchmarkOrderBy(b *testing.B) {
+	db := benchDB(b, 2000)
+	benchQuery(b, db, "SELECT name, price FROM items ORDER BY price DESC, name")
+}
+
+func BenchmarkDistinct(b *testing.B) {
+	db := benchDB(b, 2000)
+	benchQuery(b, db, "SELECT DISTINCT cat_id, qty FROM items")
+}
+
+func BenchmarkPointLookup(b *testing.B) {
+	db := benchDB(b, 2000)
+	benchQuery(b, db, "SELECT name FROM items WHERE id = 1234")
+}
+
+// BenchmarkPreparedVsParsed quantifies what the plan cache and Prepare
+// save: sub-benchmark "parsed" clears the cache every iteration, "cached"
+// uses Database.Query's LRU, "prepared" holds a *Stmt.
+func BenchmarkPreparedVsParsed(b *testing.B) {
+	const sql = "SELECT cat_id, COUNT(*) FROM items WHERE price > 10 GROUP BY cat_id ORDER BY 2 DESC LIMIT 5"
+	b.Run("parsed", func(b *testing.B) {
+		db := benchDB(b, 500)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db.plans = newPlanCache() // defeat the cache: full parse every time
+			if _, err := db.Query(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		db := benchDB(b, 500)
+		benchQuery(b, db, sql)
+	})
+	b.Run("prepared", func(b *testing.B) {
+		db := benchDB(b, 500)
+		stmt, err := db.Prepare(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Query(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

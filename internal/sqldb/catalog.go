@@ -42,6 +42,7 @@ type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	funcs  *FuncRegistry
+	plans  *planCache
 }
 
 // NewDatabase returns an empty database with the built-in function registry.
@@ -49,6 +50,7 @@ func NewDatabase() *Database {
 	return &Database{
 		tables: make(map[string]*Table),
 		funcs:  NewFuncRegistry(),
+		plans:  newPlanCache(),
 	}
 }
 

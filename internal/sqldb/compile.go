@@ -1,0 +1,563 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the engine's expression compiler. At plan time every
+// expression that will run on the per-row path is compiled into a closure:
+// column references are resolved to (environment, ordinal) pairs once,
+// scalar functions are looked up once, parameters and literals are bound to
+// their values, and operator dispatch happens at compile time instead of a
+// type switch per row. The interpreted evaluator in expr.go remains the
+// engine for DML statements and constant folding, and the compiler is kept
+// semantically identical to it (property tests cross-check the two).
+
+// compiledExpr evaluates an expression against the environments captured at
+// compile time. The owning operator mutates its environment's row between
+// calls; the closure reads through the captured pointer.
+type compiledExpr func() (Value, error)
+
+// aggCtx carries per-group state for the post-aggregation phase of a
+// SELECT: the canonical strings of the GROUP BY expressions, the collected
+// aggregate calls, and — swapped in per group — the group's key values and
+// aggregate results. Compiled expressions capture the context and read the
+// slices by ordinal; there is no per-row string or map lookup.
+type aggCtx struct {
+	groupStrs []string
+	aggs      []*FuncCall
+	groupKeys []Value // current group's GROUP BY key values
+	aggVals   []Value // current group's aggregate results
+}
+
+// groupIndex returns the ordinal of the GROUP BY expression whose canonical
+// string equals e's, or -1.
+func (a *aggCtx) groupIndex(e Expr) int {
+	if len(a.groupStrs) == 0 {
+		return -1
+	}
+	s := e.String()
+	for i, g := range a.groupStrs {
+		if g == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// aggIndex returns the ordinal of fc among the collected aggregates
+// (pointer identity, as collectAggregates gathers the very nodes that
+// appear in the projection/HAVING/ORDER BY trees), or -1.
+func (a *aggCtx) aggIndex(fc *FuncCall) int {
+	for i, c := range a.aggs {
+		if c == fc {
+			return i
+		}
+	}
+	return -1
+}
+
+// compileExpr compiles e against env's scope chain. Resolution errors (no
+// such column, ambiguity, unknown functions, missing parameters) surface at
+// compile time with the same messages the interpreter produces at run time.
+func compileExpr(e Expr, env *evalEnv) (compiledExpr, error) {
+	// Under aggregation, grouping expressions resolve to their group key and
+	// aggregate calls to their accumulated result.
+	if a := env.agg; a != nil {
+		if i := a.groupIndex(e); i >= 0 {
+			return func() (Value, error) { return a.groupKeys[i], nil }, nil
+		}
+		if fc, ok := e.(*FuncCall); ok && isAggregateName(fc.Name) {
+			if i := a.aggIndex(fc); i >= 0 {
+				return func() (Value, error) { return a.aggVals[i], nil }, nil
+			}
+			return nil, fmt.Errorf("sql: misuse of aggregate function %s()", fc.Name)
+		}
+	}
+	switch t := e.(type) {
+	case *Literal:
+		v := t.Val
+		return func() (Value, error) { return v, nil }, nil
+	case *Param:
+		if t.Index >= len(env.params) {
+			return nil, fmt.Errorf("sql: statement expects at least %d parameters, got %d", t.Index+1, len(env.params))
+		}
+		v := env.params[t.Index]
+		return func() (Value, error) { return v, nil }, nil
+	case *ColumnRef:
+		return compileColumnRef(t, env)
+	case *BinaryOp:
+		return compileBinary(t, env)
+	case *UnaryOp:
+		sub, err := compileExpr(t.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "-":
+			return func() (Value, error) {
+				v, err := sub()
+				if err != nil || v.IsNull() {
+					return Null, err
+				}
+				if v.Kind() == KindInt {
+					return Int(-v.AsInt()), nil
+				}
+				return Float(-v.AsFloat()), nil
+			}, nil
+		case "NOT":
+			return func() (Value, error) {
+				v, err := sub()
+				if err != nil || v.IsNull() {
+					return Null, err
+				}
+				return Bool(!v.AsBool()), nil
+			}, nil
+		default:
+			return nil, fmt.Errorf("sql: unknown unary operator %q", t.Op)
+		}
+	case *IsNull:
+		sub, err := compileExpr(t.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		not := t.Not
+		return func() (Value, error) {
+			v, err := sub()
+			if err != nil {
+				return Null, err
+			}
+			return Bool(v.IsNull() != not), nil
+		}, nil
+	case *InList:
+		return compileIn(t, env)
+	case *Between:
+		ce, err := compileExpr(t.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		clo, err := compileExpr(t.Lo, env)
+		if err != nil {
+			return nil, err
+		}
+		chi, err := compileExpr(t.Hi, env)
+		if err != nil {
+			return nil, err
+		}
+		not := t.Not
+		return func() (Value, error) {
+			v, err := ce()
+			if err != nil {
+				return Null, err
+			}
+			lo, err := clo()
+			if err != nil {
+				return Null, err
+			}
+			hi, err := chi()
+			if err != nil {
+				return Null, err
+			}
+			if v.IsNull() || lo.IsNull() || hi.IsNull() {
+				return Null, nil
+			}
+			in := v.Compare(lo) >= 0 && v.Compare(hi) <= 0
+			return Bool(in != not), nil
+		}, nil
+	case *FuncCall:
+		return compileFunc(t, env)
+	case *CaseExpr:
+		return compileCase(t, env)
+	case *CastExpr:
+		sub, err := compileExpr(t.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		typ := t.Type
+		return func() (Value, error) {
+			v, err := sub()
+			if err != nil {
+				return Null, err
+			}
+			return castValue(v, typ), nil
+		}, nil
+	case *Subquery:
+		sel := t.Select
+		return func() (Value, error) {
+			rows, _, err := execSubquery(sel, env)
+			if err != nil {
+				return Null, err
+			}
+			if len(rows) == 0 || len(rows[0]) == 0 {
+				return Null, nil
+			}
+			return rows[0][0], nil
+		}, nil
+	case *ExistsExpr:
+		sel, not := t.Select, t.Not
+		return func() (Value, error) {
+			rows, _, err := execSubquery(sel, env)
+			if err != nil {
+				return Null, err
+			}
+			return Bool((len(rows) > 0) != not), nil
+		}, nil
+	case *Star:
+		return nil, fmt.Errorf("sql: '*' is not valid in this context")
+	default:
+		return nil, fmt.Errorf("sql: cannot evaluate %T", e)
+	}
+}
+
+// compileColumnRef binds a column reference to its owning environment and
+// ordinal. References stamped with a pre-resolved index by the planner
+// (star expansion) skip name resolution entirely when the stamp matches
+// the compile-time schema.
+func compileColumnRef(t *ColumnRef, env *evalEnv) (compiledExpr, error) {
+	if i := t.index; i >= 0 && i < len(env.cols) &&
+		strings.EqualFold(env.cols[i].name, t.Column) &&
+		(t.Table == "" || strings.EqualFold(env.cols[i].qual, t.Table)) {
+		return columnReader(env, i, t), nil
+	}
+	i, owner, err := env.resolve(t)
+	if err != nil {
+		return nil, err
+	}
+	return columnReader(owner, i, t), nil
+}
+
+func columnReader(owner *evalEnv, i int, t *ColumnRef) compiledExpr {
+	return func() (Value, error) {
+		if i >= len(owner.row) {
+			return Null, fmt.Errorf("sql: internal: column %s out of range", t)
+		}
+		return owner.row[i], nil
+	}
+}
+
+func compileBinary(b *BinaryOp, env *evalEnv) (compiledExpr, error) {
+	l, err := compileExpr(b.Left, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compileExpr(b.Right, env)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Op {
+	case "AND":
+		return func() (Value, error) {
+			lv, err := l()
+			if err != nil {
+				return Null, err
+			}
+			if !lv.IsNull() && !lv.AsBool() {
+				return Bool(false), nil
+			}
+			rv, err := r()
+			if err != nil {
+				return Null, err
+			}
+			if !rv.IsNull() && !rv.AsBool() {
+				return Bool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null, nil
+			}
+			return Bool(true), nil
+		}, nil
+	case "OR":
+		return func() (Value, error) {
+			lv, err := l()
+			if err != nil {
+				return Null, err
+			}
+			if !lv.IsNull() && lv.AsBool() {
+				return Bool(true), nil
+			}
+			rv, err := r()
+			if err != nil {
+				return Null, err
+			}
+			if !rv.IsNull() && rv.AsBool() {
+				return Bool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null, nil
+			}
+			return Bool(false), nil
+		}, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		var test func(int) bool
+		switch b.Op {
+		case "=":
+			test = func(c int) bool { return c == 0 }
+		case "!=":
+			test = func(c int) bool { return c != 0 }
+		case "<":
+			test = func(c int) bool { return c < 0 }
+		case "<=":
+			test = func(c int) bool { return c <= 0 }
+		case ">":
+			test = func(c int) bool { return c > 0 }
+		default:
+			test = func(c int) bool { return c >= 0 }
+		}
+		return func() (Value, error) {
+			lv, err := l()
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r()
+			if err != nil {
+				return Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null, nil
+			}
+			return Bool(test(lv.Compare(rv))), nil
+		}, nil
+	case "LIKE":
+		// A literal pattern (the common shape) is lowered once at plan time.
+		if lit, ok := b.Right.(*Literal); ok && lit.Val.Kind() == KindText {
+			pattern := strings.ToLower(lit.Val.AsText())
+			return func() (Value, error) {
+				lv, err := l()
+				if err != nil || lv.IsNull() {
+					return Null, err
+				}
+				return Bool(likeRec(pattern, strings.ToLower(lv.AsText()))), nil
+			}, nil
+		}
+		return func() (Value, error) {
+			lv, err := l()
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r()
+			if err != nil {
+				return Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null, nil
+			}
+			return Bool(likeMatch(rv.AsText(), lv.AsText())), nil
+		}, nil
+	case "||":
+		return func() (Value, error) {
+			lv, err := l()
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r()
+			if err != nil {
+				return Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null, nil
+			}
+			return Text(lv.AsText() + rv.AsText()), nil
+		}, nil
+	case "+", "-", "*", "/", "%":
+		op := b.Op
+		return func() (Value, error) {
+			lv, err := l()
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r()
+			if err != nil {
+				return Null, err
+			}
+			return evalArith(op, lv, rv)
+		}, nil
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q", b.Op)
+	}
+}
+
+func compileIn(in *InList, env *evalEnv) (compiledExpr, error) {
+	needle, err := compileExpr(in.Expr, env)
+	if err != nil {
+		return nil, err
+	}
+	not := in.Not
+	if in.Sub != nil {
+		sel := in.Sub
+		return func() (Value, error) {
+			nv, err := needle()
+			if err != nil || nv.IsNull() {
+				return Null, err
+			}
+			rows, _, err := execSubquery(sel, env)
+			if err != nil {
+				return Null, err
+			}
+			sawNull := false
+			for _, r := range rows {
+				if len(r) == 0 {
+					continue
+				}
+				if r[0].IsNull() {
+					sawNull = true
+					continue
+				}
+				if nv.Compare(r[0]) == 0 {
+					return Bool(!not), nil
+				}
+			}
+			if sawNull {
+				return Null, nil
+			}
+			return Bool(not), nil
+		}, nil
+	}
+	list := make([]compiledExpr, len(in.List))
+	for i, e := range in.List {
+		c, err := compileExpr(e, env)
+		if err != nil {
+			return nil, err
+		}
+		list[i] = c
+	}
+	return func() (Value, error) {
+		nv, err := needle()
+		if err != nil || nv.IsNull() {
+			return Null, err
+		}
+		sawNull := false
+		for _, c := range list {
+			hv, err := c()
+			if err != nil {
+				return Null, err
+			}
+			if hv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if nv.Compare(hv) == 0 {
+				return Bool(!not), nil
+			}
+		}
+		if sawNull {
+			return Null, nil
+		}
+		return Bool(not), nil
+	}, nil
+}
+
+func compileFunc(fc *FuncCall, env *evalEnv) (compiledExpr, error) {
+	if isAggregateName(fc.Name) {
+		return nil, fmt.Errorf("sql: misuse of aggregate function %s()", fc.Name)
+	}
+	var fn ScalarFunc
+	if env.db != nil {
+		fn = env.db.funcs.Lookup(fc.Name)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sql: no such function: %s", fc.Name)
+	}
+	cargs := make([]compiledExpr, len(fc.Args))
+	for i, a := range fc.Args {
+		c, err := compileExpr(a, env)
+		if err != nil {
+			return nil, err
+		}
+		cargs[i] = c
+	}
+	// Expression trees evaluate strictly sequentially within one execution,
+	// so a single argument buffer per call site is safe to reuse.
+	args := make([]Value, len(cargs))
+	return func() (Value, error) {
+		for i, c := range cargs {
+			v, err := c()
+			if err != nil {
+				return Null, err
+			}
+			args[i] = v
+		}
+		return fn(args)
+	}, nil
+}
+
+func compileCase(c *CaseExpr, env *evalEnv) (compiledExpr, error) {
+	type arm struct {
+		when compiledExpr
+		then compiledExpr
+	}
+	arms := make([]arm, len(c.Whens))
+	for i, w := range c.Whens {
+		cw, err := compileExpr(w.When, env)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := compileExpr(w.Then, env)
+		if err != nil {
+			return nil, err
+		}
+		arms[i] = arm{when: cw, then: ct}
+	}
+	var celse compiledExpr
+	if c.Else != nil {
+		var err error
+		celse, err = compileExpr(c.Else, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c.Operand != nil {
+		cop, err := compileExpr(c.Operand, env)
+		if err != nil {
+			return nil, err
+		}
+		return func() (Value, error) {
+			op, err := cop()
+			if err != nil {
+				return Null, err
+			}
+			for _, a := range arms {
+				wv, err := a.when()
+				if err != nil {
+					return Null, err
+				}
+				if !op.IsNull() && !wv.IsNull() && op.Compare(wv) == 0 {
+					return a.then()
+				}
+			}
+			if celse != nil {
+				return celse()
+			}
+			return Null, nil
+		}, nil
+	}
+	return func() (Value, error) {
+		for _, a := range arms {
+			wv, err := a.when()
+			if err != nil {
+				return Null, err
+			}
+			if !wv.IsNull() && wv.AsBool() {
+				return a.then()
+			}
+		}
+		if celse != nil {
+			return celse()
+		}
+		return Null, nil
+	}, nil
+}
+
+// compileOrderKey compiles one ORDER BY key against the output environment
+// (whose outer scope is the input-row environment). Integer literals are
+// 1-based output ordinals, as in SQLite.
+func compileOrderKey(e Expr, oenv *evalEnv, outWidth int) (compiledExpr, error) {
+	if lit, ok := e.(*Literal); ok && lit.Val.Kind() == KindInt {
+		i := int(lit.Val.AsInt())
+		if i < 1 || i > outWidth {
+			return nil, fmt.Errorf("sql: ORDER BY ordinal %d out of range", i)
+		}
+		return func() (Value, error) { return oenv.row[i-1], nil }, nil
+	}
+	return compileExpr(e, oenv)
+}

@@ -87,15 +87,14 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
-// Query parses and executes a SELECT statement, returning its rows.
+// Query executes a SELECT statement, returning its rows. Parses are served
+// from the database's LRU plan cache, so repeated queries skip the parser;
+// callers executing one statement many times can also hold a *Stmt from
+// Prepare.
 func (db *Database) Query(sql string, params ...any) (*Result, error) {
-	stmt, err := Parse(sql)
+	sel, err := db.plans.lookup(sql, "Query")
 	if err != nil {
 		return nil, err
-	}
-	sel, ok := stmt.(*SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("sql: Query requires a SELECT statement, got %T", stmt)
 	}
 	return db.QueryStmt(sel, params...)
 }
@@ -105,7 +104,7 @@ func (db *Database) QueryStmt(sel *SelectStmt, params ...any) (*Result, error) {
 	vals := bindParams(params)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	rows, cols, err := execSelect(sel, db, vals, nil)
+	rows, cols, err := execSelectTop(sel, db, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +154,7 @@ func (db *Database) execStmt(stmt Statement, params []Value) (int, error) {
 	switch t := stmt.(type) {
 	case *SelectStmt:
 		db.mu.RLock()
-		rows, _, err := execSelect(t, db, params, nil)
+		rows, _, err := execSelectTop(t, db, params)
 		db.mu.RUnlock()
 		return len(rows), err
 	case *CreateTableStmt:

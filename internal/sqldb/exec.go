@@ -6,9 +6,14 @@ import (
 	"strings"
 )
 
-// This file implements SELECT execution: a volcano-style iterator tree for
-// the FROM/WHERE stages (scans, index lookups, hash and nested-loop joins)
-// with materialisation at the aggregation, sort and distinct boundaries.
+// This file implements SELECT planning and execution: a volcano-style
+// iterator tree for the FROM/WHERE stages (scans, index lookups, hash,
+// index-nested-loop and nested-loop joins) with materialisation at the
+// aggregation, sort and distinct boundaries. Planning compiles every
+// expression into a closure (compile.go) and chooses access paths; the
+// per-row path then performs no name resolution, no map lookups by column
+// name, and no string formatting (row identities use the binary keys of
+// key.go with reused scratch buffers).
 
 // operator is a pull-based row iterator.
 type operator interface {
@@ -18,6 +23,32 @@ type operator interface {
 	// reset rewinds the operator so it can be iterated again (used by
 	// nested-loop joins).
 	reset()
+}
+
+// rowArena hands out output rows carved from larger blocks, amortising the
+// one-allocation-per-row cost of joins and projections. Rows escape into
+// results, so blocks are never reused; capacities are clamped so appends on
+// a handed-out row can never clobber a neighbour.
+type rowArena struct {
+	buf []Value
+}
+
+const rowArenaBlock = 1024
+
+func (a *rowArena) alloc(n int) Row {
+	if n == 0 {
+		return Row{}
+	}
+	if len(a.buf) < n {
+		size := rowArenaBlock
+		if n > size {
+			size = n
+		}
+		a.buf = make([]Value, size)
+	}
+	r := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return r
 }
 
 // ---------------------------------------------------------------------------
@@ -85,16 +116,18 @@ func (v *valuesOp) next() (Row, bool, error) {
 // filterOp passes through rows satisfying the predicate (NULL = drop).
 type filterOp struct {
 	child operator
-	pred  Expr
+	pred  Expr // retained for EXPLAIN
+	cpred compiledExpr
 	env   *evalEnv
 }
 
-func newFilterOp(child operator, pred Expr, db *Database, params []Value, outer *evalEnv) *filterOp {
-	return &filterOp{
-		child: child,
-		pred:  pred,
-		env:   newEvalEnv(child.columns(), db, params, outer),
+func newFilterOp(child operator, pred Expr, db *Database, params []Value, outer *evalEnv) (*filterOp, error) {
+	env := newEvalEnv(child.columns(), db, params, outer)
+	cpred, err := compileExpr(pred, env)
+	if err != nil {
+		return nil, err
 	}
+	return &filterOp{child: child, pred: pred, cpred: cpred, env: env}, nil
 }
 
 func (f *filterOp) columns() []colInfo { return f.child.columns() }
@@ -107,7 +140,7 @@ func (f *filterOp) next() (Row, bool, error) {
 			return nil, false, err
 		}
 		f.env.row = r
-		v, err := evalExpr(f.pred, f.env)
+		v, err := f.cpred()
 		if err != nil {
 			return nil, false, err
 		}
@@ -120,106 +153,97 @@ func (f *filterOp) next() (Row, bool, error) {
 // ---------------------------------------------------------------------------
 // Joins
 
-// hashJoinOp performs an equi-join: the right side is built into a hash
-// table keyed by rightKey; left rows probe it. A residual predicate (the
-// non-equi remainder of the ON clause) is applied to candidate pairs.
-// Supports inner and left joins.
-type hashJoinOp struct {
-	left      operator
-	rightCols []colInfo
-	cols      []colInfo
-	leftKey   Expr
-	rightKey  Expr // retained for EXPLAIN
-	rightRows map[string][]Row
-	residual  Expr
-	leftOuter bool
-	db        *Database
-	params    []Value
-	outer     *evalEnv
+// probeJoinCore is the probe loop shared by hash and index joins: stream
+// probe rows, evaluate and encode the key, fetch matches through the
+// owner's lookup/matchRow hooks, assemble output rows (the probe side
+// keeps its syntactic position), apply the residual predicate, and pad
+// unmatched LEFT-JOIN probe rows with NULLs.
+type probeJoinCore struct {
+	probe       operator
+	cols        []colInfo // output schema: left columns then right columns
+	probeIsLeft bool      // probe side is the syntactic left input
+	probeKey    compiledExpr
+	probeEnv    *evalEnv
+	residual    compiledExpr
+	pairEnv     *evalEnv
+	leftOuter   bool // only when probeIsLeft
+	arena       rowArena
+	keyBuf      []byte
 
-	leftEnv  *evalEnv
-	pairEnv  *evalEnv
-	cur      Row // current left row
-	matches  []Row
+	// lookup records the matches for an encoded key and returns their
+	// count; matchRow returns the i-th match of the latest lookup.
+	lookup   func(key []byte) int
+	matchRow func(i int) Row
+
+	cur      Row // current probe row
+	matches  int
 	matchPos int
 	emitted  bool // whether cur produced any output (for LEFT JOIN)
 	haveCur  bool
 }
 
-func newHashJoinOp(left operator, rightCols []colInfo, rightRows []Row,
-	leftKey, rightKey Expr, residual Expr, leftOuter bool,
-	db *Database, params []Value, outer *evalEnv) (*hashJoinOp, error) {
-
-	h := &hashJoinOp{
-		left:      left,
-		rightCols: rightCols,
-		cols:      append(append([]colInfo{}, left.columns()...), rightCols...),
-		leftKey:   leftKey,
-		rightKey:  rightKey,
-		residual:  residual,
-		leftOuter: leftOuter,
-		db:        db,
-		params:    params,
-		outer:     outer,
-		rightRows: make(map[string][]Row),
+// initProbeJoin fills the core's environments and compiles the key and
+// residual expressions. cols must already be set.
+func (c *probeJoinCore) initProbeJoin(probeKeyE, residual Expr,
+	db *Database, params []Value, outer *evalEnv) error {
+	var err error
+	c.probeEnv = newEvalEnv(c.probe.columns(), db, params, outer)
+	if c.probeKey, err = compileExpr(probeKeyE, c.probeEnv); err != nil {
+		return err
 	}
-	// Build phase.
-	rightEnv := newEvalEnv(rightCols, db, params, outer)
-	for _, r := range rightRows {
-		rightEnv.row = r
-		k, err := evalExpr(rightKey, rightEnv)
-		if err != nil {
-			return nil, err
+	c.pairEnv = newEvalEnv(c.cols, db, params, outer)
+	if residual != nil {
+		if c.residual, err = compileExpr(residual, c.pairEnv); err != nil {
+			return err
 		}
-		if k.IsNull() {
-			continue // NULL keys never join
-		}
-		h.rightRows[k.Key()] = append(h.rightRows[k.Key()], r)
 	}
-	h.leftEnv = newEvalEnv(left.columns(), db, params, outer)
-	h.pairEnv = newEvalEnv(h.cols, db, params, outer)
-	return h, nil
+	return nil
 }
 
-func (h *hashJoinOp) columns() []colInfo { return h.cols }
-func (h *hashJoinOp) reset() {
-	h.left.reset()
-	h.haveCur = false
-	h.matches = nil
-	h.matchPos = 0
+func (c *probeJoinCore) columns() []colInfo { return c.cols }
+func (c *probeJoinCore) reset() {
+	c.probe.reset()
+	c.haveCur = false
+	c.matches = 0
+	c.matchPos = 0
 }
 
-func (h *hashJoinOp) next() (Row, bool, error) {
+func (c *probeJoinCore) next() (Row, bool, error) {
 	for {
-		if !h.haveCur {
-			r, ok, err := h.left.next()
+		if !c.haveCur {
+			r, ok, err := c.probe.next()
 			if err != nil || !ok {
 				return nil, false, err
 			}
-			h.cur = r
-			h.haveCur = true
-			h.emitted = false
-			h.matchPos = 0
-			h.leftEnv.row = r
-			k, err := evalExpr(h.leftKey, h.leftEnv)
+			c.cur = r
+			c.haveCur = true
+			c.emitted = false
+			c.matchPos = 0
+			c.probeEnv.row = r
+			k, err := c.probeKey()
 			if err != nil {
 				return nil, false, err
 			}
-			if k.IsNull() {
-				h.matches = nil
-			} else {
-				h.matches = h.rightRows[k.Key()]
+			c.matches = 0
+			if !k.IsNull() { // NULL keys never join
+				c.keyBuf = appendValueKey(c.keyBuf[:0], k)
+				c.matches = c.lookup(c.keyBuf)
 			}
 		}
-		for h.matchPos < len(h.matches) {
-			rr := h.matches[h.matchPos]
-			h.matchPos++
-			out := make(Row, 0, len(h.cur)+len(rr))
-			out = append(out, h.cur...)
-			out = append(out, rr...)
-			if h.residual != nil {
-				h.pairEnv.row = out
-				v, err := evalExpr(h.residual, h.pairEnv)
+		for c.matchPos < c.matches {
+			rr := c.matchRow(c.matchPos)
+			c.matchPos++
+			out := c.arena.alloc(len(c.cols))
+			if c.probeIsLeft {
+				n := copy(out, c.cur)
+				copy(out[n:], rr)
+			} else {
+				n := copy(out, rr)
+				copy(out[n:], c.cur)
+			}
+			if c.residual != nil {
+				c.pairEnv.row = out
+				v, err := c.residual()
 				if err != nil {
 					return nil, false, err
 				}
@@ -227,21 +251,150 @@ func (h *hashJoinOp) next() (Row, bool, error) {
 					continue
 				}
 			}
-			h.emitted = true
+			c.emitted = true
 			return out, true, nil
 		}
-		// Left row exhausted its matches.
-		if h.leftOuter && !h.emitted {
-			h.haveCur = false
-			out := make(Row, 0, len(h.cols))
-			out = append(out, h.cur...)
-			for range h.rightCols {
-				out = append(out, Null)
+		// Probe row exhausted its matches.
+		if c.leftOuter && !c.emitted {
+			c.haveCur = false
+			out := c.arena.alloc(len(c.cols))
+			n := copy(out, c.cur)
+			for i := n; i < len(out); i++ {
+				out[i] = Null
 			}
 			return out, true, nil
 		}
-		h.haveCur = false
+		c.haveCur = false
 	}
+}
+
+// hashJoinOp performs an equi-join: the build side is hashed on its key
+// (binary encoding, exact int64 identity); probe rows stream past it. The
+// planner picks the smaller input as the build side for inner joins when
+// reordering is safe; LEFT JOIN always builds the right input so unmatched
+// left rows can be emitted in order. A residual predicate (the non-equi
+// remainder of the ON clause) is applied to candidate pairs.
+type hashJoinOp struct {
+	probeJoinCore
+	buildCols   []colInfo
+	buildIsLeft bool // build side is the syntactic left input
+	leftKey     Expr // retained for EXPLAIN
+	rightKey    Expr // retained for EXPLAIN
+	residualE   Expr // retained for EXPLAIN
+	buckets     [][]Row
+	keyIndex    map[string]int
+	curBucket   []Row
+}
+
+func newHashJoinOp(probe operator, buildCols []colInfo, buildRows []Row,
+	probeKeyE, buildKeyE Expr, leftKey, rightKey Expr, residual Expr,
+	buildIsLeft, leftOuter bool,
+	db *Database, params []Value, outer *evalEnv) (*hashJoinOp, error) {
+
+	var cols []colInfo
+	if buildIsLeft {
+		cols = append(append([]colInfo{}, buildCols...), probe.columns()...)
+	} else {
+		cols = append(append([]colInfo{}, probe.columns()...), buildCols...)
+	}
+	h := &hashJoinOp{
+		buildCols:   buildCols,
+		buildIsLeft: buildIsLeft,
+		leftKey:     leftKey,
+		rightKey:    rightKey,
+		residualE:   residual,
+		keyIndex:    make(map[string]int),
+	}
+	h.probe = probe
+	h.cols = cols
+	h.probeIsLeft = !buildIsLeft
+	h.leftOuter = leftOuter
+	h.lookup = func(key []byte) int {
+		if i, ok := h.keyIndex[string(key)]; ok {
+			h.curBucket = h.buckets[i]
+			return len(h.curBucket)
+		}
+		h.curBucket = nil
+		return 0
+	}
+	h.matchRow = func(i int) Row { return h.curBucket[i] }
+
+	// Build phase.
+	buildEnv := newEvalEnv(buildCols, db, params, outer)
+	buildKey, err := compileExpr(buildKeyE, buildEnv)
+	if err != nil {
+		return nil, err
+	}
+	var kb []byte
+	for _, r := range buildRows {
+		buildEnv.row = r
+		k, err := buildKey()
+		if err != nil {
+			return nil, err
+		}
+		if k.IsNull() {
+			continue // NULL keys never join
+		}
+		kb = appendValueKey(kb[:0], k)
+		i, ok := h.keyIndex[string(kb)]
+		if !ok {
+			i = len(h.buckets)
+			h.buckets = append(h.buckets, nil)
+			h.keyIndex[string(kb)] = i // allocates once per distinct key
+		}
+		h.buckets[i] = append(h.buckets[i], r)
+	}
+	if err := h.initProbeJoin(probeKeyE, residual, db, params, outer); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// indexJoinOp performs an equi-join by probing an equality index on a base
+// table: for each probe row the key expression is evaluated, encoded, and
+// looked up directly in the index — no build phase at all.
+type indexJoinOp struct {
+	probeJoinCore
+	table     *Table
+	idx       *Index
+	idxCols   []colInfo
+	probeKeyE Expr // retained for EXPLAIN
+	idxKeyE   Expr // retained for EXPLAIN
+	residualE Expr // retained for EXPLAIN
+	curIDs    []int
+}
+
+func newIndexJoinOp(probe operator, table *Table, idx *Index, idxCols []colInfo,
+	probeKeyE, idxKeyE Expr, residual Expr, probeIsLeft, leftOuter bool,
+	db *Database, params []Value, outer *evalEnv) (*indexJoinOp, error) {
+
+	var cols []colInfo
+	if probeIsLeft {
+		cols = append(append([]colInfo{}, probe.columns()...), idxCols...)
+	} else {
+		cols = append(append([]colInfo{}, idxCols...), probe.columns()...)
+	}
+	j := &indexJoinOp{
+		table:     table,
+		idx:       idx,
+		idxCols:   idxCols,
+		probeKeyE: probeKeyE,
+		idxKeyE:   idxKeyE,
+		residualE: residual,
+	}
+	j.probe = probe
+	j.cols = cols
+	j.probeIsLeft = probeIsLeft
+	j.leftOuter = leftOuter
+	j.lookup = func(key []byte) int {
+		j.curIDs = j.idx.m[string(key)]
+		return len(j.curIDs)
+	}
+	j.matchRow = func(i int) Row { return j.table.rows[j.curIDs[i]] }
+	if err := j.initProbeJoin(probeKeyE, residual, db, params, outer); err != nil {
+		return nil, err
+	}
+	return j, nil
 }
 
 // nestedLoopJoinOp is the fallback join for non-equi ON conditions and
@@ -251,9 +404,11 @@ type nestedLoopJoinOp struct {
 	rightCols []colInfo
 	rightRows []Row
 	cols      []colInfo
-	on        Expr // nil for CROSS
+	on        Expr // retained for EXPLAIN; nil for CROSS
+	con       compiledExpr
 	leftOuter bool
 	env       *evalEnv
+	arena     rowArena
 
 	cur      Row
 	haveCur  bool
@@ -262,9 +417,9 @@ type nestedLoopJoinOp struct {
 }
 
 func newNestedLoopJoinOp(left operator, rightCols []colInfo, rightRows []Row,
-	on Expr, leftOuter bool, db *Database, params []Value, outer *evalEnv) *nestedLoopJoinOp {
+	on Expr, leftOuter bool, db *Database, params []Value, outer *evalEnv) (*nestedLoopJoinOp, error) {
 	cols := append(append([]colInfo{}, left.columns()...), rightCols...)
-	return &nestedLoopJoinOp{
+	n := &nestedLoopJoinOp{
 		left:      left,
 		rightCols: rightCols,
 		rightRows: rightRows,
@@ -273,6 +428,13 @@ func newNestedLoopJoinOp(left operator, rightCols []colInfo, rightRows []Row,
 		leftOuter: leftOuter,
 		env:       newEvalEnv(cols, db, params, outer),
 	}
+	if on != nil {
+		var err error
+		if n.con, err = compileExpr(on, n.env); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
 }
 
 func (n *nestedLoopJoinOp) columns() []colInfo { return n.cols }
@@ -297,12 +459,12 @@ func (n *nestedLoopJoinOp) next() (Row, bool, error) {
 		for n.rightPos < len(n.rightRows) {
 			rr := n.rightRows[n.rightPos]
 			n.rightPos++
-			out := make(Row, 0, len(n.cols))
-			out = append(out, n.cur...)
-			out = append(out, rr...)
-			if n.on != nil {
+			out := n.arena.alloc(len(n.cols))
+			c := copy(out, n.cur)
+			copy(out[c:], rr)
+			if n.con != nil {
 				n.env.row = out
-				v, err := evalExpr(n.on, n.env)
+				v, err := n.con()
 				if err != nil {
 					return nil, false, err
 				}
@@ -315,10 +477,10 @@ func (n *nestedLoopJoinOp) next() (Row, bool, error) {
 		}
 		if n.leftOuter && !n.emitted {
 			n.haveCur = false
-			out := make(Row, 0, len(n.cols))
-			out = append(out, n.cur...)
-			for range n.rightCols {
-				out = append(out, Null)
+			out := n.arena.alloc(len(n.cols))
+			c := copy(out, n.cur)
+			for i := c; i < len(out); i++ {
+				out[i] = Null
 			}
 			return out, true, nil
 		}
@@ -335,14 +497,32 @@ func execSubquery(stmt *SelectStmt, outer *evalEnv) ([]Row, []colInfo, error) {
 	return execSelect(stmt, outer.db, outer.params, outer)
 }
 
-// execSelect runs a SELECT and materialises its result.
+// execSelect plans and runs a nested or subsidiary SELECT, materialising
+// its result. Join reordering stays off: the caller may truncate the
+// result (a scalar subquery keeps one row, a derived table may feed an
+// outer LIMIT), which would make plan choice observable under tied or
+// absent orderings.
 func execSelect(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv) ([]Row, []colInfo, error) {
-	src, where, err := buildFrom(stmt, db, params, outer)
+	return execSelectOpts(stmt, db, params, outer, false)
+}
+
+// execSelectTop runs a top-level SELECT, where the whole result reaches
+// the caller and order-changing join plans are safe under an ORDER BY.
+func execSelectTop(stmt *SelectStmt, db *Database, params []Value) ([]Row, []colInfo, error) {
+	return execSelectOpts(stmt, db, params, nil, true)
+}
+
+func execSelectOpts(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, topLevel bool) ([]Row, []colInfo, error) {
+	src, where, err := buildFrom(stmt, db, params, outer, topLevel)
 	if err != nil {
 		return nil, nil, err
 	}
 	if where != nil {
-		src = newFilterOp(src, where, db, params, outer)
+		f, err := newFilterOp(src, where, db, params, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		src = f
 	}
 
 	aggregate := len(stmt.GroupBy) > 0
@@ -363,20 +543,136 @@ func execSelect(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv) 
 		return nil, nil, err
 	}
 
-	type projRow struct {
-		out Row
-		env *evalEnv // row environment for ORDER BY over non-projected columns
-	}
-	var projected []projRow
-
-	if aggregate {
-		groups, err := runAggregation(stmt, items, src, db, params, outer)
+	// LIMIT / OFFSET are constant expressions; fold them up front so the
+	// non-sorting path can stop pulling rows early.
+	start, limit := 0, -1
+	if stmt.Offset != nil {
+		ov, err := evalConst(stmt.Offset, db, params)
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, genv := range groups {
-			if stmt.Having != nil {
-				hv, err := evalExpr(stmt.Having, genv)
+		if start = int(ov.AsInt()); start < 0 {
+			start = 0
+		}
+	}
+	if stmt.Limit != nil {
+		lv, err := evalConst(stmt.Limit, db, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		limit = int(lv.AsInt())
+	}
+
+	// env is the row environment the projection (and HAVING, and the input
+	// side of ORDER BY) evaluates in. Under aggregation its row is the
+	// group's representative row and env.agg carries the group context.
+	env := newEvalEnv(src.columns(), db, params, outer)
+
+	hasOrder := len(stmt.OrderBy) > 0
+	var oenv *evalEnv
+	var orderKeys []compiledExpr
+	compileOrder := func() error {
+		if !hasOrder {
+			return nil
+		}
+		// ORDER BY resolves output aliases first, then input columns.
+		oenv = newEvalEnv(outCols, db, params, env)
+		oenv.agg = env.agg
+		orderKeys = make([]compiledExpr, len(stmt.OrderBy))
+		for i, ob := range stmt.OrderBy {
+			k, err := compileOrderKey(ob.Expr, oenv, len(outCols))
+			if err != nil {
+				return err
+			}
+			orderKeys[i] = k
+		}
+		return nil
+	}
+
+	type projRow struct {
+		out  Row
+		keys []Value // eagerly evaluated ORDER BY keys (nil without ORDER BY)
+	}
+	var projected []projRow
+	var arena rowArena
+
+	// projectCurrent evaluates the select items (and ORDER BY keys) for the
+	// row/group currently loaded into env.
+	var citems []compiledExpr
+	projectCurrent := func() (projRow, error) {
+		out := arena.alloc(len(citems))
+		for i, c := range citems {
+			v, err := c()
+			if err != nil {
+				return projRow{}, err
+			}
+			out[i] = v
+		}
+		pr := projRow{out: out}
+		if hasOrder {
+			oenv.row = out
+			pr.keys = make([]Value, len(orderKeys))
+			for i, k := range orderKeys {
+				v, err := k()
+				if err != nil {
+					return projRow{}, err
+				}
+				pr.keys[i] = v
+			}
+		}
+		return pr, nil
+	}
+
+	if aggregate {
+		// Collect the aggregate calls the query references anywhere.
+		var aggs []*FuncCall
+		for _, it := range items {
+			aggs = collectAggregates(it.Expr, aggs)
+		}
+		if stmt.Having != nil {
+			aggs = collectAggregates(stmt.Having, aggs)
+		}
+		for _, ob := range stmt.OrderBy {
+			aggs = collectAggregates(ob.Expr, aggs)
+		}
+		groupStrs := make([]string, len(stmt.GroupBy))
+		for i, g := range stmt.GroupBy {
+			groupStrs[i] = g.String()
+		}
+		ctx := &aggCtx{groupStrs: groupStrs, aggs: aggs}
+		env.agg = ctx
+
+		groups, err := runAggregation(stmt, src, aggs, db, params, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		citems = make([]compiledExpr, len(items))
+		for i, it := range items {
+			if citems[i], err = compileExpr(it.Expr, env); err != nil {
+				return nil, nil, err
+			}
+		}
+		var having compiledExpr
+		if stmt.Having != nil {
+			if having, err = compileExpr(stmt.Having, env); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := compileOrder(); err != nil {
+			return nil, nil, err
+		}
+
+		aggVals := make([]Value, len(aggs))
+		for _, g := range groups {
+			env.row = g.repRow
+			ctx.groupKeys = g.keys
+			for i, st := range g.states {
+				aggVals[i] = st.result()
+			}
+			ctx.aggVals = aggVals
+			if having != nil {
+				hv, err := having()
 				if err != nil {
 					return nil, nil, err
 				}
@@ -384,18 +680,28 @@ func execSelect(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv) 
 					continue
 				}
 			}
-			out := make(Row, len(items))
-			for i, it := range items {
-				v, err := evalExpr(it.Expr, genv)
-				if err != nil {
-					return nil, nil, err
-				}
-				out[i] = v
+			pr, err := projectCurrent()
+			if err != nil {
+				return nil, nil, err
 			}
-			projected = append(projected, projRow{out: out, env: genv})
+			projected = append(projected, pr)
 		}
 	} else {
-		base := newEvalEnv(src.columns(), db, params, outer)
+		citems = make([]compiledExpr, len(items))
+		for i, it := range items {
+			if citems[i], err = compileExpr(it.Expr, env); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := compileOrder(); err != nil {
+			return nil, nil, err
+		}
+		// Without sorting or dedup the plan can stop as soon as the
+		// LIMIT/OFFSET window is filled.
+		stopAt := -1
+		if limit >= 0 && !hasOrder && !stmt.Distinct {
+			stopAt = start + limit
+		}
 		for {
 			r, ok, err := src.next()
 			if err != nil {
@@ -404,66 +710,37 @@ func execSelect(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv) 
 			if !ok {
 				break
 			}
-			// Each row needs its own env snapshot for deferred ORDER BY.
-			env := &evalEnv{
-				cols: base.cols, lookup: base.lookup, row: r,
-				params: params, db: db, outer: outer,
+			env.row = r
+			pr, err := projectCurrent()
+			if err != nil {
+				return nil, nil, err
 			}
-			out := make(Row, len(items))
-			for i, it := range items {
-				v, err := evalExpr(it.Expr, env)
-				if err != nil {
-					return nil, nil, err
-				}
-				out[i] = v
+			projected = append(projected, pr)
+			if stopAt >= 0 && len(projected) >= stopAt {
+				break
 			}
-			projected = append(projected, projRow{out: out, env: env})
 		}
 	}
 
 	if stmt.Distinct {
 		seen := make(map[string]bool, len(projected))
 		kept := projected[:0]
+		var kb []byte
 		for _, pr := range projected {
-			k := rowKey(pr.out)
-			if seen[k] {
+			kb = appendRowKey(kb[:0], pr.out)
+			if seen[string(kb)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(kb)] = true
 			kept = append(kept, pr)
 		}
 		projected = kept
 	}
 
-	if len(stmt.OrderBy) > 0 {
-		type keyed struct {
-			pr   projRow
-			keys []Value
-		}
-		keyedRows := make([]keyed, len(projected))
-		for i, pr := range projected {
-			// ORDER BY resolves output aliases first, then input columns.
-			oenv := &evalEnv{
-				cols: outCols, lookup: buildLookup(outCols), row: pr.out,
-				params: params, db: db, outer: pr.env,
-			}
-			if pr.env != nil {
-				oenv.aggVals = pr.env.aggVals
-				oenv.groupVals = pr.env.groupVals
-			}
-			keys := make([]Value, len(stmt.OrderBy))
+	if hasOrder {
+		sort.SliceStable(projected, func(a, b int) bool {
 			for j, ob := range stmt.OrderBy {
-				k, err := evalOrderKey(ob.Expr, oenv, pr.out)
-				if err != nil {
-					return nil, nil, err
-				}
-				keys[j] = k
-			}
-			keyedRows[i] = keyed{pr: pr, keys: keys}
-		}
-		sort.SliceStable(keyedRows, func(a, b int) bool {
-			for j, ob := range stmt.OrderBy {
-				c := keyedRows[a].keys[j].Compare(keyedRows[b].keys[j])
+				c := projected[a].keys[j].Compare(projected[b].keys[j])
 				if c != 0 {
 					if ob.Desc {
 						return c > 0
@@ -473,35 +750,15 @@ func execSelect(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv) 
 			}
 			return false
 		})
-		for i := range keyedRows {
-			projected[i] = keyedRows[i].pr
-		}
 	}
 
-	// LIMIT / OFFSET.
-	start, end := 0, len(projected)
-	if stmt.Offset != nil {
-		ov, err := evalConst(stmt.Offset, db, params)
-		if err != nil {
-			return nil, nil, err
-		}
-		start = int(ov.AsInt())
-		if start < 0 {
-			start = 0
-		}
-		if start > end {
-			start = end
-		}
+	// Apply the LIMIT/OFFSET window.
+	end := len(projected)
+	if start > end {
+		start = end
 	}
-	if stmt.Limit != nil {
-		lv, err := evalConst(stmt.Limit, db, params)
-		if err != nil {
-			return nil, nil, err
-		}
-		n := int(lv.AsInt())
-		if n >= 0 && start+n < end {
-			end = start + n
-		}
+	if limit >= 0 && start+limit < end {
+		end = start + limit
 	}
 
 	rows := make([]Row, 0, end-start)
@@ -511,20 +768,6 @@ func execSelect(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv) 
 	return rows, outCols, nil
 }
 
-// evalOrderKey evaluates an ORDER BY key: integer literals are 1-based
-// output ordinals (SQLite), everything else is an expression over the
-// combined output+input environment.
-func evalOrderKey(e Expr, env *evalEnv, out Row) (Value, error) {
-	if lit, ok := e.(*Literal); ok && lit.Val.Kind() == KindInt {
-		i := int(lit.Val.AsInt())
-		if i < 1 || i > len(out) {
-			return Null, fmt.Errorf("sql: ORDER BY ordinal %d out of range", i)
-		}
-		return out[i-1], nil
-	}
-	return evalExpr(e, env)
-}
-
 // evalConst evaluates an expression that must not reference any columns
 // (LIMIT/OFFSET operands).
 func evalConst(e Expr, db *Database, params []Value) (Value, error) {
@@ -532,26 +775,17 @@ func evalConst(e Expr, db *Database, params []Value) (Value, error) {
 	return evalExpr(e, env)
 }
 
-// rowKey builds a hashable identity for a row (used by DISTINCT, GROUP BY).
-func rowKey(r Row) string {
-	var b strings.Builder
-	for _, v := range r {
-		b.WriteString(v.Key())
-		b.WriteByte('\x1f')
-	}
-	return b.String()
-}
-
 // expandItems resolves `*` and `tbl.*` select items against the input
-// schema and derives output column names.
+// schema and derives output column names. Expanded references are stamped
+// with their input ordinal so compilation skips name resolution.
 func expandItems(items []SelectItem, in []colInfo) ([]SelectItem, []colInfo, error) {
 	var out []SelectItem
 	for _, it := range items {
 		if st, ok := it.Expr.(*Star); ok {
 			matched := false
-			for _, c := range in {
+			for i, c := range in {
 				if st.Table == "" || strings.EqualFold(st.Table, c.qual) {
-					out = append(out, SelectItem{Expr: &ColumnRef{Table: c.qual, Column: c.name, index: -1}})
+					out = append(out, SelectItem{Expr: &ColumnRef{Table: c.qual, Column: c.name, index: i}})
 					matched = true
 				}
 			}
@@ -578,33 +812,59 @@ func expandItems(items []SelectItem, in []colInfo) ([]SelectItem, []colInfo, err
 	return out, cols, nil
 }
 
-// runAggregation materialises the child, groups rows, accumulates every
-// aggregate referenced by the query, and returns one environment per group.
-func runAggregation(stmt *SelectStmt, items []SelectItem, src operator,
-	db *Database, params []Value, outer *evalEnv) ([]*evalEnv, error) {
+// aggGroup is one GROUP BY partition: its key values, its accumulator
+// states (one per collected aggregate), and a representative input row for
+// non-grouped column references.
+type aggGroup struct {
+	keys   []Value
+	states []aggState
+	repRow Row
+}
 
-	// Collect the aggregate calls the query references anywhere.
-	var aggs []*FuncCall
-	for _, it := range items {
-		aggs = collectAggregates(it.Expr, aggs)
-	}
-	if stmt.Having != nil {
-		aggs = collectAggregates(stmt.Having, aggs)
-	}
-	for _, ob := range stmt.OrderBy {
-		aggs = collectAggregates(ob.Expr, aggs)
-	}
-
-	type group struct {
-		keyVals []Value
-		states  []aggState
-		repRow  Row
-		n       int
-	}
-	groups := make(map[string]*group)
-	var order []string // insertion order for determinism
+// runAggregation materialises the child, partitions rows by the binary
+// encoding of their GROUP BY keys, and accumulates every aggregate the
+// query references. Groups come back in first-seen order.
+func runAggregation(stmt *SelectStmt, src operator, aggs []*FuncCall,
+	db *Database, params []Value, outer *evalEnv) ([]*aggGroup, error) {
 
 	env := newEvalEnv(src.columns(), db, params, outer)
+	groupExprs := make([]compiledExpr, len(stmt.GroupBy))
+	for i, ge := range stmt.GroupBy {
+		c, err := compileExpr(ge, env)
+		if err != nil {
+			return nil, err
+		}
+		groupExprs[i] = c
+	}
+	// Compile each aggregate's argument once; COUNT(*) needs none.
+	argExprs := make([]compiledExpr, len(aggs))
+	for i, fc := range aggs {
+		if fc.Star || len(fc.Args) == 0 {
+			continue
+		}
+		c, err := compileExpr(fc.Args[0], env)
+		if err != nil {
+			return nil, err
+		}
+		argExprs[i] = c
+	}
+
+	newStates := func() ([]aggState, error) {
+		states := make([]aggState, len(aggs))
+		for i, fc := range aggs {
+			st, err := newAggState(fc)
+			if err != nil {
+				return nil, err
+			}
+			states[i] = st
+		}
+		return states, nil
+	}
+
+	index := make(map[string]int)
+	var groups []*aggGroup
+	keyVals := make([]Value, len(stmt.GroupBy)) // reused per row
+	var kb []byte
 	for {
 		r, ok, err := src.next()
 		if err != nil {
@@ -614,39 +874,40 @@ func runAggregation(stmt *SelectStmt, items []SelectItem, src operator,
 			break
 		}
 		env.row = r
-		keyVals := make([]Value, len(stmt.GroupBy))
-		for i, ge := range stmt.GroupBy {
-			v, err := evalExpr(ge, env)
+		kb = kb[:0]
+		for i, ge := range groupExprs {
+			v, err := ge()
 			if err != nil {
 				return nil, err
 			}
 			keyVals[i] = v
+			kb = appendValueKey(kb, v)
 		}
-		k := rowKey(keyVals)
-		g, ok := groups[k]
+		gi, ok := index[string(kb)]
 		if !ok {
-			g = &group{keyVals: keyVals, repRow: r.Clone()}
-			g.states = make([]aggState, len(aggs))
-			for i, fc := range aggs {
-				st, err := newAggState(fc)
-				if err != nil {
-					return nil, err
-				}
-				g.states[i] = st
+			states, err := newStates()
+			if err != nil {
+				return nil, err
 			}
-			groups[k] = g
-			order = append(order, k)
+			g := &aggGroup{
+				keys:   append([]Value{}, keyVals...),
+				states: states,
+				repRow: r.Clone(),
+			}
+			gi = len(groups)
+			groups = append(groups, g)
+			index[string(kb)] = gi // allocates once per distinct group
 		}
-		g.n++
+		g := groups[gi]
 		for i, fc := range aggs {
 			if fc.Star {
 				g.states[i].add(Int(1))
 				continue
 			}
-			if len(fc.Args) == 0 {
+			if argExprs[i] == nil {
 				continue
 			}
-			v, err := evalExpr(fc.Args[0], env)
+			v, err := argExprs[i]()
 			if err != nil {
 				return nil, err
 			}
@@ -656,48 +917,66 @@ func runAggregation(stmt *SelectStmt, items []SelectItem, src operator,
 
 	// A query with aggregates but no GROUP BY always yields one group,
 	// even over empty input.
-	if len(stmt.GroupBy) == 0 && len(order) == 0 {
-		g := &group{repRow: make(Row, len(src.columns()))}
-		for i := range g.repRow {
-			g.repRow[i] = Null
+	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
+		states, err := newStates()
+		if err != nil {
+			return nil, err
 		}
-		g.states = make([]aggState, len(aggs))
-		for i, fc := range aggs {
-			st, err := newAggState(fc)
-			if err != nil {
-				return nil, err
-			}
-			g.states[i] = st
+		repRow := make(Row, len(src.columns()))
+		for i := range repRow {
+			repRow[i] = Null
 		}
-		groups["\x00empty"] = g
-		order = append(order, "\x00empty")
+		groups = append(groups, &aggGroup{states: states, repRow: repRow})
 	}
-
-	out := make([]*evalEnv, 0, len(order))
-	for _, k := range order {
-		g := groups[k]
-		genv := newEvalEnv(src.columns(), db, params, outer)
-		genv.row = g.repRow
-		genv.aggVals = make(map[*FuncCall]Value, len(aggs))
-		for i, fc := range aggs {
-			genv.aggVals[fc] = g.states[i].result()
-		}
-		genv.groupVals = make(map[string]Value, len(stmt.GroupBy))
-		for i, ge := range stmt.GroupBy {
-			genv.groupVals[ge.String()] = g.keyVals[i]
-		}
-		out = append(out, genv)
-	}
-	return out, nil
+	return groups, nil
 }
 
 // ---------------------------------------------------------------------------
-// FROM construction and simple planning
+// FROM construction and join planning
+
+// estimateRows returns the number of rows an operator will produce, or an
+// upper bound for filters, or -1 when unknown. Used to pick hash-join
+// build sides.
+func estimateRows(op operator) int {
+	switch t := op.(type) {
+	case *scanOp:
+		if t.ids != nil {
+			return len(t.ids)
+		}
+		return len(t.table.rows)
+	case *valuesOp:
+		return len(t.rows)
+	case *filterOp:
+		return estimateRows(t.child)
+	default:
+		return -1
+	}
+}
+
+// indexForJoinKey returns the table's equality index covering key, when key
+// is a bare reference to a column of the scanned table.
+func indexForJoinKey(sc *scanOp, key Expr) *Index {
+	cr, ok := key.(*ColumnRef)
+	if !ok {
+		return nil
+	}
+	if cr.Table != "" && !strings.EqualFold(cr.Table, sc.qual) {
+		return nil
+	}
+	return sc.table.indexes[strings.ToLower(cr.Column)]
+}
 
 // buildFrom constructs the operator tree for the FROM clause (including
 // joins) and returns the possibly simplified WHERE predicate (index-served
 // conjuncts are removed).
-func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv) (operator, Expr, error) {
+//
+// Equi-joins are planned in preference order: index-nested-loop when an
+// equality index covers the inner side's key (no build phase at all), then
+// hash join with the smaller input as the build side, then hash join with
+// the right side built. Plans that change output row order (streaming the
+// right input) are only chosen when the statement imposes an ORDER BY.
+// Non-equi and CROSS joins fall back to nested loops.
+func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, topLevel bool) (operator, Expr, error) {
 	if stmt.From == nil {
 		// SELECT without FROM: a single empty row.
 		return &valuesOp{cols: nil, rows: []Row{{}}}, stmt.Where, nil
@@ -716,32 +995,110 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv) (
 		}
 	}
 
+	// Reordering the stream side changes join emission order, which is
+	// observable without an ORDER BY — and even with one, tied sort keys
+	// preserve emission order, so any truncation of the result (LIMIT or
+	// OFFSET, a scalar subquery's single row, a derived table feeding an
+	// outer LIMIT) would change which rows are returned, not just their
+	// arrangement. Only reorder for a top-level statement whose sorted,
+	// untruncated result reaches the caller (tie order within equal keys
+	// may still differ, which SQL leaves unspecified).
+	allowReorder := topLevel && len(stmt.OrderBy) > 0 && stmt.Limit == nil && stmt.Offset == nil
+
 	for _, jc := range stmt.Joins {
 		rightOp, err := buildTableRef(jc.Table, db, params, outer)
 		if err != nil {
 			return nil, nil, err
 		}
 		rightCols := rightOp.columns()
+		if jc.Kind == JoinCross {
+			rightRows, err := drain(rightOp)
+			if err != nil {
+				return nil, nil, err
+			}
+			nl, err := newNestedLoopJoinOp(left, rightCols, rightRows, nil, false, db, params, outer)
+			if err != nil {
+				return nil, nil, err
+			}
+			left = nl
+			continue
+		}
+		leftOuter := jc.Kind == JoinLeft
+		leftKey, rightKey, residual := splitEquiJoin(jc.On, left.columns(), rightCols)
+		if leftKey == nil {
+			rightRows, err := drain(rightOp)
+			if err != nil {
+				return nil, nil, err
+			}
+			nl, err := newNestedLoopJoinOp(left, rightCols, rightRows, jc.On, leftOuter, db, params, outer)
+			if err != nil {
+				return nil, nil, err
+			}
+			left = nl
+			continue
+		}
+
+		// Index-nested-loop: the right side is an unfiltered base table
+		// whose join column has an equality index.
+		if rsc, ok := rightOp.(*scanOp); ok && rsc.ids == nil {
+			if idx := indexForJoinKey(rsc, rightKey); idx != nil {
+				ij, err := newIndexJoinOp(left, rsc.table, idx, rightCols,
+					leftKey, rightKey, residual, true, leftOuter, db, params, outer)
+				if err != nil {
+					return nil, nil, err
+				}
+				left = ij
+				continue
+			}
+		}
+		// Flipped index-nested-loop: the accumulated left side is an
+		// indexed base table; stream the right input against it. Inner
+		// joins only (unmatched-left tracking needs a left probe).
+		if allowReorder && !leftOuter {
+			if lsc, ok := left.(*scanOp); ok && lsc.ids == nil {
+				if idx := indexForJoinKey(lsc, leftKey); idx != nil {
+					ij, err := newIndexJoinOp(rightOp, lsc.table, idx, left.columns(),
+						rightKey, leftKey, residual, false, false, db, params, outer)
+					if err != nil {
+						return nil, nil, err
+					}
+					left = ij
+					continue
+				}
+			}
+		}
+
 		rightRows, err := drain(rightOp)
 		if err != nil {
 			return nil, nil, err
 		}
-		if jc.Kind == JoinCross {
-			left = newNestedLoopJoinOp(left, rightCols, rightRows, nil, false, db, params, outer)
-			continue
+		// Hash join: build the smaller input when reordering is safe.
+		buildLeft := false
+		if allowReorder && !leftOuter {
+			if le := estimateRows(left); le >= 0 && le < len(rightRows) {
+				buildLeft = true
+			}
 		}
-		leftKey, rightKey, residual := splitEquiJoin(jc.On, left.columns(), rightCols)
-		if leftKey != nil {
-			h, err := newHashJoinOp(left, rightCols, rightRows, leftKey, rightKey,
-				residual, jc.Kind == JoinLeft, db, params, outer)
+		var h *hashJoinOp
+		if buildLeft {
+			leftRows, err := drain(left)
 			if err != nil {
 				return nil, nil, err
 			}
-			left = h
+			probe := &valuesOp{cols: rightCols, rows: rightRows}
+			h, err = newHashJoinOp(probe, left.columns(), leftRows,
+				rightKey, leftKey, leftKey, rightKey, residual, true, false, db, params, outer)
+			if err != nil {
+				return nil, nil, err
+			}
 		} else {
-			left = newNestedLoopJoinOp(left, rightCols, rightRows, jc.On,
-				jc.Kind == JoinLeft, db, params, outer)
+			h, err = newHashJoinOp(left, rightCols, rightRows,
+				leftKey, rightKey, leftKey, rightKey, residual, false, leftOuter, db, params, outer)
+			if err != nil {
+				return nil, nil, err
+			}
 		}
+		left = h
 	}
 	return left, where, nil
 }

@@ -23,7 +23,9 @@ func (db *Database) Explain(sql string, params ...any) ([]string, error) {
 	vals := bindParams(params)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	src, where, err := buildFrom(sel, db, vals, nil)
+	// topLevel mirrors Query's planning so EXPLAIN shows the plan that
+	// would actually run.
+	src, where, err := buildFrom(sel, db, vals, nil, true)
 	if err != nil {
 		return nil, err
 	}
@@ -95,10 +97,23 @@ func describeOperator(op operator, depth int, emit func(int, string, ...any)) {
 		emit(depth, "filter %s", t.pred.String())
 		describeOperator(t.child, depth+1, emit)
 	case *hashJoinOp:
-		emit(depth, "hash join on %s = %s (%d build key(s))%s",
-			t.leftKey.String(), describeKeys(t), len(t.rightRows), residualNote(t.residual))
-		describeOperator(t.left, depth+1, emit)
-		emit(depth+1, "build side: %d column(s)", len(t.rightCols))
+		side := "right"
+		if t.buildIsLeft {
+			side = "left"
+		}
+		emit(depth, "hash join on %s = %s (build %s: %d key(s))%s",
+			t.leftKey.String(), t.rightKey.String(), side, len(t.buckets), residualNote(t.residualE))
+		describeOperator(t.probe, depth+1, emit)
+		emit(depth+1, "build side: %d column(s)", len(t.buildCols))
+	case *indexJoinOp:
+		sideNote := ""
+		if !t.probeIsLeft {
+			sideNote = ", probing right input"
+		}
+		emit(depth, "index nested loop join on %s = %s (index %s on %s%s)%s",
+			t.probeKeyE.String(), t.idxKeyE.String(), t.idx.Name, t.table.Name,
+			sideNote, residualNote(t.residualE))
+		describeOperator(t.probe, depth+1, emit)
 	case *nestedLoopJoinOp:
 		kind := "nested loop join"
 		if t.on == nil {
@@ -109,10 +124,6 @@ func describeOperator(op operator, depth int, emit func(int, string, ...any)) {
 	default:
 		emit(depth, "%T", op)
 	}
-}
-
-func describeKeys(h *hashJoinOp) string {
-	return h.rightKey.String()
 }
 
 func residualNote(residual Expr) string {

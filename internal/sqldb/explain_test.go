@@ -42,6 +42,9 @@ func TestExplainIndexScan(t *testing.T) {
 
 func TestExplainHashJoin(t *testing.T) {
 	db := testDB(t)
+	// reviews.movie_id has no index and there is no ORDER BY (so the
+	// planner cannot flip sides onto movies' primary key): plain hash join
+	// building the right input.
 	lines, err := db.Explain("SELECT m.title FROM movies m JOIN reviews r ON m.id = r.movie_id")
 	if err != nil {
 		t.Fatal(err)
@@ -49,6 +52,67 @@ func TestExplainHashJoin(t *testing.T) {
 	out := explainJoined(t, lines)
 	if !strings.Contains(out, "hash join") {
 		t.Errorf("equi-join should hash:\n%s", out)
+	}
+	if !strings.Contains(out, "build right") {
+		t.Errorf("default hash join should report building the right side:\n%s", out)
+	}
+}
+
+func TestExplainHashJoinBuildSide(t *testing.T) {
+	// With an ORDER BY imposing the final order, the planner builds the
+	// smaller input. small (3 rows) JOIN big (60 rows) on un-indexed keys
+	// should build the left side.
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE small (k INTEGER)")
+	db.MustExec("CREATE TABLE big (k INTEGER, v INTEGER)")
+	for i := 0; i < 3; i++ {
+		db.MustExec("INSERT INTO small VALUES (?)", i)
+	}
+	for i := 0; i < 60; i++ {
+		db.MustExec("INSERT INTO big VALUES (?, ?)", i%3, i)
+	}
+	lines, err := db.Explain("SELECT big.v FROM small JOIN big ON small.k = big.k ORDER BY big.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := explainJoined(t, lines)
+	if !strings.Contains(out, "hash join") || !strings.Contains(out, "build left") {
+		t.Errorf("small left input should become the build side:\n%s", out)
+	}
+	// Without ORDER BY, flipping would change output order: keep right.
+	lines, err = db.Explain("SELECT big.v FROM small JOIN big ON small.k = big.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := explainJoined(t, lines); !strings.Contains(out, "build right") {
+		t.Errorf("order-sensitive plan must build right:\n%s", out)
+	}
+}
+
+func TestExplainIndexJoin(t *testing.T) {
+	db := testDB(t)
+	db.MustExec("CREATE INDEX idx_reviews_movie ON reviews (movie_id)")
+	// The right side's join column is indexed: no build phase at all.
+	lines, err := db.Explain("SELECT m.title FROM movies m JOIN reviews r ON m.id = r.movie_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := explainJoined(t, lines)
+	if !strings.Contains(out, "index nested loop join") {
+		t.Errorf("indexed right join key should use index nested loop:\n%s", out)
+	}
+	if strings.Contains(out, "hash join") {
+		t.Errorf("index join should replace hash join:\n%s", out)
+	}
+	// Flipped: only the LEFT side's key (movies.id, the primary key) is
+	// indexed. With an ORDER BY the planner probes the right input.
+	lines, err = db.Explain("SELECT r.stars FROM movies m JOIN reviews r ON m.id = r.stars ORDER BY r.stars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = explainJoined(t, lines)
+	if !strings.Contains(out, "index nested loop join") || !strings.Contains(out, "probing right input") {
+		t.Errorf("indexed left key under ORDER BY should flip the probe side:\n%s", out)
 	}
 }
 

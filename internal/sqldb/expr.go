@@ -23,19 +23,17 @@ func (c colInfo) String() string {
 // evalEnv carries everything expression evaluation needs: the current row
 // and its schema, bound parameters, the database (for subqueries), the
 // enclosing row environment (for correlated subqueries), and — under
-// aggregation — precomputed aggregate and group-key values.
+// aggregation — the per-group context compiled expressions read from.
 type evalEnv struct {
-	cols    []colInfo
-	lookup  map[string]int // "qual.col" and bare "col" -> ordinal; ambiguous = -2
-	row     Row
-	params  []Value
-	db      *Database
-	outer   *evalEnv
-	aggVals map[*FuncCall]Value
-	// groupVals maps the canonical String() of each GROUP BY expression to
-	// its value for the current group, so projecting the grouping
-	// expression (or HAVING over it) resolves without re-evaluation.
-	groupVals map[string]Value
+	cols   []colInfo
+	lookup map[string]int // "qual.col" and bare "col" -> ordinal; ambiguous = -2
+	row    Row
+	params []Value
+	db     *Database
+	outer  *evalEnv
+	// agg is set on environments evaluating the post-aggregation phase
+	// (projection, HAVING, ORDER BY of an aggregate query); see compile.go.
+	agg *aggCtx
 }
 
 // newEvalEnv builds an environment over the given schema.
@@ -84,14 +82,12 @@ func (env *evalEnv) resolve(ref *ColumnRef) (int, *evalEnv, error) {
 	return 0, nil, fmt.Errorf("sql: no such column: %s", ref)
 }
 
-// evalExpr evaluates e in env with SQL three-valued-logic semantics.
+// evalExpr evaluates e in env with SQL three-valued-logic semantics. It is
+// the interpreted twin of compileExpr: SELECT hot paths run compiled
+// closures, while DML statements and constant folding interpret the AST
+// directly (they evaluate each expression a handful of times at most).
+// Aggregates are only handled by the compiled path.
 func evalExpr(e Expr, env *evalEnv) (Value, error) {
-	// Under aggregation, grouping expressions resolve to their group key.
-	if env.groupVals != nil {
-		if v, ok := env.groupVals[e.String()]; ok {
-			return v, nil
-		}
-	}
 	switch t := e.(type) {
 	case *Literal:
 		return t.Val, nil
@@ -124,11 +120,6 @@ func evalExpr(e Expr, env *evalEnv) (Value, error) {
 	case *Between:
 		return evalBetween(t, env)
 	case *FuncCall:
-		if env.aggVals != nil {
-			if v, ok := env.aggVals[t]; ok {
-				return v, nil
-			}
-		}
 		return evalFunc(t, env)
 	case *CaseExpr:
 		return evalCase(t, env)

@@ -1,0 +1,81 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// This file implements the engine's hash-key encoding: a compact binary
+// form of a Value (or a whole Row) that can be appended into a reusable
+// []byte scratch buffer. Hash join, GROUP BY, DISTINCT, DISTINCT
+// aggregates and secondary indexes all key their maps with it.
+//
+// The encoding respects Compare's equivalence classes: values that compare
+// equal encode identically. Numerics that hold a mathematical integer
+// (INTEGER, BOOLEAN, and integral REAL within int64 range) share an exact
+// 8-byte int64 form, so int64 keys beyond 2^53 never collapse through
+// float64 rounding the way the old strconv.FormatFloat encoding did.
+// Every field is self-delimiting (fixed width or length-prefixed), so
+// concatenated row keys are unambiguous.
+
+const (
+	keyTagNull  = 0x00
+	keyTagInt   = 0x01
+	keyTagFloat = 0x02
+	keyTagText  = 0x03
+)
+
+// appendValueKey appends v's key encoding to dst and returns the extended
+// slice. It never allocates beyond growing dst.
+func appendValueKey(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, keyTagNull)
+	case KindText:
+		dst = append(dst, keyTagText)
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		return append(dst, v.s...)
+	case KindInt:
+		return appendIntKey(dst, v.i)
+	case KindBool:
+		if v.b {
+			return appendIntKey(dst, 1)
+		}
+		return appendIntKey(dst, 0)
+	default: // KindFloat
+		f := v.f
+		// Integral floats inside int64 range share the integer form so
+		// that e.g. Int(5) and Float(5.0) — equal under Compare — key
+		// identically. The upper bound is exclusive: 2^63 itself is not
+		// representable as int64.
+		if f == math.Trunc(f) && f >= math.MinInt64 && f < math.MaxInt64 {
+			return appendIntKey(dst, int64(f))
+		}
+		if math.IsNaN(f) {
+			f = math.NaN() // canonicalise NaN payloads
+		}
+		dst = append(dst, keyTagFloat)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+	}
+}
+
+func appendIntKey(dst []byte, i int64) []byte {
+	dst = append(dst, keyTagInt)
+	return binary.BigEndian.AppendUint64(dst, uint64(i))
+}
+
+// appendRowKey appends the concatenated key encodings of every value in r.
+// Self-delimiting fields make the concatenation injective over rows of
+// equal arity.
+func appendRowKey(dst []byte, r Row) []byte {
+	for _, v := range r {
+		dst = appendValueKey(dst, v)
+	}
+	return dst
+}
+
+// rowKey builds a hashable identity for a row (used by DISTINCT, GROUP BY).
+// Hot paths should prefer appendRowKey with a reused scratch buffer.
+func rowKey(r Row) string {
+	return string(appendRowKey(nil, r))
+}

@@ -1,0 +1,119 @@
+package sqldb
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPrepareBasics(t *testing.T) {
+	db := testDB(t)
+	stmt, err := db.Prepare("SELECT title FROM movies WHERE genre = ? ORDER BY revenue DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.SQL() == "" {
+		t.Error("SQL() should echo the statement text")
+	}
+	res, err := stmt.Query("Romance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"Titanic"}, {"The Notebook"}, {"Quiet Nights"}}
+	got := rowsToStrings(res.Rows)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("prepared query = %v, want %v", got, want)
+	}
+	// Different parameters, same plan.
+	res, err = stmt.Query("Crime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsText() != "Heat" {
+		t.Errorf("re-execution with new params = %v", rowsToStrings(res.Rows))
+	}
+
+	if _, err := db.Prepare("INSERT INTO movies VALUES (9, 'x', 'y', 1, 2000)"); err == nil {
+		t.Error("Prepare of non-SELECT must fail")
+	} else if !strings.Contains(err.Error(), "Prepare requires") {
+		t.Errorf("Prepare error should name Prepare, got %q", err)
+	}
+	if _, err := db.Prepare("SELECT FROM WHERE"); err == nil {
+		t.Error("Prepare of invalid SQL must fail")
+	}
+}
+
+func TestPlanCacheReusesParses(t *testing.T) {
+	db := testDB(t)
+	const sql = "SELECT COUNT(*) FROM movies"
+	s1, err := db.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := db.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.sel != s2.sel {
+		t.Error("repeated Prepare should reuse the cached parse")
+	}
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.plans.len(); got != 1 {
+		t.Errorf("plan cache holds %d entries, want 1", got)
+	}
+	// Executions through the cache must stay correct after DDL touching
+	// unrelated tables (the cache stores parses, not bound plans).
+	db.MustExec("CREATE TABLE extra (x INTEGER)")
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 5 {
+		t.Errorf("cached query returned %v, want 5", res.Rows[0][0])
+	}
+}
+
+func TestPlanCacheEvicts(t *testing.T) {
+	db := testDB(t)
+	for i := 0; i < planCacheCap+10; i++ {
+		if _, err := db.Query(fmt.Sprintf("SELECT %d FROM movies LIMIT 1", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.plans.len(); got != planCacheCap {
+		t.Errorf("plan cache holds %d entries, want cap %d", got, planCacheCap)
+	}
+	// The most recent statements are retained and still executable.
+	sql := fmt.Sprintf("SELECT %d FROM movies LIMIT 1", planCacheCap+9)
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanCacheSurvivesSchemaChange(t *testing.T) {
+	// A cached parse over a dropped-and-recreated table must re-bind at
+	// execution time and see the new schema.
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (v INTEGER)")
+	db.MustExec("INSERT INTO t VALUES (1)")
+	const sql = "SELECT v FROM t"
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("DROP TABLE t")
+	if _, err := db.Query(sql); err == nil {
+		t.Error("query over dropped table should fail even when cached")
+	}
+	db.MustExec("CREATE TABLE t (pad TEXT, v INTEGER)")
+	db.MustExec("INSERT INTO t VALUES ('x', 42)")
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 42 {
+		t.Errorf("cached parse over recreated table = %v", rowsToStrings(res.Rows))
+	}
+}

@@ -1,0 +1,32 @@
+package sqldb
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentQueriesShareCachedPlans(t *testing.T) {
+	db := testDB(t)
+	queries := []string{
+		"SELECT m.title, COUNT(r.id) FROM movies m JOIN reviews r ON m.id = r.movie_id GROUP BY m.title ORDER BY 2 DESC",
+		"SELECT * FROM movies WHERE id = 3",
+		"SELECT DISTINCT genre FROM movies ORDER BY genre",
+		"SELECT title FROM movies WHERE revenue > (SELECT AVG(revenue) FROM movies)",
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, q := range queries {
+					if _, err := db.Query(q); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,13 +3,22 @@
 // pipeline's query-execution step (the paper uses SQLite3; sqldb is a
 // behavioural stand-in at benchmark scale).
 //
-// The engine is organised as:
+// The engine is organised around a plan/execute split:
 //
 //	lexer.go / parser.go / ast.go   SQL text -> AST
-//	catalog.go / storage.go         schemas, tables, indexes
-//	expr.go / func.go / agg.go      expression and function evaluation
-//	plan.go / exec.go               planning and volcano-style execution
+//	prepare.go                      prepared statements + the LRU plan cache
+//	catalog.go                      schemas, tables, indexes
+//	expr.go / func.go / agg.go      interpreted expression evaluation (DML)
+//	compile.go                      AST -> closures with ordinals bound once
+//	key.go                          allocation-free binary row/value keys
+//	exec.go                         planning and volcano-style execution
 //	db.go                           the public Database API
+//
+// SELECT execution happens in two phases: planning resolves every column
+// reference to an ordinal, picks access paths (index scans, hash-join
+// build sides, index-nested-loop joins) and compiles each expression into
+// a closure; execution then runs the closures over rows without any name
+// resolution, map lookups or string formatting on the per-row path.
 //
 // Values use dynamic typing with SQLite-flavoured affinity: every cell is a
 // Value of kind null, integer, real, text, or boolean, and comparisons
@@ -228,9 +237,12 @@ func (v Value) Compare(o Value) int {
 	}
 	vn, on := v.numericRank(), o.numericRank()
 	if vn && on {
-		a, b := v.AsFloat(), o.AsFloat()
-		// Exact integer comparison when both sides are integers avoids
-		// float rounding for large int64s.
+		// Exact integer comparison when both sides are integers, and
+		// exact int-vs-float comparison (as in SQLite), so that large
+		// int64s never collapse through float64 rounding. This keeps
+		// Compare's equivalence classes identical to the binary key
+		// encoding in key.go — equality must not depend on whether a plan
+		// uses hashing (keys) or direct comparison.
 		if v.kind == KindInt && o.kind == KindInt {
 			switch {
 			case v.i < o.i:
@@ -241,6 +253,13 @@ func (v Value) Compare(o Value) int {
 				return 0
 			}
 		}
+		if v.kind == KindInt && o.kind == KindFloat {
+			return compareIntFloat(v.i, o.f)
+		}
+		if v.kind == KindFloat && o.kind == KindInt {
+			return -compareIntFloat(o.i, v.f)
+		}
+		a, b := v.AsFloat(), o.AsFloat()
 		switch {
 		case a < b:
 			return -1
@@ -261,6 +280,40 @@ func (v Value) Compare(o Value) int {
 	return strings.Compare(v.s, o.s)
 }
 
+// compareIntFloat compares an int64 with a float64 exactly, without
+// rounding the integer through float64. NaN compares equal (mirroring the
+// float/float branch, where all NaN comparisons are false).
+func compareIntFloat(i int64, f float64) int {
+	if math.IsNaN(f) {
+		return 0
+	}
+	// math.MaxInt64 rounds to 2^63 as a float64 constant; anything at or
+	// above it exceeds every int64, and anything below -2^63 undercuts
+	// every int64. Inside that range Trunc(f) is exactly representable.
+	if f >= math.MaxInt64 {
+		return -1
+	}
+	if f < math.MinInt64 {
+		return 1
+	}
+	t := int64(math.Trunc(f))
+	switch {
+	case i < t:
+		return -1
+	case i > t:
+		return 1
+	}
+	frac := f - math.Trunc(f)
+	switch {
+	case frac > 0:
+		return -1
+	case frac < 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // numericRank reports whether the kind participates in numeric comparison.
 func (v Value) numericRank() bool {
 	return v.kind == KindInt || v.kind == KindFloat || v.kind == KindBool
@@ -271,16 +324,11 @@ func (v Value) numericRank() bool {
 func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
 
 // Key returns a string usable as a hash-map key that respects Equal:
-// values that compare equal produce identical keys.
+// values that compare equal produce identical keys, and distinct int64s
+// always produce distinct keys (no float64 round-trip). Hot paths should
+// use appendValueKey with a reused scratch buffer instead.
 func (v Value) Key() string {
-	switch v.kind {
-	case KindNull:
-		return "\x00"
-	case KindText:
-		return "t:" + v.s
-	default:
-		return "n:" + strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
-	}
+	return string(appendValueKey(nil, v))
 }
 
 // GoValue converts a Go value into a Value. Supported inputs: nil, bool,
