@@ -22,6 +22,25 @@
 //	resp, _ := sys.Ask(ctx, "Summarize the review of the reviews whose genre is 'Romance'.")
 //	fmt.Println(resp.Answer)
 //
+// The embedded engine exposes two query surfaces. Query materialises a
+// *Result; QueryRows returns a streaming, context-aware *Rows cursor that
+// produces rows one at a time, so LIMIT-style consumption reads only what
+// it needs and cancelling the context stops an in-flight scan:
+//
+//	rows, err := sys.DB().QueryRows(ctx, "SELECT title FROM movies WHERE revenue > ?", 1e8)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		var title string
+//		_ = rows.Scan(&title)
+//	}
+//
+// Engine errors are typed: every error is an errors.As-matchable *Error
+// with a stable Code (ErrParse, ErrNoTable, ErrNoColumn, ErrType, ...),
+// and Stats() exposes the observability counters (queries served,
+// plan-cache hits, rows scanned/emitted, index vs full scans, open
+// cursors) a production deployment watches under heavy traffic.
+//
 // See the examples/ directory for complete programs.
 package tag
 
@@ -47,8 +66,17 @@ type (
 	// executable many times. Database.Query also consults an internal LRU
 	// plan cache, so hot query strings are parsed only once either way.
 	Stmt = sqldb.Stmt
-	// Result is a materialised query result.
+	// Result is a materialised query result (Rows.Collect).
 	Result = sqldb.Result
+	// Rows is a streaming, context-aware query cursor (Database.QueryRows).
+	Rows = sqldb.Rows
+	// Error is the engine's typed error; match with errors.As and branch
+	// on Code.
+	Error = sqldb.Error
+	// ErrorCode classifies an engine Error (sqldb.ErrParse, ...).
+	ErrorCode = sqldb.ErrorCode
+	// Stats is a snapshot of the engine's observability counters.
+	Stats = sqldb.Stats
 	// Value is a dynamically typed SQL value.
 	Value = sqldb.Value
 	// DataFrame is the semantic-operator frame (LOTUS substitute).
@@ -191,13 +219,25 @@ func (s *System) Prepare(sql string) (*Stmt, error) {
 	return s.env.DB.Prepare(sql)
 }
 
-// FrameQuery runs SQL and wraps the result as a DataFrame.
+// QueryRows runs SQL against the system's database and returns a
+// streaming cursor (see Database.QueryRows). Close it.
+func (s *System) QueryRows(ctx context.Context, sql string, params ...any) (*Rows, error) {
+	return s.env.DB.QueryRows(ctx, sql, params...)
+}
+
+// Stats reports the engine's observability counters: queries served,
+// plan-cache hits/misses, rows scanned and emitted, index vs full scans,
+// and open cursors.
+func (s *System) Stats() Stats { return s.env.DB.Stats() }
+
+// FrameQuery runs SQL and wraps the result as a DataFrame, streaming rows
+// straight into the frame.
 func (s *System) FrameQuery(sql string, params ...any) (*DataFrame, error) {
-	res, err := s.env.DB.Query(sql, params...)
+	rows, err := s.env.DB.QueryRows(context.Background(), sql, params...)
 	if err != nil {
 		return nil, err
 	}
-	return sem.FromResult(res), nil
+	return sem.FromRows(rows)
 }
 
 // SemFilter, SemTopK, SemAgg entry points are methods on DataFrame; the

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"tag/internal/core"
@@ -47,7 +48,10 @@ func main() {
 	}
 	model := llm.NewSimLM(world.Default(), profile, llm.NewClock(), llm.DefaultCostModel())
 	env := core.NewEnv(*domain, db)
-	ctx := context.Background()
+	// Ctrl-C cancels the pipeline — including an in-flight database scan,
+	// which the engine stops with a typed ErrCanceled error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *handwritten {
 		spec, err := nlq.Parse(question)

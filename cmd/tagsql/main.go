@@ -6,15 +6,21 @@
 //	tagsql -domain movies -udf
 //	sql> SELECT title FROM movies WHERE LLM_FILTER('classic movie', title);
 //
-// Meta commands: .tables, .schema, .domains, .quit.
+// Meta commands: .tables, .schema, .domains, .explain, .stats, .quit.
+//
+// Queries run under a signal-aware context: the first Ctrl-C cancels the
+// in-flight statement mid-scan (the engine returns a typed ErrCanceled
+// error) instead of killing the shell.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"tag/internal/core"
@@ -46,7 +52,7 @@ func main() {
 	}
 
 	fmt.Printf("tagsql — embedded TAG SQL shell (domain %s, LM UDFs %v)\n", *domain, *udf)
-	fmt.Println(`type SQL terminated by ';', or .tables / .schema / .domains / .explain <sql> / .quit`)
+	fmt.Println(`type SQL terminated by ';', or .tables / .schema / .domains / .explain <sql> / .stats / .quit`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -78,6 +84,10 @@ func main() {
 			}
 			fmt.Print("sql> ")
 			continue
+		case trimmed == ".stats":
+			printStats(db)
+			fmt.Print("sql> ")
+			continue
 		case trimmed == ".domains":
 			for _, d := range append(domains.Names(), "movies") {
 				fmt.Println(d)
@@ -102,20 +112,44 @@ func run(db *sqldb.Database, src string) {
 	if src == "" {
 		return
 	}
+	// Ctrl-C cancels the in-flight statement; the shell survives.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if strings.HasPrefix(strings.ToUpper(src), "SELECT") {
-		res, err := db.Query(src)
+		res, err := db.QueryContext(ctx, src)
 		if err != nil {
-			fmt.Println("error:", err)
+			printErr(err)
 			return
 		}
 		fmt.Print(res.String())
 		fmt.Printf("(%d rows)\n", len(res.Rows))
 		return
 	}
-	n, err := db.Exec(src)
+	n, err := db.ExecContext(ctx, src)
 	if err != nil {
-		fmt.Println("error:", err)
+		printErr(err)
 		return
 	}
 	fmt.Printf("ok (%d rows affected)\n", n)
+}
+
+// printErr surfaces the engine's typed error code alongside the message.
+func printErr(err error) {
+	var se *sqldb.Error
+	if errors.As(err, &se) {
+		fmt.Printf("error [%s]: %v\n", se.Code, err)
+		return
+	}
+	fmt.Println("error:", err)
+}
+
+func printStats(db *sqldb.Database) {
+	s := db.Stats()
+	fmt.Printf("queries          %d\n", s.Queries)
+	fmt.Printf("execs            %d\n", s.Execs)
+	fmt.Printf("plan cache       %d hit / %d miss\n", s.PlanCacheHits, s.PlanCacheMisses)
+	fmt.Printf("rows scanned     %d\n", s.RowsScanned)
+	fmt.Printf("rows emitted     %d\n", s.RowsEmitted)
+	fmt.Printf("scans            %d index / %d full\n", s.IndexScans, s.FullScans)
+	fmt.Printf("open cursors     %d\n", s.OpenCursors)
 }

@@ -1,11 +1,14 @@
-// Quickstart: open a built-in domain, ask one question through the full
-// TAG pipeline, and inspect each stage (syn → exec → gen).
+// Quickstart: open a built-in domain, query the embedded engine through
+// both of its surfaces (materialised and streaming), handle a typed
+// engine error, ask one question through the full TAG pipeline
+// (syn → exec → gen), and read the engine's observability counters.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -25,7 +28,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The embedded database is a real SQL engine.
+	// The embedded database is a real SQL engine. Query materialises the
+	// whole result at once — right for small aggregates like this one.
 	res, err := sys.DB().Query("SELECT COUNT(*) AS movies, MAX(revenue) AS top FROM movies")
 	if err != nil {
 		log.Fatal(err)
@@ -33,9 +37,39 @@ func main() {
 	fmt.Printf("database: %s movies, top revenue %s\n\n",
 		res.Rows[0][0].AsText(), res.Rows[0][1].AsText())
 
+	// QueryRows streams instead: rows are produced one at a time, so a
+	// LIMIT stops the scan as soon as its window fills, and cancelling
+	// ctx stops a scan mid-flight. Always Close the cursor (it holds the
+	// database's read lock until then).
+	rows, err := sys.QueryRows(ctx,
+		"SELECT title, revenue FROM movies WHERE revenue > 100 LIMIT 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("three big earners (streamed):")
+	for rows.Next() {
+		var title string
+		var revenue float64
+		if err := rows.Scan(&title, &revenue); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-40s %.0f\n", title, revenue)
+	}
+	if err := rows.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Engine errors are typed: every error carries a stable code, so
+	// callers branch with errors.As instead of matching message text.
+	_, err = sys.DB().Query("SELECT * FROM box_office")
+	var se *tag.Error
+	if errors.As(err, &se) {
+		fmt.Printf("\ntyped error: code=%s msg=%q\n\n", se.Code, se.Msg)
+	}
+
 	// Ask a question in natural language. The system synthesises SQL
-	// (including an LM UDF for the 'classic' predicate), executes it, and
-	// generates the answer.
+	// (including an LM UDF for the 'classic' predicate), executes it with
+	// the caller's context, and generates the answer.
 	question := "Among the movies whose genre is 'Romance', how many of them are considered a 'classic'?"
 	resp, err := sys.Ask(ctx, question)
 	if err != nil {
@@ -45,5 +79,14 @@ func main() {
 	fmt.Println("  syn(R)  ->", resp.SQL)
 	fmt.Printf("  exec(Q) -> %d row(s)\n", len(resp.Table.Rows))
 	fmt.Println("  gen(T)  ->", resp.Answer)
-	fmt.Printf("\nsimulated LM time: %.2fs\n", sys.LMSeconds())
+
+	// Stats exposes what the engine did: queries served, plan-cache hits,
+	// rows scanned vs emitted (the LIMIT above scanned a handful of rows,
+	// not the table), index vs full scans, and open cursors.
+	st := sys.Stats()
+	fmt.Printf("\nengine stats: %d queries, plan cache %d/%d hit/miss, "+
+		"%d rows scanned, %d emitted, %d index / %d full scans, %d open cursors\n",
+		st.Queries, st.PlanCacheHits, st.PlanCacheMisses,
+		st.RowsScanned, st.RowsEmitted, st.IndexScans, st.FullScans, st.OpenCursors)
+	fmt.Printf("simulated LM time: %.2fs\n", sys.LMSeconds())
 }

@@ -66,7 +66,7 @@ func (m *AgenticTAG) AnswerTraced(ctx context.Context, env *Env, q *tagbench.Que
 		}
 		trace.Hops = append(trace.Hops, "repair-sql")
 		hops++
-		table, qerr := env.DB.Query(repaired)
+		table, qerr := env.DB.QueryContext(ctx, repaired)
 		if qerr != nil {
 			res = &Result{Question: q.NL, SQL: repaired}
 			err = qerr

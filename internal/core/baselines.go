@@ -32,7 +32,7 @@ func (m *Text2SQL) Answer(ctx context.Context, env *Env, q *tagbench.Query) (*An
 	if err != nil {
 		return nil, err
 	}
-	res, err := env.DB.Query(sql)
+	res, err := env.DB.QueryContext(ctx, sql)
 	if err != nil {
 		return nil, fmt.Errorf("text2sql: generated SQL failed: %w", err)
 	}
@@ -167,7 +167,7 @@ func (m *Text2SQLLM) Answer(ctx context.Context, env *Env, q *tagbench.Query) (*
 	if err != nil {
 		return nil, err
 	}
-	res, err := env.DB.Query(sql)
+	res, err := env.DB.QueryContext(ctx, sql)
 	if err != nil {
 		return nil, fmt.Errorf("text2sql+lm: retrieval SQL failed: %w", err)
 	}

@@ -47,7 +47,7 @@ func (m *HandwrittenTAG) run(ctx context.Context, env *Env, spec *nlq.Spec) (*An
 			Column: spec.Aug.Column, Op: "=", Value: spec.Aug.Arg,
 		})
 	}
-	df, err := m.load(env, spec)
+	df, err := m.load(ctx, env, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +176,7 @@ func (m *HandwrittenTAG) run(ctx context.Context, env *Env, spec *nlq.Spec) (*An
 // load runs the relational stage: filters, join and ordering execute on
 // the SQL engine; salient columns come back under reserved aliases
 // (__target, __aug) alongside the full primary row.
-func (m *HandwrittenTAG) load(env *Env, spec *nlq.Spec) (*sem.DataFrame, error) {
+func (m *HandwrittenTAG) load(ctx context.Context, env *Env, spec *nlq.Spec) (*sem.DataFrame, error) {
 	sql := tagbench.RelationalSQL(spec, true)
 	extra := ""
 	if spec.Aug != nil && spec.Aug.Column != "" {
@@ -188,11 +188,11 @@ func (m *HandwrittenTAG) load(env *Env, spec *nlq.Spec) (*sem.DataFrame, error) 
 	if extra != "" {
 		sql = strings.Replace(sql, " FROM ", extra+" FROM ", 1)
 	}
-	res, err := env.DB.Query(sql)
+	rows, err := env.DB.QueryRows(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
-	return sem.FromResult(res), nil
+	return sem.FromRows(rows)
 }
 
 // filterClaim renders the LOTUS-style instruction template for filter

@@ -91,26 +91,33 @@ func (e *Env) ragState() (*vector.Flat, []llm.DataPoint, error) {
 		idx := vector.NewFlat(e.embedder.Dim(), vector.Cosine)
 		id := 0
 		for _, table := range e.DB.TableNames() {
-			res, err := e.DB.Query("SELECT * FROM " + table)
+			rows, err := e.DB.QueryRows(context.Background(), "SELECT * FROM "+table)
 			if err != nil {
 				e.ragErr = err
 				return
 			}
-			for _, row := range res.Rows {
-				dp := make(llm.DataPoint, len(res.Columns))
+			cols := rows.Columns()
+			for rows.Next() {
+				row := rows.Row()
+				dp := make(llm.DataPoint, len(cols))
 				text := ""
-				for ci, col := range res.Columns {
+				for ci, col := range cols {
 					v := row[ci].AsText()
 					dp[col] = v
 					text += "- " + col + ": " + v + "\n"
 				}
 				if err := idx.Add(id, e.embedder.Embed(text)); err != nil {
 					e.ragErr = err
+					rows.Close()
 					return
 				}
 				e.ragRows = append(e.ragRows, dp)
-				e.ragCols = append(e.ragCols, res.Columns)
+				e.ragCols = append(e.ragCols, cols)
 				id++
+			}
+			if err := rows.Err(); err != nil {
+				e.ragErr = err
+				return
 			}
 		}
 		e.ragIndex = idx

@@ -47,11 +47,12 @@ func (p *Pipeline) Run(ctx context.Context, env *Env, question string) (*Result,
 	if err != nil {
 		return nil, fmt.Errorf("tag: query synthesis: %w", err)
 	}
-	// exec(Q) -> T
+	// exec(Q) -> T. The caller's context flows into the engine, so a
+	// cancelled request stops the scan mid-flight.
 	if p.UseLMUDFs {
 		RegisterLMUDFs(ctx, env.DB, p.Model)
 	}
-	table, err := env.DB.Query(sql)
+	table, err := env.DB.QueryContext(ctx, sql)
 	if err != nil {
 		return &Result{Question: question, SQL: sql},
 			fmt.Errorf("tag: query execution: %w", err)

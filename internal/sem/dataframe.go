@@ -10,6 +10,7 @@
 package sem
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -40,13 +41,29 @@ func FromResult(res *sqldb.Result) *DataFrame {
 	return &DataFrame{cols: append([]string(nil), res.Columns...), rows: res.Rows}
 }
 
-// FromTable loads an entire table (SELECT *).
+// FromRows drains a streaming cursor into a DataFrame and closes it: the
+// frame is built row by row as the engine produces them, without an
+// intermediate Result. The cursor's error, if any, is returned.
+func FromRows(rows *sqldb.Rows) (*DataFrame, error) {
+	defer rows.Close()
+	cols := rows.Columns()
+	var out []sqldb.Row
+	for rows.Next() {
+		out = append(out, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return &DataFrame{cols: cols, rows: out}, nil
+}
+
+// FromTable loads an entire table (SELECT *) through the streaming API.
 func FromTable(db *sqldb.Database, table string) (*DataFrame, error) {
-	res, err := db.Query("SELECT * FROM " + table)
+	rows, err := db.QueryRows(context.Background(), "SELECT * FROM "+table)
 	if err != nil {
 		return nil, err
 	}
-	return FromResult(res), nil
+	return FromRows(rows)
 }
 
 // Len reports the number of rows.

@@ -1,7 +1,6 @@
 package sqldb
 
 import (
-	"fmt"
 	"strings"
 )
 
@@ -47,7 +46,7 @@ func newAggState(fc *FuncCall) (aggState, error) {
 		}
 		base = &concatState{sep: sep}
 	default:
-		return nil, fmt.Errorf("sql: unknown aggregate %s()", fc.Name)
+		return nil, errf(ErrNoFunction, "sql: unknown aggregate %s()", fc.Name)
 	}
 	if fc.Distinct {
 		return &distinctState{inner: base, seen: make(map[string]bool)}, nil

@@ -43,6 +43,7 @@ type Database struct {
 	tables map[string]*Table
 	funcs  *FuncRegistry
 	plans  *planCache
+	stats  dbStats // observability counters; snapshot via Stats()
 }
 
 // NewDatabase returns an empty database with the built-in function registry.
@@ -68,7 +69,7 @@ func (db *Database) Table(name string) (*Table, error) {
 func (db *Database) tableLocked(name string) (*Table, error) {
 	t, ok := db.tables[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("sql: no such table: %s", name)
+		return nil, errf(ErrNoTable, "sql: no such table: %s", name)
 	}
 	return t, nil
 }
@@ -209,7 +210,7 @@ func newTable(stmt *CreateTableStmt) (*Table, error) {
 	for i, cd := range stmt.Columns {
 		lower := strings.ToLower(cd.Name)
 		if _, dup := t.colIndex[lower]; dup {
-			return nil, fmt.Errorf("sql: duplicate column %q in table %q", cd.Name, stmt.Name)
+			return nil, errf(ErrSchema, "sql: duplicate column %q in table %q", cd.Name, stmt.Name)
 		}
 		t.Columns = append(t.Columns, Column{
 			Name:       cd.Name,
@@ -251,18 +252,18 @@ func (t *Table) RowCount() int { return len(t.rows) }
 // maintains indexes. It enforces NOT NULL and UNIQUE constraints.
 func (t *Table) insertRow(r Row) error {
 	if len(r) != len(t.Columns) {
-		return fmt.Errorf("sql: table %s expects %d values, got %d", t.Name, len(t.Columns), len(r))
+		return errf(ErrMisuse, "sql: table %s expects %d values, got %d", t.Name, len(t.Columns), len(r))
 	}
 	for i, c := range t.Columns {
 		r[i] = coerce(r[i], c.Type)
 		if c.NotNull && r[i].IsNull() {
-			return fmt.Errorf("sql: NOT NULL constraint failed: %s.%s", t.Name, c.Name)
+			return errf(ErrConstraint, "sql: NOT NULL constraint failed: %s.%s", t.Name, c.Name)
 		}
 	}
 	for _, idx := range t.indexes {
 		key := r[idx.Column].Key()
 		if idx.Unique && len(idx.m[key]) > 0 && !r[idx.Column].IsNull() {
-			return fmt.Errorf("sql: UNIQUE constraint failed: %s.%s = %s",
+			return errf(ErrConstraint, "sql: UNIQUE constraint failed: %s.%s = %s",
 				t.Name, t.Columns[idx.Column].Name, r[idx.Column])
 		}
 	}

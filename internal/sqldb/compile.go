@@ -1,7 +1,6 @@
 package sqldb
 
 import (
-	"fmt"
 	"strings"
 )
 
@@ -72,7 +71,7 @@ func compileExpr(e Expr, env *evalEnv) (compiledExpr, error) {
 			if i := a.aggIndex(fc); i >= 0 {
 				return func() (Value, error) { return a.aggVals[i], nil }, nil
 			}
-			return nil, fmt.Errorf("sql: misuse of aggregate function %s()", fc.Name)
+			return nil, errf(ErrMisuse, "sql: misuse of aggregate function %s()", fc.Name)
 		}
 	}
 	switch t := e.(type) {
@@ -81,7 +80,7 @@ func compileExpr(e Expr, env *evalEnv) (compiledExpr, error) {
 		return func() (Value, error) { return v, nil }, nil
 	case *Param:
 		if t.Index >= len(env.params) {
-			return nil, fmt.Errorf("sql: statement expects at least %d parameters, got %d", t.Index+1, len(env.params))
+			return nil, errf(ErrParams, "sql: statement expects at least %d parameters, got %d", t.Index+1, len(env.params))
 		}
 		v := env.params[t.Index]
 		return func() (Value, error) { return v, nil }, nil
@@ -115,7 +114,7 @@ func compileExpr(e Expr, env *evalEnv) (compiledExpr, error) {
 				return Bool(!v.AsBool()), nil
 			}, nil
 		default:
-			return nil, fmt.Errorf("sql: unknown unary operator %q", t.Op)
+			return nil, errf(ErrMisuse, "sql: unknown unary operator %q", t.Op)
 		}
 	case *IsNull:
 		sub, err := compileExpr(t.Expr, env)
@@ -183,30 +182,42 @@ func compileExpr(e Expr, env *evalEnv) (compiledExpr, error) {
 			return castValue(v, typ), nil
 		}, nil
 	case *Subquery:
+		// A scalar subquery keeps only its first row, so the subplan is
+		// pulled once and never materialised.
 		sel := t.Select
 		return func() (Value, error) {
-			rows, _, err := execSubquery(sel, env)
+			root, _, err := buildSelectPlan(sel, env.db, env.params, env, false, env.qc)
 			if err != nil {
 				return Null, err
 			}
-			if len(rows) == 0 || len(rows[0]) == 0 {
+			r, ok, err := root.next()
+			if err != nil {
+				return Null, err
+			}
+			if !ok || len(r) == 0 {
 				return Null, nil
 			}
-			return rows[0][0], nil
+			return r[0], nil
 		}, nil
 	case *ExistsExpr:
+		// EXISTS terminates on the first row the subplan produces instead
+		// of materialising the whole subquery result.
 		sel, not := t.Select, t.Not
 		return func() (Value, error) {
-			rows, _, err := execSubquery(sel, env)
+			root, _, err := buildSelectPlan(sel, env.db, env.params, env, false, env.qc)
 			if err != nil {
 				return Null, err
 			}
-			return Bool((len(rows) > 0) != not), nil
+			_, ok, err := root.next()
+			if err != nil {
+				return Null, err
+			}
+			return Bool(ok != not), nil
 		}, nil
 	case *Star:
-		return nil, fmt.Errorf("sql: '*' is not valid in this context")
+		return nil, errf(ErrMisuse, "sql: '*' is not valid in this context")
 	default:
-		return nil, fmt.Errorf("sql: cannot evaluate %T", e)
+		return nil, errf(ErrMisuse, "sql: cannot evaluate %T", e)
 	}
 }
 
@@ -230,7 +241,7 @@ func compileColumnRef(t *ColumnRef, env *evalEnv) (compiledExpr, error) {
 func columnReader(owner *evalEnv, i int, t *ColumnRef) compiledExpr {
 	return func() (Value, error) {
 		if i >= len(owner.row) {
-			return Null, fmt.Errorf("sql: internal: column %s out of range", t)
+			return Null, errf(ErrInternal, "sql: internal: column %s out of range", t)
 		}
 		return owner.row[i], nil
 	}
@@ -373,7 +384,7 @@ func compileBinary(b *BinaryOp, env *evalEnv) (compiledExpr, error) {
 			return evalArith(op, lv, rv)
 		}, nil
 	default:
-		return nil, fmt.Errorf("sql: unknown operator %q", b.Op)
+		return nil, errf(ErrMisuse, "sql: unknown operator %q", b.Op)
 	}
 }
 
@@ -449,14 +460,14 @@ func compileIn(in *InList, env *evalEnv) (compiledExpr, error) {
 
 func compileFunc(fc *FuncCall, env *evalEnv) (compiledExpr, error) {
 	if isAggregateName(fc.Name) {
-		return nil, fmt.Errorf("sql: misuse of aggregate function %s()", fc.Name)
+		return nil, errf(ErrMisuse, "sql: misuse of aggregate function %s()", fc.Name)
 	}
 	var fn ScalarFunc
 	if env.db != nil {
 		fn = env.db.funcs.Lookup(fc.Name)
 	}
 	if fn == nil {
-		return nil, fmt.Errorf("sql: no such function: %s", fc.Name)
+		return nil, errf(ErrNoFunction, "sql: no such function: %s", fc.Name)
 	}
 	cargs := make([]compiledExpr, len(fc.Args))
 	for i, a := range fc.Args {
@@ -555,7 +566,7 @@ func compileOrderKey(e Expr, oenv *evalEnv, outWidth int) (compiledExpr, error) 
 	if lit, ok := e.(*Literal); ok && lit.Val.Kind() == KindInt {
 		i := int(lit.Val.AsInt())
 		if i < 1 || i > outWidth {
-			return nil, fmt.Errorf("sql: ORDER BY ordinal %d out of range", i)
+			return nil, errf(ErrMisuse, "sql: ORDER BY ordinal %d out of range", i)
 		}
 		return func() (Value, error) { return oenv.row[i-1], nil }, nil
 	}

@@ -1,11 +1,14 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
 
-// Result is a fully materialised query result.
+// Result is a fully materialised query result — what Rows.Collect
+// returns. Callers that consume rows incrementally (or stop early) should
+// prefer Database.QueryRows.
 type Result struct {
 	Columns []string
 	Rows    []Row
@@ -87,45 +90,61 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
-// Query executes a SELECT statement, returning its rows. Parses are served
-// from the database's LRU plan cache, so repeated queries skip the parser;
-// callers executing one statement many times can also hold a *Stmt from
-// Prepare.
+// Query executes a SELECT statement, materialising its rows. It is
+// Collect over QueryRows: parses are served from the database's LRU plan
+// cache, so repeated queries skip the parser; callers executing one
+// statement many times can also hold a *Stmt from Prepare, and callers
+// that consume rows incrementally should use QueryRows directly.
 func (db *Database) Query(sql string, params ...any) (*Result, error) {
-	sel, err := db.plans.lookup(sql, "Query")
+	return db.QueryContext(context.Background(), sql, params...)
+}
+
+// QueryContext is Query under a context: cancellation or deadline expiry
+// stops the scan mid-flight with an ErrCanceled error.
+func (db *Database) QueryContext(ctx context.Context, sql string, params ...any) (*Result, error) {
+	rows, err := db.QueryRows(ctx, sql, params...)
 	if err != nil {
 		return nil, err
 	}
-	return db.QueryStmt(sel, params...)
+	return rows.Collect()
 }
 
-// QueryStmt executes an already parsed SELECT.
+// QueryStmt executes an already parsed SELECT, materialising its rows.
 func (db *Database) QueryStmt(sel *SelectStmt, params ...any) (*Result, error) {
-	vals := bindParams(params)
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	rows, cols, err := execSelectTop(sel, db, vals)
+	return db.QueryStmtContext(context.Background(), sel, params...)
+}
+
+// QueryStmtContext is QueryStmt under a context.
+func (db *Database) QueryStmtContext(ctx context.Context, sel *SelectStmt, params ...any) (*Result, error) {
+	rows, err := db.queryRows(ctx, sel, bindParams(params))
 	if err != nil {
 		return nil, err
 	}
-	names := make([]string, len(cols))
-	for i, c := range cols {
-		names[i] = c.name
-	}
-	return &Result{Columns: names, Rows: rows}, nil
+	return rows.Collect()
 }
 
-// Exec parses and executes any statement. For SELECT it discards rows and
-// returns their count; for DML it returns the number of affected rows; for
-// DDL it returns 0.
+// Exec parses and executes any statement. For SELECT it streams rows to
+// /dev/null and returns their count; for DML it returns the number of
+// affected rows; for DDL it returns 0.
 func (db *Database) Exec(sql string, params ...any) (int, error) {
+	return db.ExecContext(context.Background(), sql, params...)
+}
+
+// ExecContext is Exec under a context: long scans and DML loops observe
+// cancellation mid-flight.
+func (db *Database) ExecContext(ctx context.Context, sql string, params ...any) (int, error) {
 	stmts, err := ParseAll(sql)
 	if err != nil {
 		return 0, err
 	}
+	qc := newQueryCtx(ctx, db)
+	defer qc.flush()
 	total := 0
 	for _, stmt := range stmts {
-		n, err := db.execStmt(stmt, bindParams(params))
+		if err := qc.cancelled(); err != nil {
+			return total, err
+		}
+		n, err := db.execStmt(stmt, bindParams(params), qc)
 		if err != nil {
 			return total, err
 		}
@@ -150,27 +169,49 @@ func bindParams(params []any) []Value {
 	return vals
 }
 
-func (db *Database) execStmt(stmt Statement, params []Value) (int, error) {
+func (db *Database) execStmt(stmt Statement, params []Value, qc *queryCtx) (int, error) {
 	switch t := stmt.(type) {
 	case *SelectStmt:
+		// Stream the plan and count: rows are never materialised, and a
+		// LIMIT stops the scan early.
+		db.stats.queries.Add(1)
 		db.mu.RLock()
-		rows, _, err := execSelectTop(t, db, params)
-		db.mu.RUnlock()
-		return len(rows), err
+		defer db.mu.RUnlock()
+		root, _, err := buildSelectPlan(t, db, params, nil, true, qc)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for {
+			_, ok, err := root.next()
+			if err != nil {
+				return n, err
+			}
+			if !ok {
+				return n, nil
+			}
+			n++
+		}
 	case *CreateTableStmt:
+		db.stats.execs.Add(1)
 		return 0, db.createTable(t)
 	case *CreateIndexStmt:
+		db.stats.execs.Add(1)
 		return 0, db.createIndex(t)
 	case *DropTableStmt:
+		db.stats.execs.Add(1)
 		return 0, db.dropTable(t)
 	case *InsertStmt:
-		return db.execInsert(t, params)
+		db.stats.execs.Add(1)
+		return db.execInsert(t, params, qc)
 	case *UpdateStmt:
-		return db.execUpdate(t, params)
+		db.stats.execs.Add(1)
+		return db.execUpdate(t, params, qc)
 	case *DeleteStmt:
-		return db.execDelete(t, params)
+		db.stats.execs.Add(1)
+		return db.execDelete(t, params, qc)
 	default:
-		return 0, fmt.Errorf("sql: cannot execute %T", stmt)
+		return 0, errf(ErrMisuse, "sql: cannot execute %T", stmt)
 	}
 }
 
@@ -182,7 +223,7 @@ func (db *Database) createTable(stmt *CreateTableStmt) error {
 		if stmt.IfNotExists {
 			return nil
 		}
-		return fmt.Errorf("sql: table %s already exists", stmt.Name)
+		return errf(ErrSchema, "sql: table %s already exists", stmt.Name)
 	}
 	t, err := newTable(stmt)
 	if err != nil {
@@ -201,7 +242,7 @@ func (db *Database) createIndex(stmt *CreateIndexStmt) error {
 	}
 	ci := t.ColumnIndex(stmt.Column)
 	if ci < 0 {
-		return fmt.Errorf("sql: no such column %s.%s", stmt.Table, stmt.Column)
+		return errf(ErrNoColumn, "sql: no such column %s.%s", stmt.Table, stmt.Column)
 	}
 	key := strings.ToLower(stmt.Column)
 	if _, exists := t.indexes[key]; exists {
@@ -211,7 +252,7 @@ func (db *Database) createIndex(stmt *CreateIndexStmt) error {
 	for id, r := range t.rows {
 		k := r[ci].Key()
 		if stmt.Unique && len(idx.m[k]) > 0 && !r[ci].IsNull() {
-			return fmt.Errorf("sql: cannot create UNIQUE index %s: duplicate value %s", stmt.Name, r[ci])
+			return errf(ErrConstraint, "sql: cannot create UNIQUE index %s: duplicate value %s", stmt.Name, r[ci])
 		}
 		idx.m[k] = append(idx.m[k], id)
 	}
@@ -227,13 +268,13 @@ func (db *Database) dropTable(stmt *DropTableStmt) error {
 		if stmt.IfExists {
 			return nil
 		}
-		return fmt.Errorf("sql: no such table: %s", stmt.Name)
+		return errf(ErrNoTable, "sql: no such table: %s", stmt.Name)
 	}
 	delete(db.tables, key)
 	return nil
 }
 
-func (db *Database) execInsert(stmt *InsertStmt, params []Value) (int, error) {
+func (db *Database) execInsert(stmt *InsertStmt, params []Value, qc *queryCtx) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.tableLocked(stmt.Table)
@@ -250,7 +291,7 @@ func (db *Database) execInsert(stmt *InsertStmt, params []Value) (int, error) {
 		for _, name := range stmt.Columns {
 			ci := t.ColumnIndex(name)
 			if ci < 0 {
-				return 0, fmt.Errorf("sql: table %s has no column named %s", t.Name, name)
+				return 0, errf(ErrNoColumn, "sql: table %s has no column named %s", t.Name, name)
 			}
 			colOrder = append(colOrder, ci)
 		}
@@ -258,13 +299,13 @@ func (db *Database) execInsert(stmt *InsertStmt, params []Value) (int, error) {
 
 	var sourceRows []Row
 	if stmt.Select != nil {
-		rows, _, err := execSelect(stmt.Select, db, params, nil)
+		rows, _, err := execSelect(stmt.Select, db, params, nil, qc)
 		if err != nil {
 			return 0, err
 		}
 		sourceRows = rows
 	} else {
-		env := newEvalEnv(nil, db, params, nil)
+		env := newEvalEnv(nil, db, params, nil, qc)
 		for _, exprs := range stmt.Rows {
 			row := make(Row, len(exprs))
 			for i, e := range exprs {
@@ -281,7 +322,7 @@ func (db *Database) execInsert(stmt *InsertStmt, params []Value) (int, error) {
 	n := 0
 	for _, src := range sourceRows {
 		if len(src) != len(colOrder) {
-			return n, fmt.Errorf("sql: table %s expects %d values, got %d", t.Name, len(colOrder), len(src))
+			return n, errf(ErrMisuse, "sql: table %s expects %d values, got %d", t.Name, len(colOrder), len(src))
 		}
 		full := make(Row, len(t.Columns))
 		for i := range full {
@@ -298,7 +339,7 @@ func (db *Database) execInsert(stmt *InsertStmt, params []Value) (int, error) {
 	return n, nil
 }
 
-func (db *Database) execUpdate(stmt *UpdateStmt, params []Value) (int, error) {
+func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.tableLocked(stmt.Table)
@@ -309,7 +350,7 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value) (int, error) {
 	for i, sc := range stmt.Set {
 		ci := t.ColumnIndex(sc.Column)
 		if ci < 0 {
-			return 0, fmt.Errorf("sql: table %s has no column named %s", t.Name, sc.Column)
+			return 0, errf(ErrNoColumn, "sql: table %s has no column named %s", t.Name, sc.Column)
 		}
 		setCols[i] = ci
 	}
@@ -317,14 +358,26 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value) (int, error) {
 	for i, c := range t.Columns {
 		cols[i] = colInfo{qual: t.Name, name: c.Name}
 	}
-	env := newEvalEnv(cols, db, params, nil)
+	env := newEvalEnv(cols, db, params, nil, qc)
 	n := 0
+	// Rows mutate in place as the loop runs, so any exit — success, an
+	// evaluation error, or cancellation — must rebuild indexes once rows
+	// have changed, or index lookups would serve pre-update keys.
+	fail := func(err error) (int, error) {
+		if n > 0 {
+			t.rebuildIndexes()
+		}
+		return n, err
+	}
 	for id, r := range t.rows {
+		if err := qc.tickCancelled(); err != nil {
+			return fail(err)
+		}
 		env.row = r
 		if stmt.Where != nil {
 			v, err := evalExpr(stmt.Where, env)
 			if err != nil {
-				return n, err
+				return fail(err)
 			}
 			if v.IsNull() || !v.AsBool() {
 				continue
@@ -334,13 +387,13 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value) (int, error) {
 		for i, sc := range stmt.Set {
 			v, err := evalExpr(sc.Expr, env)
 			if err != nil {
-				return n, err
+				return fail(err)
 			}
 			updated[setCols[i]] = coerce(v, t.Columns[setCols[i]].Type)
 		}
 		for i, c := range t.Columns {
 			if c.NotNull && updated[i].IsNull() {
-				return n, fmt.Errorf("sql: NOT NULL constraint failed: %s.%s", t.Name, c.Name)
+				return fail(errf(ErrConstraint, "sql: NOT NULL constraint failed: %s.%s", t.Name, c.Name))
 			}
 		}
 		t.rows[id] = updated
@@ -352,7 +405,7 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value) (int, error) {
 	return n, nil
 }
 
-func (db *Database) execDelete(stmt *DeleteStmt, params []Value) (int, error) {
+func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.tableLocked(stmt.Table)
@@ -363,16 +416,30 @@ func (db *Database) execDelete(stmt *DeleteStmt, params []Value) (int, error) {
 	for i, c := range t.Columns {
 		cols[i] = colInfo{qual: t.Name, name: c.Name}
 	}
-	env := newEvalEnv(cols, db, params, nil)
+	env := newEvalEnv(cols, db, params, nil, qc)
 	kept := t.rows[:0]
 	n := 0
-	for _, r := range t.rows {
+	// The loop compacts t.rows in place, so an early exit — cancellation
+	// or a WHERE evaluation error — must keep the not-yet-examined suffix
+	// and rebuild indexes: examined-and-kept rows plus untouched rows, no
+	// duplicates, no stale index entries.
+	fail := func(i int, err error) (int, error) {
+		t.rows = append(kept, t.rows[i:]...)
+		if n > 0 {
+			t.rebuildIndexes()
+		}
+		return n, err
+	}
+	for i, r := range t.rows {
+		if err := qc.tickCancelled(); err != nil {
+			return fail(i, err)
+		}
 		keep := true
 		if stmt.Where != nil {
 			env.row = r
 			v, err := evalExpr(stmt.Where, env)
 			if err != nil {
-				return n, err
+				return fail(i, err)
 			}
 			if !v.IsNull() && v.AsBool() {
 				keep = false

@@ -1,0 +1,122 @@
+package sqldb
+
+import "fmt"
+
+// This file defines the engine's typed error API. Every error the engine
+// returns is (or wraps) an *Error carrying a stable machine-readable code,
+// so callers branch on error kind with errors.As/errors.Is instead of
+// matching message text:
+//
+//	var se *sqldb.Error
+//	if errors.As(err, &se) && se.Code == sqldb.ErrNoTable { ... }
+//	if errors.Is(err, &sqldb.Error{Code: sqldb.ErrParse}) { ... }
+//
+// Message text is presentation, not contract; only codes are stable.
+
+// ErrorCode classifies an engine error. The string values are stable and
+// suitable for logs and metrics labels.
+type ErrorCode string
+
+const (
+	// ErrUnknown is the zero code: an error that has not been classified.
+	ErrUnknown ErrorCode = "unknown"
+	// ErrParse marks syntax errors (the wrapped cause is a *ParseError
+	// carrying the source position).
+	ErrParse ErrorCode = "parse"
+	// ErrNoTable marks references to tables that do not exist.
+	ErrNoTable ErrorCode = "no_table"
+	// ErrNoColumn marks references to columns that do not exist.
+	ErrNoColumn ErrorCode = "no_column"
+	// ErrAmbiguous marks column references that match more than one input
+	// column.
+	ErrAmbiguous ErrorCode = "ambiguous_column"
+	// ErrNoFunction marks calls to unregistered functions.
+	ErrNoFunction ErrorCode = "no_function"
+	// ErrType marks type errors during evaluation (bad operands, casts).
+	ErrType ErrorCode = "type"
+	// ErrConstraint marks NOT NULL and UNIQUE constraint violations.
+	ErrConstraint ErrorCode = "constraint"
+	// ErrSchema marks DDL conflicts (table already exists, duplicate
+	// column, dropping a missing table).
+	ErrSchema ErrorCode = "schema"
+	// ErrMisuse marks structurally invalid statements that parse: aggregate
+	// misuse, '*' outside a select list, wrong argument counts, executing a
+	// non-SELECT where a SELECT is required, arity mismatches on INSERT.
+	ErrMisuse ErrorCode = "misuse"
+	// ErrParams marks executions with fewer bound parameters than the
+	// statement references.
+	ErrParams ErrorCode = "params"
+	// ErrCanceled marks queries stopped by context cancellation or
+	// deadline; the wrapped cause is the context's error, so
+	// errors.Is(err, context.Canceled) also matches.
+	ErrCanceled ErrorCode = "canceled"
+	// ErrCursor marks misuse of a Rows cursor (Scan without Next, scanning
+	// into the wrong number or type of destinations).
+	ErrCursor ErrorCode = "cursor"
+	// ErrInternal marks invariant violations inside the engine.
+	ErrInternal ErrorCode = "internal"
+)
+
+// Error is the engine's error type: a stable code plus a human-readable
+// message, optionally wrapping a cause (a *ParseError, a context error).
+type Error struct {
+	Code ErrorCode
+	Msg  string
+	// Cause is the underlying error, if any; it is reachable through
+	// errors.Unwrap / errors.Is / errors.As.
+	Cause error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Msg }
+
+// Unwrap exposes the cause to the errors package.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// Is reports whether target is an *Error with the same code, which makes
+// code-only probes work: errors.Is(err, &Error{Code: ErrNoTable}).
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	if !ok {
+		return false
+	}
+	return t.Code == e.Code && (t.Msg == "" || t.Msg == e.Msg)
+}
+
+// errf builds an *Error with a formatted message.
+func errf(code ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// wrapErr classifies an arbitrary error under code, preserving it as the
+// cause. Errors that are already *Error pass through untouched so the most
+// specific code wins.
+func wrapErr(code ErrorCode, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*Error); ok {
+		return err
+	}
+	return &Error{Code: code, Msg: err.Error(), Cause: err}
+}
+
+// CodeOf extracts the ErrorCode from any error produced by the engine,
+// unwrapping as needed. Non-engine errors report ErrUnknown.
+func CodeOf(err error) ErrorCode {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			return e.Code
+		}
+		if e, ok := err.(*ParseError); ok {
+			_ = e
+			return ErrParse
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return ErrUnknown
+		}
+		err = u.Unwrap()
+	}
+	return ErrUnknown
+}

@@ -1,19 +1,21 @@
 package sqldb
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 )
 
-// This file implements SELECT planning and execution: a volcano-style
-// iterator tree for the FROM/WHERE stages (scans, index lookups, hash,
-// index-nested-loop and nested-loop joins) with materialisation at the
-// aggregation, sort and distinct boundaries. Planning compiles every
-// expression into a closure (compile.go) and chooses access paths; the
-// per-row path then performs no name resolution, no map lookups by column
-// name, and no string formatting (row identities use the binary keys of
-// key.go with reused scratch buffers).
+// This file implements the FROM/WHERE stages of SELECT execution: a
+// volcano-style iterator tree of scans, index lookups, hash,
+// index-nested-loop and nested-loop joins. The projection/DISTINCT/
+// ORDER BY/LIMIT tail is composed on top by buildSelectPlan (stream.go),
+// so the whole statement runs as one pull pipeline; only aggregation and
+// sort materialise. Planning compiles every expression into a closure
+// (compile.go) and chooses access paths; the per-row path then performs
+// no name resolution, no map lookups by column name, and no string
+// formatting (row identities use the binary keys of key.go with reused
+// scratch buffers). Scans carry the execution's queryCtx, counting rows
+// for Database.Stats and sampling context cancellation mid-scan.
 
 // operator is a pull-based row iterator.
 type operator interface {
@@ -57,31 +59,49 @@ func (a *rowArena) alloc(n int) Row {
 // scanOp iterates a base table's heap, optionally restricted to a set of
 // row ids produced by an index lookup.
 type scanOp struct {
-	table *Table
-	qual  string // alias the table is addressable by
-	cols  []colInfo
-	ids   []int // nil = full scan
-	pos   int
+	table   *Table
+	qual    string // alias the table is addressable by
+	cols    []colInfo
+	ids     []int // nil = full scan
+	pos     int
+	qc      *queryCtx
+	counted bool // access path recorded in qc (once per operator)
 }
 
-func newScanOp(t *Table, qual string) *scanOp {
+func newScanOp(t *Table, qual string, qc *queryCtx) *scanOp {
 	cols := make([]colInfo, len(t.Columns))
 	for i, c := range t.Columns {
 		cols[i] = colInfo{qual: qual, name: c.Name}
 	}
-	return &scanOp{table: t, qual: qual, cols: cols}
+	return &scanOp{table: t, qual: qual, cols: cols, qc: qc}
 }
 
 func (s *scanOp) columns() []colInfo { return s.cols }
 func (s *scanOp) reset()             { s.pos = 0 }
 
 func (s *scanOp) next() (Row, bool, error) {
+	if s.qc != nil {
+		if !s.counted {
+			s.counted = true
+			if s.ids != nil {
+				s.qc.indexScans++
+			} else {
+				s.qc.fullScans++
+			}
+		}
+		if err := s.qc.tickCancelled(); err != nil {
+			return nil, false, err
+		}
+	}
 	if s.ids != nil {
 		if s.pos >= len(s.ids) {
 			return nil, false, nil
 		}
 		r := s.table.rows[s.ids[s.pos]]
 		s.pos++
+		if s.qc != nil {
+			s.qc.rowsScanned++
+		}
 		return r, true, nil
 	}
 	if s.pos >= len(s.table.rows) {
@@ -89,6 +109,9 @@ func (s *scanOp) next() (Row, bool, error) {
 	}
 	r := s.table.rows[s.pos]
 	s.pos++
+	if s.qc != nil {
+		s.qc.rowsScanned++
+	}
 	return r, true, nil
 }
 
@@ -121,8 +144,8 @@ type filterOp struct {
 	env   *evalEnv
 }
 
-func newFilterOp(child operator, pred Expr, db *Database, params []Value, outer *evalEnv) (*filterOp, error) {
-	env := newEvalEnv(child.columns(), db, params, outer)
+func newFilterOp(child operator, pred Expr, db *Database, params []Value, outer *evalEnv, qc *queryCtx) (*filterOp, error) {
+	env := newEvalEnv(child.columns(), db, params, outer, qc)
 	cpred, err := compileExpr(pred, env)
 	if err != nil {
 		return nil, err
@@ -185,13 +208,13 @@ type probeJoinCore struct {
 // initProbeJoin fills the core's environments and compiles the key and
 // residual expressions. cols must already be set.
 func (c *probeJoinCore) initProbeJoin(probeKeyE, residual Expr,
-	db *Database, params []Value, outer *evalEnv) error {
+	db *Database, params []Value, outer *evalEnv, qc *queryCtx) error {
 	var err error
-	c.probeEnv = newEvalEnv(c.probe.columns(), db, params, outer)
+	c.probeEnv = newEvalEnv(c.probe.columns(), db, params, outer, qc)
 	if c.probeKey, err = compileExpr(probeKeyE, c.probeEnv); err != nil {
 		return err
 	}
-	c.pairEnv = newEvalEnv(c.cols, db, params, outer)
+	c.pairEnv = newEvalEnv(c.cols, db, params, outer, qc)
 	if residual != nil {
 		if c.residual, err = compileExpr(residual, c.pairEnv); err != nil {
 			return err
@@ -289,7 +312,7 @@ type hashJoinOp struct {
 func newHashJoinOp(probe operator, buildCols []colInfo, buildRows []Row,
 	probeKeyE, buildKeyE Expr, leftKey, rightKey Expr, residual Expr,
 	buildIsLeft, leftOuter bool,
-	db *Database, params []Value, outer *evalEnv) (*hashJoinOp, error) {
+	db *Database, params []Value, outer *evalEnv, qc *queryCtx) (*hashJoinOp, error) {
 
 	var cols []colInfo
 	if buildIsLeft {
@@ -320,7 +343,7 @@ func newHashJoinOp(probe operator, buildCols []colInfo, buildRows []Row,
 	h.matchRow = func(i int) Row { return h.curBucket[i] }
 
 	// Build phase.
-	buildEnv := newEvalEnv(buildCols, db, params, outer)
+	buildEnv := newEvalEnv(buildCols, db, params, outer, qc)
 	buildKey, err := compileExpr(buildKeyE, buildEnv)
 	if err != nil {
 		return nil, err
@@ -344,7 +367,7 @@ func newHashJoinOp(probe operator, buildCols []colInfo, buildRows []Row,
 		}
 		h.buckets[i] = append(h.buckets[i], r)
 	}
-	if err := h.initProbeJoin(probeKeyE, residual, db, params, outer); err != nil {
+	if err := h.initProbeJoin(probeKeyE, residual, db, params, outer, qc); err != nil {
 		return nil, err
 	}
 	return h, nil
@@ -366,7 +389,7 @@ type indexJoinOp struct {
 
 func newIndexJoinOp(probe operator, table *Table, idx *Index, idxCols []colInfo,
 	probeKeyE, idxKeyE Expr, residual Expr, probeIsLeft, leftOuter bool,
-	db *Database, params []Value, outer *evalEnv) (*indexJoinOp, error) {
+	db *Database, params []Value, outer *evalEnv, qc *queryCtx) (*indexJoinOp, error) {
 
 	var cols []colInfo
 	if probeIsLeft {
@@ -391,7 +414,7 @@ func newIndexJoinOp(probe operator, table *Table, idx *Index, idxCols []colInfo,
 		return len(j.curIDs)
 	}
 	j.matchRow = func(i int) Row { return j.table.rows[j.curIDs[i]] }
-	if err := j.initProbeJoin(probeKeyE, residual, db, params, outer); err != nil {
+	if err := j.initProbeJoin(probeKeyE, residual, db, params, outer, qc); err != nil {
 		return nil, err
 	}
 	return j, nil
@@ -417,7 +440,7 @@ type nestedLoopJoinOp struct {
 }
 
 func newNestedLoopJoinOp(left operator, rightCols []colInfo, rightRows []Row,
-	on Expr, leftOuter bool, db *Database, params []Value, outer *evalEnv) (*nestedLoopJoinOp, error) {
+	on Expr, leftOuter bool, db *Database, params []Value, outer *evalEnv, qc *queryCtx) (*nestedLoopJoinOp, error) {
 	cols := append(append([]colInfo{}, left.columns()...), rightCols...)
 	n := &nestedLoopJoinOp{
 		left:      left,
@@ -426,7 +449,7 @@ func newNestedLoopJoinOp(left operator, rightCols []colInfo, rightRows []Row,
 		cols:      cols,
 		on:        on,
 		leftOuter: leftOuter,
-		env:       newEvalEnv(cols, db, params, outer),
+		env:       newEvalEnv(cols, db, params, outer, qc),
 	}
 	if on != nil {
 		var err error
@@ -492,9 +515,11 @@ func (n *nestedLoopJoinOp) next() (Row, bool, error) {
 // SELECT driver
 
 // execSubquery runs a nested SELECT with the enclosing row environment
-// available for correlated references.
+// available for correlated references, materialising its result (IN
+// subqueries need the full set for NULL semantics; EXISTS and scalar
+// subqueries stream through buildSelectPlan instead, see compile.go).
 func execSubquery(stmt *SelectStmt, outer *evalEnv) ([]Row, []colInfo, error) {
-	return execSelect(stmt, outer.db, outer.params, outer)
+	return execSelect(stmt, outer.db, outer.params, outer, outer.qc)
 }
 
 // execSelect plans and runs a nested or subsidiary SELECT, materialising
@@ -502,276 +527,22 @@ func execSubquery(stmt *SelectStmt, outer *evalEnv) ([]Row, []colInfo, error) {
 // result (a scalar subquery keeps one row, a derived table may feed an
 // outer LIMIT), which would make plan choice observable under tied or
 // absent orderings.
-func execSelect(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv) ([]Row, []colInfo, error) {
-	return execSelectOpts(stmt, db, params, outer, false)
-}
-
-// execSelectTop runs a top-level SELECT, where the whole result reaches
-// the caller and order-changing join plans are safe under an ORDER BY.
-func execSelectTop(stmt *SelectStmt, db *Database, params []Value) ([]Row, []colInfo, error) {
-	return execSelectOpts(stmt, db, params, nil, true)
-}
-
-func execSelectOpts(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, topLevel bool) ([]Row, []colInfo, error) {
-	src, where, err := buildFrom(stmt, db, params, outer, topLevel)
+func execSelect(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, qc *queryCtx) ([]Row, []colInfo, error) {
+	root, cols, err := buildSelectPlan(stmt, db, params, outer, false, qc)
 	if err != nil {
 		return nil, nil, err
 	}
-	if where != nil {
-		f, err := newFilterOp(src, where, db, params, outer)
-		if err != nil {
-			return nil, nil, err
-		}
-		src = f
-	}
-
-	aggregate := len(stmt.GroupBy) > 0
-	if !aggregate {
-		for _, it := range stmt.Items {
-			if exprContainsAggregate(it.Expr) {
-				aggregate = true
-				break
-			}
-		}
-		if stmt.Having != nil && !aggregate {
-			aggregate = true
-		}
-	}
-
-	items, outCols, err := expandItems(stmt.Items, src.columns())
+	rows, err := drain(root)
 	if err != nil {
 		return nil, nil, err
 	}
-
-	// LIMIT / OFFSET are constant expressions; fold them up front so the
-	// non-sorting path can stop pulling rows early.
-	start, limit := 0, -1
-	if stmt.Offset != nil {
-		ov, err := evalConst(stmt.Offset, db, params)
-		if err != nil {
-			return nil, nil, err
-		}
-		if start = int(ov.AsInt()); start < 0 {
-			start = 0
-		}
-	}
-	if stmt.Limit != nil {
-		lv, err := evalConst(stmt.Limit, db, params)
-		if err != nil {
-			return nil, nil, err
-		}
-		limit = int(lv.AsInt())
-	}
-
-	// env is the row environment the projection (and HAVING, and the input
-	// side of ORDER BY) evaluates in. Under aggregation its row is the
-	// group's representative row and env.agg carries the group context.
-	env := newEvalEnv(src.columns(), db, params, outer)
-
-	hasOrder := len(stmt.OrderBy) > 0
-	var oenv *evalEnv
-	var orderKeys []compiledExpr
-	compileOrder := func() error {
-		if !hasOrder {
-			return nil
-		}
-		// ORDER BY resolves output aliases first, then input columns.
-		oenv = newEvalEnv(outCols, db, params, env)
-		oenv.agg = env.agg
-		orderKeys = make([]compiledExpr, len(stmt.OrderBy))
-		for i, ob := range stmt.OrderBy {
-			k, err := compileOrderKey(ob.Expr, oenv, len(outCols))
-			if err != nil {
-				return err
-			}
-			orderKeys[i] = k
-		}
-		return nil
-	}
-
-	type projRow struct {
-		out  Row
-		keys []Value // eagerly evaluated ORDER BY keys (nil without ORDER BY)
-	}
-	var projected []projRow
-	var arena rowArena
-
-	// projectCurrent evaluates the select items (and ORDER BY keys) for the
-	// row/group currently loaded into env.
-	var citems []compiledExpr
-	projectCurrent := func() (projRow, error) {
-		out := arena.alloc(len(citems))
-		for i, c := range citems {
-			v, err := c()
-			if err != nil {
-				return projRow{}, err
-			}
-			out[i] = v
-		}
-		pr := projRow{out: out}
-		if hasOrder {
-			oenv.row = out
-			pr.keys = make([]Value, len(orderKeys))
-			for i, k := range orderKeys {
-				v, err := k()
-				if err != nil {
-					return projRow{}, err
-				}
-				pr.keys[i] = v
-			}
-		}
-		return pr, nil
-	}
-
-	if aggregate {
-		// Collect the aggregate calls the query references anywhere.
-		var aggs []*FuncCall
-		for _, it := range items {
-			aggs = collectAggregates(it.Expr, aggs)
-		}
-		if stmt.Having != nil {
-			aggs = collectAggregates(stmt.Having, aggs)
-		}
-		for _, ob := range stmt.OrderBy {
-			aggs = collectAggregates(ob.Expr, aggs)
-		}
-		groupStrs := make([]string, len(stmt.GroupBy))
-		for i, g := range stmt.GroupBy {
-			groupStrs[i] = g.String()
-		}
-		ctx := &aggCtx{groupStrs: groupStrs, aggs: aggs}
-		env.agg = ctx
-
-		groups, err := runAggregation(stmt, src, aggs, db, params, outer)
-		if err != nil {
-			return nil, nil, err
-		}
-
-		citems = make([]compiledExpr, len(items))
-		for i, it := range items {
-			if citems[i], err = compileExpr(it.Expr, env); err != nil {
-				return nil, nil, err
-			}
-		}
-		var having compiledExpr
-		if stmt.Having != nil {
-			if having, err = compileExpr(stmt.Having, env); err != nil {
-				return nil, nil, err
-			}
-		}
-		if err := compileOrder(); err != nil {
-			return nil, nil, err
-		}
-
-		aggVals := make([]Value, len(aggs))
-		for _, g := range groups {
-			env.row = g.repRow
-			ctx.groupKeys = g.keys
-			for i, st := range g.states {
-				aggVals[i] = st.result()
-			}
-			ctx.aggVals = aggVals
-			if having != nil {
-				hv, err := having()
-				if err != nil {
-					return nil, nil, err
-				}
-				if hv.IsNull() || !hv.AsBool() {
-					continue
-				}
-			}
-			pr, err := projectCurrent()
-			if err != nil {
-				return nil, nil, err
-			}
-			projected = append(projected, pr)
-		}
-	} else {
-		citems = make([]compiledExpr, len(items))
-		for i, it := range items {
-			if citems[i], err = compileExpr(it.Expr, env); err != nil {
-				return nil, nil, err
-			}
-		}
-		if err := compileOrder(); err != nil {
-			return nil, nil, err
-		}
-		// Without sorting or dedup the plan can stop as soon as the
-		// LIMIT/OFFSET window is filled.
-		stopAt := -1
-		if limit >= 0 && !hasOrder && !stmt.Distinct {
-			stopAt = start + limit
-		}
-		for {
-			r, ok, err := src.next()
-			if err != nil {
-				return nil, nil, err
-			}
-			if !ok {
-				break
-			}
-			env.row = r
-			pr, err := projectCurrent()
-			if err != nil {
-				return nil, nil, err
-			}
-			projected = append(projected, pr)
-			if stopAt >= 0 && len(projected) >= stopAt {
-				break
-			}
-		}
-	}
-
-	if stmt.Distinct {
-		seen := make(map[string]bool, len(projected))
-		kept := projected[:0]
-		var kb []byte
-		for _, pr := range projected {
-			kb = appendRowKey(kb[:0], pr.out)
-			if seen[string(kb)] {
-				continue
-			}
-			seen[string(kb)] = true
-			kept = append(kept, pr)
-		}
-		projected = kept
-	}
-
-	if hasOrder {
-		sort.SliceStable(projected, func(a, b int) bool {
-			for j, ob := range stmt.OrderBy {
-				c := projected[a].keys[j].Compare(projected[b].keys[j])
-				if c != 0 {
-					if ob.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-	}
-
-	// Apply the LIMIT/OFFSET window.
-	end := len(projected)
-	if start > end {
-		start = end
-	}
-	if limit >= 0 && start+limit < end {
-		end = start + limit
-	}
-
-	rows := make([]Row, 0, end-start)
-	for _, pr := range projected[start:end] {
-		rows = append(rows, pr.out)
-	}
-	return rows, outCols, nil
+	return rows, cols, nil
 }
 
 // evalConst evaluates an expression that must not reference any columns
 // (LIMIT/OFFSET operands).
-func evalConst(e Expr, db *Database, params []Value) (Value, error) {
-	env := newEvalEnv(nil, db, params, nil)
+func evalConst(e Expr, db *Database, params []Value, qc *queryCtx) (Value, error) {
+	env := newEvalEnv(nil, db, params, nil, qc)
 	return evalExpr(e, env)
 }
 
@@ -790,7 +561,7 @@ func expandItems(items []SelectItem, in []colInfo) ([]SelectItem, []colInfo, err
 				}
 			}
 			if !matched {
-				return nil, nil, fmt.Errorf("sql: no columns match %s", st)
+				return nil, nil, errf(ErrNoColumn, "sql: no columns match %s", st)
 			}
 			continue
 		}
@@ -825,9 +596,9 @@ type aggGroup struct {
 // encoding of their GROUP BY keys, and accumulates every aggregate the
 // query references. Groups come back in first-seen order.
 func runAggregation(stmt *SelectStmt, src operator, aggs []*FuncCall,
-	db *Database, params []Value, outer *evalEnv) ([]*aggGroup, error) {
+	db *Database, params []Value, outer *evalEnv, qc *queryCtx) ([]*aggGroup, error) {
 
-	env := newEvalEnv(src.columns(), db, params, outer)
+	env := newEvalEnv(src.columns(), db, params, outer, qc)
 	groupExprs := make([]compiledExpr, len(stmt.GroupBy))
 	for i, ge := range stmt.GroupBy {
 		c, err := compileExpr(ge, env)
@@ -976,12 +747,12 @@ func indexForJoinKey(sc *scanOp, key Expr) *Index {
 // the right side built. Plans that change output row order (streaming the
 // right input) are only chosen when the statement imposes an ORDER BY.
 // Non-equi and CROSS joins fall back to nested loops.
-func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, topLevel bool) (operator, Expr, error) {
+func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, topLevel bool, qc *queryCtx) (operator, Expr, error) {
 	if stmt.From == nil {
 		// SELECT without FROM: a single empty row.
 		return &valuesOp{cols: nil, rows: []Row{{}}}, stmt.Where, nil
 	}
-	left, err := buildTableRef(*stmt.From, db, params, outer)
+	left, err := buildTableRef(*stmt.From, db, params, outer, qc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -1006,7 +777,7 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 	allowReorder := topLevel && len(stmt.OrderBy) > 0 && stmt.Limit == nil && stmt.Offset == nil
 
 	for _, jc := range stmt.Joins {
-		rightOp, err := buildTableRef(jc.Table, db, params, outer)
+		rightOp, err := buildTableRef(jc.Table, db, params, outer, qc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -1016,7 +787,7 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 			if err != nil {
 				return nil, nil, err
 			}
-			nl, err := newNestedLoopJoinOp(left, rightCols, rightRows, nil, false, db, params, outer)
+			nl, err := newNestedLoopJoinOp(left, rightCols, rightRows, nil, false, db, params, outer, qc)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -1030,7 +801,7 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 			if err != nil {
 				return nil, nil, err
 			}
-			nl, err := newNestedLoopJoinOp(left, rightCols, rightRows, jc.On, leftOuter, db, params, outer)
+			nl, err := newNestedLoopJoinOp(left, rightCols, rightRows, jc.On, leftOuter, db, params, outer, qc)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -1043,7 +814,7 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 		if rsc, ok := rightOp.(*scanOp); ok && rsc.ids == nil {
 			if idx := indexForJoinKey(rsc, rightKey); idx != nil {
 				ij, err := newIndexJoinOp(left, rsc.table, idx, rightCols,
-					leftKey, rightKey, residual, true, leftOuter, db, params, outer)
+					leftKey, rightKey, residual, true, leftOuter, db, params, outer, qc)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -1058,7 +829,7 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 			if lsc, ok := left.(*scanOp); ok && lsc.ids == nil {
 				if idx := indexForJoinKey(lsc, leftKey); idx != nil {
 					ij, err := newIndexJoinOp(rightOp, lsc.table, idx, left.columns(),
-						rightKey, leftKey, residual, false, false, db, params, outer)
+						rightKey, leftKey, residual, false, false, db, params, outer, qc)
 					if err != nil {
 						return nil, nil, err
 					}
@@ -1087,13 +858,13 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 			}
 			probe := &valuesOp{cols: rightCols, rows: rightRows}
 			h, err = newHashJoinOp(probe, left.columns(), leftRows,
-				rightKey, leftKey, leftKey, rightKey, residual, true, false, db, params, outer)
+				rightKey, leftKey, leftKey, rightKey, residual, true, false, db, params, outer, qc)
 			if err != nil {
 				return nil, nil, err
 			}
 		} else {
 			h, err = newHashJoinOp(left, rightCols, rightRows,
-				leftKey, rightKey, leftKey, rightKey, residual, false, leftOuter, db, params, outer)
+				leftKey, rightKey, leftKey, rightKey, residual, false, leftOuter, db, params, outer, qc)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -1103,9 +874,9 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 	return left, where, nil
 }
 
-func buildTableRef(tr TableRef, db *Database, params []Value, outer *evalEnv) (operator, error) {
+func buildTableRef(tr TableRef, db *Database, params []Value, outer *evalEnv, qc *queryCtx) (operator, error) {
 	if tr.Sub != nil {
-		rows, cols, err := execSelect(tr.Sub, db, params, outer)
+		rows, cols, err := execSelect(tr.Sub, db, params, outer, qc)
 		if err != nil {
 			return nil, err
 		}
@@ -1120,7 +891,7 @@ func buildTableRef(tr TableRef, db *Database, params []Value, outer *evalEnv) (o
 	if err != nil {
 		return nil, err
 	}
-	return newScanOp(t, tr.effectiveName()), nil
+	return newScanOp(t, tr.effectiveName(), qc), nil
 }
 
 // drain materialises an operator's full output.

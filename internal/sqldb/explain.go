@@ -18,14 +18,14 @@ func (db *Database) Explain(sql string, params ...any) ([]string, error) {
 	}
 	sel, ok := stmt.(*SelectStmt)
 	if !ok {
-		return nil, fmt.Errorf("sql: EXPLAIN supports SELECT statements, got %T", stmt)
+		return nil, errf(ErrMisuse, "sql: EXPLAIN supports SELECT statements, got %T", stmt)
 	}
 	vals := bindParams(params)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	// topLevel mirrors Query's planning so EXPLAIN shows the plan that
 	// would actually run.
-	src, where, err := buildFrom(sel, db, vals, nil, true)
+	src, where, err := buildFrom(sel, db, vals, nil, true, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,6 @@
 package sqldb
 
 import (
-	"fmt"
 	"math"
 	"strings"
 )
@@ -34,11 +33,20 @@ type evalEnv struct {
 	// agg is set on environments evaluating the post-aggregation phase
 	// (projection, HAVING, ORDER BY of an aggregate query); see compile.go.
 	agg *aggCtx
+	// qc is the executing statement's queryCtx (cancellation + counters),
+	// carried here so compiled subquery closures can hand it to their
+	// subplans. nil for internal evaluations.
+	qc *queryCtx
 }
 
-// newEvalEnv builds an environment over the given schema.
-func newEvalEnv(cols []colInfo, db *Database, params []Value, outer *evalEnv) *evalEnv {
-	env := &evalEnv{cols: cols, db: db, params: params, outer: outer}
+// newEvalEnv builds an environment over the given schema. A nil qc
+// inherits the outer environment's, so correlated subquery scopes share
+// their statement's context.
+func newEvalEnv(cols []colInfo, db *Database, params []Value, outer *evalEnv, qc *queryCtx) *evalEnv {
+	if qc == nil && outer != nil {
+		qc = outer.qc
+	}
+	env := &evalEnv{cols: cols, db: db, params: params, outer: outer, qc: qc}
 	env.lookup = buildLookup(cols)
 	return env
 }
@@ -74,12 +82,12 @@ func (env *evalEnv) resolve(ref *ColumnRef) (int, *evalEnv, error) {
 	for e := env; e != nil; e = e.outer {
 		if i, ok := e.lookup[key]; ok {
 			if i == -2 {
-				return 0, nil, fmt.Errorf("sql: ambiguous column name: %s", ref)
+				return 0, nil, errf(ErrAmbiguous, "sql: ambiguous column name: %s", ref)
 			}
 			return i, e, nil
 		}
 	}
-	return 0, nil, fmt.Errorf("sql: no such column: %s", ref)
+	return 0, nil, errf(ErrNoColumn, "sql: no such column: %s", ref)
 }
 
 // evalExpr evaluates e in env with SQL three-valued-logic semantics. It is
@@ -93,7 +101,7 @@ func evalExpr(e Expr, env *evalEnv) (Value, error) {
 		return t.Val, nil
 	case *Param:
 		if t.Index >= len(env.params) {
-			return Null, fmt.Errorf("sql: statement expects at least %d parameters, got %d", t.Index+1, len(env.params))
+			return Null, errf(ErrParams, "sql: statement expects at least %d parameters, got %d", t.Index+1, len(env.params))
 		}
 		return env.params[t.Index], nil
 	case *ColumnRef:
@@ -102,7 +110,7 @@ func evalExpr(e Expr, env *evalEnv) (Value, error) {
 			return Null, err
 		}
 		if i >= len(owner.row) {
-			return Null, fmt.Errorf("sql: internal: column %s out of range", t)
+			return Null, errf(ErrInternal, "sql: internal: column %s out of range", t)
 		}
 		return owner.row[i], nil
 	case *BinaryOp:
@@ -145,9 +153,9 @@ func evalExpr(e Expr, env *evalEnv) (Value, error) {
 		}
 		return Bool((len(rows) > 0) != t.Not), nil
 	case *Star:
-		return Null, fmt.Errorf("sql: '*' is not valid in this context")
+		return Null, errf(ErrMisuse, "sql: '*' is not valid in this context")
 	default:
-		return Null, fmt.Errorf("sql: cannot evaluate %T", e)
+		return Null, errf(ErrMisuse, "sql: cannot evaluate %T", e)
 	}
 }
 
@@ -233,7 +241,7 @@ func evalBinary(b *BinaryOp, env *evalEnv) (Value, error) {
 	case "+", "-", "*", "/", "%":
 		return evalArith(b.Op, l, r)
 	default:
-		return Null, fmt.Errorf("sql: unknown operator %q", b.Op)
+		return Null, errf(ErrMisuse, "sql: unknown operator %q", b.Op)
 	}
 }
 
@@ -285,7 +293,7 @@ func evalArith(op string, l, r Value) (Value, error) {
 		}
 		return Float(math.Mod(a, b)), nil
 	}
-	return Null, fmt.Errorf("sql: unknown arithmetic operator %q", op)
+	return Null, errf(ErrInternal, "sql: unknown arithmetic operator %q", op)
 }
 
 func evalUnary(u *UnaryOp, env *evalEnv) (Value, error) {
@@ -308,7 +316,7 @@ func evalUnary(u *UnaryOp, env *evalEnv) (Value, error) {
 		}
 		return Bool(!v.AsBool()), nil
 	default:
-		return Null, fmt.Errorf("sql: unknown unary operator %q", u.Op)
+		return Null, errf(ErrMisuse, "sql: unknown unary operator %q", u.Op)
 	}
 }
 

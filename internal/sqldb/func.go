@@ -1,7 +1,6 @@
 package sqldb
 
 import (
-	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -56,14 +55,14 @@ func (r *FuncRegistry) Names() []string {
 // evalFunc dispatches a (non-aggregate) function call.
 func evalFunc(fc *FuncCall, env *evalEnv) (Value, error) {
 	if isAggregateName(fc.Name) {
-		return Null, fmt.Errorf("sql: misuse of aggregate function %s()", fc.Name)
+		return Null, errf(ErrMisuse, "sql: misuse of aggregate function %s()", fc.Name)
 	}
 	var fn ScalarFunc
 	if env.db != nil {
 		fn = env.db.funcs.Lookup(fc.Name)
 	}
 	if fn == nil {
-		return Null, fmt.Errorf("sql: no such function: %s", fc.Name)
+		return Null, errf(ErrNoFunction, "sql: no such function: %s", fc.Name)
 	}
 	args := make([]Value, len(fc.Args))
 	for i, a := range fc.Args {
@@ -80,7 +79,7 @@ func evalFunc(fc *FuncCall, env *evalEnv) (Value, error) {
 // (max < 0 means unbounded).
 func argCheck(name string, args []Value, min, max int) error {
 	if len(args) < min || (max >= 0 && len(args) > max) {
-		return fmt.Errorf("sql: wrong number of arguments to function %s()", name)
+		return errf(ErrMisuse, "sql: wrong number of arguments to function %s()", name)
 	}
 	return nil
 }

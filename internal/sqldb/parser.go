@@ -27,19 +27,30 @@ func (e *ParseError) Error() string {
 }
 
 // Parse parses a single SQL statement. Trailing semicolons are permitted.
+// Errors are *Error values with code ErrParse wrapping a *ParseError that
+// carries the source position.
 func Parse(src string) (Statement, error) {
 	stmts, err := ParseAll(src)
 	if err != nil {
 		return nil, err
 	}
 	if len(stmts) != 1 {
-		return nil, &ParseError{Pos: 0, Msg: fmt.Sprintf("expected exactly one statement, got %d", len(stmts)), Src: src}
+		return nil, wrapErr(ErrParse, &ParseError{Pos: 0, Msg: fmt.Sprintf("expected exactly one statement, got %d", len(stmts)), Src: src})
 	}
 	return stmts[0], nil
 }
 
-// ParseAll parses a semicolon-separated script into statements.
+// ParseAll parses a semicolon-separated script into statements. Errors are
+// *Error values with code ErrParse wrapping the positioned *ParseError.
 func ParseAll(src string) ([]Statement, error) {
+	stmts, err := parseAll(src)
+	if err != nil {
+		return nil, wrapErr(ErrParse, err)
+	}
+	return stmts, nil
+}
+
+func parseAll(src string) ([]Statement, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err

@@ -2,8 +2,9 @@ package sqldb
 
 import (
 	"container/list"
-	"fmt"
+	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements prepared statements and the database's plan cache.
@@ -34,9 +35,21 @@ func (db *Database) Prepare(sql string) (*Stmt, error) {
 	return &Stmt{db: db, sel: sel, sql: sql}, nil
 }
 
-// Query executes the prepared statement with the given parameters.
+// Query executes the prepared statement with the given parameters,
+// materialising the result.
 func (s *Stmt) Query(params ...any) (*Result, error) {
 	return s.db.QueryStmt(s.sel, params...)
+}
+
+// QueryContext is Query under a context.
+func (s *Stmt) QueryContext(ctx context.Context, params ...any) (*Result, error) {
+	return s.db.QueryStmtContext(ctx, s.sel, params...)
+}
+
+// QueryRows executes the prepared statement and returns a streaming
+// cursor (see Database.QueryRows).
+func (s *Stmt) QueryRows(ctx context.Context, params ...any) (*Rows, error) {
+	return s.db.queryRows(ctx, s.sel, bindParams(params))
 }
 
 // SQL returns the statement's original text.
@@ -51,9 +64,11 @@ const planCacheCap = 512
 // parses are cached; parse errors and non-SELECT statements take the slow
 // path every time (they are not on any hot path).
 type planCache struct {
-	mu  sync.Mutex
-	m   map[string]*list.Element
-	lru *list.List // front = most recently used
+	mu     sync.Mutex
+	m      map[string]*list.Element
+	lru    *list.List // front = most recently used
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 type planEntry struct {
@@ -73,9 +88,11 @@ func (c *planCache) lookup(sql, verb string) (*SelectStmt, error) {
 		c.lru.MoveToFront(el)
 		sel := el.Value.(*planEntry).sel
 		c.mu.Unlock()
+		c.hits.Add(1)
 		return sel, nil
 	}
 	c.mu.Unlock()
+	c.misses.Add(1)
 
 	// Parse outside the lock; concurrent misses on the same text just
 	// parse twice and the second insert wins the front slot.
@@ -85,7 +102,7 @@ func (c *planCache) lookup(sql, verb string) (*SelectStmt, error) {
 	}
 	sel, ok := stmt.(*SelectStmt)
 	if !ok {
-		return nil, fmt.Errorf("sql: %s requires a SELECT statement, got %T", verb, stmt)
+		return nil, errf(ErrMisuse, "sql: %s requires a SELECT statement, got %T", verb, stmt)
 	}
 
 	c.mu.Lock()
@@ -101,6 +118,11 @@ func (c *planCache) lookup(sql, verb string) (*SelectStmt, error) {
 		delete(c.m, last.Value.(*planEntry).sql)
 	}
 	return sel, nil
+}
+
+// counters reports the cache's cumulative hit/miss counts (Stats).
+func (c *planCache) counters() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // len reports the number of cached plans (for tests).

@@ -303,7 +303,7 @@ func refSelect(db *Database, stmt *SelectStmt) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := newEvalEnv(cols, db, nil, nil)
+	env := newEvalEnv(cols, db, nil, nil, nil)
 	type keyed struct {
 		out  Row
 		keys []Value

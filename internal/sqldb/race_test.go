@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -25,6 +26,36 @@ func TestConcurrentQueriesShareCachedPlans(t *testing.T) {
 						return
 					}
 				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConcurrentCursorsAndStats(t *testing.T) {
+	// Streaming cursors on many goroutines share the read lock while
+	// Stats() snapshots counters concurrently — the surface the race
+	// detector watches.
+	db := testDB(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rows, err := db.QueryRows(ctx, "SELECT title, revenue FROM movies WHERE revenue > ?", i%200)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for rows.Next() {
+				}
+				if err := rows.Err(); err != nil {
+					t.Error(err)
+				}
+				rows.Close()
+				db.Stats()
 			}
 		}()
 	}

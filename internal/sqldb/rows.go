@@ -1,0 +1,189 @@
+package sqldb
+
+import "context"
+
+// Rows is a streaming cursor over a SELECT's result: the database/sql-style
+// pull API of this engine. Rows flow one at a time from the underlying
+// operator tree, so a caller that stops early (LIMIT-like consumption,
+// first-match probes) never pays for rows it does not read, and context
+// cancellation stops an in-flight scan.
+//
+//	rows, err := db.QueryRows(ctx, "SELECT name, score FROM players WHERE score > ?", 10)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		var name string
+//		var score float64
+//		if err := rows.Scan(&name, &score); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// The cursor holds the database's shared read lock from QueryRows until
+// Close, so writers wait while a cursor is open: always Close (Next
+// returning false closes automatically, and Close is idempotent). A Rows
+// is not safe for concurrent use by multiple goroutines.
+type Rows struct {
+	db     *Database
+	qc     *queryCtx
+	root   operator
+	cols   []string
+	cur    Row
+	err    error
+	closed bool
+}
+
+// QueryRows executes a SELECT and returns a streaming cursor positioned
+// before the first row. Parses are served from the LRU plan cache.
+func (db *Database) QueryRows(ctx context.Context, sql string, params ...any) (*Rows, error) {
+	sel, err := db.plans.lookup(sql, "QueryRows")
+	if err != nil {
+		return nil, err
+	}
+	return db.queryRows(ctx, sel, bindParams(params))
+}
+
+// queryRows plans sel under the read lock and hands ownership of the lock
+// to the returned cursor. On error the lock is released here.
+func (db *Database) queryRows(ctx context.Context, sel *SelectStmt, vals []Value) (*Rows, error) {
+	db.stats.queries.Add(1)
+	qc := newQueryCtx(ctx, db)
+	if err := qc.cancelled(); err != nil {
+		qc.flush()
+		return nil, err
+	}
+	db.mu.RLock()
+	root, cols, err := buildSelectPlan(sel, db, vals, nil, true, qc)
+	if err != nil {
+		db.mu.RUnlock()
+		qc.flush()
+		return nil, err
+	}
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.name
+	}
+	db.stats.openCursors.Add(1)
+	return &Rows{db: db, qc: qc, root: root, cols: names}, nil
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next row, reporting false at the end of the result
+// or on error (check Err afterwards). Exhaustion, an execution error, and
+// context cancellation all close the cursor.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if err := r.qc.cancelled(); err != nil {
+		r.fail(err)
+		return false
+	}
+	row, ok, err := r.root.next()
+	if err != nil {
+		r.fail(err)
+		return false
+	}
+	if !ok {
+		r.cur = nil
+		r.Close()
+		return false
+	}
+	r.cur = row
+	r.qc.rowsEmitted++
+	return true
+}
+
+func (r *Rows) fail(err error) {
+	r.err = err
+	r.cur = nil
+	r.Close()
+}
+
+// Row returns the current row (valid after a true Next). The returned
+// slice is owned by the result and must not be mutated.
+func (r *Rows) Row() Row { return r.cur }
+
+// Scan copies the current row into the destinations: one per column, each
+// a *string, *int, *int64, *float64, *bool, *Value or *any (nil discards
+// the column). Conversions follow the Value accessors (AsText, AsInt, …).
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return errf(ErrCursor, "sql: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cur) {
+		return errf(ErrCursor, "sql: Scan expects %d destinations, got %d", len(r.cur), len(dest))
+	}
+	for i, d := range dest {
+		v := r.cur[i]
+		switch p := d.(type) {
+		case nil:
+			// discard
+		case *Value:
+			*p = v
+		case *string:
+			*p = v.AsText()
+		case *int:
+			*p = int(v.AsInt())
+		case *int64:
+			*p = v.AsInt()
+		case *float64:
+			*p = v.AsFloat()
+		case *bool:
+			*p = v.AsBool()
+		case *any:
+			if v.IsNull() {
+				*p = nil
+			} else {
+				switch v.Kind() {
+				case KindInt:
+					*p = v.AsInt()
+				case KindFloat:
+					*p = v.AsFloat()
+				case KindBool:
+					*p = v.AsBool()
+				default:
+					*p = v.AsText()
+				}
+			}
+		default:
+			return errf(ErrCursor, "sql: Scan destination %d has unsupported type %T", i, d)
+		}
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any. It is nil
+// after a result was exhausted normally.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor: the database read lock is returned and the
+// execution's counters are folded into Database.Stats. Idempotent; safe
+// to defer alongside an exhaustive Next loop.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.cur = nil
+	r.db.stats.openCursors.Add(-1)
+	r.db.mu.RUnlock()
+	r.qc.flush()
+	return nil
+}
+
+// Collect drains the cursor into a materialised Result and closes it —
+// the bridge from the streaming API to the old eager one (Database.Query
+// is QueryRows + Collect).
+func (r *Rows) Collect() (*Result, error) {
+	defer r.Close()
+	var rows []Row
+	for r.Next() {
+		rows = append(rows, r.cur)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return &Result{Columns: r.cols, Rows: rows}, nil
+}

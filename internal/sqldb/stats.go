@@ -1,0 +1,136 @@
+package sqldb
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// This file implements the database's observability surface. Every
+// statement execution carries a queryCtx — the per-execution bundle of
+// context.Context (cancellation) and locally accumulated counters — and
+// folds its counters into the database-wide atomics exactly once when it
+// finishes. Database.Stats() snapshots the aggregate, giving operators of
+// a busy instance the numbers that matter under heavy traffic: how many
+// queries ran, how often the plan cache hit, how much data scans actually
+// touched, and whether cursors are being leaked.
+
+// Stats is a point-in-time snapshot of a database's counters.
+type Stats struct {
+	// Queries counts top-level SELECT executions (Query, QueryRows,
+	// prepared statements, and SELECTs routed through Exec).
+	Queries uint64
+	// Execs counts non-SELECT statements executed (DDL and DML).
+	Execs uint64
+	// PlanCacheHits / PlanCacheMisses count lookups in the LRU plan cache.
+	PlanCacheHits   uint64
+	PlanCacheMisses uint64
+	// RowsScanned counts base-table rows read by scans (heap or index).
+	// A `SELECT ... LIMIT k` without ORDER BY stops after O(k) scanned
+	// rows — this counter is the observable proof.
+	RowsScanned uint64
+	// RowsEmitted counts rows delivered to callers.
+	RowsEmitted uint64
+	// IndexScans / FullScans count base-table access paths by kind.
+	IndexScans uint64
+	FullScans  uint64
+	// OpenCursors is the number of Rows cursors not yet closed. A steadily
+	// growing value means a caller is leaking cursors (and holding the
+	// database's read lock).
+	OpenCursors int64
+}
+
+// dbStats is the database-wide aggregate, updated with atomics.
+type dbStats struct {
+	queries     atomic.Uint64
+	execs       atomic.Uint64
+	rowsScanned atomic.Uint64
+	rowsEmitted atomic.Uint64
+	indexScans  atomic.Uint64
+	fullScans   atomic.Uint64
+	openCursors atomic.Int64
+}
+
+// Stats returns a snapshot of the database's counters.
+func (db *Database) Stats() Stats {
+	hits, misses := db.plans.counters()
+	return Stats{
+		Queries:         db.stats.queries.Load(),
+		Execs:           db.stats.execs.Load(),
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+		RowsScanned:     db.stats.rowsScanned.Load(),
+		RowsEmitted:     db.stats.rowsEmitted.Load(),
+		IndexScans:      db.stats.indexScans.Load(),
+		FullScans:       db.stats.fullScans.Load(),
+		OpenCursors:     db.stats.openCursors.Load(),
+	}
+}
+
+// queryCtx carries one statement execution's cancellation context and its
+// locally accumulated counters. An execution runs on a single goroutine,
+// so the counters are plain integers; flush folds them into the
+// database's atomics once, when the execution finishes (Rows.Close, or
+// the end of Query/Exec). A nil queryCtx is valid everywhere and means
+// "no context, no accounting" (EXPLAIN, internal helpers, tests).
+type queryCtx struct {
+	ctx context.Context
+	db  *Database
+
+	rowsScanned uint64
+	rowsEmitted uint64
+	indexScans  uint64
+	fullScans   uint64
+
+	tick    uint
+	flushed bool
+}
+
+func newQueryCtx(ctx context.Context, db *Database) *queryCtx {
+	return &queryCtx{ctx: ctx, db: db}
+}
+
+// cancelled reports a typed ErrCanceled when the execution's context is
+// done. The context's own error is the wrapped cause, so
+// errors.Is(err, context.Canceled) keeps working.
+func (qc *queryCtx) cancelled() error {
+	if qc == nil || qc.ctx == nil {
+		return nil
+	}
+	if err := qc.ctx.Err(); err != nil {
+		return &Error{Code: ErrCanceled, Msg: "sql: query canceled: " + err.Error(), Cause: err}
+	}
+	return nil
+}
+
+// tickCancelled is cancelled sampled every 64th call, cheap enough for
+// per-row paths (scans, DML loops).
+func (qc *queryCtx) tickCancelled() error {
+	if qc == nil || qc.ctx == nil {
+		return nil
+	}
+	if qc.tick++; qc.tick&63 != 0 {
+		return nil
+	}
+	return qc.cancelled()
+}
+
+// flush folds the local counters into the database aggregate. Idempotent.
+func (qc *queryCtx) flush() {
+	if qc == nil || qc.flushed || qc.db == nil {
+		return
+	}
+	qc.flushed = true
+	s := &qc.db.stats
+	if qc.rowsScanned > 0 {
+		s.rowsScanned.Add(qc.rowsScanned)
+	}
+	if qc.rowsEmitted > 0 {
+		s.rowsEmitted.Add(qc.rowsEmitted)
+	}
+	if qc.indexScans > 0 {
+		s.indexScans.Add(qc.indexScans)
+	}
+	if qc.fullScans > 0 {
+		s.fullScans.Add(qc.fullScans)
+	}
+}

@@ -1,0 +1,425 @@
+package sqldb
+
+import "sort"
+
+// This file implements the streaming tail of a SELECT plan. Where the
+// FROM/WHERE stages (exec.go) were already pull-based operators, the
+// projection, DISTINCT, ORDER BY and LIMIT stages used to materialise the
+// whole result up front. buildSelectPlan now composes them as pull
+// iterators too, so rows flow one at a time from the scans to the caller:
+// a LIMIT stops pulling when its window is full, DISTINCT deduplicates as
+// it streams, and only the unavoidable pipeline breakers (sort,
+// aggregation) buffer rows. EXISTS and scalar subqueries pull a single
+// row from their subplan instead of materialising it (compile.go).
+//
+// Internally, when the statement has an ORDER BY, each projected row is
+// extended with its eagerly evaluated sort keys (they may reference input
+// columns that do not survive projection): project emits
+// [out₀..outₙ₋₁, key₀..keyₘ₋₁], distinct deduplicates on the out prefix,
+// and sort strips the keys as it emits. Without ORDER BY rows are exactly
+// the output width everywhere.
+
+// projectOp evaluates the select items (and ORDER BY keys) per input row.
+type projectOp struct {
+	child     operator
+	outCols   []colInfo
+	env       *evalEnv // row environment the items read from
+	citems    []compiledExpr
+	orderKeys []compiledExpr // nil without ORDER BY
+	oenv      *evalEnv       // output-row environment the keys read from
+	arena     rowArena
+}
+
+func (p *projectOp) columns() []colInfo { return p.outCols }
+func (p *projectOp) reset()             { p.child.reset() }
+
+func (p *projectOp) next() (Row, bool, error) {
+	r, ok, err := p.child.next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	p.env.row = r
+	nout := len(p.citems)
+	out := p.arena.alloc(nout + len(p.orderKeys))
+	for i, c := range p.citems {
+		v, err := c()
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	if p.orderKeys != nil {
+		p.oenv.row = out
+		for i, k := range p.orderKeys {
+			v, err := k()
+			if err != nil {
+				return nil, false, err
+			}
+			out[nout+i] = v
+		}
+	}
+	return out, true, nil
+}
+
+// groupOp is the aggregation pipeline breaker: on first pull it drains its
+// child into GROUP BY partitions (runAggregation), then streams one output
+// row per group that passes HAVING.
+type groupOp struct {
+	stmt      *SelectStmt
+	child     operator
+	aggs      []*FuncCall
+	actx      *aggCtx
+	env       *evalEnv
+	citems    []compiledExpr
+	having    compiledExpr
+	orderKeys []compiledExpr
+	oenv      *evalEnv
+	outCols   []colInfo
+	db        *Database
+	params    []Value
+	outer     *evalEnv
+	qc        *queryCtx
+
+	built   bool
+	groups  []*aggGroup
+	aggVals []Value
+	pos     int
+	arena   rowArena
+}
+
+func (g *groupOp) columns() []colInfo { return g.outCols }
+func (g *groupOp) reset() {
+	g.built = false
+	g.groups = nil
+	g.pos = 0
+	g.child.reset()
+}
+
+func (g *groupOp) next() (Row, bool, error) {
+	if !g.built {
+		groups, err := runAggregation(g.stmt, g.child, g.aggs, g.db, g.params, g.outer, g.qc)
+		if err != nil {
+			return nil, false, err
+		}
+		g.groups = groups
+		g.aggVals = make([]Value, len(g.aggs))
+		g.built = true
+	}
+	for g.pos < len(g.groups) {
+		grp := g.groups[g.pos]
+		g.pos++
+		g.env.row = grp.repRow
+		g.actx.groupKeys = grp.keys
+		for i, st := range grp.states {
+			g.aggVals[i] = st.result()
+		}
+		g.actx.aggVals = g.aggVals
+		if g.having != nil {
+			hv, err := g.having()
+			if err != nil {
+				return nil, false, err
+			}
+			if hv.IsNull() || !hv.AsBool() {
+				continue
+			}
+		}
+		nout := len(g.citems)
+		out := g.arena.alloc(nout + len(g.orderKeys))
+		for i, c := range g.citems {
+			v, err := c()
+			if err != nil {
+				return nil, false, err
+			}
+			out[i] = v
+		}
+		if g.orderKeys != nil {
+			g.oenv.row = out
+			for i, k := range g.orderKeys {
+				v, err := k()
+				if err != nil {
+					return nil, false, err
+				}
+				out[nout+i] = v
+			}
+		}
+		return out, true, nil
+	}
+	return nil, false, nil
+}
+
+// distinctOp streams rows, dropping any whose first width values repeat
+// an earlier row (first occurrence wins, as before).
+type distinctOp struct {
+	child operator
+	width int
+	seen  map[string]bool
+	kb    []byte
+}
+
+func (d *distinctOp) columns() []colInfo { return d.child.columns() }
+func (d *distinctOp) reset() {
+	d.seen = nil
+	d.child.reset()
+}
+
+func (d *distinctOp) next() (Row, bool, error) {
+	if d.seen == nil {
+		d.seen = make(map[string]bool)
+	}
+	for {
+		r, ok, err := d.child.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		d.kb = appendRowKey(d.kb[:0], r[:d.width])
+		if d.seen[string(d.kb)] {
+			continue
+		}
+		d.seen[string(d.kb)] = true
+		return r, true, nil
+	}
+}
+
+// sortOp is the ORDER BY pipeline breaker: it drains its child on first
+// pull, stable-sorts on the trailing key columns, and emits rows stripped
+// back to the output width.
+type sortOp struct {
+	child   operator
+	width   int
+	orderBy []OrderItem
+
+	built bool
+	rows  []Row
+	pos   int
+}
+
+func (s *sortOp) columns() []colInfo { return s.child.columns() }
+func (s *sortOp) reset() {
+	s.built = false
+	s.rows = nil
+	s.pos = 0
+	s.child.reset()
+}
+
+func (s *sortOp) next() (Row, bool, error) {
+	if !s.built {
+		rows, err := drain(s.child)
+		if err != nil {
+			return nil, false, err
+		}
+		sort.SliceStable(rows, func(a, b int) bool {
+			for j, ob := range s.orderBy {
+				c := rows[a][s.width+j].Compare(rows[b][s.width+j])
+				if c != 0 {
+					if ob.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		s.rows = rows
+		s.built = true
+	}
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r[:s.width:s.width], true, nil
+}
+
+// limitOp applies the OFFSET/LIMIT window and — crucially — stops pulling
+// from its child once the window is full, which is what lets a
+// `SELECT ... LIMIT k` read only O(k) rows.
+type limitOp struct {
+	child   operator
+	skip    int
+	limit   int // -1 = unlimited
+	skipped bool
+	emitted int
+	done    bool
+}
+
+func (l *limitOp) columns() []colInfo { return l.child.columns() }
+func (l *limitOp) reset() {
+	l.skipped = false
+	l.emitted = 0
+	l.done = false
+	l.child.reset()
+}
+
+func (l *limitOp) next() (Row, bool, error) {
+	if l.done {
+		return nil, false, nil
+	}
+	if !l.skipped {
+		for i := 0; i < l.skip; i++ {
+			_, ok, err := l.child.next()
+			if err != nil || !ok {
+				l.done = true
+				return nil, false, err
+			}
+		}
+		l.skipped = true
+	}
+	if l.limit >= 0 && l.emitted >= l.limit {
+		l.done = true
+		return nil, false, nil
+	}
+	r, ok, err := l.child.next()
+	if err != nil || !ok {
+		l.done = true
+		return nil, false, err
+	}
+	l.emitted++
+	return r, true, nil
+}
+
+// buildSelectPlan plans a SELECT end to end and returns the root operator
+// plus the output schema. Pulling the root yields exactly the statement's
+// result rows, one at a time.
+func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, topLevel bool, qc *queryCtx) (operator, []colInfo, error) {
+	src, where, err := buildFrom(stmt, db, params, outer, topLevel, qc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if where != nil {
+		f, err := newFilterOp(src, where, db, params, outer, qc)
+		if err != nil {
+			return nil, nil, err
+		}
+		src = f
+	}
+
+	aggregate := len(stmt.GroupBy) > 0
+	if !aggregate {
+		for _, it := range stmt.Items {
+			if exprContainsAggregate(it.Expr) {
+				aggregate = true
+				break
+			}
+		}
+		if stmt.Having != nil && !aggregate {
+			aggregate = true
+		}
+	}
+
+	items, outCols, err := expandItems(stmt.Items, src.columns())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// LIMIT / OFFSET are constant expressions; fold them at plan time.
+	start, limit := 0, -1
+	if stmt.Offset != nil {
+		ov, err := evalConst(stmt.Offset, db, params, qc)
+		if err != nil {
+			return nil, nil, err
+		}
+		if start = int(ov.AsInt()); start < 0 {
+			start = 0
+		}
+	}
+	if stmt.Limit != nil {
+		lv, err := evalConst(stmt.Limit, db, params, qc)
+		if err != nil {
+			return nil, nil, err
+		}
+		limit = int(lv.AsInt())
+	}
+
+	// env is the row environment the projection (and HAVING, and the input
+	// side of ORDER BY) evaluates in. Under aggregation its row is the
+	// group's representative row and env.agg carries the group context.
+	env := newEvalEnv(src.columns(), db, params, outer, qc)
+
+	hasOrder := len(stmt.OrderBy) > 0
+	var oenv *evalEnv
+	var orderKeys []compiledExpr
+	compileOrder := func() error {
+		if !hasOrder {
+			return nil
+		}
+		// ORDER BY resolves output aliases first, then input columns.
+		oenv = newEvalEnv(outCols, db, params, env, qc)
+		oenv.agg = env.agg
+		orderKeys = make([]compiledExpr, len(stmt.OrderBy))
+		for i, ob := range stmt.OrderBy {
+			k, err := compileOrderKey(ob.Expr, oenv, len(outCols))
+			if err != nil {
+				return err
+			}
+			orderKeys[i] = k
+		}
+		return nil
+	}
+
+	var root operator
+	if aggregate {
+		// Collect the aggregate calls the query references anywhere.
+		var aggs []*FuncCall
+		for _, it := range items {
+			aggs = collectAggregates(it.Expr, aggs)
+		}
+		if stmt.Having != nil {
+			aggs = collectAggregates(stmt.Having, aggs)
+		}
+		for _, ob := range stmt.OrderBy {
+			aggs = collectAggregates(ob.Expr, aggs)
+		}
+		groupStrs := make([]string, len(stmt.GroupBy))
+		for i, g := range stmt.GroupBy {
+			groupStrs[i] = g.String()
+		}
+		actx := &aggCtx{groupStrs: groupStrs, aggs: aggs}
+		env.agg = actx
+
+		citems := make([]compiledExpr, len(items))
+		for i, it := range items {
+			if citems[i], err = compileExpr(it.Expr, env); err != nil {
+				return nil, nil, err
+			}
+		}
+		var having compiledExpr
+		if stmt.Having != nil {
+			if having, err = compileExpr(stmt.Having, env); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := compileOrder(); err != nil {
+			return nil, nil, err
+		}
+		root = &groupOp{
+			stmt: stmt, child: src, aggs: aggs, actx: actx, env: env,
+			citems: citems, having: having, orderKeys: orderKeys, oenv: oenv,
+			outCols: outCols, db: db, params: params, outer: outer, qc: qc,
+		}
+	} else {
+		citems := make([]compiledExpr, len(items))
+		for i, it := range items {
+			if citems[i], err = compileExpr(it.Expr, env); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := compileOrder(); err != nil {
+			return nil, nil, err
+		}
+		root = &projectOp{
+			child: src, outCols: outCols, env: env,
+			citems: citems, orderKeys: orderKeys, oenv: oenv,
+		}
+	}
+
+	if stmt.Distinct {
+		root = &distinctOp{child: root, width: len(outCols)}
+	}
+	if hasOrder {
+		root = &sortOp{child: root, width: len(outCols), orderBy: stmt.OrderBy}
+	}
+	if start > 0 || limit >= 0 {
+		root = &limitOp{child: root, skip: start, limit: limit}
+	}
+	return root, outCols, nil
+}

@@ -1,0 +1,57 @@
+package sqldb
+
+import (
+	"context"
+	"testing"
+)
+
+// Benchmarks for the streaming cursor API itself (new in this engine
+// version; see rows_bench_test.go for the before/after-comparable set).
+
+// BenchmarkQueryVsQueryRows contrasts materialising a full scan with
+// streaming it: the cursor path never builds the []Row result.
+func BenchmarkQueryVsQueryRows(b *testing.B) {
+	const sql = "SELECT name, price FROM items WHERE price > 50"
+	b.Run("materialised", func(b *testing.B) {
+		db := benchDB(b, 20000)
+		benchQuery(b, db, sql)
+	})
+	b.Run("streamed", func(b *testing.B) {
+		db := benchDB(b, 20000)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := db.QueryRows(ctx, sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for rows.Next() {
+			}
+			if err := rows.Err(); err != nil {
+				b.Fatal(err)
+			}
+			rows.Close()
+		}
+	})
+}
+
+// BenchmarkQueryRowsFirstRow measures time-to-first-row on a large scan —
+// the latency win of not materialising: the caller sees row one after a
+// constant amount of work, not after the whole table.
+func BenchmarkQueryRowsFirstRow(b *testing.B) {
+	db := benchDB(b, 50000)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := db.QueryRows(ctx, "SELECT name FROM items")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rows.Next() {
+			b.Fatal("no rows")
+		}
+		rows.Close()
+	}
+}

@@ -1,0 +1,112 @@
+package world
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the interning layer behind the world's lookups.
+// Every fact table is keyed by normalised (lower-cased, trimmed) entity
+// names, and every trait computation lower-cases its input, so under the
+// benchmark the simulated LM's trait lookups used to be the system's
+// dominant allocator: the same handful of entity names and generated
+// texts were re-lowered on every call. The caches below normalise each
+// distinct string once. They are size-capped so adversarial or unbounded
+// input (a production system's user traffic) degrades to the allocating
+// path instead of growing without bound.
+
+// internCap bounds each cache. The benchmark's working set (entity names,
+// generated fragments and composed texts) is a few thousand strings;
+// 64k leaves an order of magnitude of headroom.
+const internCap = 1 << 16
+
+// internMap is a size-capped concurrent string-keyed cache.
+type internMap struct {
+	m    sync.Map
+	size atomic.Int64
+}
+
+func (c *internMap) load(k string) (any, bool) { return c.m.Load(k) }
+
+// store caches v under a private copy of k (so a short key never pins a
+// caller's large backing array) unless the cache is full.
+func (c *internMap) store(k string, v any) {
+	if c.size.Load() >= internCap {
+		return
+	}
+	if _, loaded := c.m.LoadOrStore(strings.Clone(k), v); !loaded {
+		c.size.Add(1)
+	}
+}
+
+var normCache internMap
+var lowerCache internMap
+
+// norm canonicalises an entity name for lookup. Already-canonical strings
+// (the common case: fact-table keys are stored normalised) return without
+// allocating; other strings are normalised once and interned.
+func norm(s string) string {
+	if isNormalized(s) {
+		return s
+	}
+	if v, ok := normCache.load(s); ok {
+		return v.(string)
+	}
+	n := strings.ToLower(strings.TrimSpace(s))
+	normCache.store(s, n)
+	return n
+}
+
+// lower returns strings.ToLower(s), interned. Unlike norm it does not
+// trim, so predicates that are sensitive to surrounding whitespace keep
+// their exact semantics.
+func lower(s string) string {
+	if isLowerASCII(s) {
+		return s
+	}
+	if v, ok := lowerCache.load(s); ok {
+		return v.(string)
+	}
+	n := strings.ToLower(s)
+	lowerCache.store(s, n)
+	return n
+}
+
+// isLowerASCII reports whether strings.ToLower(s) == s without
+// allocating: ASCII with no upper-case letters.
+func isLowerASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b >= 0x80 || (b >= 'A' && b <= 'Z') {
+			return false
+		}
+	}
+	return true
+}
+
+// isNormalized reports whether norm(s) == s without allocating: ASCII,
+// no upper-case letters, no leading/trailing space.
+func isNormalized(s string) bool {
+	if len(s) == 0 {
+		return true
+	}
+	if isSpaceByte(s[0]) || isSpaceByte(s[len(s)-1]) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b >= 0x80 || (b >= 'A' && b <= 'Z') {
+			return false
+		}
+	}
+	return true
+}
+
+func isSpaceByte(b byte) bool {
+	switch b {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}

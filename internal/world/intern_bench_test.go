@@ -1,0 +1,33 @@
+package world
+
+import "testing"
+
+// Benchmarks for the trait-lookup hot path the simulated LM hammers during
+// the benchmark. They use only the package's public API so the same file
+// runs against the pre-interning implementation for before/after numbers.
+
+func BenchmarkTextTraits(b *testing.B) {
+	texts := []string{
+		"an absolute masterpiece from start to finish, truly the pinnacle of human achievement right here",
+		"overlong and frequently dull but charming in places even if uneven",
+		"the gradient boosting residuals are reweighted per iteration",
+		"Some user supplied text that matches no phrase but mentions a great algorithm.",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TextTraits(texts[i%len(texts)])
+	}
+}
+
+func BenchmarkEntityLookups(b *testing.B) {
+	w := Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.InRegion("Palo Alto", "Silicon Valley")
+		w.IsClassicMovie("Roman Holiday")
+		w.IsEUCountry("France")
+		IsNamedAfterPerson("Lincoln Elementary School")
+	}
+}

@@ -15,8 +15,17 @@ var PersonNames = []string{
 	"Frederick Douglass", "Helen Keller", "Jane Addams", "Walt Whitman",
 }
 
-// personSurnames is derived from PersonNames for partial-name matching
-// ("Lincoln Elementary" is still named after a person).
+// loweredPersonNames and personSurnames are derived from PersonNames once
+// for allocation-free matching ("Lincoln Elementary" is still named after
+// a person).
+var loweredPersonNames = func() []string {
+	out := make([]string, len(PersonNames))
+	for i, n := range PersonNames {
+		out[i] = strings.ToLower(n)
+	}
+	return out
+}()
+
 var personSurnames = func() map[string]bool {
 	m := make(map[string]bool, len(PersonNames))
 	for _, n := range PersonNames {
@@ -29,11 +38,12 @@ var personSurnames = func() map[string]bool {
 // IsNamedAfterPerson reports whether an institution name (e.g. a school)
 // is named after a person: it begins with a known person's full name or
 // surname. This is ground truth; the LM view answers the same question
-// with configurable noise.
+// with configurable noise. Lookups intern the lowered name (lower, not
+// norm: trimming would change the predicate for whitespace-padded names).
 func IsNamedAfterPerson(name string) bool {
-	low := strings.ToLower(name)
-	for _, p := range PersonNames {
-		if strings.HasPrefix(low, strings.ToLower(p)) {
+	low := lower(name)
+	for _, p := range loweredPersonNames {
+		if strings.HasPrefix(low, p) {
 			return true
 		}
 	}

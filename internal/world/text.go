@@ -86,10 +86,16 @@ var Phrases = []Phrase{
 	{"adding a reference for anyone reading later", Traits{0.65, 0.5, 0.01}},
 }
 
+// loweredPhrases holds each phrase's text lower-cased once, so scoring a
+// text does not re-lower the whole lexicon per call (it used to, and was
+// the benchmark's dominant allocator).
+var loweredPhrases []string
+
 // init perturbs every phrase's traits by a tiny index-dependent epsilon so
 // that no two phrases share an exact trait value. Ranking queries then have
 // a unique correct order (mirroring unambiguous human-labelled ground
 // truth), while the epsilons (< 0.002) are far below the LM's score noise.
+// It also freezes the lower-cased lexicon for TextTraits.
 func init() {
 	for i := range Phrases {
 		eps := float64(i+1) * 0.00004
@@ -97,6 +103,10 @@ func init() {
 		t.Sentiment = clamp01(t.Sentiment + eps)
 		t.Technicality = clamp01(t.Technicality + 2*eps)
 		t.Sarcasm = clamp01(t.Sarcasm + 3*eps)
+	}
+	loweredPhrases = make([]string, len(Phrases))
+	for i, p := range Phrases {
+		loweredPhrases[i] = strings.ToLower(p.Text)
 	}
 }
 
@@ -134,19 +144,34 @@ var sarcasmMarkers = []string{
 	"slow clap", "ah yes", "yeah right", "oh great",
 }
 
+// traitCache memoises TextTraits per input text. TextTraits is pure, and
+// the benchmark re-scores the same generated texts across queries and
+// methods, so the cache turns the hot path into one map load.
+var traitCache internMap
+
 // TextTraits computes the latent traits of a text. Text composed from the
 // Phrases lexicon (as all generated benchmark text is) is scored exactly by
 // averaging the traits of the fragments found; other text falls back to
-// keyword heuristics. The result is deterministic.
+// keyword heuristics. The result is deterministic (and memoised).
 func TextTraits(s string) Traits {
+	if v, ok := traitCache.load(s); ok {
+		return v.(Traits)
+	}
+	t := computeTraits(s)
+	traitCache.store(s, t)
+	return t
+}
+
+func computeTraits(s string) Traits {
 	low := strings.ToLower(s)
 	var sum Traits
 	n := 0
-	for _, p := range Phrases {
-		if strings.Contains(low, strings.ToLower(p.Text)) {
-			sum.Sentiment += p.Traits.Sentiment
-			sum.Technicality += p.Traits.Technicality
-			sum.Sarcasm += p.Traits.Sarcasm
+	for i, lp := range loweredPhrases {
+		if strings.Contains(low, lp) {
+			t := Phrases[i].Traits
+			sum.Sentiment += t.Sentiment
+			sum.Technicality += t.Technicality
+			sum.Sarcasm += t.Sarcasm
 			n++
 		}
 	}

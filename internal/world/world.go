@@ -16,7 +16,6 @@ package world
 
 import (
 	"sort"
-	"strings"
 )
 
 // World holds the canonical facts. It is immutable after construction and
@@ -161,9 +160,6 @@ func Default() *World {
 	}
 	return w
 }
-
-// norm canonicalises an entity name for lookup.
-func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
 
 // Region names understood by InRegion.
 const (
