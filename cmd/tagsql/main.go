@@ -150,6 +150,8 @@ func printStats(db *sqldb.Database) {
 	fmt.Printf("plan cache       %d hit / %d miss\n", s.PlanCacheHits, s.PlanCacheMisses)
 	fmt.Printf("rows scanned     %d\n", s.RowsScanned)
 	fmt.Printf("rows emitted     %d\n", s.RowsEmitted)
-	fmt.Printf("scans            %d index / %d full\n", s.IndexScans, s.FullScans)
+	fmt.Printf("scans            %d index / %d range / %d full\n", s.IndexScans, s.IndexRangeScans, s.FullScans)
+	fmt.Printf("ordered orders   %d\n", s.OrderedIndexOrders)
+	fmt.Printf("subplan cache    %d hit / %d miss\n", s.SubplanCacheHits, s.SubplanCacheMisses)
 	fmt.Printf("open cursors     %d\n", s.OpenCursors)
 }

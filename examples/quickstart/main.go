@@ -67,6 +67,27 @@ func main() {
 		fmt.Printf("\ntyped error: code=%s msg=%q\n\n", se.Code, se.Msg)
 	}
 
+	// The planner is order-aware: give a column an index and range
+	// predicates binary-search the index's ordered view instead of
+	// scanning, while ORDER BY on the same column streams rows in index
+	// order — no sort at all, and under a LIMIT only the returned rows
+	// are ever read. Explain shows the plan a query will actually run.
+	sys.DB().MustExec("CREATE INDEX idx_movies_revenue ON movies (revenue)")
+	const ranged = "SELECT title, revenue FROM movies WHERE revenue > 100 ORDER BY revenue DESC LIMIT 2"
+	plan, err := sys.DB().Explain(ranged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan for", ranged)
+	for _, line := range plan {
+		fmt.Println("  " + line)
+	}
+	res, err = sys.DB().Query(ranged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top earners above 100: %d row(s)\n\n", len(res.Rows))
+
 	// Ask a question in natural language. The system synthesises SQL
 	// (including an LM UDF for the 'classic' predicate), executes it with
 	// the caller's context, and generates the answer.
@@ -85,8 +106,10 @@ func main() {
 	// not the table), index vs full scans, and open cursors.
 	st := sys.Stats()
 	fmt.Printf("\nengine stats: %d queries, plan cache %d/%d hit/miss, "+
-		"%d rows scanned, %d emitted, %d index / %d full scans, %d open cursors\n",
+		"%d rows scanned, %d emitted, %d index / %d range / %d full scans, "+
+		"%d index-served orders, subplan cache %d/%d hit/miss, %d open cursors\n",
 		st.Queries, st.PlanCacheHits, st.PlanCacheMisses,
-		st.RowsScanned, st.RowsEmitted, st.IndexScans, st.FullScans, st.OpenCursors)
+		st.RowsScanned, st.RowsEmitted, st.IndexScans, st.IndexRangeScans, st.FullScans,
+		st.OrderedIndexOrders, st.SubplanCacheHits, st.SubplanCacheMisses, st.OpenCursors)
 	fmt.Printf("simulated LM time: %.2fs\n", sys.LMSeconds())
 }

@@ -27,13 +27,28 @@ type Table struct {
 	indexes  map[string]*Index // lower-cased column name -> index
 }
 
-// Index is an equality index: value key -> row ids. Ordered scans sort keys
-// lazily; the benchmark workload is equality-lookup dominated.
+// Index is a dual-structure secondary index over one column.
+//
+// The hash map m (binary value key -> row ids, ids ascending) serves
+// equality lookups and join probes; it is maintained eagerly by every DML
+// path, so it is always current. The ordered view ord — one entry per
+// distinct value, sorted by Value.Compare, each entry carrying its row ids
+// in heap order — serves range scans, index-ordered ORDER BY, and merge
+// joins; it is built lazily from the hash map on first ordered access
+// (ordidx.go) and *invalidated*, never incrementally maintained, by DML:
+// insertRow and rebuildIndexes drop it and the next ordered scan rebuilds.
+// The invariant is therefore: ord is either nil or exactly consistent
+// with m. ordMu serialises concurrent lazy builds (readers share the
+// database lock, so they can race to build) and makes invalidation safe
+// under the race detector.
 type Index struct {
 	Name   string
 	Column int
 	Unique bool
 	m      map[string][]int
+
+	ordMu sync.Mutex
+	ord   []ordEntry
 }
 
 // Database is an embedded in-memory SQL database. It is safe for concurrent
@@ -272,11 +287,13 @@ func (t *Table) insertRow(r Row) error {
 	for _, idx := range t.indexes {
 		key := r[idx.Column].Key()
 		idx.m[key] = append(idx.m[key], id)
+		idx.invalidateOrdered()
 	}
 	return nil
 }
 
-// rebuildIndexes recomputes all index maps after a bulk mutation.
+// rebuildIndexes recomputes all index maps after a bulk mutation and
+// invalidates their ordered views.
 func (t *Table) rebuildIndexes() {
 	for _, idx := range t.indexes {
 		idx.m = make(map[string][]int, len(t.rows))
@@ -284,6 +301,7 @@ func (t *Table) rebuildIndexes() {
 			key := r[idx.Column].Key()
 			idx.m[key] = append(idx.m[key], id)
 		}
+		idx.invalidateOrdered()
 	}
 }
 

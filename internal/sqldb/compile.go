@@ -184,9 +184,12 @@ func compileExpr(e Expr, env *evalEnv) (compiledExpr, error) {
 	case *Subquery:
 		// A scalar subquery keeps only its first row, so the subplan is
 		// pulled once and never materialised.
-		sel := t.Select
+		sub, err := compileSubplan(t.Select, env)
+		if err != nil {
+			return nil, err
+		}
 		return func() (Value, error) {
-			root, _, err := buildSelectPlan(sel, env.db, env.params, env, false, env.qc)
+			root, err := sub()
 			if err != nil {
 				return Null, err
 			}
@@ -202,9 +205,13 @@ func compileExpr(e Expr, env *evalEnv) (compiledExpr, error) {
 	case *ExistsExpr:
 		// EXISTS terminates on the first row the subplan produces instead
 		// of materialising the whole subquery result.
-		sel, not := t.Select, t.Not
+		not := t.Not
+		sub, err := compileSubplan(t.Select, env)
+		if err != nil {
+			return nil, err
+		}
 		return func() (Value, error) {
-			root, _, err := buildSelectPlan(sel, env.db, env.params, env, false, env.qc)
+			root, err := sub()
 			if err != nil {
 				return Null, err
 			}
@@ -219,6 +226,75 @@ func compileExpr(e Expr, env *evalEnv) (compiledExpr, error) {
 	default:
 		return nil, errf(ErrMisuse, "sql: cannot evaluate %T", e)
 	}
+}
+
+// subplanSource yields the operator tree for one evaluation of a nested
+// SELECT; successive calls may return the same (reset) tree.
+type subplanSource func() (operator, error)
+
+// compileSubplan prepares a nested SELECT for repeated evaluation inside
+// a compiled expression — the correlated-subplan cache. When the subplan
+// is cacheable it is built exactly once, at compile time (so once per
+// statement execution, however many outer rows probe it); each evaluation
+// resets and re-pulls the same operator tree, and correlated references
+// read the current outer row through the environments captured at
+// compile time, so only the outer-row "parameters" change per probe.
+// Re-planning per outer row previously dominated correlated EXISTS cost.
+//
+// Derived tables ((SELECT ...) in FROM) are the one plan element that
+// materialises during planning and could capture correlated outer
+// values, so their presence forces the per-evaluation rebuild path.
+// Base-table joins are safe: their build sides drain table heaps, which
+// cannot change mid-statement, and their key/residual closures evaluate
+// per probe.
+func compileSubplan(sel *SelectStmt, env *evalEnv) (subplanSource, error) {
+	qc := env.qc
+	if subplanCacheable(sel) {
+		root, _, err := buildSelectPlan(sel, env.db, env.params, env, false, env.qc)
+		if err != nil {
+			return nil, err
+		}
+		first := true
+		return func() (operator, error) {
+			if first {
+				first = false
+				if qc != nil {
+					qc.subplanMisses++
+				}
+				return root, nil
+			}
+			if qc != nil {
+				qc.subplanHits++
+			}
+			root.reset()
+			return root, nil
+		}, nil
+	}
+	return func() (operator, error) {
+		if qc != nil {
+			qc.subplanMisses++
+		}
+		root, _, err := buildSelectPlan(sel, env.db, env.params, env, false, env.qc)
+		return root, err
+	}, nil
+}
+
+// subplanCacheable reports whether a subquery's plan survives re-use via
+// reset(): true unless its FROM contains a derived table (see
+// compileSubplan).
+func subplanCacheable(s *SelectStmt) bool {
+	if s.From == nil {
+		return true
+	}
+	if s.From.Sub != nil {
+		return false
+	}
+	for _, j := range s.Joins {
+		if j.Table.Sub != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // compileColumnRef binds a column reference to its owning environment and
@@ -395,18 +471,30 @@ func compileIn(in *InList, env *evalEnv) (compiledExpr, error) {
 	}
 	not := in.Not
 	if in.Sub != nil {
-		sel := in.Sub
+		sub, err := compileSubplan(in.Sub, env)
+		if err != nil {
+			return nil, err
+		}
 		return func() (Value, error) {
 			nv, err := needle()
 			if err != nil || nv.IsNull() {
 				return Null, err
 			}
-			rows, _, err := execSubquery(sel, env)
+			root, err := sub()
 			if err != nil {
 				return Null, err
 			}
+			// Stream the subplan: a match short-circuits; NULLs only
+			// matter when no match is found.
 			sawNull := false
-			for _, r := range rows {
+			for {
+				r, ok, err := root.next()
+				if err != nil {
+					return Null, err
+				}
+				if !ok {
+					break
+				}
 				if len(r) == 0 {
 					continue
 				}

@@ -57,15 +57,21 @@ func (a *rowArena) alloc(n int) Row {
 // Scan
 
 // scanOp iterates a base table's heap, optionally restricted to a set of
-// row ids produced by an index lookup.
+// row ids produced by an index lookup. A range-restricted scan (rangeIdx
+// set) materialises its ids lazily on first pull from the index's ordered
+// view, sorted ascending so emission order matches a filtered full scan —
+// the planner may instead replace the whole operator with an ordScanOp
+// when the statement's ORDER BY matches the range column (stream.go).
 type scanOp struct {
-	table   *Table
-	qual    string // alias the table is addressable by
-	cols    []colInfo
-	ids     []int // nil = full scan
-	pos     int
-	qc      *queryCtx
-	counted bool // access path recorded in qc (once per operator)
+	table    *Table
+	qual     string // alias the table is addressable by
+	cols     []colInfo
+	ids      []int // nil = full scan (unless rangeIdx is set)
+	rangeIdx *Index
+	spec     rangeSpec
+	pos      int
+	qc       *queryCtx
+	counted  bool // access path recorded in qc (once per operator)
 }
 
 func newScanOp(t *Table, qual string, qc *queryCtx) *scanOp {
@@ -80,12 +86,18 @@ func (s *scanOp) columns() []colInfo { return s.cols }
 func (s *scanOp) reset()             { s.pos = 0 }
 
 func (s *scanOp) next() (Row, bool, error) {
+	if s.rangeIdx != nil && s.ids == nil {
+		s.ids = collectRangeIDs(s.rangeIdx.orderedEntries(s.table), s.spec)
+	}
 	if s.qc != nil {
 		if !s.counted {
 			s.counted = true
-			if s.ids != nil {
+			switch {
+			case s.rangeIdx != nil:
+				s.qc.indexRangeScans++
+			case s.ids != nil:
 				s.qc.indexScans++
-			} else {
+			default:
 				s.qc.fullScans++
 			}
 		}
@@ -116,9 +128,13 @@ func (s *scanOp) next() (Row, bool, error) {
 }
 
 // valuesOp replays pre-materialised rows (derived tables, join builds).
+// src, when set, is the operator the rows were drained from — dead for
+// execution, retained so EXPLAIN can show the materialised subtree
+// (pushed-down filters, access paths).
 type valuesOp struct {
 	cols []colInfo
 	rows []Row
+	src  operator
 	pos  int
 }
 
@@ -130,6 +146,84 @@ func (v *valuesOp) next() (Row, bool, error) {
 	}
 	r := v.rows[v.pos]
 	v.pos++
+	return r, true, nil
+}
+
+// corrProbeScanOp serves a correlated equality — `col = <outer expr>`,
+// the backbone of EXISTS/IN/scalar subqueries — as a per-probe hash
+// lookup instead of a per-probe table scan. The memo (column value key ->
+// row ids, heap order) is the table's real equality index when one
+// exists, or is built lazily exactly once per statement; every reset()
+// — one per outer row under the subplan cache — re-evaluates only the
+// outer key expression and serves the matching bucket. Output (matching
+// rows, ascending heap order) is identical to scan+filter, so the
+// rewrite is invisible to result semantics.
+type corrProbeScanOp struct {
+	table   *Table
+	qual    string
+	cols    []colInfo
+	column  int
+	keyC    compiledExpr // outer-row key, compiled once
+	colE    Expr         // retained for EXPLAIN
+	keyE    Expr         // retained for EXPLAIN
+	fromIdx bool
+	qc      *queryCtx
+
+	memo    map[string][]int
+	keyBuf  []byte
+	ids     []int
+	idsSet  bool
+	pos     int
+	counted bool
+}
+
+func (s *corrProbeScanOp) columns() []colInfo { return s.cols }
+
+// reset drops the probe's id window but keeps the memo: the next pull
+// re-evaluates the outer key against the new outer row.
+func (s *corrProbeScanOp) reset() {
+	s.idsSet = false
+	s.pos = 0
+}
+
+func (s *corrProbeScanOp) next() (Row, bool, error) {
+	if !s.idsSet {
+		if s.memo == nil {
+			s.memo = make(map[string][]int, len(s.table.rows))
+			var kb []byte
+			for id, r := range s.table.rows {
+				kb = appendValueKey(kb[:0], r[s.column])
+				s.memo[string(kb)] = append(s.memo[string(kb)], id)
+			}
+		}
+		k, err := s.keyC()
+		if err != nil {
+			return nil, false, err
+		}
+		s.ids = nil
+		if !k.IsNull() { // col = NULL is never true
+			s.keyBuf = appendValueKey(s.keyBuf[:0], k)
+			s.ids = s.memo[string(s.keyBuf)]
+		}
+		s.idsSet = true
+		if s.qc != nil && !s.counted {
+			s.counted = true
+			s.qc.indexScans++
+		}
+	}
+	if s.qc != nil {
+		if err := s.qc.tickCancelled(); err != nil {
+			return nil, false, err
+		}
+	}
+	if s.pos >= len(s.ids) {
+		return nil, false, nil
+	}
+	r := s.table.rows[s.ids[s.pos]]
+	s.pos++
+	if s.qc != nil {
+		s.qc.rowsScanned++
+	}
 	return r, true, nil
 }
 
@@ -300,10 +394,11 @@ func (c *probeJoinCore) next() (Row, bool, error) {
 type hashJoinOp struct {
 	probeJoinCore
 	buildCols   []colInfo
-	buildIsLeft bool // build side is the syntactic left input
-	leftKey     Expr // retained for EXPLAIN
-	rightKey    Expr // retained for EXPLAIN
-	residualE   Expr // retained for EXPLAIN
+	buildIsLeft bool     // build side is the syntactic left input
+	buildSrc    operator // retained for EXPLAIN (rows already drained)
+	leftKey     Expr     // retained for EXPLAIN
+	rightKey    Expr     // retained for EXPLAIN
+	residualE   Expr     // retained for EXPLAIN
 	buckets     [][]Row
 	keyIndex    map[string]int
 	curBucket   []Row
@@ -426,6 +521,7 @@ type nestedLoopJoinOp struct {
 	left      operator
 	rightCols []colInfo
 	rightRows []Row
+	rightSrc  operator // retained for EXPLAIN (rows already drained)
 	cols      []colInfo
 	on        Expr // retained for EXPLAIN; nil for CROSS
 	con       compiledExpr
@@ -714,6 +810,9 @@ func estimateRows(op operator) int {
 		if t.ids != nil {
 			return len(t.ids)
 		}
+		if t.rangeIdx != nil {
+			return -1 // range ids not yet materialised
+		}
 		return len(t.table.rows)
 	case *valuesOp:
 		return len(t.rows)
@@ -738,10 +837,17 @@ func indexForJoinKey(sc *scanOp, key Expr) *Index {
 }
 
 // buildFrom constructs the operator tree for the FROM clause (including
-// joins) and returns the possibly simplified WHERE predicate (index-served
-// conjuncts are removed).
+// joins) and returns the residual WHERE predicate: conjuncts served by
+// index lookups or range scans are removed, and single-input conjuncts
+// are pushed below the joins onto their owning input (a filter over the
+// scan, or an index/range restriction of it) so joins see pre-filtered
+// inputs. Conjuncts on the nullable side of a LEFT JOIN are never pushed
+// — they must see the NULL-extended rows — and neither are conjuncts
+// containing subqueries, ambiguous bare names, or outer references.
 //
-// Equi-joins are planned in preference order: index-nested-loop when an
+// Equi-joins are planned in preference order: sort-merge when both inputs
+// are unfiltered base tables with indexes on their join keys (and a
+// top-level ORDER BY makes reordering safe), index-nested-loop when an
 // equality index covers the inner side's key (no build phase at all), then
 // hash join with the smaller input as the build side, then hash join with
 // the right side built. Plans that change output row order (streaming the
@@ -752,19 +858,51 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 		// SELECT without FROM: a single empty row.
 		return &valuesOp{cols: nil, rows: []Row{{}}}, stmt.Where, nil
 	}
-	left, err := buildTableRef(*stmt.From, db, params, outer, qc)
-	if err != nil {
+	// Build every input up front so WHERE conjuncts can be classified
+	// against the full FROM column set (a bare name is only pushable when
+	// exactly one input could own it).
+	inputs := make([]operator, 1+len(stmt.Joins))
+	var err error
+	if inputs[0], err = buildTableRef(*stmt.From, db, params, outer, qc); err != nil {
 		return nil, nil, err
 	}
-	where := stmt.Where
-
-	// Index selection: only for a single-table FROM with no joins, where a
-	// top-level conjunct is `col = literal` over an indexed column.
-	if len(stmt.Joins) == 0 {
-		if sc, ok := left.(*scanOp); ok && where != nil {
-			where = tryIndexScan(sc, where)
+	for i, jc := range stmt.Joins {
+		if inputs[i+1], err = buildTableRef(jc.Table, db, params, outer, qc); err != nil {
+			return nil, nil, err
 		}
 	}
+
+	pushed, kept := pushdownConjuncts(stmt, inputs)
+	for i, cs := range pushed {
+		if len(cs) == 0 {
+			continue
+		}
+		if sc, ok := inputs[i].(*scanOp); ok {
+			cs = chooseScanAccess(sc, cs)
+		}
+		if rest := joinConjuncts(cs); rest != nil {
+			f, err := newFilterOp(inputs[i], rest, db, params, outer, qc)
+			if err != nil {
+				return nil, nil, err
+			}
+			inputs[i] = f
+		}
+	}
+	// Correlated probe rewrite: inside a subquery — the only plan that is
+	// pulled repeatedly, once per outer row under the subplan cache — a
+	// remaining conjunct `col = <outer expr>` over the single scanned
+	// table turns the per-probe scan into a hash lookup (corrProbeScanOp).
+	if !topLevel && outer != nil && len(stmt.Joins) == 0 {
+		if sc, ok := inputs[0].(*scanOp); ok && unrestrictedScan(sc) {
+			op, rest, err := tryCorrelatedProbe(sc, kept, db, params, outer, qc)
+			if err != nil {
+				return nil, nil, err
+			}
+			inputs[0], kept = op, rest
+		}
+	}
+	left := inputs[0]
+	where := joinConjuncts(kept)
 
 	// Reordering the stream side changes join emission order, which is
 	// observable without an ORDER BY — and even with one, tied sort keys
@@ -776,11 +914,8 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 	// may still differ, which SQL leaves unspecified).
 	allowReorder := topLevel && len(stmt.OrderBy) > 0 && stmt.Limit == nil && stmt.Offset == nil
 
-	for _, jc := range stmt.Joins {
-		rightOp, err := buildTableRef(jc.Table, db, params, outer, qc)
-		if err != nil {
-			return nil, nil, err
-		}
+	for ji, jc := range stmt.Joins {
+		rightOp := inputs[ji+1]
 		rightCols := rightOp.columns()
 		if jc.Kind == JoinCross {
 			rightRows, err := drain(rightOp)
@@ -791,6 +926,7 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 			if err != nil {
 				return nil, nil, err
 			}
+			nl.rightSrc = rightOp
 			left = nl
 			continue
 		}
@@ -805,13 +941,35 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 			if err != nil {
 				return nil, nil, err
 			}
+			nl.rightSrc = rightOp
 			left = nl
 			continue
 		}
 
+		// Sort-merge join: both inputs are unfiltered base tables whose
+		// join keys are indexed, so both ordered index views stream in key
+		// order with no build and no hashing. Output arrives in key order,
+		// so this is gated like every order-changing plan.
+		if allowReorder && !leftOuter {
+			lsc, lok := left.(*scanOp)
+			rsc, rok := rightOp.(*scanOp)
+			if lok && rok && unrestrictedScan(lsc) && unrestrictedScan(rsc) {
+				lidx, ridx := indexForJoinKey(lsc, leftKey), indexForJoinKey(rsc, rightKey)
+				if lidx != nil && ridx != nil {
+					mj, err := newMergeJoinOp(lsc.table, rsc.table, lidx, ridx,
+						left.columns(), rightCols, leftKey, rightKey, residual,
+						db, params, outer, qc)
+					if err != nil {
+						return nil, nil, err
+					}
+					left = mj
+					continue
+				}
+			}
+		}
 		// Index-nested-loop: the right side is an unfiltered base table
 		// whose join column has an equality index.
-		if rsc, ok := rightOp.(*scanOp); ok && rsc.ids == nil {
+		if rsc, ok := rightOp.(*scanOp); ok && unrestrictedScan(rsc) {
 			if idx := indexForJoinKey(rsc, rightKey); idx != nil {
 				ij, err := newIndexJoinOp(left, rsc.table, idx, rightCols,
 					leftKey, rightKey, residual, true, leftOuter, db, params, outer, qc)
@@ -826,7 +984,7 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 		// indexed base table; stream the right input against it. Inner
 		// joins only (unmatched-left tracking needs a left probe).
 		if allowReorder && !leftOuter {
-			if lsc, ok := left.(*scanOp); ok && lsc.ids == nil {
+			if lsc, ok := left.(*scanOp); ok && unrestrictedScan(lsc) {
 				if idx := indexForJoinKey(lsc, leftKey); idx != nil {
 					ij, err := newIndexJoinOp(rightOp, lsc.table, idx, left.columns(),
 						rightKey, leftKey, residual, false, false, db, params, outer, qc)
@@ -856,18 +1014,20 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 			if err != nil {
 				return nil, nil, err
 			}
-			probe := &valuesOp{cols: rightCols, rows: rightRows}
+			probe := &valuesOp{cols: rightCols, rows: rightRows, src: rightOp}
 			h, err = newHashJoinOp(probe, left.columns(), leftRows,
 				rightKey, leftKey, leftKey, rightKey, residual, true, false, db, params, outer, qc)
 			if err != nil {
 				return nil, nil, err
 			}
+			h.buildSrc = left
 		} else {
 			h, err = newHashJoinOp(left, rightCols, rightRows,
 				leftKey, rightKey, leftKey, rightKey, residual, false, leftOuter, db, params, outer, qc)
 			if err != nil {
 				return nil, nil, err
 			}
+			h.buildSrc = rightOp
 		}
 		left = h
 	}
@@ -909,11 +1069,126 @@ func drain(op operator) ([]Row, error) {
 	}
 }
 
-// tryIndexScan rewrites `scan + (col = literal AND rest)` into an index
-// lookup plus `rest` when an equality index exists. Returns the residual
-// predicate (possibly nil).
-func tryIndexScan(sc *scanOp, where Expr) Expr {
-	conjuncts := splitConjuncts(where)
+// exprBlocksRewrite reports whether x is a node no planner rewrite may
+// move or re-home: a subquery (potentially correlated to anything) or an
+// aggregate call. Shared by conjunct pushdown and the correlated-probe
+// rewrite so the two classifiers cannot drift apart.
+func exprBlocksRewrite(x Expr) bool {
+	switch t := x.(type) {
+	case *Subquery, *ExistsExpr:
+		return true
+	case *InList:
+		return t.Sub != nil
+	case *FuncCall:
+		return isAggregateName(t.Name)
+	}
+	return false
+}
+
+// unrestrictedScan reports whether a scan reads its whole table — the
+// precondition for serving it through a different access path (index
+// join probes, merge join): any id or range restriction must be honoured
+// and therefore disqualifies the scan.
+func unrestrictedScan(sc *scanOp) bool { return sc.ids == nil && sc.rangeIdx == nil }
+
+// pushdownConjuncts splits the statement's WHERE into conjuncts and
+// assigns each to the single FROM input it references, returning the
+// per-input lists plus the conjuncts that must stay above the joins.
+// A conjunct stays above when it references more than one input, an
+// outer scope, an ambiguous bare name, a subquery (potentially
+// correlated to anything), or an aggregate — and, regardless of what it
+// references, when its target input is the nullable right side of a
+// LEFT JOIN (it must see NULL-extended rows, not filter them away
+// before they are produced).
+func pushdownConjuncts(stmt *SelectStmt, inputs []operator) (pushed [][]Expr, kept []Expr) {
+	pushed = make([][]Expr, len(inputs))
+	if stmt.Where == nil {
+		return pushed, nil
+	}
+	// Per-input name sets for classification.
+	type nameSet struct {
+		qual string
+		cols map[string]bool
+	}
+	sets := make([]nameSet, len(inputs))
+	bareCount := make(map[string]int)
+	for i, in := range inputs {
+		cols := make(map[string]bool)
+		qual := ""
+		for _, c := range in.columns() {
+			lower := strings.ToLower(c.name)
+			if !cols[lower] {
+				cols[lower] = true
+				bareCount[lower]++
+			}
+			if c.qual != "" {
+				qual = c.qual
+			}
+		}
+		sets[i] = nameSet{qual: qual, cols: cols}
+	}
+	ownerOf := func(ref *ColumnRef) int {
+		if ref.Table != "" {
+			for i, s := range sets {
+				if strings.EqualFold(s.qual, ref.Table) {
+					return i
+				}
+			}
+			return -1 // outer reference (or error surfaced later)
+		}
+		lower := strings.ToLower(ref.Column)
+		if bareCount[lower] != 1 {
+			return -1 // unknown or ambiguous across inputs
+		}
+		for i, s := range sets {
+			if s.cols[lower] {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, c := range splitConjuncts(stmt.Where) {
+		owner, pushable := -1, true
+		walkExpr(c, func(x Expr) bool {
+			if exprBlocksRewrite(x) {
+				pushable = false
+				return false
+			}
+			if cr, ok := x.(*ColumnRef); ok {
+				o := ownerOf(cr)
+				switch {
+				case o < 0:
+					pushable = false
+				case owner == -1:
+					owner = o
+				case owner != o:
+					pushable = false
+				}
+			}
+			return pushable
+		})
+		if !pushable || owner < 0 {
+			kept = append(kept, c)
+			continue
+		}
+		// The right side of a LEFT JOIN must not be filtered early.
+		if owner > 0 && stmt.Joins[owner-1].Kind == JoinLeft {
+			kept = append(kept, c)
+			continue
+		}
+		pushed[owner] = append(pushed[owner], c)
+	}
+	return pushed, kept
+}
+
+// chooseScanAccess serves what it can of a scan's conjuncts from the
+// table's indexes and returns the remainder. Preference order: a single
+// `col = literal` equality over an indexed column (hash lookup), then the
+// combined range bounds (>, >=, <, <=, BETWEEN with literal bounds) of
+// the first indexed column that has any. Equality ids are sorted
+// ascending and range ids materialise in heap order (ordidx.go), so
+// either access path emits rows exactly as a filtered full scan would.
+func chooseScanAccess(sc *scanOp, conjuncts []Expr) []Expr {
 	for i, c := range conjuncts {
 		b, ok := c.(*BinaryOp)
 		if !ok || b.Op != "=" {
@@ -926,20 +1201,196 @@ func tryIndexScan(sc *scanOp, where Expr) Expr {
 		if col == nil {
 			continue
 		}
-		if col.Table != "" && !strings.EqualFold(col.Table, sc.qual) {
-			continue
-		}
-		idx, ok := sc.table.indexes[strings.ToLower(col.Column)]
-		if !ok {
+		idx := scanIndexFor(sc, col)
+		if idx == nil {
 			continue
 		}
 		ids := idx.lookup(coerce(lit.Val, sc.table.Columns[idx.Column].Type))
 		sc.ids = append([]int{}, ids...)
 		sort.Ints(sc.ids)
-		rest := append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
-		return joinConjuncts(rest)
+		return append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
 	}
-	return where
+
+	// Range: find the first indexed column with a range conjunct, then
+	// absorb every range conjunct on that column into one bound pair.
+	var target *Index
+	for _, c := range conjuncts {
+		col, _, ok := rangeConjunct(c)
+		if !ok {
+			continue
+		}
+		if idx := scanIndexFor(sc, col); idx != nil {
+			target = idx
+			break
+		}
+	}
+	if target == nil {
+		return conjuncts
+	}
+	var spec rangeSpec
+	rest := conjuncts[:0:0]
+	for _, c := range conjuncts {
+		col, cs, ok := rangeConjunct(c)
+		if !ok || scanIndexFor(sc, col) != target {
+			rest = append(rest, c)
+			continue
+		}
+		spec.lo = tightenLo(spec.lo, cs.lo)
+		spec.hi = tightenHi(spec.hi, cs.hi)
+	}
+	sc.rangeIdx = target
+	sc.spec = spec
+	return rest
+}
+
+// tryCorrelatedProbe rewrites the first conjunct of shape
+// `col = <expression over outer scopes only>` into a corrProbeScanOp.
+// The memo is the column's real equality index when it has one;
+// otherwise a transient hash of the column is built on first pull —
+// once per statement, amortised across every outer-row probe.
+func tryCorrelatedProbe(sc *scanOp, kept []Expr, db *Database, params []Value, outer *evalEnv, qc *queryCtx) (operator, []Expr, error) {
+	local := make(map[string]bool, len(sc.cols))
+	for _, c := range sc.cols {
+		local[strings.ToLower(c.name)] = true
+	}
+	localCol := func(cr *ColumnRef) bool {
+		if cr.Table != "" && !strings.EqualFold(cr.Table, sc.qual) {
+			return false
+		}
+		return local[strings.ToLower(cr.Column)]
+	}
+	// outerOnly: the expression references at least one column and every
+	// reference resolves outside this scan (bare names resolve innermost
+	// first, so any bare local name disqualifies). Subqueries and
+	// aggregates are left to the filter.
+	outerOnly := func(e Expr) bool {
+		ok, hasRef := true, false
+		walkExpr(e, func(x Expr) bool {
+			if exprBlocksRewrite(x) {
+				ok = false
+				return false
+			}
+			if cr, isRef := x.(*ColumnRef); isRef {
+				hasRef = true
+				if cr.Table == "" {
+					if local[strings.ToLower(cr.Column)] {
+						ok = false
+					}
+				} else if strings.EqualFold(cr.Table, sc.qual) {
+					ok = false
+				}
+			}
+			return ok
+		})
+		return ok && hasRef
+	}
+	for i, c := range kept {
+		b, isBin := c.(*BinaryOp)
+		if !isBin || b.Op != "=" {
+			continue
+		}
+		var colRef *ColumnRef
+		var keyE Expr
+		if cr, ok := b.Left.(*ColumnRef); ok && localCol(cr) && outerOnly(b.Right) {
+			colRef, keyE = cr, b.Right
+		} else if cr, ok := b.Right.(*ColumnRef); ok && localCol(cr) && outerOnly(b.Left) {
+			colRef, keyE = cr, b.Left
+		} else {
+			continue
+		}
+		ci := sc.table.ColumnIndex(colRef.Column)
+		if ci < 0 {
+			continue
+		}
+		env := newEvalEnv(sc.cols, db, params, outer, qc)
+		keyC, err := compileExpr(keyE, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		op := &corrProbeScanOp{
+			table: sc.table, qual: sc.qual, cols: sc.cols, column: ci,
+			keyC: keyC, colE: colRef, keyE: keyE, qc: qc,
+		}
+		if idx, ok := sc.table.indexes[strings.ToLower(colRef.Column)]; ok {
+			op.memo = idx.m
+			op.fromIdx = true
+		}
+		rest := append(append([]Expr{}, kept[:i]...), kept[i+1:]...)
+		return op, rest, nil
+	}
+	return sc, kept, nil
+}
+
+// scanIndexFor returns the scanned table's index over the referenced
+// column when the reference addresses this scan (bare or matching
+// qualifier), or nil.
+func scanIndexFor(sc *scanOp, col *ColumnRef) *Index {
+	if col.Table != "" && !strings.EqualFold(col.Table, sc.qual) {
+		return nil
+	}
+	return sc.table.indexes[strings.ToLower(col.Column)]
+}
+
+// rangeConjunct decomposes a conjunct into a column reference and the
+// range bounds it contributes: `col > lit`, `>=`, `<`, `<=` (either
+// operand order) and `col BETWEEN lo AND hi` with literal bounds. NULL
+// literals never match a range (the predicate is NULL for every row), so
+// they are left to the filter.
+func rangeConjunct(c Expr) (*ColumnRef, rangeSpec, bool) {
+	switch t := c.(type) {
+	case *BinaryOp:
+		var op string
+		col, lit := asColLiteral(t.Left, t.Right)
+		if col != nil {
+			op = t.Op
+		} else {
+			col, lit = asColLiteral(t.Right, t.Left)
+			// Flip the comparison around the literal: `5 < col` is `col > 5`.
+			switch t.Op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			default:
+				op = t.Op
+			}
+		}
+		if col == nil || lit.Val.IsNull() {
+			return nil, rangeSpec{}, false
+		}
+		switch op {
+		case ">":
+			return col, rangeSpec{lo: &rangeBound{val: lit.Val}}, true
+		case ">=":
+			return col, rangeSpec{lo: &rangeBound{val: lit.Val, incl: true}}, true
+		case "<":
+			return col, rangeSpec{hi: &rangeBound{val: lit.Val}}, true
+		case "<=":
+			return col, rangeSpec{hi: &rangeBound{val: lit.Val, incl: true}}, true
+		}
+	case *Between:
+		if t.Not {
+			return nil, rangeSpec{}, false
+		}
+		col, ok := t.Expr.(*ColumnRef)
+		if !ok {
+			return nil, rangeSpec{}, false
+		}
+		lo, ok1 := t.Lo.(*Literal)
+		hi, ok2 := t.Hi.(*Literal)
+		if !ok1 || !ok2 || lo.Val.IsNull() || hi.Val.IsNull() {
+			return nil, rangeSpec{}, false
+		}
+		return col, rangeSpec{
+			lo: &rangeBound{val: lo.Val, incl: true},
+			hi: &rangeBound{val: hi.Val, incl: true},
+		}, true
+	}
+	return nil, rangeSpec{}, false
 }
 
 func asColLiteral(a, b Expr) (*ColumnRef, *Literal) {

@@ -6,11 +6,15 @@ import (
 )
 
 // Explain describes the execution plan of a SELECT statement without
-// running it to completion: which scans use indexes, which joins hash and
-// which fall back to nested loops, and the post-processing stages
-// (aggregate, distinct, sort, limit). Join build sides are materialised
-// during planning (they are part of plan construction in this engine), so
-// Explain's cost is bounded by the build sides, not the probe side.
+// running it to completion. It builds the exact operator tree Query would
+// run (same planner, same access-path and join choices) and renders one
+// line per operator: which scans use indexes, range bounds and ordered
+// (sort-eliding) index scans, predicates pushed below joins, which joins
+// hash, merge, index-probe or fall back to nested loops, and the
+// post-processing stages (aggregate, distinct, sort — including bounded
+// top-k — and limit). Join build sides are materialised during planning
+// (they are part of plan construction in this engine), so Explain's cost
+// is bounded by the build sides, not the probe side.
 func (db *Database) Explain(sql string, params ...any) ([]string, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
@@ -25,7 +29,7 @@ func (db *Database) Explain(sql string, params ...any) ([]string, error) {
 	defer db.mu.RUnlock()
 	// topLevel mirrors Query's planning so EXPLAIN shows the plan that
 	// would actually run.
-	src, where, err := buildFrom(sel, db, vals, nil, true, nil)
+	root, _, err := buildSelectPlan(sel, db, vals, nil, true, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -33,68 +37,81 @@ func (db *Database) Explain(sql string, params ...any) ([]string, error) {
 	emit := func(depth int, format string, args ...any) {
 		lines = append(lines, strings.Repeat("  ", depth)+fmt.Sprintf(format, args...))
 	}
-
-	depth := 0
-	if sel.Limit != nil || sel.Offset != nil {
-		emit(depth, "limit/offset")
-		depth++
-	}
-	if len(sel.OrderBy) > 0 {
-		keys := make([]string, len(sel.OrderBy))
-		for i, ob := range sel.OrderBy {
-			keys[i] = ob.String()
-		}
-		emit(depth, "sort by %s", strings.Join(keys, ", "))
-		depth++
-	}
-	if sel.Distinct {
-		emit(depth, "distinct")
-		depth++
-	}
-	aggregate := len(sel.GroupBy) > 0 || sel.Having != nil
-	if !aggregate {
-		for _, it := range sel.Items {
-			if exprContainsAggregate(it.Expr) {
-				aggregate = true
-				break
-			}
-		}
-	}
-	if aggregate {
-		if len(sel.GroupBy) > 0 {
-			groups := make([]string, len(sel.GroupBy))
-			for i, g := range sel.GroupBy {
-				groups[i] = g.String()
-			}
-			emit(depth, "hash aggregate by %s", strings.Join(groups, ", "))
-		} else {
-			emit(depth, "aggregate (single group)")
-		}
-		depth++
-	}
-	emit(depth, "project %d column(s)", len(sel.Items))
-	depth++
-	if where != nil {
-		emit(depth, "filter %s", where.String())
-		depth++
-	}
-	describeOperator(src, depth, emit)
+	describeOperator(root, 0, emit)
 	return lines, nil
 }
 
 // describeOperator walks the operator tree emitting one line per node.
 func describeOperator(op operator, depth int, emit func(int, string, ...any)) {
 	switch t := op.(type) {
-	case *scanOp:
-		if t.ids != nil {
-			emit(depth, "index scan %s (as %s): %d candidate row(s)", t.table.Name, t.qual, len(t.ids))
+	case *limitOp:
+		emit(depth, "limit/offset")
+		describeOperator(t.child, depth+1, emit)
+	case *sortOp:
+		keys := make([]string, len(t.orderBy))
+		for i, ob := range t.orderBy {
+			keys[i] = ob.String()
+		}
+		note := ""
+		if t.topK >= 0 {
+			note = fmt.Sprintf(" (top %d)", t.topK)
+		}
+		emit(depth, "sort by %s%s", strings.Join(keys, ", "), note)
+		describeOperator(t.child, depth+1, emit)
+	case *distinctOp:
+		emit(depth, "distinct")
+		describeOperator(t.child, depth+1, emit)
+	case *groupOp:
+		if len(t.stmt.GroupBy) > 0 {
+			groups := make([]string, len(t.stmt.GroupBy))
+			for i, g := range t.stmt.GroupBy {
+				groups[i] = g.String()
+			}
+			emit(depth, "hash aggregate by %s", strings.Join(groups, ", "))
 		} else {
+			emit(depth, "aggregate (single group)")
+		}
+		describeOperator(t.child, depth+1, emit)
+	case *projectOp:
+		emit(depth, "project %d column(s)", len(t.outCols))
+		describeOperator(t.child, depth+1, emit)
+	case *scanOp:
+		switch {
+		case t.rangeIdx != nil:
+			emit(depth, "index range scan %s (as %s): %s", t.table.Name, t.qual,
+				t.spec.describe(t.table.Columns[t.rangeIdx.Column].Name))
+		case t.ids != nil:
+			emit(depth, "index scan %s (as %s): %d candidate row(s)", t.table.Name, t.qual, len(t.ids))
+		default:
 			emit(depth, "seq scan %s (as %s): %d row(s)", t.table.Name, t.qual, len(t.table.rows))
 		}
+	case *ordScanOp:
+		col := t.table.Columns[t.idx.Column].Name
+		dir := ""
+		if t.desc {
+			dir = " desc"
+		}
+		if t.spec.bounded() {
+			emit(depth, "ordered index range scan %s (as %s) by %s%s: %s",
+				t.table.Name, t.qual, col, dir, t.spec.describe(col))
+		} else {
+			emit(depth, "ordered index scan %s (as %s) by %s%s", t.table.Name, t.qual, col, dir)
+		}
+	case *corrProbeScanOp:
+		via := "transient hash memo"
+		if t.fromIdx {
+			via = "index"
+		}
+		emit(depth, "correlated probe %s (as %s) on %s = %s (via %s)",
+			t.table.Name, t.qual, t.colE.String(), t.keyE.String(), via)
 	case *valuesOp:
 		emit(depth, "materialised rows: %d", len(t.rows))
+		if t.src != nil {
+			describeOperator(t.src, depth+1, emit)
+		}
 	case *filterOp:
 		emit(depth, "filter %s", t.pred.String())
+		describeSubplans(t.pred, depth+1, t.env, emit)
 		describeOperator(t.child, depth+1, emit)
 	case *hashJoinOp:
 		side := "right"
@@ -105,6 +122,16 @@ func describeOperator(op operator, depth int, emit func(int, string, ...any)) {
 			t.leftKey.String(), t.rightKey.String(), side, len(t.buckets), residualNote(t.residualE))
 		describeOperator(t.probe, depth+1, emit)
 		emit(depth+1, "build side: %d column(s)", len(t.buildCols))
+		if t.buildSrc != nil {
+			describeOperator(t.buildSrc, depth+2, emit)
+		}
+	case *mergeJoinOp:
+		emit(depth, "merge join on %s = %s%s",
+			t.leftKeyE.String(), t.rightKeyE.String(), residualNote(t.residualE))
+		emit(depth+1, "ordered index scan %s by %s", t.leftTable.Name,
+			t.leftTable.Columns[t.leftIdx.Column].Name)
+		emit(depth+1, "ordered index scan %s by %s", t.rightTable.Name,
+			t.rightTable.Columns[t.rightIdx.Column].Name)
 	case *indexJoinOp:
 		sideNote := ""
 		if !t.probeIsLeft {
@@ -121,9 +148,47 @@ func describeOperator(op operator, depth int, emit func(int, string, ...any)) {
 		}
 		emit(depth, "%s (right side: %d row(s))", kind, len(t.rightRows))
 		describeOperator(t.left, depth+1, emit)
+		if t.rightSrc != nil {
+			describeOperator(t.rightSrc, depth+2, emit)
+		}
 	default:
 		emit(depth, "%T", op)
 	}
+}
+
+// describeSubplans renders the plan of every subquery appearing in a
+// filter predicate (EXISTS, IN, scalar), noting whether the subplan
+// cache applies: a cacheable subplan is compiled once per statement and
+// re-pulled with only the outer row rebound per probe (compile.go).
+// The enclosing filter's environment supplies the outer scope so
+// correlated references resolve during the display build.
+func describeSubplans(e Expr, depth int, env *evalEnv, emit func(int, string, ...any)) {
+	walkExpr(e, func(x Expr) bool {
+		var sel *SelectStmt
+		switch t := x.(type) {
+		case *Subquery:
+			sel = t.Select
+		case *ExistsExpr:
+			sel = t.Select
+		case *InList:
+			sel = t.Sub
+		}
+		if sel == nil {
+			return true
+		}
+		note := "rebuilt per probe"
+		if subplanCacheable(sel) {
+			note = "compiled once, outer row rebound per probe"
+		}
+		root, _, err := buildSelectPlan(sel, env.db, env.params, env, false, nil)
+		if err != nil {
+			emit(depth, "subplan (%s): error: %v", note, err)
+			return false
+		}
+		emit(depth, "subplan (%s):", note)
+		describeOperator(root, depth+1, emit)
+		return false
+	})
 }
 
 func residualNote(residual Expr) string {

@@ -1,0 +1,388 @@
+package sqldb
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file implements the ordered half of the dual-structure Index
+// (catalog.go) and the operators that exploit it. The hash map is the
+// always-current source of truth; the ordered view — distinct values
+// sorted by Value.Compare, each with its row ids in heap order — is
+// derived from it lazily and dropped on any mutation. On top of it sit:
+//
+//	ordScanOp     streams a table in index order (optionally bounded),
+//	              letting ORDER BY ... LIMIT k read exactly O(k) rows
+//	              and range predicates skip the heap entirely
+//	collectRangeIDs  materialises a range as heap-ordered row ids for
+//	              plans that need scan order preserved (no ORDER BY)
+//	mergeJoinOp   equi-joins two tables by walking both ordered views
+//	              in lockstep, with no build phase and no hashing
+//
+// Order equivalence is exact, not approximate: within one entry the ids
+// are ascending heap positions, so "walk entries in Compare order, ids
+// within" yields precisely what a stable sort of the heap scan on that
+// column yields. The planner relies on this to drop sortOp without
+// changing any observable ordering, including ties.
+
+// ordEntry is one distinct value of an ordered index view with the ids of
+// the rows holding it, ascending.
+type ordEntry struct {
+	val Value
+	ids []int
+}
+
+// orderedEntries returns the index's ordered view, building it from the
+// hash map on first use after a mutation. Concurrent readers (queries
+// share the database's read lock) serialise on ordMu; the returned slice
+// is immutable once published.
+func (idx *Index) orderedEntries(t *Table) []ordEntry {
+	idx.ordMu.Lock()
+	defer idx.ordMu.Unlock()
+	if idx.ord == nil {
+		entries := make([]ordEntry, 0, len(idx.m))
+		for _, ids := range idx.m {
+			entries = append(entries, ordEntry{val: t.rows[ids[0]][idx.Column], ids: ids})
+		}
+		sort.Slice(entries, func(a, b int) bool {
+			return entries[a].val.Compare(entries[b].val) < 0
+		})
+		idx.ord = entries
+	}
+	return idx.ord
+}
+
+// invalidateOrdered drops the ordered view; the next ordered access
+// rebuilds it from the hash map.
+func (idx *Index) invalidateOrdered() {
+	idx.ordMu.Lock()
+	idx.ord = nil
+	idx.ordMu.Unlock()
+}
+
+// rangeBound is one end of a key range: the bounding value and whether
+// the bound itself is included.
+type rangeBound struct {
+	val  Value
+	incl bool
+}
+
+// rangeSpec is a one-column key range extracted from WHERE conjuncts
+// (col > x, col <= y, BETWEEN). The zero value means "unbounded".
+type rangeSpec struct {
+	lo, hi *rangeBound
+}
+
+func (s rangeSpec) bounded() bool { return s.lo != nil || s.hi != nil }
+
+// describe renders the range as SQL-ish text for EXPLAIN.
+func (s rangeSpec) describe(col string) string {
+	var parts []string
+	if s.lo != nil {
+		op := ">"
+		if s.lo.incl {
+			op = ">="
+		}
+		parts = append(parts, col+" "+op+" "+s.lo.val.String())
+	}
+	if s.hi != nil {
+		op := "<"
+		if s.hi.incl {
+			op = "<="
+		}
+		parts = append(parts, col+" "+op+" "+s.hi.val.String())
+	}
+	if parts == nil {
+		return col + " unbounded"
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// tightenLo returns the stricter of two lower bounds (nil = unbounded).
+// On equal values the exclusive bound is tighter.
+func tightenLo(cur, nb *rangeBound) *rangeBound {
+	if cur == nil {
+		return nb
+	}
+	if nb == nil {
+		return cur
+	}
+	c := nb.val.Compare(cur.val)
+	if c > 0 || (c == 0 && !nb.incl) {
+		return nb
+	}
+	return cur
+}
+
+// tightenHi returns the stricter of two upper bounds.
+func tightenHi(cur, nb *rangeBound) *rangeBound {
+	if cur == nil {
+		return nb
+	}
+	if nb == nil {
+		return cur
+	}
+	c := nb.val.Compare(cur.val)
+	if c < 0 || (c == 0 && !nb.incl) {
+		return nb
+	}
+	return cur
+}
+
+// rangeStart returns the first entry index inside the lower bound. With
+// no lower bound NULL entries are still skipped: SQL range predicates
+// are never true of NULL, and NULLs sort first under Compare.
+func rangeStart(entries []ordEntry, lo *rangeBound) int {
+	if lo == nil {
+		return sort.Search(len(entries), func(i int) bool { return !entries[i].val.IsNull() })
+	}
+	if lo.incl {
+		return sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(lo.val) >= 0 })
+	}
+	return sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(lo.val) > 0 })
+}
+
+// rangeEnd returns one past the last entry index inside the upper bound.
+func rangeEnd(entries []ordEntry, hi *rangeBound) int {
+	if hi == nil {
+		return len(entries)
+	}
+	if hi.incl {
+		return sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(hi.val) > 0 })
+	}
+	return sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(hi.val) >= 0 })
+}
+
+// collectRangeIDs gathers the row ids inside the range in ascending heap
+// order, so an unordered range scan emits rows exactly as a filtered
+// full scan would (the property plan-equivalence tests rely on this
+// under LIMIT truncation). Always returns a non-nil slice.
+func collectRangeIDs(entries []ordEntry, spec rangeSpec) []int {
+	lo, hi := rangeStart(entries, spec.lo), rangeEnd(entries, spec.hi)
+	ids := make([]int, 0, 16)
+	for i := lo; i < hi; i++ {
+		ids = append(ids, entries[i].ids...)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ---------------------------------------------------------------------------
+// Ordered index scan
+
+// ordScanOp streams a base table in the order of one of its indexes,
+// optionally restricted to a key range. Because entries stream lazily in
+// Compare order with heap-ordered ids inside each entry, the output is
+// bit-identical to "heap scan, then stable sort on the column" — which is
+// what lets the planner drop sortOp and makes ORDER BY col LIMIT k read
+// exactly k rows. With bounds it is also the range access path for
+// ordered queries. NULLs participate in a pure ordered scan (they sort
+// first ascending, last descending, exactly as sortOp places them) but
+// are excluded by any range.
+type ordScanOp struct {
+	table *Table
+	idx   *Index
+	qual  string
+	cols  []colInfo
+	spec  rangeSpec
+	desc  bool
+	qc    *queryCtx
+
+	built   bool
+	entries []ordEntry
+	lo, hi  int // [lo, hi) window of entries inside the range
+	epos    int // current entry
+	ipos    int // current position within the entry's ids
+	counted bool
+}
+
+func (s *ordScanOp) columns() []colInfo { return s.cols }
+
+func (s *ordScanOp) reset() { s.built = false }
+
+func (s *ordScanOp) next() (Row, bool, error) {
+	if !s.built {
+		s.entries = s.idx.orderedEntries(s.table)
+		if s.spec.bounded() {
+			s.lo, s.hi = rangeStart(s.entries, s.spec.lo), rangeEnd(s.entries, s.spec.hi)
+			if s.hi < s.lo {
+				s.hi = s.lo
+			}
+		} else {
+			s.lo, s.hi = 0, len(s.entries)
+		}
+		if s.desc {
+			s.epos = s.hi - 1
+		} else {
+			s.epos = s.lo
+		}
+		s.ipos = 0
+		s.built = true
+		if s.qc != nil && !s.counted {
+			s.counted = true
+			s.qc.orderedOrders++
+			if s.spec.bounded() {
+				s.qc.indexRangeScans++
+			} else {
+				s.qc.indexScans++
+			}
+		}
+	}
+	if s.qc != nil {
+		if err := s.qc.tickCancelled(); err != nil {
+			return nil, false, err
+		}
+	}
+	for {
+		if s.desc {
+			if s.epos < s.lo {
+				return nil, false, nil
+			}
+		} else if s.epos >= s.hi {
+			return nil, false, nil
+		}
+		e := s.entries[s.epos]
+		if s.ipos < len(e.ids) {
+			r := s.table.rows[e.ids[s.ipos]]
+			s.ipos++
+			if s.qc != nil {
+				s.qc.rowsScanned++
+			}
+			return r, true, nil
+		}
+		s.ipos = 0
+		if s.desc {
+			s.epos--
+		} else {
+			s.epos++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sort-merge join
+
+// mergeJoinOp equi-joins two base tables by walking both join columns'
+// ordered index views in lockstep: no build phase, no hashing, O(left +
+// right + output). Each ordered view has one entry per distinct value, so
+// a key match is a single cross product of the two entries' id lists
+// (left-major, heap order inside). Output therefore arrives in join-key
+// order — the planner only picks this operator when a top-level ORDER BY
+// re-sorts the untruncated result, the same safety condition as flipping
+// hash-join build sides. NULL keys never join and their entries are
+// skipped via the range helpers.
+type mergeJoinOp struct {
+	leftTable, rightTable *Table
+	leftIdx, rightIdx     *Index
+	cols                  []colInfo
+	leftKeyE, rightKeyE   Expr // retained for EXPLAIN
+	residualE             Expr // retained for EXPLAIN
+	residual              compiledExpr
+	pairEnv               *evalEnv
+	arena                 rowArena
+	qc                    *queryCtx
+
+	built   bool
+	counted bool
+	le, re  []ordEntry
+	li, ri  int
+	// current match block: the two id lists of an equal key
+	lids, rids []int
+	lp, rp     int
+	inBlock    bool
+}
+
+func newMergeJoinOp(lt, rt *Table, lidx, ridx *Index, leftCols, rightCols []colInfo,
+	leftKeyE, rightKeyE, residual Expr,
+	db *Database, params []Value, outer *evalEnv, qc *queryCtx) (*mergeJoinOp, error) {
+
+	cols := append(append([]colInfo{}, leftCols...), rightCols...)
+	m := &mergeJoinOp{
+		leftTable: lt, rightTable: rt, leftIdx: lidx, rightIdx: ridx,
+		cols: cols, leftKeyE: leftKeyE, rightKeyE: rightKeyE, residualE: residual,
+		qc: qc,
+	}
+	m.pairEnv = newEvalEnv(cols, db, params, outer, qc)
+	if residual != nil {
+		var err error
+		if m.residual, err = compileExpr(residual, m.pairEnv); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (m *mergeJoinOp) columns() []colInfo { return m.cols }
+
+func (m *mergeJoinOp) reset() {
+	m.built = false
+	m.inBlock = false
+}
+
+func (m *mergeJoinOp) next() (Row, bool, error) {
+	if !m.built {
+		m.le = m.leftIdx.orderedEntries(m.leftTable)
+		m.re = m.rightIdx.orderedEntries(m.rightTable)
+		// Skip NULL entries: NULL keys never join.
+		m.li = rangeStart(m.le, nil)
+		m.ri = rangeStart(m.re, nil)
+		m.inBlock = false
+		m.built = true
+		if m.qc != nil && !m.counted {
+			m.counted = true
+			m.qc.indexScans += 2
+		}
+	}
+	if m.qc != nil {
+		if err := m.qc.tickCancelled(); err != nil {
+			return nil, false, err
+		}
+	}
+	for {
+		if m.inBlock {
+			for m.lp < len(m.lids) {
+				lrow := m.leftTable.rows[m.lids[m.lp]]
+				if m.rp < len(m.rids) {
+					rrow := m.rightTable.rows[m.rids[m.rp]]
+					m.rp++
+					out := m.arena.alloc(len(m.cols))
+					n := copy(out, lrow)
+					copy(out[n:], rrow)
+					if m.residual != nil {
+						m.pairEnv.row = out
+						v, err := m.residual()
+						if err != nil {
+							return nil, false, err
+						}
+						if v.IsNull() || !v.AsBool() {
+							continue
+						}
+					}
+					return out, true, nil
+				}
+				m.rp = 0
+				m.lp++
+			}
+			m.inBlock = false
+			m.li++
+			m.ri++
+		}
+		if m.li >= len(m.le) || m.ri >= len(m.re) {
+			return nil, false, nil
+		}
+		c := m.le[m.li].val.Compare(m.re[m.ri].val)
+		switch {
+		case c < 0:
+			m.li++
+		case c > 0:
+			m.ri++
+		default:
+			m.lids, m.rids = m.le[m.li].ids, m.re[m.ri].ids
+			m.lp, m.rp = 0, 0
+			m.inBlock = true
+			if m.qc != nil {
+				m.qc.rowsScanned += uint64(len(m.lids) + len(m.rids))
+			}
+		}
+	}
+}

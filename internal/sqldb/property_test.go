@@ -419,6 +419,13 @@ func randPred(r *rand.Rand) string {
 		fmt.Sprintf("t1.a BETWEEN %d AND %d", r.Intn(3), 3+r.Intn(3)),
 		fmt.Sprintf("t1.a IN (%d, %d)", r.Intn(6), r.Intn(6)),
 		fmt.Sprintf("t1.id = %d", r.Intn(80)),
+		// Range shapes over the indexed primary key: on the indexed
+		// database these become index range scans (or bounded ordered
+		// scans under ORDER BY id); on the plain database they filter.
+		fmt.Sprintf("t1.id > %d", r.Intn(80)),
+		fmt.Sprintf("t1.id BETWEEN %d AND %d", r.Intn(40), 40+r.Intn(40)),
+		fmt.Sprintf("%d <= t1.id", r.Intn(80)),
+		fmt.Sprintf("t1.id >= %d AND t1.id < %d", r.Intn(40), 40+r.Intn(40)),
 	}
 	p := atoms[r.Intn(len(atoms))]
 	for r.Intn(2) == 0 {
@@ -498,6 +505,28 @@ func TestPlanChoicesAgree(t *testing.T) {
 			return fmt.Sprintf(
 				"SELECT DISTINCT t1.a FROM t1 JOIN t2 ON t1.id = t2.t1_id ORDER BY t1.a LIMIT %d",
 				1+r.Intn(6))
+		},
+		func(r *rand.Rand) string {
+			// Both join keys indexed on the indexed db: merge join there,
+			// hash join on the plain one.
+			return fmt.Sprintf(
+				"SELECT t1.id, t2.d FROM t1 JOIN t2 ON t1.id = t2.id WHERE %s ORDER BY t1.id",
+				randPred(r))
+		},
+		func(r *rand.Rand) string {
+			// Predicate on the nullable side of a LEFT JOIN: must stay
+			// above the join on both databases.
+			return fmt.Sprintf(
+				"SELECT t1.id, t2.d FROM t1 LEFT JOIN t2 ON t1.id = t2.t1_id WHERE t2.d > %d OR t2.d IS NULL ORDER BY t1.id, t2.id",
+				r.Intn(30))
+		},
+		func(r *rand.Rand) string {
+			// ORDER BY an indexed column under LIMIT: ordered index scan
+			// on the indexed db, top-k sort on the plain one. id is
+			// unique, so truncation is well-defined on both.
+			return fmt.Sprintf(
+				"SELECT id, a, b FROM t1 WHERE %s ORDER BY id DESC LIMIT %d",
+				randPred(r), 1+r.Intn(10))
 		},
 	}
 	for i := 0; i < 240; i++ {

@@ -31,8 +31,22 @@ type Stats struct {
 	// RowsEmitted counts rows delivered to callers.
 	RowsEmitted uint64
 	// IndexScans / FullScans count base-table access paths by kind.
-	IndexScans uint64
-	FullScans  uint64
+	// IndexScans includes ordered (sort-eliding) index scans and both
+	// sides of a merge join; IndexRangeScans counts access paths served
+	// from an index's ordered view by a range predicate (col > x,
+	// BETWEEN) instead of a heap scan.
+	IndexScans      uint64
+	FullScans       uint64
+	IndexRangeScans uint64
+	// OrderedIndexOrders counts ORDER BY clauses served from index order:
+	// the planner dropped the sort and streamed rows through the index's
+	// ordered view, which is what lets ORDER BY ... LIMIT k read O(k) rows.
+	OrderedIndexOrders uint64
+	// SubplanCacheHits / SubplanCacheMisses count correlated-subquery
+	// evaluations (EXISTS, IN, scalar) served by re-pulling a subplan
+	// compiled once per statement vs. (re)built per evaluation.
+	SubplanCacheHits   uint64
+	SubplanCacheMisses uint64
 	// OpenCursors is the number of Rows cursors not yet closed. A steadily
 	// growing value means a caller is leaking cursors (and holding the
 	// database's read lock).
@@ -41,28 +55,36 @@ type Stats struct {
 
 // dbStats is the database-wide aggregate, updated with atomics.
 type dbStats struct {
-	queries     atomic.Uint64
-	execs       atomic.Uint64
-	rowsScanned atomic.Uint64
-	rowsEmitted atomic.Uint64
-	indexScans  atomic.Uint64
-	fullScans   atomic.Uint64
-	openCursors atomic.Int64
+	queries         atomic.Uint64
+	execs           atomic.Uint64
+	rowsScanned     atomic.Uint64
+	rowsEmitted     atomic.Uint64
+	indexScans      atomic.Uint64
+	fullScans       atomic.Uint64
+	indexRangeScans atomic.Uint64
+	orderedOrders   atomic.Uint64
+	subplanHits     atomic.Uint64
+	subplanMisses   atomic.Uint64
+	openCursors     atomic.Int64
 }
 
 // Stats returns a snapshot of the database's counters.
 func (db *Database) Stats() Stats {
 	hits, misses := db.plans.counters()
 	return Stats{
-		Queries:         db.stats.queries.Load(),
-		Execs:           db.stats.execs.Load(),
-		PlanCacheHits:   hits,
-		PlanCacheMisses: misses,
-		RowsScanned:     db.stats.rowsScanned.Load(),
-		RowsEmitted:     db.stats.rowsEmitted.Load(),
-		IndexScans:      db.stats.indexScans.Load(),
-		FullScans:       db.stats.fullScans.Load(),
-		OpenCursors:     db.stats.openCursors.Load(),
+		Queries:            db.stats.queries.Load(),
+		Execs:              db.stats.execs.Load(),
+		PlanCacheHits:      hits,
+		PlanCacheMisses:    misses,
+		RowsScanned:        db.stats.rowsScanned.Load(),
+		RowsEmitted:        db.stats.rowsEmitted.Load(),
+		IndexScans:         db.stats.indexScans.Load(),
+		FullScans:          db.stats.fullScans.Load(),
+		IndexRangeScans:    db.stats.indexRangeScans.Load(),
+		OrderedIndexOrders: db.stats.orderedOrders.Load(),
+		SubplanCacheHits:   db.stats.subplanHits.Load(),
+		SubplanCacheMisses: db.stats.subplanMisses.Load(),
+		OpenCursors:        db.stats.openCursors.Load(),
 	}
 }
 
@@ -76,10 +98,14 @@ type queryCtx struct {
 	ctx context.Context
 	db  *Database
 
-	rowsScanned uint64
-	rowsEmitted uint64
-	indexScans  uint64
-	fullScans   uint64
+	rowsScanned     uint64
+	rowsEmitted     uint64
+	indexScans      uint64
+	fullScans       uint64
+	indexRangeScans uint64
+	orderedOrders   uint64
+	subplanHits     uint64
+	subplanMisses   uint64
 
 	tick    uint
 	flushed bool
@@ -132,5 +158,17 @@ func (qc *queryCtx) flush() {
 	}
 	if qc.fullScans > 0 {
 		s.fullScans.Add(qc.fullScans)
+	}
+	if qc.indexRangeScans > 0 {
+		s.indexRangeScans.Add(qc.indexRangeScans)
+	}
+	if qc.orderedOrders > 0 {
+		s.orderedOrders.Add(qc.orderedOrders)
+	}
+	if qc.subplanHits > 0 {
+		s.subplanHits.Add(qc.subplanHits)
+	}
+	if qc.subplanMisses > 0 {
+		s.subplanMisses.Add(qc.subplanMisses)
 	}
 }

@@ -1,6 +1,9 @@
 package sqldb
 
-import "sort"
+import (
+	"sort"
+	"strings"
+)
 
 // This file implements the streaming tail of a SELECT plan. Where the
 // FROM/WHERE stages (exec.go) were already pull-based operators, the
@@ -182,11 +185,16 @@ func (d *distinctOp) next() (Row, bool, error) {
 
 // sortOp is the ORDER BY pipeline breaker: it drains its child on first
 // pull, stable-sorts on the trailing key columns, and emits rows stripped
-// back to the output width.
+// back to the output width. When the statement has a LIMIT (and the
+// planner could not serve the order from an index), topK bounds the sort:
+// only the first topK rows of the sorted order are retained in a max-heap
+// while draining — O(n log k) with k live rows instead of sorting and
+// slicing the whole input.
 type sortOp struct {
 	child   operator
 	width   int
 	orderBy []OrderItem
+	topK    int // -1 = keep everything
 
 	built bool
 	rows  []Row
@@ -203,22 +211,21 @@ func (s *sortOp) reset() {
 
 func (s *sortOp) next() (Row, bool, error) {
 	if !s.built {
-		rows, err := drain(s.child)
+		var rows []Row
+		var err error
+		if s.topK >= 0 {
+			rows, err = s.drainTopK()
+		} else {
+			rows, err = drain(s.child)
+			if err == nil {
+				sort.SliceStable(rows, func(a, b int) bool {
+					return s.keyLess(rows[a], rows[b]) < 0
+				})
+			}
+		}
 		if err != nil {
 			return nil, false, err
 		}
-		sort.SliceStable(rows, func(a, b int) bool {
-			for j, ob := range s.orderBy {
-				c := rows[a][s.width+j].Compare(rows[b][s.width+j])
-				if c != 0 {
-					if ob.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
 		s.rows = rows
 		s.built = true
 	}
@@ -228,6 +235,101 @@ func (s *sortOp) next() (Row, bool, error) {
 	r := s.rows[s.pos]
 	s.pos++
 	return r[:s.width:s.width], true, nil
+}
+
+// keyLess compares two extended rows on the trailing sort keys: <0, 0, >0.
+func (s *sortOp) keyLess(a, b Row) int {
+	for j, ob := range s.orderBy {
+		c := a[s.width+j].Compare(b[s.width+j])
+		if c != 0 {
+			if ob.Desc {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// topkRow pairs a row with its arrival ordinal so ties break exactly as
+// the stable sort would: earlier input first.
+type topkRow struct {
+	row Row
+	seq int
+}
+
+// drainTopK pulls the whole child but retains only the first topK rows of
+// the sorted order, using a max-heap ordered by (sort keys, arrival).
+// The child is drained fully even when topK is 0 so that execution
+// errors surface exactly as they would from a full sort.
+func (s *sortOp) drainTopK() ([]Row, error) {
+	// after reports whether a sorts after b in the output order; it is a
+	// total order thanks to the unique arrival ordinal, so the heap's
+	// "worst" root is well defined.
+	after := func(a, b topkRow) bool {
+		if c := s.keyLess(a.row, b.row); c != 0 {
+			return c > 0
+		}
+		return a.seq > b.seq
+	}
+	var h []topkRow // max-heap: root sorts after every other retained row
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !after(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(h) && after(h[l], h[big]) {
+				big = l
+			}
+			if r < len(h) && after(h[r], h[big]) {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			h[i], h[big] = h[big], h[i]
+			i = big
+		}
+	}
+	seq := 0
+	for {
+		r, ok, err := s.child.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		e := topkRow{row: r, seq: seq}
+		seq++
+		if s.topK == 0 {
+			continue
+		}
+		if len(h) < s.topK {
+			h = append(h, e)
+			siftUp(len(h) - 1)
+			continue
+		}
+		if after(h[0], e) {
+			h[0] = e
+			siftDown(0)
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return after(h[b], h[a]) })
+	rows := make([]Row, len(h))
+	for i, e := range h {
+		rows[i] = e.row
+	}
+	return rows, nil
 }
 
 // limitOp applies the OFFSET/LIMIT window and — crucially — stops pulling
@@ -311,6 +413,17 @@ func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *eval
 		return nil, nil, err
 	}
 
+	// Order-aware access path: when the single ORDER BY key is an indexed
+	// column of the statement's one base table, replace the scan with an
+	// ordered index scan and drop the sort — the index's ordered view
+	// yields exactly what the stable sort would, so this is safe for
+	// subqueries and truncated results too, and it is what makes
+	// `ORDER BY col LIMIT k` read O(k) rows.
+	orderElided := false
+	if !aggregate && len(stmt.OrderBy) == 1 && len(stmt.Joins) == 0 {
+		src, orderElided = tryOrderedScan(stmt, items, src, qc)
+	}
+
 	// LIMIT / OFFSET are constant expressions; fold them at plan time.
 	start, limit := 0, -1
 	if stmt.Offset != nil {
@@ -335,11 +448,14 @@ func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *eval
 	// group's representative row and env.agg carries the group context.
 	env := newEvalEnv(src.columns(), db, params, outer, qc)
 
-	hasOrder := len(stmt.OrderBy) > 0
+	// needSort: an ORDER BY the index order does not already satisfy.
+	// When the order is elided the projected rows carry no key extension
+	// and no sortOp is stacked; rows arrive from the scan already sorted.
+	needSort := len(stmt.OrderBy) > 0 && !orderElided
 	var oenv *evalEnv
 	var orderKeys []compiledExpr
 	compileOrder := func() error {
-		if !hasOrder {
+		if !needSort {
 			return nil
 		}
 		// ORDER BY resolves output aliases first, then input columns.
@@ -415,11 +531,115 @@ func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *eval
 	if stmt.Distinct {
 		root = &distinctOp{child: root, width: len(outCols)}
 	}
-	if hasOrder {
-		root = &sortOp{child: root, width: len(outCols), orderBy: stmt.OrderBy}
+	if needSort {
+		topK := -1
+		if limit >= 0 {
+			topK = start + limit // the limit window is all the sort must keep
+		}
+		root = &sortOp{child: root, width: len(outCols), orderBy: stmt.OrderBy, topK: topK}
 	}
 	if start > 0 || limit >= 0 {
 		root = &limitOp{child: root, skip: start, limit: limit}
 	}
 	return root, outCols, nil
+}
+
+// tryOrderedScan decides whether the statement's single ORDER BY key can
+// be served by streaming the base table in index order. The source chain
+// must bottom out in a scanOp (filters pass order through); the key must
+// be a bare or correctly-qualified reference to an indexed column of that
+// scan; and — because ORDER BY resolves output names first — a bare key
+// that collides with an output column is only safe when that output
+// column is the very same table column. If the scan carries a range
+// restriction it must be on the same column, and becomes the ordered
+// scan's bounds. On success the scan is replaced in place and the
+// (possibly new) chain root plus true are returned.
+func tryOrderedScan(stmt *SelectStmt, items []SelectItem, src operator, qc *queryCtx) (operator, bool) {
+	// Find the scan under any stack of filters.
+	var parent *filterOp
+	cur := src
+	for {
+		if f, ok := cur.(*filterOp); ok {
+			parent, cur = f, f.child
+			continue
+		}
+		break
+	}
+	sc, ok := cur.(*scanOp)
+	if !ok || sc.ids != nil {
+		return src, false
+	}
+	ob := stmt.OrderBy[0]
+	cr, ok := ob.Expr.(*ColumnRef)
+	if !ok {
+		return src, false
+	}
+	idx := scanIndexFor(sc, cr)
+	if idx == nil {
+		return src, false
+	}
+	if sc.rangeIdx != nil && sc.rangeIdx != idx {
+		return src, false
+	}
+	if stmt.Distinct {
+		// DISTINCT keeps each group's first-arriving row, and the sort
+		// orders groups by that representative's key. Index order only
+		// reproduces this when the key is part of the deduplicated
+		// output row (then all of a group's rows share it); a key
+		// outside the output would make group order depend on which
+		// representative arrived first — i.e. on the access path.
+		keyInOutput := false
+		for _, it := range items {
+			if c, ok := it.Expr.(*ColumnRef); ok && strings.EqualFold(c.Column, cr.Column) &&
+				(c.Table == "" || strings.EqualFold(c.Table, sc.qual)) {
+				keyInOutput = true
+				break
+			}
+		}
+		if !keyInOutput {
+			return src, false
+		}
+	}
+	if cr.Table == "" {
+		// A bare ORDER BY name resolves against the output columns first
+		// (compileOrderKey); index order only matches when every output
+		// column of that name is the same plain table column.
+		matches := 0
+		for _, it := range items {
+			name := it.Alias
+			if name == "" {
+				if c, ok := it.Expr.(*ColumnRef); ok {
+					name = c.Column
+				} else {
+					name = it.Expr.String()
+				}
+			}
+			if !strings.EqualFold(name, cr.Column) {
+				continue
+			}
+			matches++
+			c, ok := it.Expr.(*ColumnRef)
+			if !ok || !strings.EqualFold(c.Column, cr.Column) ||
+				(c.Table != "" && !strings.EqualFold(c.Table, sc.qual)) {
+				return src, false
+			}
+		}
+		if matches > 1 {
+			// Ambiguous output reference: keep the sort path so the
+			// resolution error (or tie-breaking) behaves as before.
+			return src, false
+		}
+	}
+	oss := &ordScanOp{
+		table: sc.table, idx: idx, qual: sc.qual, cols: sc.cols,
+		desc: ob.Desc, qc: qc,
+	}
+	if sc.rangeIdx == idx {
+		oss.spec = sc.spec
+	}
+	if parent == nil {
+		return oss, true
+	}
+	parent.child = oss
+	return src, true
 }
