@@ -39,7 +39,10 @@
 // with a stable Code (ErrParse, ErrNoTable, ErrNoColumn, ErrType, ...),
 // and Stats() exposes the observability counters (queries served,
 // plan-cache hits, rows scanned/emitted, index vs full scans, open
-// cursors) a production deployment watches under heavy traffic.
+// cursors) a production deployment watches under heavy traffic. Per-query
+// accounting closes the loop: Rows.Stats reports what one cursor's
+// execution did, and ExplainAnalyze runs a statement and renders its
+// operator tree annotated with real per-operator counts.
 //
 // See the examples/ directory for complete programs.
 package tag
@@ -77,6 +80,12 @@ type (
 	ErrorCode = sqldb.ErrorCode
 	// Stats is a snapshot of the engine's observability counters.
 	Stats = sqldb.Stats
+	// QueryStats is one query's own execution counters (Rows.Stats,
+	// ExplainAnalyze) — the per-statement slice of Stats.
+	QueryStats = sqldb.QueryStats
+	// AnalyzedQuery is an executed plan annotated with real per-operator
+	// counts (Database.ExplainAnalyze / System.ExplainAnalyze).
+	AnalyzedQuery = sqldb.AnalyzedQuery
 	// Value is a dynamically typed SQL value.
 	Value = sqldb.Value
 	// DataFrame is the semantic-operator frame (LOTUS substitute).
@@ -227,8 +236,18 @@ func (s *System) QueryRows(ctx context.Context, sql string, params ...any) (*Row
 
 // Stats reports the engine's observability counters: queries served,
 // plan-cache hits/misses, rows scanned and emitted, index vs full scans,
-// and open cursors.
+// and open cursors. The aggregate is the sum of per-query recorders —
+// each statement's own numbers are available from Rows.Stats and
+// ExplainAnalyze.
 func (s *System) Stats() Stats { return s.env.DB.Stats() }
+
+// ExplainAnalyze executes a SELECT against the system's database and
+// returns its operator tree annotated with what each operator really did
+// (rows, loops, wall time, rows scanned per access path, subplan probe
+// and cache counts), plus the query's per-execution totals.
+func (s *System) ExplainAnalyze(ctx context.Context, sql string, params ...any) (*AnalyzedQuery, error) {
+	return s.env.DB.ExplainAnalyze(ctx, sql, params...)
+}
 
 // FrameQuery runs SQL and wraps the result as a DataFrame, streaming rows
 // straight into the frame.

@@ -6,7 +6,10 @@
 //	tagsql -domain movies -udf
 //	sql> SELECT title FROM movies WHERE LLM_FILTER('classic movie', title);
 //
-// Meta commands: .tables, .schema, .domains, .explain, .stats, .quit.
+// Meta commands: .tables, .schema, .domains, .explain, .analyze, .stats,
+// .quit. .explain shows the plan a SELECT would run; .analyze runs it and
+// annotates the same tree with real per-operator counts and the query's
+// totals (EXPLAIN ANALYZE).
 //
 // Queries run under a signal-aware context: the first Ctrl-C cancels the
 // in-flight statement mid-scan (the engine returns a typed ErrCanceled
@@ -22,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"tag/internal/core"
 	"tag/internal/llm"
@@ -52,7 +56,7 @@ func main() {
 	}
 
 	fmt.Printf("tagsql — embedded TAG SQL shell (domain %s, LM UDFs %v)\n", *domain, *udf)
-	fmt.Println(`type SQL terminated by ';', or .tables / .schema / .domains / .explain <sql> / .stats / .quit`)
+	fmt.Println(`type SQL terminated by ';', or .tables / .schema / .domains / .explain <sql> / .analyze <sql> / .stats / .quit`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -82,6 +86,10 @@ func main() {
 					fmt.Println(l)
 				}
 			}
+			fmt.Print("sql> ")
+			continue
+		case strings.HasPrefix(trimmed, ".analyze "):
+			analyze(db, strings.TrimPrefix(trimmed, ".analyze "))
 			fmt.Print("sql> ")
 			continue
 		case trimmed == ".stats":
@@ -131,6 +139,29 @@ func run(db *sqldb.Database, src string) {
 		return
 	}
 	fmt.Printf("ok (%d rows affected)\n", n)
+}
+
+// analyze runs EXPLAIN ANALYZE on one statement under a signal-aware
+// context and prints the annotated operator tree plus the query's totals.
+func analyze(db *sqldb.Database, src string) {
+	src = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), ";"))
+	if src == "" {
+		return
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	aq, err := db.ExplainAnalyze(ctx, src)
+	if err != nil {
+		printErr(err)
+		return
+	}
+	for _, l := range aq.Plan {
+		fmt.Println(l)
+	}
+	qs := aq.Stats
+	fmt.Printf("-- %d scanned, %d emitted, %d index / %d range / %d full scans, %d index-served orders, subplan %d/%d hit/miss, %v\n",
+		qs.RowsScanned, qs.RowsEmitted, qs.IndexScans, qs.IndexRangeScans, qs.FullScans,
+		qs.OrderedIndexOrders, qs.SubplanCacheHits, qs.SubplanCacheMisses, qs.Elapsed.Round(time.Microsecond))
 }
 
 // printErr surfaces the engine's typed error code alongside the message.

@@ -59,6 +59,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Every cursor carries its own recorder: Rows.Stats reports exactly
+	// what this query did — here the LIMIT stopped the scan after the
+	// returned rows, which no engine-wide counter could attribute to one
+	// query among many.
+	qs := rows.Stats()
+	fmt.Printf("  that query alone: %d rows scanned, %d emitted, in %v\n",
+		qs.RowsScanned, qs.RowsEmitted, qs.Elapsed)
+
 	// Engine errors are typed: every error carries a stable code, so
 	// callers branch with errors.As instead of matching message text.
 	_, err = sys.DB().Query("SELECT * FROM box_office")
@@ -87,6 +95,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("top earners above 100: %d row(s)\n\n", len(res.Rows))
+
+	// EXPLAIN ANALYZE runs the statement for real and annotates the same
+	// tree with what each operator actually did: rows produced, rows
+	// scanned per access path, and wall time — the proof that the ordered
+	// range scan above read only the rows it returned.
+	aq, err := sys.ExplainAnalyze(ctx, ranged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("explain analyze for the same query:")
+	for _, line := range aq.Plan {
+		fmt.Println("  " + line)
+	}
+	fmt.Printf("  -- %d scanned, %d emitted in %v\n\n",
+		aq.Stats.RowsScanned, aq.Stats.RowsEmitted, aq.Stats.Elapsed)
 
 	// Ask a question in natural language. The system synthesises SQL
 	// (including an LM UDF for the 'classic' predicate), executes it with

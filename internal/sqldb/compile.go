@@ -249,33 +249,65 @@ type subplanSource func() (operator, error)
 // per probe.
 func compileSubplan(sel *SelectStmt, env *evalEnv) (subplanSource, error) {
 	qc := env.qc
+	var rec *execRecorder
+	if qc != nil {
+		rec = qc.rec // non-nil only under EXPLAIN ANALYZE
+	}
 	if subplanCacheable(sel) {
 		root, _, err := buildSelectPlan(sel, env.db, env.params, env, false, env.qc)
 		if err != nil {
 			return nil, err
 		}
+		var sp *subplanRec
+		if rec != nil {
+			root = instrument(root, rec)
+			sp = rec.subplanFor(sel)
+			sp.replaceRoot(rec, root)
+		}
 		first := true
 		return func() (operator, error) {
+			if sp != nil {
+				sp.probes++
+			}
 			if first {
 				first = false
 				if qc != nil {
 					qc.subplanMisses++
+				}
+				if sp != nil {
+					sp.misses++
 				}
 				return root, nil
 			}
 			if qc != nil {
 				qc.subplanHits++
 			}
+			if sp != nil {
+				sp.hits++
+			}
 			root.reset()
 			return root, nil
 		}, nil
+	}
+	var sp *subplanRec
+	if rec != nil {
+		sp = rec.subplanFor(sel)
 	}
 	return func() (operator, error) {
 		if qc != nil {
 			qc.subplanMisses++
 		}
 		root, _, err := buildSelectPlan(sel, env.db, env.params, env, false, env.qc)
-		return root, err
+		if err != nil {
+			return nil, err
+		}
+		if sp != nil {
+			sp.probes++
+			sp.misses++
+			root = instrument(root, rec)
+			sp.replaceRoot(rec, root)
+		}
+		return root, nil
 	}, nil
 }
 

@@ -145,10 +145,13 @@ func (db *Database) ExecContext(ctx context.Context, sql string, params ...any) 
 			return total, err
 		}
 		n, err := db.execStmt(stmt, bindParams(params), qc)
+		// DML applies partially on a mid-loop error or cancellation (the
+		// in-place paths keep their documented early-exit invariants), so
+		// the affected-row count is accumulated even when err != nil.
+		total += n
 		if err != nil {
 			return total, err
 		}
-		total += n
 	}
 	return total, nil
 }
@@ -174,7 +177,7 @@ func (db *Database) execStmt(stmt Statement, params []Value, qc *queryCtx) (int,
 	case *SelectStmt:
 		// Stream the plan and count: rows are never materialised, and a
 		// LIMIT stops the scan early.
-		db.stats.queries.Add(1)
+		qc.queries++
 		db.mu.RLock()
 		defer db.mu.RUnlock()
 		root, _, err := buildSelectPlan(t, db, params, nil, true, qc)
@@ -191,24 +194,25 @@ func (db *Database) execStmt(stmt Statement, params []Value, qc *queryCtx) (int,
 				return n, nil
 			}
 			n++
+			qc.rowsEmitted++
 		}
 	case *CreateTableStmt:
-		db.stats.execs.Add(1)
+		qc.execs++
 		return 0, db.createTable(t)
 	case *CreateIndexStmt:
-		db.stats.execs.Add(1)
+		qc.execs++
 		return 0, db.createIndex(t)
 	case *DropTableStmt:
-		db.stats.execs.Add(1)
+		qc.execs++
 		return 0, db.dropTable(t)
 	case *InsertStmt:
-		db.stats.execs.Add(1)
+		qc.execs++
 		return db.execInsert(t, params, qc)
 	case *UpdateStmt:
-		db.stats.execs.Add(1)
+		qc.execs++
 		return db.execUpdate(t, params, qc)
 	case *DeleteStmt:
-		db.stats.execs.Add(1)
+		qc.execs++
 		return db.execDelete(t, params, qc)
 	default:
 		return 0, errf(ErrMisuse, "sql: cannot execute %T", stmt)
@@ -339,6 +343,28 @@ func (db *Database) execInsert(stmt *InsertStmt, params []Value, qc *queryCtx) (
 	return n, nil
 }
 
+// hasSubquery reports whether any of the expressions contains a subquery
+// (scalar, EXISTS, or IN (SELECT ...)) at any depth. DML uses it to pick
+// snapshot evaluation: a subquery may read the very table being mutated.
+func hasSubquery(exprs ...Expr) bool {
+	found := false
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		walkExpr(e, func(x Expr) bool {
+			if isSubqueryNode(x) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
 func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -359,6 +385,21 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx) (
 		cols[i] = colInfo{qual: t.Name, name: c.Name}
 	}
 	env := newEvalEnv(cols, db, params, nil, qc)
+	// A WHERE or SET expression containing a subquery may read the table
+	// being updated. The one-pass loop below mutates rows in place and
+	// defers the index rebuild to the end, so such a subquery would probe
+	// stale index keys over already-updated rows — or lazily build an
+	// ordered view over a half-mutated heap (the Halloween problem).
+	// Those statements take the snapshot path: every evaluation sees the
+	// pre-statement state, and mutation happens only after the last one.
+	setExprs := make([]Expr, 0, len(stmt.Set)+1)
+	setExprs = append(setExprs, stmt.Where)
+	for _, sc := range stmt.Set {
+		setExprs = append(setExprs, sc.Expr)
+	}
+	if hasSubquery(setExprs...) {
+		return execUpdateSnapshot(t, stmt, setCols, env, qc)
+	}
 	n := 0
 	// Rows mutate in place as the loop runs, so any exit — success, an
 	// evaluation error, or cancellation — must rebuild indexes once rows
@@ -405,6 +446,57 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx) (
 	return n, nil
 }
 
+// execUpdateSnapshot is the two-phase UPDATE path for statements whose
+// WHERE or SET contains a subquery: phase one evaluates every row against
+// the untouched table (so self-referential subqueries — equality-index
+// probes, correlated probes, ordered scans — see a consistent
+// pre-statement snapshot), phase two applies the collected updates and
+// rebuilds the indexes once. Any error or cancellation during phase one
+// aborts with the table untouched, making these statements atomic.
+func execUpdateSnapshot(t *Table, stmt *UpdateStmt, setCols []int, env *evalEnv, qc *queryCtx) (int, error) {
+	type pendingUpdate struct {
+		id  int
+		row Row
+	}
+	var pend []pendingUpdate
+	for id, r := range t.rows {
+		if err := qc.tickCancelled(); err != nil {
+			return 0, err // phase one: nothing applied yet
+		}
+		env.row = r
+		if stmt.Where != nil {
+			v, err := evalExpr(stmt.Where, env)
+			if err != nil {
+				return 0, err
+			}
+			if v.IsNull() || !v.AsBool() {
+				continue
+			}
+		}
+		updated := r.Clone()
+		for i, sc := range stmt.Set {
+			v, err := evalExpr(sc.Expr, env)
+			if err != nil {
+				return 0, err
+			}
+			updated[setCols[i]] = coerce(v, t.Columns[setCols[i]].Type)
+		}
+		for i, c := range t.Columns {
+			if c.NotNull && updated[i].IsNull() {
+				return 0, errf(ErrConstraint, "sql: NOT NULL constraint failed: %s.%s", t.Name, c.Name)
+			}
+		}
+		pend = append(pend, pendingUpdate{id: id, row: updated})
+	}
+	for _, p := range pend {
+		t.rows[p.id] = p.row
+	}
+	if len(pend) > 0 {
+		t.rebuildIndexes()
+	}
+	return len(pend), nil
+}
+
 func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -417,6 +509,14 @@ func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx) (
 		cols[i] = colInfo{qual: t.Name, name: c.Name}
 	}
 	env := newEvalEnv(cols, db, params, nil, qc)
+	// Same Halloween hazard as execUpdate, compounded: the loop below
+	// compacts t.rows in place while iterating, so a WHERE subquery over
+	// this table would scan a half-compacted heap (and probe indexes whose
+	// ids still point at pre-delete positions). Subquery-bearing DELETEs
+	// evaluate against the untouched table first, then compact.
+	if hasSubquery(stmt.Where) {
+		return execDeleteSnapshot(t, stmt, env, qc)
+	}
 	kept := t.rows[:0]
 	n := 0
 	// The loop compacts t.rows in place, so an early exit — cancellation
@@ -457,6 +557,41 @@ func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx) (
 	if n > 0 {
 		t.rebuildIndexes()
 	}
+	return n, nil
+}
+
+// execDeleteSnapshot is the two-phase DELETE path for subquery-bearing
+// statements: phase one evaluates WHERE for every row against the
+// untouched table, phase two compacts the heap and rebuilds the indexes.
+// An error or cancellation during phase one leaves the table untouched.
+func execDeleteSnapshot(t *Table, stmt *DeleteStmt, env *evalEnv, qc *queryCtx) (int, error) {
+	del := make([]bool, len(t.rows))
+	n := 0
+	for i, r := range t.rows {
+		if err := qc.tickCancelled(); err != nil {
+			return 0, err // phase one: nothing applied yet
+		}
+		env.row = r
+		v, err := evalExpr(stmt.Where, env)
+		if err != nil {
+			return 0, err
+		}
+		if !v.IsNull() && v.AsBool() {
+			del[i] = true
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	kept := t.rows[:0]
+	for i, r := range t.rows {
+		if !del[i] {
+			kept = append(kept, r)
+		}
+	}
+	t.rows = kept
+	t.rebuildIndexes()
 	return n, nil
 }
 

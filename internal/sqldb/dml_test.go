@@ -1,0 +1,404 @@
+package sqldb
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Tests for DML snapshot semantics (the Halloween problem): an UPDATE or
+// DELETE whose WHERE/SET contains a subquery over the mutating table must
+// evaluate every row against the pre-statement state — not against stale
+// index keys, a half-mutated heap, or an ordered view built mid-loop.
+// The reference executor for these tests is SELECT over a pristine clone:
+// evaluating the same WHERE/SET expressions with a read-only statement on
+// an untouched copy is exactly snapshot semantics.
+
+// dmlTestDBs builds the same table into an indexed and an unindexed
+// database so both the stale-index and half-mutated-heap variants of the
+// hazard are exercised.
+func dmlTestDBs() (indexed, plain *Database) {
+	indexed = NewDatabase()
+	plain = NewDatabase()
+	indexed.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER)")
+	indexed.MustExec("CREATE INDEX idx_t_k ON t (k)")
+	plain.MustExec("CREATE TABLE t (id INTEGER, k INTEGER)")
+	return indexed, plain
+}
+
+// TestUpdateSelfSubquerySeesSnapshot: the WHERE subquery aggregates the
+// very column the statement mutates. Under snapshot semantics the
+// predicate is the same for every row (SUM over the pre-statement state);
+// a one-pass executor lets earlier updates leak into later rows'
+// evaluations and stops updating after the first row.
+func TestUpdateSelfSubquerySeesSnapshot(t *testing.T) {
+	indexed, plain := dmlTestDBs()
+	for name, db := range map[string]*Database{"indexed": indexed, "plain": plain} {
+		db.MustExec("INSERT INTO t VALUES (1, 2), (2, 2), (3, 2)")
+		n, err := db.Exec("UPDATE t SET k = k + 10 WHERE (SELECT SUM(k) FROM t WHERE k = 2) = 6")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n != 3 {
+			t.Errorf("%s: updated %d rows, want 3 (predicate is row-independent under snapshot semantics)", name, n)
+		}
+		got := queryStrings(t, db, "SELECT id, k FROM t ORDER BY id")
+		want := [][]string{{"1", "12"}, {"2", "12"}, {"3", "12"}}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: rows = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestUpdateWithInSelfSubquery is the issue's regression shape:
+// UPDATE t SET ... WHERE id IN (SELECT ... FROM t ...). Row id=12 is only
+// a member of the IN set if some row's k equals 12 — which only happens
+// AFTER row id=2 is updated. Snapshot semantics must not see it.
+func TestUpdateWithInSelfSubquery(t *testing.T) {
+	indexed, plain := dmlTestDBs()
+	for name, db := range map[string]*Database{"indexed": indexed, "plain": plain} {
+		db.MustExec("INSERT INTO t VALUES (2, 2), (12, 2)")
+		n, err := db.Exec("UPDATE t SET k = k + 10 WHERE id IN (SELECT k FROM t WHERE k = 2)")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n != 1 {
+			t.Errorf("%s: updated %d rows, want 1", name, n)
+		}
+		got := queryStrings(t, db, "SELECT id, k FROM t ORDER BY id")
+		want := [][]string{{"2", "12"}, {"12", "2"}}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: rows = %v, want %v (id=12 must not see the in-flight k=12)", name, got, want)
+		}
+	}
+}
+
+// TestDeleteSelfSubquerySeesSnapshot: deleting rows above the average of
+// the same table. The average must be the pre-statement one for every
+// row; a compact-in-place executor re-averages a half-compacted heap and
+// deletes rows the pristine average would keep.
+func TestDeleteSelfSubquerySeesSnapshot(t *testing.T) {
+	indexed, plain := dmlTestDBs()
+	for name, db := range map[string]*Database{"indexed": indexed, "plain": plain} {
+		db.MustExec("INSERT INTO t VALUES (1, 9), (2, 1), (3, 2)")
+		n, err := db.Exec("DELETE FROM t WHERE k > (SELECT AVG(k) FROM t)") // avg = 4
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n != 1 {
+			t.Errorf("%s: deleted %d rows, want 1", name, n)
+		}
+		got := queryStrings(t, db, "SELECT id, k FROM t ORDER BY id")
+		want := [][]string{{"2", "1"}, {"3", "2"}}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: rows = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// cloneTableT copies table t of src into a fresh unindexed database — the
+// pristine snapshot the reference executor evaluates against.
+func cloneTableT(t *testing.T, src *Database) *Database {
+	t.Helper()
+	ref := NewDatabase()
+	ref.MustExec("CREATE TABLE t (id INTEGER, k INTEGER)")
+	st, err := src.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ref.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range st.rows {
+		if err := rt.insertRow(r.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ref
+}
+
+// refUpdate computes the snapshot-semantics outcome of
+// `UPDATE t SET k = <setExpr> WHERE <where>` by running a SELECT over the
+// pristine clone, and returns the expected (id, k) rows in heap order.
+func refUpdate(t *testing.T, ref *Database, where, setExpr string) [][]string {
+	t.Helper()
+	upd, err := ref.Query("SELECT id, " + setExpr + " FROM t WHERE " + where)
+	if err != nil {
+		t.Fatalf("reference SELECT for UPDATE: %v", err)
+	}
+	newK := make(map[int64]Value)
+	for _, r := range upd.Rows {
+		newK[r[0].AsInt()] = r[1]
+	}
+	all, err := ref.Query("SELECT id, k FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Row, len(all.Rows))
+	for i, r := range all.Rows {
+		row := r.Clone()
+		if v, ok := newK[r[0].AsInt()]; ok {
+			row[1] = coerce(v, KindInt)
+		}
+		out[i] = row
+	}
+	return rowsToStrings(out)
+}
+
+// refDelete computes the snapshot-semantics outcome of
+// `DELETE FROM t WHERE <where>` the same way.
+func refDelete(t *testing.T, ref *Database, where string) [][]string {
+	t.Helper()
+	del, err := ref.Query("SELECT id FROM t WHERE " + where)
+	if err != nil {
+		t.Fatalf("reference SELECT for DELETE: %v", err)
+	}
+	gone := make(map[int64]bool)
+	for _, r := range del.Rows {
+		gone[r[0].AsInt()] = true
+	}
+	all, err := ref.Query("SELECT id, k FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Row
+	for _, r := range all.Rows {
+		if !gone[r[0].AsInt()] {
+			out = append(out, r)
+		}
+	}
+	return rowsToStrings(out)
+}
+
+// TestDMLWithSubqueriesMatchesSnapshotReference is the interleaved
+// property test: random inserts mix with self-referential UPDATEs and
+// DELETEs whose subqueries take every interesting access path over the
+// mutating table — equality-index probes, correlated probes
+// (corrProbeScanOp), aggregates, and ordered/range subqueries that
+// lazily build the ordered index view mid-statement. After every DML the
+// indexed engine, the plain engine, and the SELECT-over-pristine-clone
+// reference must agree exactly.
+func TestDMLWithSubqueriesMatchesSnapshotReference(t *testing.T) {
+	r := rand.New(rand.NewSource(117))
+	indexed, plain := dmlTestDBs()
+	nextID := 0
+
+	updates := []func(*rand.Rand) (where, set string){
+		func(r *rand.Rand) (string, string) {
+			return fmt.Sprintf("k < (SELECT MAX(k) FROM t WHERE k < %d)", 10+r.Intn(40)), "k + 1"
+		},
+		func(r *rand.Rand) (string, string) {
+			return fmt.Sprintf("id IN (SELECT k FROM t WHERE k = %d)", r.Intn(20)), "k + 10"
+		},
+		func(r *rand.Rand) (string, string) {
+			// Correlated equality over the mutating table: corrProbeScanOp.
+			return "EXISTS (SELECT 1 FROM t t2 WHERE t2.k = t.id)", "k - 1"
+		},
+		func(r *rand.Rand) (string, string) {
+			// Ordered subquery: lazily builds the ordered view mid-DML.
+			return fmt.Sprintf(
+				"k >= (SELECT t2.k FROM t t2 WHERE t2.k IS NOT NULL ORDER BY t2.k DESC LIMIT 1) - %d",
+				r.Intn(6)), "k + 2"
+		},
+		func(r *rand.Rand) (string, string) {
+			// Correlated scalar subquery in SET.
+			return fmt.Sprintf("id %% 5 = %d", r.Intn(5)),
+				"(SELECT MIN(t2.k) FROM t t2 WHERE t2.k > t.k)"
+		},
+		func(r *rand.Rand) (string, string) {
+			// Range subquery over the indexed column.
+			return fmt.Sprintf("k IN (SELECT t2.k FROM t t2 WHERE t2.k BETWEEN %d AND %d)",
+				r.Intn(15), 15+r.Intn(15)), "k + 3"
+		},
+	}
+	deletes := []func(*rand.Rand) string{
+		func(r *rand.Rand) string {
+			return "k > (SELECT AVG(k) FROM t)"
+		},
+		func(r *rand.Rand) string {
+			return fmt.Sprintf("id IN (SELECT t2.id FROM t t2 WHERE t2.k = %d) AND k < (SELECT MAX(k) FROM t)", r.Intn(20))
+		},
+		func(r *rand.Rand) string {
+			return "EXISTS (SELECT 1 FROM t t2 WHERE t2.k = t.id AND t2.id != t.id)"
+		},
+	}
+
+	compare := func(step int, sql string, want [][]string) {
+		t.Helper()
+		for name, db := range map[string]*Database{"indexed": indexed, "plain": plain} {
+			got := queryStrings(t, db, "SELECT id, k FROM t")
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d: %s engine disagrees with snapshot reference after %q:\ngot  %v\nwant %v",
+					step, name, sql, got, want)
+			}
+		}
+	}
+
+	for step := 0; step < 300; step++ {
+		switch op := r.Intn(10); {
+		case op < 5 || nextID == 0: // insert (NULL k sometimes)
+			var k any = r.Intn(40)
+			if r.Intn(7) == 0 {
+				k = nil
+			}
+			for _, db := range []*Database{indexed, plain} {
+				db.MustExec("INSERT INTO t VALUES (?, ?)", nextID, k)
+			}
+			nextID++
+		case op < 8: // self-referential UPDATE
+			where, set := updates[r.Intn(len(updates))](r)
+			sql := fmt.Sprintf("UPDATE t SET k = %s WHERE %s", set, where)
+			ref := cloneTableT(t, indexed)
+			want := refUpdate(t, ref, where, set)
+			ni, erri := indexed.Exec(sql)
+			np, errp := plain.Exec(sql)
+			if erri != nil || errp != nil {
+				t.Fatalf("step %d: %q: indexed err %v, plain err %v", step, sql, erri, errp)
+			}
+			if ni != np {
+				t.Fatalf("step %d: %q affected %d (indexed) vs %d (plain)", step, sql, ni, np)
+			}
+			compare(step, sql, want)
+		default: // self-referential DELETE
+			where := deletes[r.Intn(len(deletes))](r)
+			sql := "DELETE FROM t WHERE " + where
+			ref := cloneTableT(t, indexed)
+			want := refDelete(t, ref, where)
+			ni, erri := indexed.Exec(sql)
+			np, errp := plain.Exec(sql)
+			if erri != nil || errp != nil {
+				t.Fatalf("step %d: %q: indexed err %v, plain err %v", step, sql, erri, errp)
+			}
+			if ni != np {
+				t.Fatalf("step %d: %q affected %d (indexed) vs %d (plain)", step, sql, ni, np)
+			}
+			compare(step, sql, want)
+		}
+	}
+}
+
+// TestDeleteCancellationMidLoopInvariant pins the documented execDelete
+// early-exit behaviour for the in-place path: when the context is
+// cancelled mid-compaction, the examined prefix keeps exactly its
+// non-matching rows, the unexamined suffix is kept untouched — no
+// duplicated and no lost rows — and the indexes are rebuilt to agree
+// with the compacted heap.
+func TestDeleteCancellationMidLoopInvariant(t *testing.T) {
+	db := NewDatabase()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const total, cancelAt = 1000, 300
+	db.Funcs().Register("CANCEL_AT", func(args []Value) (Value, error) {
+		v := args[0].AsInt()
+		if v == cancelAt {
+			cancel()
+		}
+		return Bool(v%3 == 0), nil
+	})
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+	rows := make([][]any, total)
+	for i := range rows {
+		rows[i] = []any{i, i}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := db.ExecContext(ctx, "DELETE FROM t WHERE CANCEL_AT(v)")
+	if CodeOf(err) != ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+
+	res, err := db.Query("SELECT id FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := make(map[int]bool, len(res.Rows))
+	for _, r := range res.Rows {
+		id := int(r[0].AsInt())
+		if present[id] {
+			t.Fatalf("row id=%d duplicated after cancellation", id)
+		}
+		present[id] = true
+	}
+
+	// Infer the cutoff: the first unexamined row is at or before the first
+	// kept row the predicate would have deleted.
+	cutoff := total
+	for id := 0; id < total; id++ {
+		if id%3 == 0 && present[id] {
+			cutoff = id
+			break
+		}
+	}
+	if cutoff <= cancelAt || cutoff >= total {
+		t.Fatalf("cutoff = %d: cancellation should strike between row %d and the end", cutoff, cancelAt)
+	}
+	// Exact set: examined prefix filtered, suffix intact.
+	deleted := 0
+	for id := 0; id < total; id++ {
+		want := id >= cutoff || id%3 != 0
+		if present[id] != want {
+			t.Fatalf("row id=%d present=%v, want %v (cutoff %d)", id, present[id], want, cutoff)
+		}
+		if !want {
+			deleted++
+		}
+	}
+	if n != deleted {
+		t.Errorf("Exec reported %d deleted rows, want %d", n, deleted)
+	}
+	// Indexes were rebuilt: point lookups agree with the heap.
+	for id := 0; id < total; id++ {
+		res, err := db.Query("SELECT v FROM t WHERE id = ?", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRows := 0
+		if present[id] {
+			wantRows = 1
+		}
+		if len(res.Rows) != wantRows {
+			t.Fatalf("index lookup id=%d found %d rows, want %d", id, len(res.Rows), wantRows)
+		}
+	}
+}
+
+// TestDMLSnapshotCancellationAtomic: the snapshot (subquery) DML path is
+// atomic under cancellation — nothing is applied if phase one is
+// interrupted.
+func TestDMLSnapshotCancellationAtomic(t *testing.T) {
+	db := NewDatabase()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	db.Funcs().Register("CANCEL_AT2", func(args []Value) (Value, error) {
+		if args[0].AsInt() == 100 {
+			cancel()
+		}
+		return Bool(true), nil
+	})
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+	rows := make([][]any, 500)
+	for i := range rows {
+		rows[i] = []any{i, i}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	before := queryStrings(t, db, "SELECT id, v FROM t")
+	n, err := db.ExecContext(ctx,
+		"UPDATE t SET v = v + 1000 WHERE CANCEL_AT2(v) AND id >= (SELECT MIN(id) FROM t)")
+	if CodeOf(err) != ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if n != 0 {
+		t.Errorf("snapshot UPDATE reported %d affected rows after cancellation, want 0", n)
+	}
+	after := queryStrings(t, db, "SELECT id, v FROM t")
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("snapshot UPDATE applied partial changes despite cancellation")
+	}
+}

@@ -71,7 +71,8 @@ type scanOp struct {
 	spec     rangeSpec
 	pos      int
 	qc       *queryCtx
-	counted  bool // access path recorded in qc (once per operator)
+	counted  bool   // access path recorded in qc (once per operator)
+	scanned  uint64 // rows this operator read (per-operator EXPLAIN ANALYZE)
 }
 
 func newScanOp(t *Table, qual string, qc *queryCtx) *scanOp {
@@ -113,6 +114,7 @@ func (s *scanOp) next() (Row, bool, error) {
 		s.pos++
 		if s.qc != nil {
 			s.qc.rowsScanned++
+			s.scanned++
 		}
 		return r, true, nil
 	}
@@ -123,6 +125,7 @@ func (s *scanOp) next() (Row, bool, error) {
 	s.pos++
 	if s.qc != nil {
 		s.qc.rowsScanned++
+		s.scanned++
 	}
 	return r, true, nil
 }
@@ -175,6 +178,7 @@ type corrProbeScanOp struct {
 	idsSet  bool
 	pos     int
 	counted bool
+	scanned uint64 // rows this probe read (per-operator EXPLAIN ANALYZE)
 }
 
 func (s *corrProbeScanOp) columns() []colInfo { return s.cols }
@@ -223,6 +227,7 @@ func (s *corrProbeScanOp) next() (Row, bool, error) {
 	s.pos++
 	if s.qc != nil {
 		s.qc.rowsScanned++
+		s.scanned++
 	}
 	return r, true, nil
 }
@@ -1036,7 +1041,15 @@ func buildFrom(stmt *SelectStmt, db *Database, params []Value, outer *evalEnv, t
 
 func buildTableRef(tr TableRef, db *Database, params []Value, outer *evalEnv, qc *queryCtx) (operator, error) {
 	if tr.Sub != nil {
-		rows, cols, err := execSelect(tr.Sub, db, params, outer, qc)
+		// Derived tables materialise during planning (execSelect semantics,
+		// reordering off); the drained plan is retained as the valuesOp's
+		// src so EXPLAIN can show the subtree and EXPLAIN ANALYZE can
+		// attribute the rows its scans read.
+		root, cols, err := buildSelectPlan(tr.Sub, db, params, outer, false, qc)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := drain(root)
 		if err != nil {
 			return nil, err
 		}
@@ -1045,7 +1058,7 @@ func buildTableRef(tr TableRef, db *Database, params []Value, outer *evalEnv, qc
 		for i, c := range cols {
 			qcols[i] = colInfo{qual: tr.Alias, name: c.name}
 		}
-		return &valuesOp{cols: qcols, rows: rows}, nil
+		return &valuesOp{cols: qcols, rows: rows, src: root}, nil
 	}
 	t, err := db.tableLocked(tr.Name)
 	if err != nil {
@@ -1069,18 +1082,30 @@ func drain(op operator) ([]Row, error) {
 	}
 }
 
-// exprBlocksRewrite reports whether x is a node no planner rewrite may
-// move or re-home: a subquery (potentially correlated to anything) or an
-// aggregate call. Shared by conjunct pushdown and the correlated-probe
-// rewrite so the two classifiers cannot drift apart.
-func exprBlocksRewrite(x Expr) bool {
+// isSubqueryNode reports whether x itself embeds a nested SELECT: a
+// scalar subquery, EXISTS, or IN (SELECT ...). Shared by the planner's
+// rewrite blockers and DML's snapshot gate (hasSubquery, db.go) so the
+// classifiers cannot drift apart.
+func isSubqueryNode(x Expr) bool {
 	switch t := x.(type) {
 	case *Subquery, *ExistsExpr:
 		return true
 	case *InList:
 		return t.Sub != nil
-	case *FuncCall:
-		return isAggregateName(t.Name)
+	}
+	return false
+}
+
+// exprBlocksRewrite reports whether x is a node no planner rewrite may
+// move or re-home: a subquery (potentially correlated to anything) or an
+// aggregate call. Shared by conjunct pushdown and the correlated-probe
+// rewrite so the two classifiers cannot drift apart.
+func exprBlocksRewrite(x Expr) bool {
+	if isSubqueryNode(x) {
+		return true
+	}
+	if fc, ok := x.(*FuncCall); ok {
+		return isAggregateName(fc.Name)
 	}
 	return false
 }

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Explain describes the execution plan of a SELECT statement without
@@ -15,6 +16,9 @@ import (
 // top-k — and limit). Join build sides are materialised during planning
 // (they are part of plan construction in this engine), so Explain's cost
 // is bounded by the build sides, not the probe side.
+//
+// ExplainAnalyze (analyze.go) runs the statement for real and renders the
+// same tree annotated with per-operator counts.
 func (db *Database) Explain(sql string, params ...any) ([]string, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
@@ -33,20 +37,64 @@ func (db *Database) Explain(sql string, params ...any) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	var lines []string
-	emit := func(depth int, format string, args ...any) {
-		lines = append(lines, strings.Repeat("  ", depth)+fmt.Sprintf(format, args...))
-	}
-	describeOperator(root, 0, emit)
-	return lines, nil
+	p := &planPrinter{}
+	p.describe(root, 0)
+	return p.lines, nil
 }
 
-// describeOperator walks the operator tree emitting one line per node.
-func describeOperator(op operator, depth int, emit func(int, string, ...any)) {
+// planPrinter renders an operator tree one line per node. With rec set
+// (EXPLAIN ANALYZE) each line is annotated with the operator's recorded
+// counts: rows produced, loops for re-pulled operators, inclusive wall
+// time, and access-path-specific extras (rows scanned, sort in/kept).
+type planPrinter struct {
+	lines []string
+	rec   *execRecorder // nil = plain EXPLAIN
+
+	pending *opStat // stat for the next emitted line (set by statOp unwrap)
+	extra   string  // operator-specific annotation for the next emitted line
+}
+
+// emit appends one line, attaching (and clearing) any pending annotation.
+func (p *planPrinter) emit(depth int, format string, args ...any) {
+	line := strings.Repeat("  ", depth) + fmt.Sprintf(format, args...)
+	line += p.takeAnnotation()
+	p.lines = append(p.lines, line)
+}
+
+// takeAnnotation renders and clears the pending per-operator annotation.
+func (p *planPrinter) takeAnnotation() string {
+	st, extra := p.pending, p.extra
+	p.pending, p.extra = nil, ""
+	var parts []string
+	if st != nil {
+		parts = append(parts, fmt.Sprintf("rows=%d", st.rows))
+		if st.loops > 1 {
+			parts = append(parts, fmt.Sprintf("loops=%d", st.loops))
+		}
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	if st != nil {
+		parts = append(parts, "time="+st.elapsed.Round(time.Microsecond).String())
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, " ") + "]"
+}
+
+// describe walks the operator tree emitting one line per node.
+func (p *planPrinter) describe(op operator, depth int) {
+	if s, ok := op.(*statOp); ok {
+		p.pending = s.stat
+		op = s.child
+	}
+	analyzed := p.rec != nil
 	switch t := op.(type) {
 	case *limitOp:
-		emit(depth, "limit/offset")
-		describeOperator(t.child, depth+1, emit)
+		p.emit(depth, "limit/offset")
+		p.describe(t.child, depth+1)
 	case *sortOp:
 		keys := make([]string, len(t.orderBy))
 		for i, ob := range t.orderBy {
@@ -56,34 +104,49 @@ func describeOperator(op operator, depth int, emit func(int, string, ...any)) {
 		if t.topK >= 0 {
 			note = fmt.Sprintf(" (top %d)", t.topK)
 		}
-		emit(depth, "sort by %s%s", strings.Join(keys, ", "), note)
-		describeOperator(t.child, depth+1, emit)
+		if analyzed {
+			p.extra = fmt.Sprintf("in=%d kept=%d", t.drained, len(t.rows))
+		}
+		p.emit(depth, "sort by %s%s", strings.Join(keys, ", "), note)
+		p.describe(t.child, depth+1)
 	case *distinctOp:
-		emit(depth, "distinct")
-		describeOperator(t.child, depth+1, emit)
+		p.emit(depth, "distinct")
+		p.describe(t.child, depth+1)
 	case *groupOp:
 		if len(t.stmt.GroupBy) > 0 {
 			groups := make([]string, len(t.stmt.GroupBy))
 			for i, g := range t.stmt.GroupBy {
 				groups[i] = g.String()
 			}
-			emit(depth, "hash aggregate by %s", strings.Join(groups, ", "))
+			p.emit(depth, "hash aggregate by %s", strings.Join(groups, ", "))
 		} else {
-			emit(depth, "aggregate (single group)")
+			p.emit(depth, "aggregate (single group)")
 		}
-		describeOperator(t.child, depth+1, emit)
+		for _, it := range t.stmt.Items {
+			p.describeSubplans(it.Expr, depth+1, t.env)
+		}
+		if t.stmt.Having != nil {
+			p.describeSubplans(t.stmt.Having, depth+1, t.env)
+		}
+		p.describe(t.child, depth+1)
 	case *projectOp:
-		emit(depth, "project %d column(s)", len(t.outCols))
-		describeOperator(t.child, depth+1, emit)
+		p.emit(depth, "project %d column(s)", len(t.outCols))
+		for _, it := range t.items {
+			p.describeSubplans(it.Expr, depth+1, t.env)
+		}
+		p.describe(t.child, depth+1)
 	case *scanOp:
+		if analyzed {
+			p.extra = fmt.Sprintf("scanned=%d", t.scanned)
+		}
 		switch {
 		case t.rangeIdx != nil:
-			emit(depth, "index range scan %s (as %s): %s", t.table.Name, t.qual,
+			p.emit(depth, "index range scan %s (as %s): %s", t.table.Name, t.qual,
 				t.spec.describe(t.table.Columns[t.rangeIdx.Column].Name))
 		case t.ids != nil:
-			emit(depth, "index scan %s (as %s): %d candidate row(s)", t.table.Name, t.qual, len(t.ids))
+			p.emit(depth, "index scan %s (as %s): %d candidate row(s)", t.table.Name, t.qual, len(t.ids))
 		default:
-			emit(depth, "seq scan %s (as %s): %d row(s)", t.table.Name, t.qual, len(t.table.rows))
+			p.emit(depth, "seq scan %s (as %s): %d row(s)", t.table.Name, t.qual, len(t.table.rows))
 		}
 	case *ordScanOp:
 		col := t.table.Columns[t.idx.Column].Name
@@ -91,78 +154,91 @@ func describeOperator(op operator, depth int, emit func(int, string, ...any)) {
 		if t.desc {
 			dir = " desc"
 		}
+		if analyzed {
+			p.extra = fmt.Sprintf("scanned=%d", t.scanned)
+		}
 		if t.spec.bounded() {
-			emit(depth, "ordered index range scan %s (as %s) by %s%s: %s",
+			p.emit(depth, "ordered index range scan %s (as %s) by %s%s: %s",
 				t.table.Name, t.qual, col, dir, t.spec.describe(col))
 		} else {
-			emit(depth, "ordered index scan %s (as %s) by %s%s", t.table.Name, t.qual, col, dir)
+			p.emit(depth, "ordered index scan %s (as %s) by %s%s", t.table.Name, t.qual, col, dir)
 		}
 	case *corrProbeScanOp:
 		via := "transient hash memo"
 		if t.fromIdx {
 			via = "index"
 		}
-		emit(depth, "correlated probe %s (as %s) on %s = %s (via %s)",
+		if analyzed {
+			p.extra = fmt.Sprintf("scanned=%d", t.scanned)
+		}
+		p.emit(depth, "correlated probe %s (as %s) on %s = %s (via %s)",
 			t.table.Name, t.qual, t.colE.String(), t.keyE.String(), via)
 	case *valuesOp:
-		emit(depth, "materialised rows: %d", len(t.rows))
+		p.emit(depth, "materialised rows: %d", len(t.rows))
 		if t.src != nil {
-			describeOperator(t.src, depth+1, emit)
+			p.describe(t.src, depth+1)
 		}
 	case *filterOp:
-		emit(depth, "filter %s", t.pred.String())
-		describeSubplans(t.pred, depth+1, t.env, emit)
-		describeOperator(t.child, depth+1, emit)
+		p.emit(depth, "filter %s", t.pred.String())
+		p.describeSubplans(t.pred, depth+1, t.env)
+		p.describe(t.child, depth+1)
 	case *hashJoinOp:
 		side := "right"
 		if t.buildIsLeft {
 			side = "left"
 		}
-		emit(depth, "hash join on %s = %s (build %s: %d key(s))%s",
+		p.emit(depth, "hash join on %s = %s (build %s: %d key(s))%s",
 			t.leftKey.String(), t.rightKey.String(), side, len(t.buckets), residualNote(t.residualE))
-		describeOperator(t.probe, depth+1, emit)
-		emit(depth+1, "build side: %d column(s)", len(t.buildCols))
+		p.describe(t.probe, depth+1)
+		p.emit(depth+1, "build side: %d column(s)", len(t.buildCols))
 		if t.buildSrc != nil {
-			describeOperator(t.buildSrc, depth+2, emit)
+			p.describe(t.buildSrc, depth+2)
 		}
 	case *mergeJoinOp:
-		emit(depth, "merge join on %s = %s%s",
+		if analyzed {
+			p.extra = fmt.Sprintf("scanned=%d", t.scanned)
+		}
+		p.emit(depth, "merge join on %s = %s%s",
 			t.leftKeyE.String(), t.rightKeyE.String(), residualNote(t.residualE))
-		emit(depth+1, "ordered index scan %s by %s", t.leftTable.Name,
+		p.emit(depth+1, "ordered index scan %s by %s", t.leftTable.Name,
 			t.leftTable.Columns[t.leftIdx.Column].Name)
-		emit(depth+1, "ordered index scan %s by %s", t.rightTable.Name,
+		p.emit(depth+1, "ordered index scan %s by %s", t.rightTable.Name,
 			t.rightTable.Columns[t.rightIdx.Column].Name)
 	case *indexJoinOp:
 		sideNote := ""
 		if !t.probeIsLeft {
 			sideNote = ", probing right input"
 		}
-		emit(depth, "index nested loop join on %s = %s (index %s on %s%s)%s",
+		p.emit(depth, "index nested loop join on %s = %s (index %s on %s%s)%s",
 			t.probeKeyE.String(), t.idxKeyE.String(), t.idx.Name, t.table.Name,
 			sideNote, residualNote(t.residualE))
-		describeOperator(t.probe, depth+1, emit)
+		p.describe(t.probe, depth+1)
 	case *nestedLoopJoinOp:
 		kind := "nested loop join"
 		if t.on == nil {
 			kind = "cross join"
 		}
-		emit(depth, "%s (right side: %d row(s))", kind, len(t.rightRows))
-		describeOperator(t.left, depth+1, emit)
+		p.emit(depth, "%s (right side: %d row(s))", kind, len(t.rightRows))
+		p.describe(t.left, depth+1)
 		if t.rightSrc != nil {
-			describeOperator(t.rightSrc, depth+2, emit)
+			p.describe(t.rightSrc, depth+2)
 		}
 	default:
-		emit(depth, "%T", op)
+		p.emit(depth, "%T", op)
 	}
 }
 
-// describeSubplans renders the plan of every subquery appearing in a
-// filter predicate (EXISTS, IN, scalar), noting whether the subplan
-// cache applies: a cacheable subplan is compiled once per statement and
+// describeSubplans renders the plan of every subquery appearing in an
+// expression (EXISTS, IN, scalar), noting whether the subplan cache
+// applies: a cacheable subplan is compiled once per statement and
 // re-pulled with only the outer row rebound per probe (compile.go).
-// The enclosing filter's environment supplies the outer scope so
-// correlated references resolve during the display build.
-func describeSubplans(e Expr, depth int, env *evalEnv, emit func(int, string, ...any)) {
+//
+// Under EXPLAIN ANALYZE the subplan that actually executed is looked up
+// in the recorder and rendered with its real counts plus per-subplan
+// probe and cache-hit totals. Plain EXPLAIN rebuilds the subplan for
+// display; the enclosing operator's environment supplies the outer scope
+// so correlated references resolve during the display build.
+func (p *planPrinter) describeSubplans(e Expr, depth int, env *evalEnv) {
 	walkExpr(e, func(x Expr) bool {
 		var sel *SelectStmt
 		switch t := x.(type) {
@@ -180,13 +256,28 @@ func describeSubplans(e Expr, depth int, env *evalEnv, emit func(int, string, ..
 		if subplanCacheable(sel) {
 			note = "compiled once, outer row rebound per probe"
 		}
-		root, _, err := buildSelectPlan(sel, env.db, env.params, env, false, nil)
-		if err != nil {
-			emit(depth, "subplan (%s): error: %v", note, err)
+		if p.rec != nil {
+			sp := p.rec.subplans[sel]
+			if sp == nil {
+				p.emit(depth, "subplan (%s): not compiled", note)
+				return false
+			}
+			p.emit(depth, "subplan (%s) [probes=%d hits=%d misses=%d]:",
+				note, sp.probes, sp.hits, sp.misses)
+			if sp.root != nil {
+				p.describe(sp.root, depth+1)
+			} else {
+				p.emit(depth+1, "never executed")
+			}
 			return false
 		}
-		emit(depth, "subplan (%s):", note)
-		describeOperator(root, depth+1, emit)
+		root, _, err := buildSelectPlan(sel, env.db, env.params, env, false, nil)
+		if err != nil {
+			p.emit(depth, "subplan (%s): error: %v", note, err)
+			return false
+		}
+		p.emit(depth, "subplan (%s):", note)
+		p.describe(root, depth+1)
 		return false
 	})
 }

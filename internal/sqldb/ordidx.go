@@ -194,6 +194,7 @@ type ordScanOp struct {
 	epos    int // current entry
 	ipos    int // current position within the entry's ids
 	counted bool
+	scanned uint64 // rows this scan read (per-operator EXPLAIN ANALYZE)
 }
 
 func (s *ordScanOp) columns() []colInfo { return s.cols }
@@ -247,6 +248,7 @@ func (s *ordScanOp) next() (Row, bool, error) {
 			s.ipos++
 			if s.qc != nil {
 				s.qc.rowsScanned++
+				s.scanned++
 			}
 			return r, true, nil
 		}
@@ -284,6 +286,7 @@ type mergeJoinOp struct {
 
 	built   bool
 	counted bool
+	scanned uint64 // rows read off both ordered views (EXPLAIN ANALYZE)
 	le, re  []ordEntry
 	li, ri  int
 	// current match block: the two id lists of an equal key
@@ -382,6 +385,7 @@ func (m *mergeJoinOp) next() (Row, bool, error) {
 			m.inBlock = true
 			if m.qc != nil {
 				m.qc.rowsScanned += uint64(len(m.lids) + len(m.rids))
+				m.scanned += uint64(len(m.lids) + len(m.rids))
 			}
 		}
 	}

@@ -32,6 +32,65 @@ func TestConcurrentQueriesShareCachedPlans(t *testing.T) {
 	wg.Wait()
 }
 
+// TestConcurrentOrderedBuildsCursorStatsAndAnalyze interleaves the
+// surfaces the race detector guards after the analyze work: DML
+// invalidates every ordered view, then concurrent readers race to
+// trigger the first lazy rebuild while streaming cursors mutate their
+// own per-query stats recorders (Rows.Stats mid-iteration), Stats()
+// snapshots the aggregate, and ExplainAnalyze runs fully instrumented
+// executions alongside.
+func TestConcurrentOrderedBuildsCursorStatsAndAnalyze(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER)")
+	db.MustExec("CREATE INDEX idx_t_k ON t (k)")
+	rows := make([][]any, 2000)
+	for i := range rows {
+		rows[i] = []any{i, i % 97}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for round := 0; round < 10; round++ {
+		// Invalidate the ordered views so the readers below race to build.
+		db.MustExec("UPDATE t SET k = k + 1 WHERE id % 7 = ?", round%7)
+		var wg sync.WaitGroup
+		for w := 0; w < 6; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if _, err := db.Query("SELECT id FROM t WHERE k > 3 ORDER BY k LIMIT 5"); err != nil {
+					t.Error(err)
+					return
+				}
+				rows, err := db.QueryRows(ctx, "SELECT id, k FROM t WHERE k > ?", w)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for rows.Next() {
+					_ = rows.Stats()
+				}
+				if err := rows.Err(); err != nil {
+					t.Error(err)
+				}
+				_ = rows.Stats()
+				rows.Close()
+				db.Stats()
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := db.ExplainAnalyze(ctx,
+				"SELECT id FROM t WHERE k > 2 ORDER BY k DESC LIMIT 3"); err != nil {
+				t.Error(err)
+			}
+		}()
+		wg.Wait()
+	}
+}
+
 func TestConcurrentCursorsAndStats(t *testing.T) {
 	// Streaming cursors on many goroutines share the read lock while
 	// Stats() snapshots counters concurrently — the surface the race

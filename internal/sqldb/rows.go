@@ -45,8 +45,8 @@ func (db *Database) QueryRows(ctx context.Context, sql string, params ...any) (*
 // queryRows plans sel under the read lock and hands ownership of the lock
 // to the returned cursor. On error the lock is released here.
 func (db *Database) queryRows(ctx context.Context, sel *SelectStmt, vals []Value) (*Rows, error) {
-	db.stats.queries.Add(1)
 	qc := newQueryCtx(ctx, db)
+	qc.queries = 1 // counted into Database.Stats when the recorder flushes
 	if err := qc.cancelled(); err != nil {
 		qc.flush()
 		return nil, err
@@ -157,6 +157,15 @@ func (r *Rows) Scan(dest ...any) error {
 // Err returns the error that terminated iteration, if any. It is nil
 // after a result was exhausted normally.
 func (r *Rows) Err() error { return r.err }
+
+// Stats reports this query's own execution counters: rows scanned and
+// emitted so far, access paths taken, subplan-cache behaviour, and
+// elapsed wall time. Unlike Database.Stats it covers exactly this
+// statement — mid-iteration it shows work done so far; after Close (or
+// an exhausting Next loop) it is the query's final total, the precise
+// amount this execution contributed to the engine-wide aggregate. Like
+// the cursor itself, it is not safe for concurrent use with Next.
+func (r *Rows) Stats() QueryStats { return r.qc.snapshot() }
 
 // Close releases the cursor: the database read lock is returned and the
 // execution's counters are folded into Database.Stats. Idempotent; safe

@@ -3,16 +3,22 @@ package sqldb
 import (
 	"context"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements the database's observability surface. Every
 // statement execution carries a queryCtx — the per-execution bundle of
 // context.Context (cancellation) and locally accumulated counters — and
 // folds its counters into the database-wide atomics exactly once when it
-// finishes. Database.Stats() snapshots the aggregate, giving operators of
-// a busy instance the numbers that matter under heavy traffic: how many
-// queries ran, how often the plan cache hit, how much data scans actually
-// touched, and whether cursors are being leaked.
+// finishes. Database.Stats() is therefore an aggregation of per-query
+// recorders, not a set of ad-hoc global increments: concurrent cursors
+// each accumulate privately and publish atomically at Close, so no query's
+// work is ever attributed to another. The per-query slice is visible on
+// its own as a QueryStats (Rows.Stats, ExplainAnalyze); Database.Stats()
+// snapshots the aggregate, giving operators of a busy instance the numbers
+// that matter under heavy traffic: how many queries ran, how often the
+// plan cache hit, how much data scans actually touched, and whether
+// cursors are being leaked.
 
 // Stats is a point-in-time snapshot of a database's counters.
 type Stats struct {
@@ -88,6 +94,24 @@ func (db *Database) Stats() Stats {
 	}
 }
 
+// QueryStats is one statement execution's slice of Stats: what a single
+// query did, measured by its own recorder rather than read back out of the
+// engine-wide aggregate. Available mid-flight and after completion from
+// Rows.Stats, and from ExplainAnalyze. Field meanings match Stats.
+type QueryStats struct {
+	RowsScanned        uint64
+	RowsEmitted        uint64
+	IndexScans         uint64
+	FullScans          uint64
+	IndexRangeScans    uint64
+	OrderedIndexOrders uint64
+	SubplanCacheHits   uint64
+	SubplanCacheMisses uint64
+	// Elapsed is the wall time since execution began (planning included);
+	// after the execution finishes it stops advancing.
+	Elapsed time.Duration
+}
+
 // queryCtx carries one statement execution's cancellation context and its
 // locally accumulated counters. An execution runs on a single goroutine,
 // so the counters are plain integers; flush folds them into the
@@ -98,6 +122,8 @@ type queryCtx struct {
 	ctx context.Context
 	db  *Database
 
+	queries         uint64
+	execs           uint64
 	rowsScanned     uint64
 	rowsEmitted     uint64
 	indexScans      uint64
@@ -107,12 +133,42 @@ type queryCtx struct {
 	subplanHits     uint64
 	subplanMisses   uint64
 
+	start   time.Time
+	elapsed time.Duration // fixed at flush
+
+	// rec collects per-operator statistics; non-nil only under
+	// ExplainAnalyze so ordinary executions skip all per-operator work.
+	rec *execRecorder
+
 	tick    uint
 	flushed bool
 }
 
 func newQueryCtx(ctx context.Context, db *Database) *queryCtx {
-	return &queryCtx{ctx: ctx, db: db}
+	return &queryCtx{ctx: ctx, db: db, start: time.Now()}
+}
+
+// snapshot returns the execution's counters as a QueryStats. Safe on a nil
+// receiver (zero stats).
+func (qc *queryCtx) snapshot() QueryStats {
+	if qc == nil {
+		return QueryStats{}
+	}
+	elapsed := qc.elapsed
+	if !qc.flushed {
+		elapsed = time.Since(qc.start)
+	}
+	return QueryStats{
+		RowsScanned:        qc.rowsScanned,
+		RowsEmitted:        qc.rowsEmitted,
+		IndexScans:         qc.indexScans,
+		FullScans:          qc.fullScans,
+		IndexRangeScans:    qc.indexRangeScans,
+		OrderedIndexOrders: qc.orderedOrders,
+		SubplanCacheHits:   qc.subplanHits,
+		SubplanCacheMisses: qc.subplanMisses,
+		Elapsed:            elapsed,
+	}
 }
 
 // cancelled reports a typed ErrCanceled when the execution's context is
@@ -146,7 +202,14 @@ func (qc *queryCtx) flush() {
 		return
 	}
 	qc.flushed = true
+	qc.elapsed = time.Since(qc.start)
 	s := &qc.db.stats
+	if qc.queries > 0 {
+		s.queries.Add(qc.queries)
+	}
+	if qc.execs > 0 {
+		s.execs.Add(qc.execs)
+	}
 	if qc.rowsScanned > 0 {
 		s.rowsScanned.Add(qc.rowsScanned)
 	}

@@ -26,7 +26,8 @@ import (
 type projectOp struct {
 	child     operator
 	outCols   []colInfo
-	env       *evalEnv // row environment the items read from
+	items     []SelectItem // retained for EXPLAIN (subplans in projections)
+	env       *evalEnv     // row environment the items read from
 	citems    []compiledExpr
 	orderKeys []compiledExpr // nil without ORDER BY
 	oenv      *evalEnv       // output-row environment the keys read from
@@ -196,9 +197,10 @@ type sortOp struct {
 	orderBy []OrderItem
 	topK    int // -1 = keep everything
 
-	built bool
-	rows  []Row
-	pos   int
+	built   bool
+	drained uint64 // input rows pulled (per-operator EXPLAIN ANALYZE)
+	rows    []Row
+	pos     int
 }
 
 func (s *sortOp) columns() []colInfo { return s.child.columns() }
@@ -218,6 +220,7 @@ func (s *sortOp) next() (Row, bool, error) {
 		} else {
 			rows, err = drain(s.child)
 			if err == nil {
+				s.drained += uint64(len(rows))
 				sort.SliceStable(rows, func(a, b int) bool {
 					return s.keyLess(rows[a], rows[b]) < 0
 				})
@@ -311,6 +314,7 @@ func (s *sortOp) drainTopK() ([]Row, error) {
 		}
 		e := topkRow{row: r, seq: seq}
 		seq++
+		s.drained++
 		if s.topK == 0 {
 			continue
 		}
@@ -523,7 +527,7 @@ func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *eval
 			return nil, nil, err
 		}
 		root = &projectOp{
-			child: src, outCols: outCols, env: env,
+			child: src, outCols: outCols, items: items, env: env,
 			citems: citems, orderKeys: orderKeys, oenv: oenv,
 		}
 	}
