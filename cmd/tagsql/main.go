@@ -159,9 +159,9 @@ func analyze(db *sqldb.Database, src string) {
 		fmt.Println(l)
 	}
 	qs := aq.Stats
-	fmt.Printf("-- %d scanned, %d emitted, %d index / %d range / %d full scans, %d index-served orders, subplan %d/%d hit/miss, %v\n",
+	fmt.Printf("-- %d scanned, %d emitted, %d index / %d range / %d full scans, %d index-served orders, %d tombstones skipped, subplan %d/%d hit/miss, %v\n",
 		qs.RowsScanned, qs.RowsEmitted, qs.IndexScans, qs.IndexRangeScans, qs.FullScans,
-		qs.OrderedIndexOrders, qs.SubplanCacheHits, qs.SubplanCacheMisses, qs.Elapsed.Round(time.Microsecond))
+		qs.OrderedIndexOrders, qs.TombstonesSkipped, qs.SubplanCacheHits, qs.SubplanCacheMisses, qs.Elapsed.Round(time.Microsecond))
 }
 
 // printErr surfaces the engine's typed error code alongside the message.
@@ -184,5 +184,7 @@ func printStats(db *sqldb.Database) {
 	fmt.Printf("scans            %d index / %d range / %d full\n", s.IndexScans, s.IndexRangeScans, s.FullScans)
 	fmt.Printf("ordered orders   %d\n", s.OrderedIndexOrders)
 	fmt.Printf("subplan cache    %d hit / %d miss\n", s.SubplanCacheHits, s.SubplanCacheMisses)
+	fmt.Printf("index maintains  %d incremental / %d compactions\n", s.OrdMaintains, s.Compactions)
+	fmt.Printf("tombstones       %d skipped by scans\n", s.TombstonesSkipped)
 	fmt.Printf("open cursors     %d\n", s.OpenCursors)
 }

@@ -579,11 +579,18 @@ func quoteIdent(s string) string {
 	}
 	needs := keywords[strings.ToUpper(s)]
 	if !needs {
-		for i, r := range s {
-			if i == 0 && !isIdentStart(r) || i > 0 && !isIdentPart(r) {
+		for i := 0; i < len(s); {
+			var w int
+			if i == 0 {
+				w = identStartWidth(s[i:])
+			} else {
+				w = identPartWidth(s[i:])
+			}
+			if w == 0 {
 				needs = true
 				break
 			}
+			i += w
 		}
 	}
 	if !needs {

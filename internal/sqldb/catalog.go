@@ -19,28 +19,41 @@ type Column struct {
 
 // Table is an in-memory heap of rows plus secondary indexes.
 // All access must go through Database, which provides locking.
+//
+// Row ids are heap slice positions and they are *stable*: DELETE marks a
+// tombstone in the dead bitmap instead of compacting the heap, so no
+// surviving row is ever renumbered by DML. Scans skip tombstoned slots;
+// compact() reclaims them (and renumbers) only once the dead fraction
+// crosses compactFraction.
 type Table struct {
 	Name     string
 	Columns  []Column
 	colIndex map[string]int    // lower-cased column name -> ordinal
 	rows     []Row             // the heap; row ids are slice positions
 	indexes  map[string]*Index // lower-cased column name -> index
+	dead     []uint64          // tombstone bitmap over row ids (1 = deleted, awaiting compaction)
+	nDead    int               // number of set bits in dead
 }
 
 // Index is a dual-structure secondary index over one column.
 //
 // The hash map m (binary value key -> row ids, ids ascending) serves
 // equality lookups and join probes; it is maintained eagerly by every DML
-// path, so it is always current. The ordered view ord — one entry per
-// distinct value, sorted by Value.Compare, each entry carrying its row ids
-// in heap order — serves range scans, index-ordered ORDER BY, and merge
-// joins; it is built lazily from the hash map on first ordered access
-// (ordidx.go) and *invalidated*, never incrementally maintained, by DML:
-// insertRow and rebuildIndexes drop it and the next ordered scan rebuilds.
-// The invariant is therefore: ord is either nil or exactly consistent
-// with m. ordMu serialises concurrent lazy builds (readers share the
-// database lock, so they can race to build) and makes invalidation safe
-// under the race detector.
+// path — insert appends the new id, delete and update remove theirs — so
+// it is always current and never contains a tombstoned id. The ordered
+// view ord — one entry per distinct value, sorted by Value.Compare, each
+// entry carrying its row ids ascending — serves range scans,
+// index-ordered ORDER BY, and merge joins; it is built lazily from the
+// hash map on first ordered access (ordidx.go) and *incrementally
+// maintained* by DML while it is live: INSERT splices the new id in place
+// (ordInsert), UPDATE composes remove+insert (ordMove), and DELETE leaves
+// the id behind as a tombstone that ordered consumers skip via the
+// table's dead bitmap. The invariant is therefore: ord is either nil or
+// contains exactly m's ids plus some tombstoned ones. Only compaction —
+// the bulk-mutation fallback — drops the view wholesale for the next
+// ordered access to rebuild. ordMu serialises concurrent lazy builds
+// (readers share the database lock, so they can race to build) and
+// orders maintenance against them under the race detector.
 type Index struct {
 	Name   string
 	Column int
@@ -260,12 +273,34 @@ func (t *Table) ColumnIndex(name string) int {
 	return -1
 }
 
-// RowCount reports the number of stored rows.
-func (t *Table) RowCount() int { return len(t.rows) }
+// RowCount reports the number of live (non-tombstoned) rows.
+func (t *Table) RowCount() int { return t.liveCount() }
+
+// isDead reports whether the row id is tombstoned.
+func (t *Table) isDead(id int) bool {
+	w := id >> 6
+	return w < len(t.dead) && t.dead[w]&(1<<(uint(id)&63)) != 0
+}
+
+// markDead tombstones a row id in the bitmap.
+func (t *Table) markDead(id int) {
+	w := id >> 6
+	for w >= len(t.dead) {
+		t.dead = append(t.dead, 0)
+	}
+	if bit := uint64(1) << (uint(id) & 63); t.dead[w]&bit == 0 {
+		t.dead[w] |= bit
+		t.nDead++
+	}
+}
+
+// liveCount is the number of rows scans will actually emit.
+func (t *Table) liveCount() int { return len(t.rows) - t.nDead }
 
 // insertRow appends a row (already aligned to table order and coerced) and
-// maintains indexes. It enforces NOT NULL and UNIQUE constraints.
-func (t *Table) insertRow(r Row) error {
+// maintains indexes — the hash maps eagerly, any live ordered view by an
+// in-place splice. It enforces NOT NULL and UNIQUE constraints.
+func (t *Table) insertRow(r Row, qc *queryCtx) error {
 	if len(r) != len(t.Columns) {
 		return errf(ErrMisuse, "sql: table %s expects %d values, got %d", t.Name, len(t.Columns), len(r))
 	}
@@ -287,9 +322,111 @@ func (t *Table) insertRow(r Row) error {
 	for _, idx := range t.indexes {
 		key := r[idx.Column].Key()
 		idx.m[key] = append(idx.m[key], id)
-		idx.invalidateOrdered()
+		if idx.ordInsert(r[idx.Column], id) && qc != nil {
+			qc.ordMaintains++
+		}
 	}
 	return nil
+}
+
+// deleteRow tombstones a row: the heap slot stays (row ids are stable),
+// each index's hash map drops the id eagerly, and any live ordered view
+// keeps the id until compaction — ordered and range consumers skip it via
+// the dead bitmap.
+func (t *Table) deleteRow(id int) {
+	r := t.rows[id]
+	for _, idx := range t.indexes {
+		idx.removeID(r[idx.Column].Key(), id)
+	}
+	t.markDead(id)
+}
+
+// checkUpdateUnique enforces UNIQUE constraints for an in-place update
+// the same way insertRow does for inserts: if the updated row moves into
+// a non-NULL key another row already holds, the statement fails before
+// this row is applied. The snapshot UPDATE path does not use this —
+// it pre-checks the whole statement's final state instead (so it can
+// stay atomic), then applies unchecked.
+func (t *Table) checkUpdateUnique(id int, updated Row) error {
+	old := t.rows[id]
+	for _, idx := range t.indexes {
+		if !idx.Unique || updated[idx.Column].IsNull() {
+			continue
+		}
+		newKey := updated[idx.Column].Key()
+		if newKey == old[idx.Column].Key() {
+			continue
+		}
+		if len(idx.m[newKey]) > 0 {
+			return errf(ErrConstraint, "sql: UNIQUE constraint failed: %s.%s = %s",
+				t.Name, t.Columns[idx.Column].Name, updated[idx.Column])
+		}
+	}
+	return nil
+}
+
+// updateRow replaces row id in place, composing remove+insert on every
+// index whose key changed: the hash map moves the id between posting
+// lists, and a live ordered view moves it between entries — no rebuild,
+// no renumbering, and the row keeps its heap position (scan order is
+// observable without ORDER BY). Constraint checks happen in the callers
+// (checkUpdateUnique per row, or the snapshot path's whole-statement
+// pre-check), so this is pure mechanism.
+func (t *Table) updateRow(id int, updated Row, qc *queryCtx) {
+	old := t.rows[id]
+	for _, idx := range t.indexes {
+		oldV, newV := old[idx.Column], updated[idx.Column]
+		oldKey, newKey := oldV.Key(), newV.Key()
+		if oldKey == newKey {
+			continue
+		}
+		idx.removeID(oldKey, id)
+		idx.insertID(newKey, id)
+		if idx.ordMove(oldV, newV, id) && qc != nil {
+			qc.ordMaintains++
+		}
+	}
+	t.rows[id] = updated
+}
+
+// compactFraction: compact once tombstones exceed this fraction of the
+// heap (and at least compactMinDead of them exist, so small tables are
+// not rebuilt over single-row churn).
+const (
+	compactFraction = 4 // 1/4 of the heap
+	compactMinDead  = 64
+)
+
+// maybeCompact compacts the heap when the tombstone share crosses the
+// threshold. Called at the end of DELETE statements — the only tombstone
+// producers.
+func (t *Table) maybeCompact(qc *queryCtx) {
+	if t.nDead >= compactMinDead && t.nDead*compactFraction > len(t.rows) {
+		t.compact(qc)
+	}
+}
+
+// compact physically removes tombstoned rows, renumbering survivors and
+// rebuilding every index against the new ids. This is the bulk-mutation
+// fallback to wholesale invalidation that the incremental paths amortise:
+// it runs once per compactFraction of churn, not once per statement.
+func (t *Table) compact(qc *queryCtx) {
+	if t.nDead == 0 {
+		return
+	}
+	kept := t.rows[:0]
+	for id, r := range t.rows {
+		if !t.isDead(id) {
+			kept = append(kept, r)
+		}
+	}
+	t.rows = kept
+	t.dead = nil
+	t.nDead = 0
+	t.rebuildIndexes()
+	if qc != nil {
+		qc.compactions++
+	}
 }
 
 // rebuildIndexes recomputes all index maps after a bulk mutation and
@@ -298,11 +435,49 @@ func (t *Table) rebuildIndexes() {
 	for _, idx := range t.indexes {
 		idx.m = make(map[string][]int, len(t.rows))
 		for id, r := range t.rows {
+			if t.isDead(id) {
+				continue
+			}
 			key := r[idx.Column].Key()
 			idx.m[key] = append(idx.m[key], id)
 		}
 		idx.invalidateOrdered()
 	}
+}
+
+// spliceID inserts id into an ascending id list at its sorted position
+// (no-op when already present). Shared by the hash map's posting lists
+// and the ordered view's entry lists so the two cannot drift.
+func spliceID(ids []int, id int) []int {
+	pos := sort.SearchInts(ids, id)
+	if pos < len(ids) && ids[pos] == id {
+		return ids
+	}
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	return ids
+}
+
+// insertID adds id to the key's posting list, keeping it ascending.
+func (idx *Index) insertID(key string, id int) {
+	idx.m[key] = spliceID(idx.m[key], id)
+}
+
+// removeID drops id from the key's posting list (no-op when absent).
+// The list is rewritten in place: posting lists are never shared with
+// ordered-view entries (orderedEntries copies them at build).
+func (idx *Index) removeID(key string, id int) {
+	ids := idx.m[key]
+	pos := sort.SearchInts(ids, id)
+	if pos >= len(ids) || ids[pos] != id {
+		return
+	}
+	if len(ids) == 1 {
+		delete(idx.m, key)
+		return
+	}
+	idx.m[key] = append(ids[:pos], ids[pos+1:]...)
 }
 
 // lookup returns the ids of rows whose indexed column equals v.

@@ -254,6 +254,9 @@ func (db *Database) createIndex(stmt *CreateIndexStmt) error {
 	}
 	idx := &Index{Name: stmt.Name, Column: ci, Unique: stmt.Unique, m: make(map[string][]int)}
 	for id, r := range t.rows {
+		if t.isDead(id) {
+			continue
+		}
 		k := r[ci].Key()
 		if stmt.Unique && len(idx.m[k]) > 0 && !r[ci].IsNull() {
 			return errf(ErrConstraint, "sql: cannot create UNIQUE index %s: duplicate value %s", stmt.Name, r[ci])
@@ -335,7 +338,7 @@ func (db *Database) execInsert(stmt *InsertStmt, params []Value, qc *queryCtx) (
 		for i, ci := range colOrder {
 			full[ci] = src[i]
 		}
-		if err := t.insertRow(full); err != nil {
+		if err := t.insertRow(full, qc); err != nil {
 			return n, err
 		}
 		n++
@@ -400,59 +403,139 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx) (
 	if hasSubquery(setExprs...) {
 		return execUpdateSnapshot(t, stmt, setCols, env, qc)
 	}
-	n := 0
-	// Rows mutate in place as the loop runs, so any exit — success, an
-	// evaluation error, or cancellation — must rebuild indexes once rows
-	// have changed, or index lookups would serve pre-update keys.
-	fail := func(err error) (int, error) {
-		if n > 0 {
-			t.rebuildIndexes()
-		}
-		return n, err
-	}
-	for id, r := range t.rows {
-		if err := qc.tickCancelled(); err != nil {
-			return fail(err)
-		}
+	// Each qualifying row is updated through updateRow, which keeps the
+	// hash maps and any live ordered view exactly current — so any exit
+	// (success, an evaluation error, cancellation) leaves the indexes
+	// consistent with the rows updated so far, with no rebuild.
+	update := func(id int, r Row) error {
 		env.row = r
-		if stmt.Where != nil {
-			v, err := evalExpr(stmt.Where, env)
-			if err != nil {
-				return fail(err)
-			}
-			if v.IsNull() || !v.AsBool() {
-				continue
-			}
-		}
 		updated := r.Clone()
 		for i, sc := range stmt.Set {
 			v, err := evalExpr(sc.Expr, env)
 			if err != nil {
-				return fail(err)
+				return err
 			}
 			updated[setCols[i]] = coerce(v, t.Columns[setCols[i]].Type)
 		}
 		for i, c := range t.Columns {
 			if c.NotNull && updated[i].IsNull() {
-				return fail(errf(ErrConstraint, "sql: NOT NULL constraint failed: %s.%s", t.Name, c.Name))
+				return errf(ErrConstraint, "sql: NOT NULL constraint failed: %s.%s", t.Name, c.Name)
 			}
 		}
-		t.rows[id] = updated
+		if err := t.checkUpdateUnique(id, updated); err != nil {
+			return err
+		}
+		t.updateRow(id, updated, qc)
+		return nil
+	}
+	n := 0
+	// Fast path: an `UPDATE ... WHERE col = <literal/param>` over an
+	// indexed column touches exactly the index bucket — no heap walk and
+	// no per-row WHERE evaluation.
+	if ids, ok := dmlEqualityIDs(t, stmt.Where, params); ok {
+		for _, id := range ids {
+			if err := qc.tickCancelled(); err != nil {
+				return n, err
+			}
+			if err := update(id, t.rows[id]); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	}
+	for id, r := range t.rows {
+		if t.isDead(id) {
+			continue
+		}
+		if err := qc.tickCancelled(); err != nil {
+			return n, err
+		}
+		if stmt.Where != nil {
+			env.row = r
+			v, err := evalExpr(stmt.Where, env)
+			if err != nil {
+				return n, err
+			}
+			if v.IsNull() || !v.AsBool() {
+				continue
+			}
+		}
+		if err := update(id, r); err != nil {
+			return n, err
+		}
 		n++
 	}
-	if n > 0 {
-		t.rebuildIndexes()
-	}
 	return n, nil
+}
+
+// dmlEqualityIDs serves a DML statement's WHERE clause from an equality
+// index when it has exactly the shape `col = <literal or ? parameter>`
+// over an indexed column of the mutated table. The returned ids are
+// precisely the live rows the predicate holds for, ascending — the order
+// the heap walk would visit them — and are copied, because the caller
+// mutates the index's posting lists while iterating. A NULL comparand
+// matches nothing (`col = NULL` is never true of any row). Any other
+// WHERE shape reports ok=false and the caller walks the heap.
+func dmlEqualityIDs(t *Table, where Expr, params []Value) ([]int, bool) {
+	b, ok := where.(*BinaryOp)
+	if !ok || b.Op != "=" {
+		return nil, false
+	}
+	cr, comparand := dmlEqualitySides(b.Left, b.Right)
+	if cr == nil {
+		cr, comparand = dmlEqualitySides(b.Right, b.Left)
+	}
+	if cr == nil {
+		return nil, false
+	}
+	if cr.Table != "" && !strings.EqualFold(cr.Table, t.Name) {
+		return nil, false
+	}
+	idx, ok := t.indexes[strings.ToLower(cr.Column)]
+	if !ok {
+		return nil, false
+	}
+	var v Value
+	switch c := comparand.(type) {
+	case *Literal:
+		v = c.Val
+	case *Param:
+		if c.Index < 0 || c.Index >= len(params) {
+			return nil, false // the arity error surfaces from the slow path
+		}
+		v = params[c.Index]
+	}
+	v = coerce(v, t.Columns[idx.Column].Type)
+	if v.IsNull() {
+		return []int{}, true
+	}
+	return append([]int(nil), idx.lookup(v)...), true
+}
+
+// dmlEqualitySides matches one orientation of `col = comparand`, where
+// the comparand is a literal or parameter (never a column or anything
+// that could error or read state).
+func dmlEqualitySides(a, b Expr) (*ColumnRef, Expr) {
+	cr, ok := a.(*ColumnRef)
+	if !ok {
+		return nil, nil
+	}
+	switch b.(type) {
+	case *Literal, *Param:
+		return cr, b
+	}
+	return nil, nil
 }
 
 // execUpdateSnapshot is the two-phase UPDATE path for statements whose
 // WHERE or SET contains a subquery: phase one evaluates every row against
 // the untouched table (so self-referential subqueries — equality-index
 // probes, correlated probes, ordered scans — see a consistent
-// pre-statement snapshot), phase two applies the collected updates and
-// rebuilds the indexes once. Any error or cancellation during phase one
-// aborts with the table untouched, making these statements atomic.
+// pre-statement snapshot), phase two applies the collected updates
+// through the incremental index maintenance. Any error or cancellation
+// during phase one aborts with the table untouched, making these
+// statements atomic.
 func execUpdateSnapshot(t *Table, stmt *UpdateStmt, setCols []int, env *evalEnv, qc *queryCtx) (int, error) {
 	type pendingUpdate struct {
 		id  int
@@ -460,6 +543,9 @@ func execUpdateSnapshot(t *Table, stmt *UpdateStmt, setCols []int, env *evalEnv,
 	}
 	var pend []pendingUpdate
 	for id, r := range t.rows {
+		if t.isDead(id) {
+			continue
+		}
 		if err := qc.tickCancelled(); err != nil {
 			return 0, err // phase one: nothing applied yet
 		}
@@ -488,11 +574,42 @@ func execUpdateSnapshot(t *Table, stmt *UpdateStmt, setCols []int, env *evalEnv,
 		}
 		pend = append(pend, pendingUpdate{id: id, row: updated})
 	}
-	for _, p := range pend {
-		t.rows[p.id] = p.row
+	// UNIQUE pre-check over the statement's final state, so a violation
+	// aborts with the table untouched (this path's atomicity guarantee):
+	// for each unique index, a key's final occupancy is its current
+	// posting list minus the pending rows vacating it plus the pending
+	// rows moving in. Checking per-row during application instead would
+	// both break atomicity and spuriously reject key rotations the final
+	// state permits (e.g. SET id = maxid+1-id). Application below is then
+	// unchecked: transient duplicates mid-application are fine.
+	for _, idx := range t.indexes {
+		if !idx.Unique {
+			continue
+		}
+		var removed, added map[string]int
+		for _, p := range pend {
+			oldKey := t.rows[p.id][idx.Column].Key()
+			newKey := p.row[idx.Column].Key()
+			if oldKey == newKey {
+				continue
+			}
+			if removed == nil {
+				removed, added = make(map[string]int), make(map[string]int)
+			}
+			removed[oldKey]++
+			if !p.row[idx.Column].IsNull() {
+				added[newKey]++
+			}
+		}
+		for key, add := range added {
+			if len(idx.m[key])-removed[key]+add > 1 {
+				return 0, errf(ErrConstraint, "sql: UNIQUE constraint failed: %s.%s",
+					t.Name, t.Columns[idx.Column].Name)
+			}
+		}
 	}
-	if len(pend) > 0 {
-		t.rebuildIndexes()
+	for _, p := range pend {
+		t.updateRow(p.id, p.row, qc)
 	}
 	return len(pend), nil
 }
@@ -509,65 +626,73 @@ func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx) (
 		cols[i] = colInfo{qual: t.Name, name: c.Name}
 	}
 	env := newEvalEnv(cols, db, params, nil, qc)
-	// Same Halloween hazard as execUpdate, compounded: the loop below
-	// compacts t.rows in place while iterating, so a WHERE subquery over
-	// this table would scan a half-compacted heap (and probe indexes whose
-	// ids still point at pre-delete positions). Subquery-bearing DELETEs
-	// evaluate against the untouched table first, then compact.
+	// Same Halloween hazard as execUpdate: a WHERE subquery over this
+	// table would observe the rows already tombstoned by this very loop.
+	// Subquery-bearing DELETEs evaluate against the untouched table
+	// first, then apply.
 	if hasSubquery(stmt.Where) {
 		return execDeleteSnapshot(t, stmt, env, qc)
 	}
-	kept := t.rows[:0]
+	// Qualifying rows are tombstoned as the loop runs (ids stay stable,
+	// hash maps drop the id eagerly), so an early exit — cancellation or
+	// a WHERE evaluation error — leaves exactly the examined-and-deleted
+	// rows gone and everything else untouched, with indexes consistent.
+	// Compaction runs at most once, after the loop settles.
 	n := 0
-	// The loop compacts t.rows in place, so an early exit — cancellation
-	// or a WHERE evaluation error — must keep the not-yet-examined suffix
-	// and rebuild indexes: examined-and-kept rows plus untouched rows, no
-	// duplicates, no stale index entries.
-	fail := func(i int, err error) (int, error) {
-		t.rows = append(kept, t.rows[i:]...)
-		if n > 0 {
-			t.rebuildIndexes()
+	// Fast path: `DELETE FROM t WHERE col = <literal/param>` over an
+	// indexed column tombstones exactly the index bucket.
+	if stmt.Where != nil {
+		if ids, ok := dmlEqualityIDs(t, stmt.Where, params); ok {
+			for _, id := range ids {
+				if err := qc.tickCancelled(); err != nil {
+					t.maybeCompact(qc)
+					return n, err
+				}
+				t.deleteRow(id)
+				n++
+			}
+			t.maybeCompact(qc)
+			return n, nil
 		}
-		return n, err
 	}
-	for i, r := range t.rows {
-		if err := qc.tickCancelled(); err != nil {
-			return fail(i, err)
+	for id, r := range t.rows {
+		if t.isDead(id) {
+			continue
 		}
-		keep := true
+		if err := qc.tickCancelled(); err != nil {
+			t.maybeCompact(qc)
+			return n, err
+		}
+		del := true
 		if stmt.Where != nil {
 			env.row = r
 			v, err := evalExpr(stmt.Where, env)
 			if err != nil {
-				return fail(i, err)
+				t.maybeCompact(qc)
+				return n, err
 			}
-			if !v.IsNull() && v.AsBool() {
-				keep = false
-			}
-		} else {
-			keep = false
+			del = !v.IsNull() && v.AsBool()
 		}
-		if keep {
-			kept = append(kept, r)
-		} else {
+		if del {
+			t.deleteRow(id)
 			n++
 		}
 	}
-	t.rows = kept
-	if n > 0 {
-		t.rebuildIndexes()
-	}
+	t.maybeCompact(qc)
 	return n, nil
 }
 
 // execDeleteSnapshot is the two-phase DELETE path for subquery-bearing
 // statements: phase one evaluates WHERE for every row against the
-// untouched table, phase two compacts the heap and rebuilds the indexes.
-// An error or cancellation during phase one leaves the table untouched.
+// untouched table, phase two tombstones the qualifying rows (compacting
+// only if the dead fraction crosses the threshold). An error or
+// cancellation during phase one leaves the table untouched.
 func execDeleteSnapshot(t *Table, stmt *DeleteStmt, env *evalEnv, qc *queryCtx) (int, error) {
-	del := make([]bool, len(t.rows))
-	n := 0
-	for i, r := range t.rows {
+	var del []int
+	for id, r := range t.rows {
+		if t.isDead(id) {
+			continue
+		}
 		if err := qc.tickCancelled(); err != nil {
 			return 0, err // phase one: nothing applied yet
 		}
@@ -577,22 +702,14 @@ func execDeleteSnapshot(t *Table, stmt *DeleteStmt, env *evalEnv, qc *queryCtx) 
 			return 0, err
 		}
 		if !v.IsNull() && v.AsBool() {
-			del[i] = true
-			n++
+			del = append(del, id)
 		}
 	}
-	if n == 0 {
-		return 0, nil
+	for _, id := range del {
+		t.deleteRow(id)
 	}
-	kept := t.rows[:0]
-	for i, r := range t.rows {
-		if !del[i] {
-			kept = append(kept, r)
-		}
-	}
-	t.rows = kept
-	t.rebuildIndexes()
-	return n, nil
+	t.maybeCompact(qc)
+	return len(del), nil
 }
 
 // InsertRows bulk-loads rows (Go values, table column order) into a table.
@@ -609,7 +726,7 @@ func (db *Database) InsertRows(table string, rows [][]any) error {
 		for i, x := range raw {
 			row[i] = GoValue(x)
 		}
-		if err := t.insertRow(row); err != nil {
+		if err := t.insertRow(row, nil); err != nil {
 			return err
 		}
 	}

@@ -112,8 +112,11 @@ func cloneTableT(t *testing.T, src *Database) *Database {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range st.rows {
-		if err := rt.insertRow(r.Clone()); err != nil {
+	for id, r := range st.rows {
+		if st.isDead(id) {
+			continue
+		}
+		if err := rt.insertRow(r.Clone(), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -400,5 +403,53 @@ func TestDMLSnapshotCancellationAtomic(t *testing.T) {
 	after := queryStrings(t, db, "SELECT id, v FROM t")
 	if !reflect.DeepEqual(before, after) {
 		t.Errorf("snapshot UPDATE applied partial changes despite cancellation")
+	}
+}
+
+// TestUpdateEnforcesUnique: moving a row onto an occupied UNIQUE key
+// must fail with ErrConstraint on every update path — the heap walk, the
+// equality-index fast path, and the snapshot (subquery) path — exactly
+// as the equivalent INSERT would. (Before this was enforced, the UPDATE
+// applied silently and left two rows under one unique key.)
+func TestUpdateEnforcesUnique(t *testing.T) {
+	build := func() *Database {
+		db := NewDatabase()
+		db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+		db.MustExec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+		return db
+	}
+	check := func(db *Database, sql string, params ...any) {
+		t.Helper()
+		if _, err := db.Exec(sql, params...); CodeOf(err) != ErrConstraint {
+			t.Errorf("%q: err = %v, want ErrConstraint", sql, err)
+		}
+		got := queryStrings(t, db, "SELECT id FROM t ORDER BY id")
+		if want := [][]string{{"1"}, {"2"}, {"3"}}; !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: ids after failed update = %v, want %v", sql, got, want)
+		}
+		for _, id := range []int{1, 2, 3} {
+			res, err := db.Query("SELECT v FROM t WHERE id = ?", id)
+			if err != nil || len(res.Rows) != 1 {
+				t.Errorf("%q: index lookup id=%d found %d rows (err %v), want 1", sql, id, len(res.Rows), err)
+			}
+		}
+	}
+	check(build(), "UPDATE t SET id = 1 WHERE v > 15")                       // heap walk
+	check(build(), "UPDATE t SET id = 1 WHERE id = ?", 2)                    // equality fast path
+	check(build(), "UPDATE t SET id = (SELECT MIN(id) FROM t) WHERE v = 20") // snapshot path, atomic
+	// Distinct new keys are fine on every path, including a rotation the
+	// snapshot pre-check must allow (each key vacated before re-occupied
+	// in the final state).
+	db := build()
+	db.MustExec("UPDATE t SET id = id + 100 WHERE v >= 20")
+	got := queryStrings(t, db, "SELECT id FROM t ORDER BY id")
+	if want := [][]string{{"1"}, {"102"}, {"103"}}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("disjoint unique update = %v, want %v", got, want)
+	}
+	db = build()
+	db.MustExec("UPDATE t SET id = 4 - id WHERE id <= 3 AND v >= (SELECT MIN(v) FROM t)")
+	got = queryStrings(t, db, "SELECT id, v FROM t ORDER BY id")
+	if want := [][]string{{"1", "30"}, {"2", "20"}, {"3", "10"}}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("unique key rotation via snapshot path = %v, want %v", got, want)
 	}
 }

@@ -19,7 +19,10 @@ func (db *Database) Dump(w io.Writer) error {
 	}
 	for _, name := range db.tableNamesLocked() {
 		t := db.tables[strings.ToLower(name)]
-		for _, row := range t.rows {
+		for id, row := range t.rows {
+			if t.isDead(id) {
+				continue
+			}
 			var b strings.Builder
 			b.WriteString("INSERT INTO " + quoteIdent(t.Name) + " VALUES (")
 			for i, v := range row {

@@ -63,16 +63,17 @@ func (a *rowArena) alloc(n int) Row {
 // the planner may instead replace the whole operator with an ordScanOp
 // when the statement's ORDER BY matches the range column (stream.go).
 type scanOp struct {
-	table    *Table
-	qual     string // alias the table is addressable by
-	cols     []colInfo
-	ids      []int // nil = full scan (unless rangeIdx is set)
-	rangeIdx *Index
-	spec     rangeSpec
-	pos      int
-	qc       *queryCtx
-	counted  bool   // access path recorded in qc (once per operator)
-	scanned  uint64 // rows this operator read (per-operator EXPLAIN ANALYZE)
+	table       *Table
+	qual        string // alias the table is addressable by
+	cols        []colInfo
+	ids         []int // nil = full scan (unless rangeIdx is set)
+	rangeIdx    *Index
+	spec        rangeSpec
+	pos         int
+	qc          *queryCtx
+	counted     bool   // access path recorded in qc (once per operator)
+	scanned     uint64 // rows this operator read (per-operator EXPLAIN ANALYZE)
+	tombSkipped uint64 // tombstoned rows stepped over (EXPLAIN ANALYZE)
 }
 
 func newScanOp(t *Table, qual string, qc *queryCtx) *scanOp {
@@ -88,7 +89,12 @@ func (s *scanOp) reset()             { s.pos = 0 }
 
 func (s *scanOp) next() (Row, bool, error) {
 	if s.rangeIdx != nil && s.ids == nil {
-		s.ids = collectRangeIDs(s.rangeIdx.orderedEntries(s.table), s.spec)
+		var skipped uint64
+		s.ids, skipped = collectRangeIDs(s.table, s.rangeIdx.orderedEntries(s.table), s.spec)
+		s.tombSkipped += skipped
+		if s.qc != nil {
+			s.qc.tombstonesSkipped += skipped
+		}
 	}
 	if s.qc != nil {
 		if !s.counted {
@@ -117,6 +123,13 @@ func (s *scanOp) next() (Row, bool, error) {
 			s.scanned++
 		}
 		return r, true, nil
+	}
+	for s.pos < len(s.table.rows) && s.table.isDead(s.pos) && !debugDisableTombstoneSkip {
+		s.pos++
+		s.tombSkipped++
+		if s.qc != nil {
+			s.qc.tombstonesSkipped++
+		}
 	}
 	if s.pos >= len(s.table.rows) {
 		return nil, false, nil
@@ -193,9 +206,12 @@ func (s *corrProbeScanOp) reset() {
 func (s *corrProbeScanOp) next() (Row, bool, error) {
 	if !s.idsSet {
 		if s.memo == nil {
-			s.memo = make(map[string][]int, len(s.table.rows))
+			s.memo = make(map[string][]int, s.table.liveCount())
 			var kb []byte
 			for id, r := range s.table.rows {
+				if s.table.isDead(id) {
+					continue
+				}
 				kb = appendValueKey(kb[:0], r[s.column])
 				s.memo[string(kb)] = append(s.memo[string(kb)], id)
 			}
@@ -818,7 +834,7 @@ func estimateRows(op operator) int {
 		if t.rangeIdx != nil {
 			return -1 // range ids not yet materialised
 		}
-		return len(t.table.rows)
+		return t.table.liveCount()
 	case *valuesOp:
 		return len(t.rows)
 	case *filterOp:
@@ -1230,9 +1246,17 @@ func chooseScanAccess(sc *scanOp, conjuncts []Expr) []Expr {
 		if idx == nil {
 			continue
 		}
-		ids := idx.lookup(coerce(lit.Val, sc.table.Columns[idx.Column].Type))
-		sc.ids = append([]int{}, ids...)
-		sort.Ints(sc.ids)
+		v := coerce(lit.Val, sc.table.Columns[idx.Column].Type)
+		if v.IsNull() {
+			// `col = NULL` is never true; serving the NULL key's ids here
+			// would wrongly return the NULL-valued rows (the conjunct is
+			// removed from the filter). Found by the NoREC metamorphic
+			// property: the filtered count must match the per-row count.
+			sc.ids = []int{}
+		} else {
+			sc.ids = append([]int{}, idx.lookup(v)...)
+			sort.Ints(sc.ids)
+		}
 		return append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
 	}
 

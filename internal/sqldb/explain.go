@@ -137,7 +137,7 @@ func (p *planPrinter) describe(op operator, depth int) {
 		p.describe(t.child, depth+1)
 	case *scanOp:
 		if analyzed {
-			p.extra = fmt.Sprintf("scanned=%d", t.scanned)
+			p.extra = scanAnnotation(t.scanned, t.tombSkipped)
 		}
 		switch {
 		case t.rangeIdx != nil:
@@ -146,7 +146,7 @@ func (p *planPrinter) describe(op operator, depth int) {
 		case t.ids != nil:
 			p.emit(depth, "index scan %s (as %s): %d candidate row(s)", t.table.Name, t.qual, len(t.ids))
 		default:
-			p.emit(depth, "seq scan %s (as %s): %d row(s)", t.table.Name, t.qual, len(t.table.rows))
+			p.emit(depth, "seq scan %s (as %s): %d row(s)", t.table.Name, t.qual, t.table.liveCount())
 		}
 	case *ordScanOp:
 		col := t.table.Columns[t.idx.Column].Name
@@ -155,7 +155,7 @@ func (p *planPrinter) describe(op operator, depth int) {
 			dir = " desc"
 		}
 		if analyzed {
-			p.extra = fmt.Sprintf("scanned=%d", t.scanned)
+			p.extra = scanAnnotation(t.scanned, t.tombSkipped)
 		}
 		if t.spec.bounded() {
 			p.emit(depth, "ordered index range scan %s (as %s) by %s%s: %s",
@@ -196,7 +196,7 @@ func (p *planPrinter) describe(op operator, depth int) {
 		}
 	case *mergeJoinOp:
 		if analyzed {
-			p.extra = fmt.Sprintf("scanned=%d", t.scanned)
+			p.extra = scanAnnotation(t.scanned, t.tombSkipped)
 		}
 		p.emit(depth, "merge join on %s = %s%s",
 			t.leftKeyE.String(), t.rightKeyE.String(), residualNote(t.residualE))
@@ -280,6 +280,16 @@ func (p *planPrinter) describeSubplans(e Expr, depth int, env *evalEnv) {
 		p.describe(root, depth+1)
 		return false
 	})
+}
+
+// scanAnnotation renders an access path's EXPLAIN ANALYZE extras: rows
+// actually read, plus the tombstoned (deleted, not yet compacted) slots
+// it stepped over when there were any.
+func scanAnnotation(scanned, tombSkipped uint64) string {
+	if tombSkipped > 0 {
+		return fmt.Sprintf("scanned=%d tombstones=%d", scanned, tombSkipped)
+	}
+	return fmt.Sprintf("scanned=%d", scanned)
 }
 
 func residualNote(residual Expr) string {

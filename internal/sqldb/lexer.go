@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // tokenType enumerates lexical token classes produced by the lexer.
@@ -84,10 +85,14 @@ func lex(src string) ([]token, error) {
 			toks = append(toks, token{typ: tokString, text: s, pos: i})
 			i = next
 		case c == '"' || c == '`':
-			// Quoted identifier.
+			// Quoted identifier. An empty one is rejected: nothing can be
+			// named "", and it cannot round-trip through rendering.
 			s, next, err := lexString(src, i, rune(c))
 			if err != nil {
 				return nil, err
+			}
+			if s == "" {
+				return nil, &lexError{pos: i, msg: "empty quoted identifier"}
 			}
 			toks = append(toks, token{typ: tokIdent, text: s, pos: i})
 			i = next
@@ -96,6 +101,9 @@ func lex(src string) ([]token, error) {
 			end := strings.IndexByte(src[i+1:], ']')
 			if end < 0 {
 				return nil, &lexError{pos: i, msg: "unterminated [identifier]"}
+			}
+			if end == 0 {
+				return nil, &lexError{pos: i, msg: "empty quoted identifier"}
 			}
 			toks = append(toks, token{typ: tokIdent, text: src[i+1 : i+1+end], pos: i})
 			i += end + 2
@@ -125,10 +133,20 @@ func lex(src string) ([]token, error) {
 				break
 			}
 			toks = append(toks, token{typ: tokNumber, text: src[start:i], pos: start})
-		case isIdentStart(rune(c)):
+		case identStartWidth(src[i:]) > 0:
+			// Identifiers decode as UTF-8 (an identifier byte sequence that
+			// is not valid UTF-8 is rejected, never smuggled through as
+			// Latin-1: case normalisation downstream would mangle it into
+			// U+FFFD and the statement would no longer round-trip — found
+			// by FuzzParse).
 			start := i
-			for i < n && isIdentPart(rune(src[i])) {
-				i++
+			i += identStartWidth(src[i:])
+			for i < n {
+				w := identPartWidth(src[i:])
+				if w == 0 {
+					break
+				}
+				i += w
 			}
 			word := src[start:i]
 			up := strings.ToUpper(word)
@@ -193,10 +211,28 @@ func lexOp(src string, i int) (string, int, error) {
 	return "", 0, &lexError{pos: i, msg: fmt.Sprintf("unexpected character %q", src[i])}
 }
 
-func isIdentStart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r)
+// identStartWidth reports the byte width of a valid identifier-start rune
+// at the head of s, or 0. Invalid UTF-8 never starts an identifier.
+func identStartWidth(s string) int {
+	r, w := utf8.DecodeRuneInString(s)
+	if r == utf8.RuneError && w <= 1 {
+		return 0
+	}
+	if r == '_' || unicode.IsLetter(r) {
+		return w
+	}
+	return 0
 }
 
-func isIdentPart(r rune) bool {
-	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+// identPartWidth is identStartWidth for continuation runes ($ and digits
+// also allowed).
+func identPartWidth(s string) int {
+	r, w := utf8.DecodeRuneInString(s)
+	if r == utf8.RuneError && w <= 1 {
+		return 0
+	}
+	if r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+		return w
+	}
+	return 0
 }

@@ -9,7 +9,9 @@ import (
 // (catalog.go) and the operators that exploit it. The hash map is the
 // always-current source of truth; the ordered view — distinct values
 // sorted by Value.Compare, each with its row ids in heap order — is
-// derived from it lazily and dropped on any mutation. On top of it sit:
+// derived from it lazily and then maintained incrementally by DML while
+// it is live (ordInsert/ordMove below; deletes tombstone instead, and the
+// consumers here skip dead ids via the table's bitmap). On top of it sit:
 //
 //	ordScanOp     streams a table in index order (optionally bounded),
 //	              letting ORDER BY ... LIMIT k read exactly O(k) rows
@@ -32,17 +34,31 @@ type ordEntry struct {
 	ids []int
 }
 
+// Fault-injection switches for the metamorphic/property test layer: each
+// deliberately breaks one incremental-maintenance invariant so the suites
+// can prove they would catch such a bug (scans emitting deleted rows,
+// ordered views going stale). Never set outside tests.
+var (
+	debugDisableTombstoneSkip bool // scans emit tombstoned rows
+	debugBreakOrdMaintain     bool // DML leaves live ordered views stale
+)
+
 // orderedEntries returns the index's ordered view, building it from the
-// hash map on first use after a mutation. Concurrent readers (queries
-// share the database's read lock) serialise on ordMu; the returned slice
-// is immutable once published.
+// hash map on first use after a compaction (the only wholesale
+// invalidation left). Concurrent readers (queries share the database's
+// read lock) serialise on ordMu. Entry id slices are copied at build:
+// maintenance splices them in place, so they must never share backing
+// arrays with the hash map's posting lists.
 func (idx *Index) orderedEntries(t *Table) []ordEntry {
 	idx.ordMu.Lock()
 	defer idx.ordMu.Unlock()
 	if idx.ord == nil {
 		entries := make([]ordEntry, 0, len(idx.m))
 		for _, ids := range idx.m {
-			entries = append(entries, ordEntry{val: t.rows[ids[0]][idx.Column], ids: ids})
+			entries = append(entries, ordEntry{
+				val: t.rows[ids[0]][idx.Column],
+				ids: append([]int(nil), ids...),
+			})
 		}
 		sort.Slice(entries, func(a, b int) bool {
 			return entries[a].val.Compare(entries[b].val) < 0
@@ -58,6 +74,71 @@ func (idx *Index) invalidateOrdered() {
 	idx.ordMu.Lock()
 	idx.ord = nil
 	idx.ordMu.Unlock()
+}
+
+// ordInsert splices a freshly inserted row into a live ordered view:
+// binary search for the value's entry, then append the id (an insert
+// always carries the largest id yet, so per-entry ascending order is
+// preserved) or splice a new entry in at its sorted position. A nil view
+// stays nil — the next ordered access builds it from the hash map for
+// free. Reports whether a live view was maintained.
+func (idx *Index) ordInsert(v Value, id int) bool {
+	idx.ordMu.Lock()
+	defer idx.ordMu.Unlock()
+	if idx.ord == nil || debugBreakOrdMaintain {
+		return false
+	}
+	entries := idx.ord
+	pos := sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(v) >= 0 })
+	if pos < len(entries) && entries[pos].val.Compare(v) == 0 {
+		entries[pos].ids = append(entries[pos].ids, id)
+		return true
+	}
+	idx.ord = spliceEntry(entries, pos, ordEntry{val: v, ids: []int{id}})
+	return true
+}
+
+// spliceEntry inserts e into the entry slice at pos, preserving order.
+func spliceEntry(entries []ordEntry, pos int, e ordEntry) []ordEntry {
+	entries = append(entries, ordEntry{})
+	copy(entries[pos+1:], entries[pos:])
+	entries[pos] = e
+	return entries
+}
+
+// ordMove serves an UPDATE that changed the indexed value: remove the id
+// from the old value's entry and splice it into the new one at its
+// ascending position (the id is unchanged — updated rows keep their heap
+// slot). An entry left empty is spliced out immediately: a pure-UPDATE
+// workload never deletes, so it never triggers compaction, and leaving
+// the husks behind would grow the view by one dead entry per moved
+// value forever. Reports whether a live view was maintained.
+func (idx *Index) ordMove(oldV, newV Value, id int) bool {
+	idx.ordMu.Lock()
+	defer idx.ordMu.Unlock()
+	if idx.ord == nil || debugBreakOrdMaintain {
+		return false
+	}
+	entries := idx.ord
+	pos := sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(oldV) >= 0 })
+	if pos < len(entries) && entries[pos].val.Compare(oldV) == 0 {
+		ids := entries[pos].ids
+		if ip := sort.SearchInts(ids, id); ip < len(ids) && ids[ip] == id {
+			ids = append(ids[:ip], ids[ip+1:]...)
+			entries[pos].ids = ids
+			if len(ids) == 0 {
+				entries = append(entries[:pos], entries[pos+1:]...)
+				idx.ord = entries
+			}
+		}
+	}
+	pos = sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(newV) >= 0 })
+	if pos < len(entries) && entries[pos].val.Compare(newV) == 0 {
+		entries[pos].ids = spliceID(entries[pos].ids, id)
+		return true
+	}
+	idx.ord = spliceEntry(entries, pos, ordEntry{val: newV, ids: []int{id}})
+	return true
 }
 
 // rangeBound is one end of a key range: the bounding value and whether
@@ -153,18 +234,55 @@ func rangeEnd(entries []ordEntry, hi *rangeBound) int {
 	return sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(hi.val) >= 0 })
 }
 
-// collectRangeIDs gathers the row ids inside the range in ascending heap
-// order, so an unordered range scan emits rows exactly as a filtered
+// collectRangeIDs gathers the live row ids inside the range in ascending
+// heap order, so an unordered range scan emits rows exactly as a filtered
 // full scan would (the property plan-equivalence tests rely on this
-// under LIMIT truncation). Always returns a non-nil slice.
-func collectRangeIDs(entries []ordEntry, spec rangeSpec) []int {
+// under LIMIT truncation). Tombstoned ids are skipped and counted in the
+// second return. Always returns a non-nil slice.
+func collectRangeIDs(t *Table, entries []ordEntry, spec rangeSpec) ([]int, uint64) {
 	lo, hi := rangeStart(entries, spec.lo), rangeEnd(entries, spec.hi)
 	ids := make([]int, 0, 16)
+	var skipped uint64
 	for i := lo; i < hi; i++ {
-		ids = append(ids, entries[i].ids...)
+		for _, id := range entries[i].ids {
+			if t.isDead(id) && !debugDisableTombstoneSkip {
+				skipped++
+				continue
+			}
+			ids = append(ids, id)
+		}
 	}
 	sort.Ints(ids)
-	return ids
+	return ids, skipped
+}
+
+// liveIDs filters a view entry's id list down to live rows, returning
+// the input slice untouched when nothing is tombstoned (the common case)
+// and the number of dead ids stepped over.
+func liveIDs(t *Table, ids []int) ([]int, uint64) {
+	if t.nDead == 0 || debugDisableTombstoneSkip {
+		return ids, 0
+	}
+	first := -1
+	for i, id := range ids {
+		if t.isDead(id) {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return ids, 0
+	}
+	live := append([]int(nil), ids[:first]...)
+	var skipped uint64
+	for _, id := range ids[first:] {
+		if t.isDead(id) {
+			skipped++
+			continue
+		}
+		live = append(live, id)
+	}
+	return live, skipped
 }
 
 // ---------------------------------------------------------------------------
@@ -188,13 +306,14 @@ type ordScanOp struct {
 	desc  bool
 	qc    *queryCtx
 
-	built   bool
-	entries []ordEntry
-	lo, hi  int // [lo, hi) window of entries inside the range
-	epos    int // current entry
-	ipos    int // current position within the entry's ids
-	counted bool
-	scanned uint64 // rows this scan read (per-operator EXPLAIN ANALYZE)
+	built       bool
+	entries     []ordEntry
+	lo, hi      int // [lo, hi) window of entries inside the range
+	epos        int // current entry
+	ipos        int // current position within the entry's ids
+	counted     bool
+	scanned     uint64 // rows this scan read (per-operator EXPLAIN ANALYZE)
+	tombSkipped uint64 // tombstoned ids stepped over (EXPLAIN ANALYZE)
 }
 
 func (s *ordScanOp) columns() []colInfo { return s.cols }
@@ -243,9 +362,17 @@ func (s *ordScanOp) next() (Row, bool, error) {
 			return nil, false, nil
 		}
 		e := s.entries[s.epos]
-		if s.ipos < len(e.ids) {
-			r := s.table.rows[e.ids[s.ipos]]
+		for s.ipos < len(e.ids) {
+			id := e.ids[s.ipos]
 			s.ipos++
+			if s.table.isDead(id) && !debugDisableTombstoneSkip {
+				s.tombSkipped++
+				if s.qc != nil {
+					s.qc.tombstonesSkipped++
+				}
+				continue
+			}
+			r := s.table.rows[id]
 			if s.qc != nil {
 				s.qc.rowsScanned++
 				s.scanned++
@@ -284,11 +411,12 @@ type mergeJoinOp struct {
 	arena                 rowArena
 	qc                    *queryCtx
 
-	built   bool
-	counted bool
-	scanned uint64 // rows read off both ordered views (EXPLAIN ANALYZE)
-	le, re  []ordEntry
-	li, ri  int
+	built       bool
+	counted     bool
+	scanned     uint64 // rows read off both ordered views (EXPLAIN ANALYZE)
+	tombSkipped uint64 // tombstoned ids stepped over (EXPLAIN ANALYZE)
+	le, re      []ordEntry
+	li, ri      int
 	// current match block: the two id lists of an equal key
 	lids, rids []int
 	lp, rp     int
@@ -380,10 +508,14 @@ func (m *mergeJoinOp) next() (Row, bool, error) {
 		case c > 0:
 			m.ri++
 		default:
-			m.lids, m.rids = m.le[m.li].ids, m.re[m.ri].ids
+			var lskip, rskip uint64
+			m.lids, lskip = liveIDs(m.leftTable, m.le[m.li].ids)
+			m.rids, rskip = liveIDs(m.rightTable, m.re[m.ri].ids)
 			m.lp, m.rp = 0, 0
 			m.inBlock = true
+			m.tombSkipped += lskip + rskip
 			if m.qc != nil {
+				m.qc.tombstonesSkipped += lskip + rskip
 				m.qc.rowsScanned += uint64(len(m.lids) + len(m.rids))
 				m.scanned += uint64(len(m.lids) + len(m.rids))
 			}

@@ -104,8 +104,7 @@ func TestRangeScanReadsOnlyMatchingRows(t *testing.T) {
 
 // dmlPropDBs builds the same mutable table into an indexed and an
 // unindexed database for the interleaved DML property test.
-func dmlPropDBs(t *testing.T) (indexed, plain *Database) {
-	t.Helper()
+func dmlPropDBs() (indexed, plain *Database) {
 	indexed = NewDatabase()
 	plain = NewDatabase()
 	indexed.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, s TEXT)")
@@ -114,25 +113,28 @@ func dmlPropDBs(t *testing.T) (indexed, plain *Database) {
 	return indexed, plain
 }
 
-// TestDMLInterleavedWithOrderedQueries is the DML-vs-ordered-index
-// property test: random INSERT/UPDATE/DELETE interleave with range and
+// interleavedDMLProperty is the DML-vs-ordered-index property engine:
+// random INSERT/UPDATE/DELETE — including UPDATEs that move rows between
+// an indexed column's entries, equality-shaped DML that takes the index
+// fast path, and multi-row range DELETEs — interleave with range and
 // ORDER BY queries, and after every step the indexed engine (ordered and
-// range index scans, lazily rebuilt after each mutation) must agree with
-// the plain engine and — for the no-LIMIT shapes — with the force-naive
-// interpreted executor.
-func TestDMLInterleavedWithOrderedQueries(t *testing.T) {
-	r := rand.New(rand.NewSource(31))
-	indexed, plain := dmlPropDBs(t)
+// range index scans, incrementally maintained across each mutation) must
+// agree with the plain engine and — for the no-LIMIT shapes — with the
+// force-naive interpreted executor (refSelect). It returns an error
+// instead of failing a *testing.T so the fault-injection tests can prove
+// the suite catches broken tombstone skipping or in-place maintenance.
+func interleavedDMLProperty(r *rand.Rand, steps int) error {
+	indexed, plain := dmlPropDBs()
 	words := []string{"ant", "bee", "cat", "dog"}
 	nextID := 0
 
-	exec := func(sql string, params ...any) {
-		t.Helper()
+	exec := func(sql string, params ...any) error {
 		ni, erri := indexed.Exec(sql, params...)
 		np, errp := plain.Exec(sql, params...)
 		if (erri == nil) != (errp == nil) || ni != np {
-			t.Fatalf("DML diverged on %q: indexed (%d, %v) vs plain (%d, %v)", sql, ni, erri, np, errp)
+			return fmt.Errorf("DML diverged on %q: indexed (%d, %v) vs plain (%d, %v)", sql, ni, erri, np, errp)
 		}
+		return nil
 	}
 	queries := []func(*rand.Rand) string{
 		func(r *rand.Rand) string {
@@ -154,61 +156,114 @@ func TestDMLInterleavedWithOrderedQueries(t *testing.T) {
 			return fmt.Sprintf("SELECT id, k FROM t WHERE k >= %d AND k < %d ORDER BY k LIMIT %d",
 				r.Intn(25), 25+r.Intn(25), 1+r.Intn(6))
 		},
+		func(r *rand.Rand) string {
+			return fmt.Sprintf("SELECT id, s FROM t WHERE k = %d ORDER BY id", r.Intn(50))
+		},
 	}
 
-	for step := 0; step < 600; step++ {
-		switch op := r.Intn(10); {
-		case op < 4: // insert (NULL k sometimes)
+	for step := 0; step < steps; step++ {
+		var err error
+		switch op := r.Intn(14); {
+		case op < 5: // insert (NULL k sometimes)
 			var k any = r.Intn(50)
 			if r.Intn(6) == 0 {
 				k = nil
 			}
-			exec("INSERT INTO t VALUES (?, ?, ?)", nextID, k, words[r.Intn(len(words))])
+			err = exec("INSERT INTO t VALUES (?, ?, ?)", nextID, k, words[r.Intn(len(words))])
 			nextID++
-		case op < 5: // update keys (occasionally to NULL)
+		case op < 6: // update keys (occasionally to NULL)
 			if r.Intn(5) == 0 {
-				exec(fmt.Sprintf("UPDATE t SET k = NULL WHERE id %% 11 = %d", r.Intn(11)))
+				err = exec(fmt.Sprintf("UPDATE t SET k = NULL WHERE id %% 11 = %d", r.Intn(11)))
 			} else {
-				exec(fmt.Sprintf("UPDATE t SET k = %d WHERE k < %d", r.Intn(50), r.Intn(20)))
+				err = exec(fmt.Sprintf("UPDATE t SET k = %d WHERE k < %d", r.Intn(50), r.Intn(20)))
 			}
-		case op < 6: // delete a stripe
-			exec(fmt.Sprintf("DELETE FROM t WHERE id %% 13 = %d", r.Intn(13)))
+		case op < 7: // multi-row update moving rows between indexed entries
+			err = exec(fmt.Sprintf("UPDATE t SET k = k + %d WHERE k BETWEEN %d AND %d",
+				1+r.Intn(9), r.Intn(25), 25+r.Intn(25)))
+		case op < 8: // equality-shaped DML: the index fast path on the indexed db
+			if r.Intn(2) == 0 {
+				err = exec("DELETE FROM t WHERE id = ?", r.Intn(nextID+1))
+			} else {
+				err = exec(fmt.Sprintf("UPDATE t SET s = 'upd%d', k = %d WHERE id = %d",
+					step, r.Intn(50), r.Intn(nextID+1)))
+			}
+		case op < 9: // delete a stripe
+			err = exec(fmt.Sprintf("DELETE FROM t WHERE id %% 13 = %d", r.Intn(13)))
+		case op < 10: // multi-row delete over the indexed column's range
+			err = exec(fmt.Sprintf("DELETE FROM t WHERE k BETWEEN %d AND %d", r.Intn(40), 5+r.Intn(40)))
 		default: // query
 			sql := queries[r.Intn(len(queries))](r)
 			ri, err := indexed.Query(sql)
 			if err != nil {
-				t.Fatalf("indexed Query(%q): %v", sql, err)
+				return fmt.Errorf("indexed Query(%q): %v", sql, err)
 			}
 			rp, err := plain.Query(sql)
 			if err != nil {
-				t.Fatalf("plain Query(%q): %v", sql, err)
+				return fmt.Errorf("plain Query(%q): %v", sql, err)
 			}
 			gi, gp := rowsToStrings(ri.Rows), rowsToStrings(rp.Rows)
 			if !reflect.DeepEqual(gi, gp) {
-				t.Fatalf("step %d: plans disagree on %q:\nindexed %v\nplain   %v", step, sql, gi, gp)
+				return fmt.Errorf("step %d: plans disagree on %q:\nindexed %v\nplain   %v", step, sql, gi, gp)
 			}
 			// Force-naive reference for the untruncated shapes.
 			if !strings.Contains(sql, "LIMIT") {
-				stmt, err := Parse(sql)
-				if err != nil {
-					t.Fatal(err)
+				stmt, perr := Parse(sql)
+				if perr != nil {
+					return perr
 				}
-				want, err := refSelect(indexed, stmt.(*SelectStmt))
-				if err != nil {
-					t.Fatalf("refSelect(%q): %v", sql, err)
+				want, rerr := refSelect(indexed, stmt.(*SelectStmt))
+				if rerr != nil {
+					return fmt.Errorf("refSelect(%q): %v", sql, rerr)
 				}
 				if !reflect.DeepEqual(gi, rowsToStrings(want)) {
-					t.Fatalf("step %d: indexed engine disagrees with naive reference on %q:\ngot  %v\nwant %v",
+					return fmt.Errorf("step %d: indexed engine disagrees with naive reference on %q:\ngot  %v\nwant %v",
 						step, sql, gi, rowsToStrings(want))
 				}
 			}
 		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestDMLInterleavedWithOrderedQueries(t *testing.T) {
+	if err := interleavedDMLProperty(rand.New(rand.NewSource(31)), 600); err != nil {
+		t.Fatal(err)
 	}
 }
 
-// TestOrderedViewInvalidatedByDML: the ordered view is rebuilt after
-// each kind of mutation, so index-order results always reflect the heap.
-func TestOrderedViewInvalidatedByDML(t *testing.T) {
+// Fault injection: the property suite must demonstrably fail when the
+// incremental-maintenance invariants are broken — otherwise it is not
+// actually pinning them (coverage of behaviors under mutation, not lines).
+
+// TestPropertySuiteCatchesBrokenTombstoneSkip disables tombstone
+// skipping, so scans emit deleted rows; the suite must notice.
+func TestPropertySuiteCatchesBrokenTombstoneSkip(t *testing.T) {
+	debugDisableTombstoneSkip = true
+	defer func() { debugDisableTombstoneSkip = false }()
+	if err := interleavedDMLProperty(rand.New(rand.NewSource(31)), 600); err == nil {
+		t.Fatal("property suite did not detect scans emitting tombstoned rows")
+	}
+}
+
+// TestPropertySuiteCatchesBrokenOrdMaintenance makes DML leave live
+// ordered views stale (no splice, no invalidation); the suite must catch
+// the stale index order.
+func TestPropertySuiteCatchesBrokenOrdMaintenance(t *testing.T) {
+	debugBreakOrdMaintain = true
+	defer func() { debugBreakOrdMaintain = false }()
+	if err := interleavedDMLProperty(rand.New(rand.NewSource(31)), 600); err == nil {
+		t.Fatal("property suite did not detect stale ordered views")
+	}
+}
+
+// TestOrderedViewMaintainedAcrossDML: index-order results always reflect
+// the heap after each kind of mutation — and the ordered view is
+// maintained in place (splice, move, tombstone-skip), never dropped and
+// rebuilt between these statements.
+func TestOrderedViewMaintainedAcrossDML(t *testing.T) {
 	db := NewDatabase()
 	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER)")
 	db.MustExec("CREATE INDEX idx_k ON t (k)")
@@ -220,6 +275,18 @@ func TestOrderedViewInvalidatedByDML(t *testing.T) {
 	if got := get(); !reflect.DeepEqual(got, [][]string{{"1"}, {"3"}, {"2"}}) {
 		t.Fatalf("initial order = %v", got)
 	}
+	// White box: the first ordered query built the view; from here on
+	// every mutation must maintain that same live view, not invalidate it.
+	tbl, err := db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := tbl.indexes["k"]
+	if idx.ord == nil {
+		t.Fatal("ordered view not built by the first ordered query")
+	}
+
+	before := db.Stats()
 	db.MustExec("INSERT INTO t VALUES (4, 15)") // lands in the middle
 	if got := get(); !reflect.DeepEqual(got, [][]string{{"1"}, {"4"}, {"3"}, {"2"}}) {
 		t.Fatalf("after insert = %v", got)
@@ -231,6 +298,99 @@ func TestOrderedViewInvalidatedByDML(t *testing.T) {
 	db.MustExec("DELETE FROM t WHERE id = 4")
 	if got := get(); !reflect.DeepEqual(got, [][]string{{"2"}, {"1"}, {"3"}}) {
 		t.Fatalf("after delete = %v", got)
+	}
+	if idx.ord == nil {
+		t.Error("DML invalidated the ordered view instead of maintaining it")
+	}
+	s := db.Stats()
+	if got := s.OrdMaintains - before.OrdMaintains; got < 2 {
+		t.Errorf("OrdMaintains moved by %d, want >= 2 (insert splice + update move)", got)
+	}
+	if got := s.TombstonesSkipped - before.TombstonesSkipped; got == 0 {
+		t.Error("TombstonesSkipped did not move across the post-delete ordered scan")
+	}
+	if tbl.nDead != 1 || len(tbl.rows) != 4 {
+		t.Errorf("heap = %d rows / %d dead, want 4 rows with 1 tombstone (stable ids, no renumbering)",
+			len(tbl.rows), tbl.nDead)
+	}
+}
+
+// TestCompactionReclaimsTombstones: once deletes push the dead fraction
+// past the threshold, the heap compacts — tombstones vanish, ids are
+// renumbered, the ordered view is rebuilt, and the Compactions counter
+// moves. Results are unchanged either side of the compaction.
+func TestCompactionReclaimsTombstones(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER)")
+	db.MustExec("CREATE INDEX idx_t_k ON t (k)")
+	rows := make([][]any, 400)
+	for i := range rows {
+		rows[i] = []any{i, i % 37}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Stats()
+	// Delete 75% of the table in stripes; the threshold (1/4 of the heap,
+	// min 64 tombstones) must trip at least once.
+	for m := 0; m < 3; m++ {
+		db.MustExec("DELETE FROM t WHERE id % 4 = ?", m)
+	}
+	s := db.Stats()
+	if s.Compactions == before.Compactions {
+		t.Error("Compactions did not move after deleting 75% of the heap")
+	}
+	tbl, err := db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.nDead*compactFraction > len(tbl.rows) {
+		t.Errorf("dead fraction above threshold after compaction: %d/%d", tbl.nDead, len(tbl.rows))
+	}
+	got := queryStrings(t, db, "SELECT COUNT(*) FROM t")
+	if !reflect.DeepEqual(got, [][]string{{"100"}}) {
+		t.Fatalf("live rows after compaction = %v, want 100", got)
+	}
+	// Ordered results reflect exactly the survivors.
+	res := queryStrings(t, db, "SELECT id FROM t WHERE k = 3 ORDER BY id")
+	want := [][]string{}
+	for i := 3; i < 400; i += 37 {
+		if i%4 == 3 {
+			want = append(want, []string{fmt.Sprint(i)})
+		}
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Fatalf("post-compaction equality scan = %v, want %v", res, want)
+	}
+}
+
+// TestIndexEqualityNullLiteralNeverMatches pins the `col = NULL` bug the
+// NoREC metamorphic property found: the indexed access path used to
+// serve the NULL key's rows for an equality whose comparand is NULL,
+// while SQL says the predicate is never true of any row.
+func TestIndexEqualityNullLiteralNeverMatches(t *testing.T) {
+	indexed := NewDatabase()
+	indexed.MustExec("CREATE TABLE z (id INTEGER PRIMARY KEY, k INTEGER)")
+	indexed.MustExec("CREATE INDEX idx_z_k ON z (k)")
+	plain := NewDatabase()
+	plain.MustExec("CREATE TABLE z (id INTEGER, k INTEGER)")
+	for _, db := range []*Database{indexed, plain} {
+		db.MustExec("INSERT INTO z VALUES (1, NULL), (2, 5), (3, NULL)")
+	}
+	for _, sql := range []string{
+		"SELECT id FROM z WHERE k = NULL",
+		"SELECT COUNT(*) FROM z WHERE k = NULL",
+		"SELECT id FROM z WHERE k = NULL AND id > 0",
+	} {
+		gi := queryStrings(t, indexed, sql)
+		gp := queryStrings(t, plain, sql)
+		if !reflect.DeepEqual(gi, gp) {
+			t.Errorf("%q: indexed %v vs plain %v", sql, gi, gp)
+		}
+	}
+	// And through the DML fast path: `= NULL` must delete nothing.
+	if n, err := indexed.Exec("DELETE FROM z WHERE k = ?", nil); err != nil || n != 0 {
+		t.Errorf("DELETE WHERE k = NULL affected %d rows (err %v), want 0", n, err)
 	}
 }
 
@@ -564,5 +724,41 @@ func TestTopKSortMatchesFullSort(t *testing.T) {
 				t.Fatalf("top-k disagrees with full sort on %q:\ngot  %v\nwant %v", sql, got, want)
 			}
 		}
+	}
+}
+
+// TestPureUpdateWorkloadBoundsOrderedView: a workload that only updates
+// an indexed column (no deletes, so no compaction ever fires) must not
+// grow the ordered view without bound — ordMove splices emptied entries
+// out instead of leaving one husk per abandoned value behind.
+func TestPureUpdateWorkloadBoundsOrderedView(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER)")
+	db.MustExec("CREATE INDEX idx_t_k ON t (k)")
+	for i := 0; i < 8; i++ {
+		db.MustExec("INSERT INTO t VALUES (?, ?)", i, i)
+	}
+	db.MustExec("SELECT id FROM t ORDER BY k LIMIT 1") // build the view
+	tbl, err := db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := tbl.indexes["k"]
+	for round := 0; round < 500; round++ {
+		// Every round moves each row to a brand-new distinct value.
+		db.MustExec("UPDATE t SET k = k + 8 WHERE id = ?", round%8)
+		if _, err := db.Query("SELECT id FROM t ORDER BY k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx.ordMu.Lock()
+	n := len(idx.ord)
+	idx.ordMu.Unlock()
+	if n > 8 {
+		t.Fatalf("ordered view holds %d entries after pure-update churn, want <= 8 live values", n)
+	}
+	got := queryStrings(t, db, "SELECT id FROM t ORDER BY k")
+	if len(got) != 8 {
+		t.Fatalf("ordered scan returned %d rows, want 8", len(got))
 	}
 }

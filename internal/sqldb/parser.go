@@ -745,11 +745,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 			}
 			return e, nil
 		}
-		if t.text == "*" {
-			p.next()
-			return &Star{}, nil
-		}
 	}
+	// A bare `*` is NOT an expression operand: select-item stars and
+	// COUNT(*) are recognised by their own productions, so accepting one
+	// here would let shapes like `+*` parse into trees that cannot
+	// round-trip through String (found by FuzzParse).
 	return nil, p.errorf(t, "unexpected token %q in expression", t.text)
 }
 

@@ -309,7 +309,10 @@ func refSelect(db *Database, stmt *SelectStmt) ([]Row, error) {
 		keys []Value
 	}
 	var rows []keyed
-	for _, r := range tbl.rows {
+	for id, r := range tbl.rows {
+		if tbl.isDead(id) {
+			continue
+		}
 		env.row = r
 		if stmt.Where != nil {
 			v, err := evalExpr(stmt.Where, env)

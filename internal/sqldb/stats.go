@@ -53,6 +53,19 @@ type Stats struct {
 	// compiled once per statement vs. (re)built per evaluation.
 	SubplanCacheHits   uint64
 	SubplanCacheMisses uint64
+	// OrdMaintains counts incremental ordered-view maintenance operations:
+	// an INSERT splicing its row into a live ordered view, or an UPDATE
+	// moving one between entries. Under a write-heavy workload this is the
+	// number of O(n log n) rebuilds that did not happen.
+	OrdMaintains uint64
+	// TombstonesSkipped counts deleted-but-not-yet-compacted rows stepped
+	// over by scans (heap, ordered, range, merge join). A high rate
+	// relative to RowsScanned means compaction lag.
+	TombstonesSkipped uint64
+	// Compactions counts heap compactions: tombstones physically removed
+	// and indexes rebuilt wholesale once the dead fraction crossed the
+	// threshold.
+	Compactions uint64
 	// OpenCursors is the number of Rows cursors not yet closed. A steadily
 	// growing value means a caller is leaking cursors (and holding the
 	// database's read lock).
@@ -71,6 +84,9 @@ type dbStats struct {
 	orderedOrders   atomic.Uint64
 	subplanHits     atomic.Uint64
 	subplanMisses   atomic.Uint64
+	ordMaintains    atomic.Uint64
+	tombSkipped     atomic.Uint64
+	compactions     atomic.Uint64
 	openCursors     atomic.Int64
 }
 
@@ -90,6 +106,9 @@ func (db *Database) Stats() Stats {
 		OrderedIndexOrders: db.stats.orderedOrders.Load(),
 		SubplanCacheHits:   db.stats.subplanHits.Load(),
 		SubplanCacheMisses: db.stats.subplanMisses.Load(),
+		OrdMaintains:       db.stats.ordMaintains.Load(),
+		TombstonesSkipped:  db.stats.tombSkipped.Load(),
+		Compactions:        db.stats.compactions.Load(),
 		OpenCursors:        db.stats.openCursors.Load(),
 	}
 }
@@ -107,6 +126,9 @@ type QueryStats struct {
 	OrderedIndexOrders uint64
 	SubplanCacheHits   uint64
 	SubplanCacheMisses uint64
+	OrdMaintains       uint64
+	TombstonesSkipped  uint64
+	Compactions        uint64
 	// Elapsed is the wall time since execution began (planning included);
 	// after the execution finishes it stops advancing.
 	Elapsed time.Duration
@@ -122,16 +144,19 @@ type queryCtx struct {
 	ctx context.Context
 	db  *Database
 
-	queries         uint64
-	execs           uint64
-	rowsScanned     uint64
-	rowsEmitted     uint64
-	indexScans      uint64
-	fullScans       uint64
-	indexRangeScans uint64
-	orderedOrders   uint64
-	subplanHits     uint64
-	subplanMisses   uint64
+	queries           uint64
+	execs             uint64
+	rowsScanned       uint64
+	rowsEmitted       uint64
+	indexScans        uint64
+	fullScans         uint64
+	indexRangeScans   uint64
+	orderedOrders     uint64
+	subplanHits       uint64
+	subplanMisses     uint64
+	ordMaintains      uint64
+	tombstonesSkipped uint64
+	compactions       uint64
 
 	start   time.Time
 	elapsed time.Duration // fixed at flush
@@ -167,6 +192,9 @@ func (qc *queryCtx) snapshot() QueryStats {
 		OrderedIndexOrders: qc.orderedOrders,
 		SubplanCacheHits:   qc.subplanHits,
 		SubplanCacheMisses: qc.subplanMisses,
+		OrdMaintains:       qc.ordMaintains,
+		TombstonesSkipped:  qc.tombstonesSkipped,
+		Compactions:        qc.compactions,
 		Elapsed:            elapsed,
 	}
 }
@@ -233,5 +261,14 @@ func (qc *queryCtx) flush() {
 	}
 	if qc.subplanMisses > 0 {
 		s.subplanMisses.Add(qc.subplanMisses)
+	}
+	if qc.ordMaintains > 0 {
+		s.ordMaintains.Add(qc.ordMaintains)
+	}
+	if qc.tombstonesSkipped > 0 {
+		s.tombSkipped.Add(qc.tombstonesSkipped)
+	}
+	if qc.compactions > 0 {
+		s.compactions.Add(qc.compactions)
 	}
 }
