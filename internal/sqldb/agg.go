@@ -21,6 +21,18 @@ type aggState interface {
 	result() Value
 }
 
+// mergeableAggState is an aggState whose partial results can be combined
+// across parallel workers without observable divergence from the serial
+// fold (parallel.go). GROUP_CONCAT (order-sensitive) and DISTINCT
+// wrappers (unmergeable dedup sets) deliberately do not implement it;
+// the planner checks eligibility before choosing parallel aggregation.
+type mergeableAggState interface {
+	aggState
+	// merge folds another partial state of the same aggregate into this
+	// one. The argument is always the same concrete type as the receiver.
+	merge(other aggState)
+}
+
 // newAggState builds the accumulator for the named aggregate.
 func newAggState(fc *FuncCall) (aggState, error) {
 	var base aggState
@@ -67,6 +79,8 @@ func (s *countState) add(v Value) {
 }
 func (s *countState) result() Value { return Int(s.n) }
 
+func (s *countState) merge(other aggState) { s.n += other.(*countState).n }
+
 // sumState implements SUM (NULL over empty input) and TOTAL (0.0 over empty
 // input, always REAL), matching SQLite.
 type sumState struct {
@@ -91,6 +105,21 @@ func (s *sumState) add(v Value) {
 		s.allInts = false
 	}
 	s.f += v.AsFloat()
+}
+
+func (s *sumState) merge(other aggState) {
+	o := other.(*sumState)
+	if !o.sawAny {
+		return
+	}
+	if !s.sawAny {
+		s.sawAny, s.allInts = true, o.allInts
+		s.i, s.f = o.i, o.f
+		return
+	}
+	s.allInts = s.allInts && o.allInts
+	s.i += o.i
+	s.f += o.f
 }
 
 func (s *sumState) result() Value {
@@ -123,6 +152,12 @@ func (s *avgState) add(v Value) {
 	s.sum += v.AsFloat()
 }
 
+func (s *avgState) merge(other aggState) {
+	o := other.(*avgState)
+	s.n += o.n
+	s.sum += o.sum
+}
+
 func (s *avgState) result() Value {
 	if s.n == 0 {
 		return Null
@@ -149,6 +184,21 @@ func (s *minMaxState) add(v Value) {
 	c := v.Compare(s.best)
 	if (s.min && c < 0) || (!s.min && c > 0) {
 		s.best = v
+	}
+}
+
+func (s *minMaxState) merge(other aggState) {
+	o := other.(*minMaxState)
+	if !o.sawAny {
+		return
+	}
+	if !s.sawAny {
+		s.sawAny, s.best = true, o.best
+		return
+	}
+	c := o.best.Compare(s.best)
+	if (s.min && c < 0) || (!s.min && c > 0) {
+		s.best = o.best
 	}
 }
 

@@ -172,7 +172,7 @@ func instrument(op operator, rec *execRecorder) operator {
 		t.probe = instrument(t.probe, rec)
 	case *nestedLoopJoinOp:
 		t.left = instrument(t.left, rec)
-	case *scanOp, *ordScanOp, *corrProbeScanOp, *mergeJoinOp, *valuesOp:
+	case *scanOp, *ordScanOp, *corrProbeScanOp, *mergeJoinOp, *valuesOp, *parScanOp:
 		// Leaves (valuesOp.src is a dead display-only subtree).
 	}
 	w := &statOp{child: op, stat: rec.statFor(op)}
@@ -190,6 +190,8 @@ func treeScanned(op operator) uint64 {
 	case *scanOp:
 		return t.scanned
 	case *ordScanOp:
+		return t.scanned
+	case *parScanOp:
 		return t.scanned
 	case *corrProbeScanOp:
 		return t.scanned
@@ -294,6 +296,7 @@ func (db *Database) explainAnalyze(ctx context.Context, sel *SelectStmt, vals []
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	defer qc.stopWorkers() // parallel-scan pools stop before the lock is released
 	root, _, err := buildSelectPlan(sel, db, vals, nil, true, qc)
 	if err != nil {
 		return nil, err

@@ -251,9 +251,13 @@ func TestRowsStatsPerQuery(t *testing.T) {
 			t.Fatal("full cursor ended early")
 		}
 	}
+	// With a worker pool (GOMAXPROCS > 1) the scan legitimately runs ahead
+	// of the cursor by a bounded number of morsels, so RowsScanned is >=
+	// RowsEmitted mid-flight rather than equal. Isolation is pinned by the
+	// limited cursor's exact 7/7 and the engine-delta sum below.
 	mid := full.Stats()
-	if mid.RowsScanned != 100 || mid.RowsEmitted != 100 {
-		t.Errorf("mid-flight stats = %+v, want 100/100", mid)
+	if mid.RowsScanned < 100 || mid.RowsEmitted != 100 {
+		t.Errorf("mid-flight stats = %+v, want emitted 100 and scanned >= 100", mid)
 	}
 	for limited.Next() {
 	}

@@ -15,9 +15,9 @@ import (
 
 // benchDB builds a two-table database: `items` (n rows, indexed primary
 // key) and `cats` (n/10 rows) joinable on cat_id.
-func benchDB(b *testing.B, n int) *Database {
+func benchDB(b *testing.B, n int, opts ...Option) *Database {
 	b.Helper()
-	db := NewDatabase()
+	db := NewDatabase(opts...)
 	db.MustExec(`CREATE TABLE items (
 		id INTEGER PRIMARY KEY,
 		cat_id INTEGER,
@@ -159,6 +159,44 @@ func BenchmarkInterleavedReadWrite(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Parallel-execution benchmarks: each runs the same statement against a
+// single-worker and a pooled database, so the morsel-parallel scan,
+// partial aggregation, and partitioned hash-join build are measured
+// against their serial twins. On a single-CPU host the pooled numbers
+// show coordination overhead, not speedup; with real cores they show the
+// fan-out win. Tables are sized above the default parallelMinRows so the
+// pooled runs genuinely take the parallel paths.
+
+func benchWorkers(b *testing.B, run func(b *testing.B, workers int)) {
+	b.Helper()
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { run(b, w) })
+	}
+}
+
+func BenchmarkParallelScan(b *testing.B) {
+	benchWorkers(b, func(b *testing.B, w int) {
+		db := benchDB(b, 50000, WithMaxWorkers(w))
+		benchQuery(b, db, "SELECT name, price FROM items WHERE price > 90 AND qty < 5")
+	})
+}
+
+func BenchmarkParallelAgg(b *testing.B) {
+	benchWorkers(b, func(b *testing.B, w int) {
+		db := benchDB(b, 50000, WithMaxWorkers(w))
+		benchQuery(b, db, "SELECT cat_id, COUNT(*), SUM(qty), MIN(price), MAX(price) FROM items GROUP BY cat_id")
+	})
+}
+
+func BenchmarkParallelJoinBuild(b *testing.B) {
+	benchWorkers(b, func(b *testing.B, w int) {
+		db := benchDB(b, 50000, WithMaxWorkers(w))
+		// Right side (items, 50k rows) is the hash-join build side and
+		// sits above the parallel-build threshold.
+		benchQuery(b, db, "SELECT items.name, cats.label FROM cats JOIN items ON cats.id = items.cat_id")
+	})
 }
 
 // BenchmarkPreparedVsParsed quantifies what the plan cache and Prepare

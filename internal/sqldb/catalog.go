@@ -72,15 +72,39 @@ type Database struct {
 	funcs  *FuncRegistry
 	plans  *planCache
 	stats  dbStats // observability counters; snapshot via Stats()
+
+	// maxWorkers bounds the per-query worker pool for parallel operators
+	// (parallel.go). 1 disables intra-query parallelism entirely.
+	maxWorkers int
+}
+
+// Option configures a Database at construction time.
+type Option func(*Database)
+
+// WithMaxWorkers sets the upper bound on worker goroutines a single query
+// may use for parallel scans, aggregation, and hash-join builds. The
+// default is GOMAXPROCS capped at 8; 1 forces fully serial execution.
+func WithMaxWorkers(n int) Option {
+	return func(db *Database) {
+		if n < 1 {
+			n = 1
+		}
+		db.maxWorkers = n
+	}
 }
 
 // NewDatabase returns an empty database with the built-in function registry.
-func NewDatabase() *Database {
-	return &Database{
-		tables: make(map[string]*Table),
-		funcs:  NewFuncRegistry(),
-		plans:  newPlanCache(),
+func NewDatabase(opts ...Option) *Database {
+	db := &Database{
+		tables:     make(map[string]*Table),
+		funcs:      NewFuncRegistry(),
+		plans:      newPlanCache(),
+		maxWorkers: defaultMaxWorkers(),
 	}
+	for _, opt := range opts {
+		opt(db)
+	}
+	return db
 }
 
 // Funcs exposes the database's function registry so callers can register

@@ -176,10 +176,12 @@ func (db *Database) execStmt(stmt Statement, params []Value, qc *queryCtx) (int,
 	switch t := stmt.(type) {
 	case *SelectStmt:
 		// Stream the plan and count: rows are never materialised, and a
-		// LIMIT stops the scan early.
+		// LIMIT stops the scan early. Parallel-scan workers (if any) are
+		// stopped before the read lock is released — defers run LIFO.
 		qc.queries++
 		db.mu.RLock()
 		defer db.mu.RUnlock()
+		defer qc.stopWorkers()
 		root, _, err := buildSelectPlan(t, db, params, nil, true, qc)
 		if err != nil {
 			return 0, err
@@ -430,9 +432,10 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx) (
 	}
 	n := 0
 	// Fast path: an `UPDATE ... WHERE col = <literal/param>` over an
-	// indexed column touches exactly the index bucket — no heap walk and
-	// no per-row WHERE evaluation.
-	if ids, ok := dmlEqualityIDs(t, stmt.Where, params); ok {
+	// indexed column touches exactly the index bucket, and a range-shaped
+	// WHERE (col > x, BETWEEN) over one is served from the index's ordered
+	// view — no heap walk and no per-row WHERE evaluation either way.
+	if ids, ok := dmlWhereIDs(t, stmt.Where, params, qc); ok {
 		for _, id := range ids {
 			if err := qc.tickCancelled(); err != nil {
 				return n, err
@@ -526,6 +529,159 @@ func dmlEqualitySides(a, b Expr) (*ColumnRef, Expr) {
 		return cr, b
 	}
 	return nil, nil
+}
+
+// dmlWhereIDs resolves a DML WHERE to the exact live row ids it holds
+// for, when an index can serve it without a heap walk: equality first,
+// then range shapes over one indexed column.
+func dmlWhereIDs(t *Table, where Expr, params []Value, qc *queryCtx) ([]int, bool) {
+	if ids, ok := dmlEqualityIDs(t, where, params); ok {
+		return ids, true
+	}
+	return dmlRangeIDs(t, where, params, qc)
+}
+
+// dmlRangeIDs serves a DML WHERE whose conjuncts are all range-shaped
+// over the same indexed column (`col > x`, `x <= col`, `col BETWEEN lo
+// AND hi`, with literal or parameter bounds) from the index's ordered
+// view: the conjuncts tighten into one key range and collectRangeIDs
+// yields exactly the live ids the heap walk would match, ascending — the
+// order the walk would visit them. Bounds stay uncoerced on purpose: the
+// heap walk compares raw values via Value.Compare and the ordered view
+// sorts by the same Compare, so raw bounds reproduce its semantics
+// exactly. A NULL bound makes the WHERE NULL for every row, so it
+// matches nothing.
+func dmlRangeIDs(t *Table, where Expr, params []Value, qc *queryCtx) ([]int, bool) {
+	if where == nil {
+		return nil, false
+	}
+	var col *ColumnRef
+	var spec rangeSpec
+	nullBound := false
+	for _, c := range splitConjuncts(where) {
+		cr, cs, nullB, ok := dmlRangeConjunct(c, params)
+		if !ok {
+			return nil, false
+		}
+		if cr.Table != "" && !strings.EqualFold(cr.Table, t.Name) {
+			return nil, false
+		}
+		if col == nil {
+			col = cr
+		} else if !strings.EqualFold(col.Column, cr.Column) {
+			return nil, false
+		}
+		if nullB {
+			nullBound = true
+			continue
+		}
+		spec.lo = tightenLo(spec.lo, cs.lo)
+		spec.hi = tightenHi(spec.hi, cs.hi)
+	}
+	idx, ok := t.indexes[strings.ToLower(col.Column)]
+	if !ok {
+		return nil, false
+	}
+	if nullBound {
+		return []int{}, true
+	}
+	ids, skipped := collectRangeIDs(t, idx.orderedEntries(t), spec)
+	if qc != nil {
+		qc.indexRangeScans++
+		qc.tombstonesSkipped += skipped
+	}
+	return ids, true
+}
+
+// dmlRangeConjunct matches one range-shaped DML conjunct — the
+// parameter-aware counterpart of the planner's rangeConjunct. Returns
+// the referenced column, the bound it contributes, whether the bound
+// resolved to NULL, and whether the conjunct had a range shape at all.
+func dmlRangeConjunct(c Expr, params []Value) (*ColumnRef, rangeSpec, bool, bool) {
+	switch t := c.(type) {
+	case *BinaryOp:
+		var op string
+		var boundE Expr
+		col, ok := t.Left.(*ColumnRef)
+		if ok {
+			op, boundE = t.Op, t.Right
+		} else if col, ok = t.Right.(*ColumnRef); ok {
+			boundE = t.Left
+			// Flip the comparison around the bound: `5 < col` is `col > 5`.
+			switch t.Op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			default:
+				op = t.Op
+			}
+		} else {
+			return nil, rangeSpec{}, false, false
+		}
+		switch op {
+		case ">", ">=", "<", "<=":
+		default:
+			return nil, rangeSpec{}, false, false
+		}
+		v, ok := dmlBoundValue(boundE, params)
+		if !ok {
+			return nil, rangeSpec{}, false, false
+		}
+		if v.IsNull() {
+			return col, rangeSpec{}, true, true
+		}
+		switch op {
+		case ">":
+			return col, rangeSpec{lo: &rangeBound{val: v}}, false, true
+		case ">=":
+			return col, rangeSpec{lo: &rangeBound{val: v, incl: true}}, false, true
+		case "<":
+			return col, rangeSpec{hi: &rangeBound{val: v}}, false, true
+		default: // "<="
+			return col, rangeSpec{hi: &rangeBound{val: v, incl: true}}, false, true
+		}
+	case *Between:
+		if t.Not {
+			return nil, rangeSpec{}, false, false
+		}
+		col, ok := t.Expr.(*ColumnRef)
+		if !ok {
+			return nil, rangeSpec{}, false, false
+		}
+		lo, ok1 := dmlBoundValue(t.Lo, params)
+		hi, ok2 := dmlBoundValue(t.Hi, params)
+		if !ok1 || !ok2 {
+			return nil, rangeSpec{}, false, false
+		}
+		if lo.IsNull() || hi.IsNull() {
+			return col, rangeSpec{}, true, true
+		}
+		return col, rangeSpec{
+			lo: &rangeBound{val: lo, incl: true},
+			hi: &rangeBound{val: hi, incl: true},
+		}, false, true
+	}
+	return nil, rangeSpec{}, false, false
+}
+
+// dmlBoundValue resolves a range bound that is a literal or a bound ?
+// parameter; anything else (a column, an expression) reports false.
+func dmlBoundValue(e Expr, params []Value) (Value, bool) {
+	switch c := e.(type) {
+	case *Literal:
+		return c.Val, true
+	case *Param:
+		if c.Index < 0 || c.Index >= len(params) {
+			return Null, false // the arity error surfaces from the slow path
+		}
+		return params[c.Index], true
+	}
+	return Null, false
 }
 
 // execUpdateSnapshot is the two-phase UPDATE path for statements whose
@@ -640,9 +796,10 @@ func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx) (
 	// Compaction runs at most once, after the loop settles.
 	n := 0
 	// Fast path: `DELETE FROM t WHERE col = <literal/param>` over an
-	// indexed column tombstones exactly the index bucket.
+	// indexed column tombstones exactly the index bucket; a range-shaped
+	// WHERE over one tombstones exactly the ordered view's window.
 	if stmt.Where != nil {
-		if ids, ok := dmlEqualityIDs(t, stmt.Where, params); ok {
+		if ids, ok := dmlWhereIDs(t, stmt.Where, params, qc); ok {
 			for _, id := range ids {
 				if err := qc.tickCancelled(); err != nil {
 					t.maybeCompact(qc)

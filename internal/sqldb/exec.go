@@ -423,6 +423,20 @@ type hashJoinOp struct {
 	buckets     [][]Row
 	keyIndex    map[string]int
 	curBucket   []Row
+
+	// Parallel build (parallel.go): when the build side is large enough the
+	// table is split into shards keyed by a partition hash; workers encode
+	// keys concurrently and each shard is then built by one worker in global
+	// row order, so every bucket's contents match the serial build exactly.
+	shards       []hashJoinShard
+	nKeys        int // distinct keys across the table (both paths)
+	buildWorkers int // workers used for a parallel build; 0 = serial
+}
+
+// hashJoinShard is one partition of a parallel hash-join build.
+type hashJoinShard struct {
+	keyIndex map[string]int
+	buckets  [][]Row
 }
 
 func newHashJoinOp(probe operator, buildCols []colInfo, buildRows []Row,
@@ -448,28 +462,43 @@ func newHashJoinOp(probe operator, buildCols []colInfo, buildRows []Row,
 	h.cols = cols
 	h.probeIsLeft = !buildIsLeft
 	h.leftOuter = leftOuter
-	h.lookup = func(key []byte) int {
-		if i, ok := h.keyIndex[string(key)]; ok {
-			h.curBucket = h.buckets[i]
-			return len(h.curBucket)
-		}
-		h.curBucket = nil
-		return 0
-	}
 	h.matchRow = func(i int) Row { return h.curBucket[i] }
 
-	// Build phase.
-	buildEnv := newEvalEnv(buildCols, db, params, outer, qc)
-	buildKey, err := compileExpr(buildKeyE, buildEnv)
-	if err != nil {
+	// Build phase: partitioned-parallel when the build side is large enough
+	// and the key expression is safe to evaluate concurrently; serial
+	// otherwise. Both paths produce identical buckets (parallel shards keep
+	// global row order), so probe results are bit-identical.
+	if db != nil && qc != nil && db.maxWorkers > 1 &&
+		len(buildRows) >= parallelMinRows && parallelSafeExpr(buildKeyE) {
+		if err := h.buildParallel(buildRows, buildKeyE, db, params, outer); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := h.buildSerial(buildRows, buildKeyE, db, params, outer, qc); err != nil {
+			return nil, err
+		}
+	}
+	if err := h.initProbeJoin(probeKeyE, residual, db, params, outer, qc); err != nil {
 		return nil, err
 	}
+	return h, nil
+}
+
+// buildSerial hashes the build rows on the owner goroutine.
+func (h *hashJoinOp) buildSerial(buildRows []Row, buildKeyE Expr,
+	db *Database, params []Value, outer *evalEnv, qc *queryCtx) error {
+	buildEnv := newEvalEnv(h.buildCols, db, params, outer, qc)
+	buildKey, err := compileExpr(buildKeyE, buildEnv)
+	if err != nil {
+		return err
+	}
+	h.keyIndex = make(map[string]int)
 	var kb []byte
 	for _, r := range buildRows {
 		buildEnv.row = r
 		k, err := buildKey()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if k.IsNull() {
 			continue // NULL keys never join
@@ -483,10 +512,16 @@ func newHashJoinOp(probe operator, buildCols []colInfo, buildRows []Row,
 		}
 		h.buckets[i] = append(h.buckets[i], r)
 	}
-	if err := h.initProbeJoin(probeKeyE, residual, db, params, outer, qc); err != nil {
-		return nil, err
+	h.nKeys = len(h.keyIndex)
+	h.lookup = func(key []byte) int {
+		if i, ok := h.keyIndex[string(key)]; ok {
+			h.curBucket = h.buckets[i]
+			return len(h.curBucket)
+		}
+		h.curBucket = nil
+		return 0
 	}
-	return h, nil
+	return nil
 }
 
 // indexJoinOp performs an equi-join by probing an equality index on a base

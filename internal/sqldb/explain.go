@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -29,11 +30,17 @@ func (db *Database) Explain(sql string, params ...any) ([]string, error) {
 		return nil, errf(ErrMisuse, "sql: EXPLAIN supports SELECT statements, got %T", stmt)
 	}
 	vals := bindParams(params)
+	// A real (discarded) query context, so planner decisions that depend
+	// on it — parallel scan and parallel aggregation eligibility — match
+	// the plan Query would run. Its counters are never flushed: EXPLAIN
+	// does not bill the engine-wide stats.
+	qc := newQueryCtx(context.Background(), db)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	defer qc.stopWorkers()
 	// topLevel mirrors Query's planning so EXPLAIN shows the plan that
 	// would actually run.
-	root, _, err := buildSelectPlan(sel, db, vals, nil, true, nil)
+	root, _, err := buildSelectPlan(sel, db, vals, nil, true, qc)
 	if err != nil {
 		return nil, err
 	}
@@ -113,14 +120,18 @@ func (p *planPrinter) describe(op operator, depth int) {
 		p.emit(depth, "distinct")
 		p.describe(t.child, depth+1)
 	case *groupOp:
+		parNote := ""
+		if t.par != nil {
+			parNote = fmt.Sprintf(" (parallel workers=%d)", t.par.workers)
+		}
 		if len(t.stmt.GroupBy) > 0 {
 			groups := make([]string, len(t.stmt.GroupBy))
 			for i, g := range t.stmt.GroupBy {
 				groups[i] = g.String()
 			}
-			p.emit(depth, "hash aggregate by %s", strings.Join(groups, ", "))
+			p.emit(depth, "hash aggregate by %s%s", strings.Join(groups, ", "), parNote)
 		} else {
-			p.emit(depth, "aggregate (single group)")
+			p.emit(depth, "aggregate (single group)%s", parNote)
 		}
 		for _, it := range t.stmt.Items {
 			p.describeSubplans(it.Expr, depth+1, t.env)
@@ -147,6 +158,24 @@ func (p *planPrinter) describe(op operator, depth int) {
 			p.emit(depth, "index scan %s (as %s): %d candidate row(s)", t.table.Name, t.qual, len(t.ids))
 		default:
 			p.emit(depth, "seq scan %s (as %s): %d row(s)", t.table.Name, t.qual, t.table.liveCount())
+		}
+	case *parScanOp:
+		if analyzed {
+			p.extra = scanAnnotation(t.scanned, t.tombSkipped) + fmt.Sprintf(" workers=%d", t.workers)
+		}
+		switch {
+		case t.rangeIdx != nil:
+			p.emit(depth, "parallel index range scan %s (as %s) workers=%d: %s", t.table.Name, t.qual,
+				t.workers, t.spec.describe(t.table.Columns[t.rangeIdx.Column].Name))
+		case t.ids != nil:
+			p.emit(depth, "parallel index scan %s (as %s) workers=%d: %d candidate row(s)",
+				t.table.Name, t.qual, t.workers, len(t.ids))
+		default:
+			p.emit(depth, "parallel seq scan %s (as %s) workers=%d: %d row(s)",
+				t.table.Name, t.qual, t.workers, t.table.liveCount())
+		}
+		if t.pred != nil {
+			p.emit(depth+1, "fused filter %s", t.pred.String())
 		}
 	case *ordScanOp:
 		col := t.table.Columns[t.idx.Column].Name
@@ -187,8 +216,12 @@ func (p *planPrinter) describe(op operator, depth int) {
 		if t.buildIsLeft {
 			side = "left"
 		}
-		p.emit(depth, "hash join on %s = %s (build %s: %d key(s))%s",
-			t.leftKey.String(), t.rightKey.String(), side, len(t.buckets), residualNote(t.residualE))
+		buildNote := ""
+		if t.buildWorkers > 0 {
+			buildNote = fmt.Sprintf(", parallel build workers=%d", t.buildWorkers)
+		}
+		p.emit(depth, "hash join on %s = %s (build %s: %d key(s)%s)%s",
+			t.leftKey.String(), t.rightKey.String(), side, t.nKeys, buildNote, residualNote(t.residualE))
 		p.describe(t.probe, depth+1)
 		p.emit(depth+1, "build side: %d column(s)", len(t.buildCols))
 		if t.buildSrc != nil {

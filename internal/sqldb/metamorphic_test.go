@@ -30,10 +30,10 @@ import (
 // so the properties hold on every access path the planner can choose.
 
 // metamorphicDBs builds the mutable corpus table with and without
-// indexes.
-func metamorphicDBs() (indexed, plain *Database) {
-	indexed = NewDatabase()
-	plain = NewDatabase()
+// indexes. Options (e.g. WithMaxWorkers) apply to both databases.
+func metamorphicDBs(opts ...Option) (indexed, plain *Database) {
+	indexed = NewDatabase(opts...)
+	plain = NewDatabase(opts...)
 	indexed.MustExec("CREATE TABLE m (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, c TEXT)")
 	indexed.MustExec("CREATE INDEX idx_m_a ON m (a)")
 	plain.MustExec("CREATE TABLE m (id INTEGER, a INTEGER, b INTEGER, c TEXT)")
@@ -156,8 +156,8 @@ func checkTLP(db *Database, pred string) error {
 // metamorphicProperty runs the interleaved DML + NoREC/TLP loop and
 // reports the first violation. Exported to the fault-injection tests
 // below via its error return.
-func metamorphicProperty(r *rand.Rand, steps int) error {
-	indexed, plain := metamorphicDBs()
+func metamorphicProperty(r *rand.Rand, steps int, opts ...Option) error {
+	indexed, plain := metamorphicDBs(opts...)
 	words := []string{"ant", "bee", "cat", "dge", "eel"}
 	nextID := 0
 	for i := 0; i < 60; i++ { // seed rows so early predicates see data
@@ -213,6 +213,18 @@ func metamorphicProperty(r *rand.Rand, steps int) error {
 
 func TestMetamorphicNoRECAndTLP(t *testing.T) {
 	if err := metamorphicProperty(rand.New(rand.NewSource(47)), 400); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetamorphicNoRECAndTLPParallel re-runs the NoREC/TLP suite with a
+// forced worker pool and the parallel threshold lowered below the corpus
+// size, so the filtered/projected/partitioned queries take the morsel-
+// parallel scan and parallel aggregation paths (COUNT(*) goes through
+// runAggregationParallel) while the same DML churns the table.
+func TestMetamorphicNoRECAndTLPParallel(t *testing.T) {
+	lowerParallelMinRows(t, 8)
+	if err := metamorphicProperty(rand.New(rand.NewSource(47)), 400, WithMaxWorkers(4)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,1065 @@
+package sqldb
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements morsel-driven intra-query parallelism in the style
+// of Leis et al.'s HyPer scheduler: the row-id space of a base-table scan
+// is split into fixed-size morsels that a bounded pool of workers claims
+// through an atomic counter, so fast workers steal work from slow ones
+// without any static partitioning. Three operators parallelize:
+//
+//   - parScanOp: heap / index / index-range scans with the pushed-down
+//     filter fused into the workers, gathered in morsel order so the
+//     output is bit-identical to the serial scan (safe under LIMIT
+//     truncation and for the plan-equivalence property tests).
+//   - partial aggregation (runAggregationParallel): each worker folds its
+//     morsels into private GROUP BY states; the gather merges the partial
+//     states and restores serial first-seen group order by tracking the
+//     minimal scan ordinal at which each group appeared.
+//   - hash-join build (hashJoinOp.buildParallel): workers evaluate and
+//     encode build keys per morsel, then one worker per partition builds
+//     its shard's buckets in global build-row order.
+//
+// Eligibility is decided at plan time (parallelEligible, parallelSafeExpr):
+// only top-level, single-table, order-insensitive paths with expressions
+// free of subqueries and function calls (the registry cannot distinguish
+// builtins from user/LM UDFs, so all calls stay serial), and only above a
+// row-count threshold so small scans never pay pool overhead. Ordered
+// (sort-eliding) scans, merge joins, and correlated probes stay serial.
+//
+// Accounting: workers never touch the shared queryCtx. Each morsel result
+// carries its own counters, which the gather — always the query's owner
+// goroutine — folds into the per-query recorder, so the EXPLAIN ANALYZE
+// accounting property (per-operator sums == per-query totals) holds
+// unchanged under parallel execution.
+
+// morselSize is the number of row ids one worker claims at a time. Large
+// enough to amortise the claim + channel handoff, small enough to
+// load-balance skewed filters.
+const morselSize = 1024
+
+// parallelMaxWorkers caps the default pool size; WithMaxWorkers can raise
+// it explicitly.
+const parallelMaxWorkers = 8
+
+// parallelMinRows is the minimum estimated input size before the planner
+// considers a parallel operator. Package variable so property tests can
+// lower it to push their small corpora through the parallel paths.
+var parallelMinRows = 4096
+
+// parallelWorkersActive counts live worker goroutines engine-wide. Test
+// instrumentation: the cancellation/leak tests assert it returns to zero
+// after Rows.Close.
+var parallelWorkersActive atomic.Int64
+
+// defaultMaxWorkers sizes a database's pool from the runtime: GOMAXPROCS
+// capped at parallelMaxWorkers. Under GOMAXPROCS=1 every plan stays
+// serial, which is what keeps single-core executions bit-identical.
+func defaultMaxWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > parallelMaxWorkers {
+		n = parallelMaxWorkers
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// parallelSafeExpr reports whether an expression may be evaluated on a
+// worker goroutine: no subqueries (they execute subplans against shared
+// planner state) and no function calls (the registry cannot tell builtins
+// from registered UDFs — including LM UDFs — so every call stays on the
+// owner goroutine). Plain column refs, parameters, literals, arithmetic,
+// comparisons, CASE, BETWEEN, IN (value list), LIKE and IS NULL are safe.
+func parallelSafeExpr(e Expr) bool {
+	safe := true
+	walkExpr(e, func(x Expr) bool {
+		switch t := x.(type) {
+		case *Subquery, *ExistsExpr, *FuncCall:
+			safe = false
+		case *InList:
+			if t.Sub != nil {
+				safe = false
+			}
+		}
+		return safe
+	})
+	return safe
+}
+
+// morselSource is the row-id space a parallel operator partitions: either
+// an explicit id list (equality/range index access) or the heap [0, n).
+type morselSource struct {
+	table *Table
+	ids   []int // nil = full heap scan
+}
+
+func (m morselSource) total() int {
+	if m.ids != nil {
+		return len(m.ids)
+	}
+	return len(m.table.rows)
+}
+
+func (m morselSource) morsels() int {
+	return (m.total() + morselSize - 1) / morselSize
+}
+
+// scanMorsel runs one morsel's scan+filter loop: positions [lo, hi) of
+// the source, predicate pred (nil = all rows), appending matches to out.
+// Returns the rows, the number scanned, and tombstones stepped over.
+// Heap-order iteration inside the morsel keeps the gathered stream
+// bit-identical to the serial scan.
+func (m morselSource) scanMorsel(idx int, pred compiledExpr, env *evalEnv, out []Row) ([]Row, uint64, uint64, error) {
+	lo := idx * morselSize
+	hi := lo + morselSize
+	if t := m.total(); hi > t {
+		hi = t
+	}
+	var scanned, tombSkipped uint64
+	for pos := lo; pos < hi; pos++ {
+		id := pos
+		if m.ids != nil {
+			id = m.ids[pos]
+		} else if m.table.isDead(id) && !debugDisableTombstoneSkip {
+			tombSkipped++
+			continue
+		}
+		r := m.table.rows[id]
+		scanned++
+		if pred != nil {
+			env.row = r
+			v, err := pred()
+			if err != nil {
+				return out, scanned, tombSkipped, err
+			}
+			if v.IsNull() || !v.AsBool() {
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return out, scanned, tombSkipped, nil
+}
+
+// countAccessPath records the access path once, mirroring scanOp.
+func (m morselSource) countAccessPath(fromRange bool, qc *queryCtx) {
+	if qc == nil {
+		return
+	}
+	switch {
+	case fromRange:
+		qc.indexRangeScans++
+	case m.ids != nil:
+		qc.indexScans++
+	default:
+		qc.fullScans++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel scan with ordered gather
+
+// parMorsel is one worker's result for one morsel.
+type parMorsel struct {
+	idx         int
+	rows        []Row
+	scanned     uint64
+	tombSkipped uint64
+	err         error
+}
+
+// parScanOp scans a base table with the pushed-down predicate fused into
+// a pool of workers. The gather emits morsel results strictly in morsel
+// order, so downstream operators see exactly the serial scan's stream —
+// parallelism changes wall-clock, never semantics. Workers are throttled
+// by a ticket semaphore to at most a few morsels ahead of the gather, so
+// an abandoned or LIMIT-stopped cursor buffers O(workers) morsels, not
+// the table. qc.stopWorkers (registered at start) stops and joins the
+// pool before the cursor's read lock is released.
+type parScanOp struct {
+	table    *Table
+	qual     string
+	cols     []colInfo
+	ids      []int // nil = heap scan unless rangeIdx materialises below
+	rangeIdx *Index
+	spec     rangeSpec
+	pred     Expr // fused filter; nil = none
+	db       *Database
+	params   []Value
+	workers  int
+	qc       *queryCtx
+
+	started bool
+	stopped bool
+	src     morselSource
+	claim   *atomic.Int64
+	abort   *atomic.Bool
+	stopCh  chan struct{}
+	tickets chan struct{}
+	results chan parMorsel
+	wg      sync.WaitGroup
+
+	nextIdx  int
+	nMorsels int
+	stash    map[int]parMorsel
+	cur      []Row
+	pos      int
+	curErr   error // error carried by the current morsel, surfaced after its rows
+	pendErr  error // sticky terminal error
+
+	// Workers that abort record their error here too: a worker that
+	// claimed a morsel and then saw the abort flag exits without
+	// delivering it, so the gather may never reach the erroring morsel
+	// through the ordered stream — it recovers the error from this slot
+	// when the results channel closes.
+	errMu       sync.Mutex
+	workerErr   error
+	workerErrID int
+
+	scanned     uint64 // merged per-operator counters (EXPLAIN ANALYZE)
+	tombSkipped uint64
+}
+
+func (s *parScanOp) columns() []colInfo { return s.cols }
+
+func (s *parScanOp) reset() {
+	s.stopPool()
+	s.started = false
+	s.stopped = false
+	s.nextIdx = 0
+	s.stash = nil
+	s.cur = nil
+	s.pos = 0
+	s.curErr = nil
+	s.pendErr = nil
+	if s.rangeIdx != nil {
+		s.ids = nil // re-materialise on next start
+	}
+}
+
+// start materialises range ids, records the access path, and spawns the
+// pool. Runs on the owner goroutine under the statement's read lock.
+func (s *parScanOp) start() {
+	s.started = true
+	fromRange := s.rangeIdx != nil
+	if fromRange && s.ids == nil {
+		var skipped uint64
+		s.ids, skipped = collectRangeIDs(s.table, s.rangeIdx.orderedEntries(s.table), s.spec)
+		s.tombSkipped += skipped
+		if s.qc != nil {
+			s.qc.tombstonesSkipped += skipped
+		}
+	}
+	s.src = morselSource{table: s.table, ids: s.ids}
+	s.src.countAccessPath(fromRange, s.qc)
+	s.nMorsels = s.src.morsels()
+	s.claim = &atomic.Int64{}
+	s.abort = &atomic.Bool{}
+	s.stopCh = make(chan struct{})
+	s.stash = make(map[int]parMorsel)
+	nw := s.workers
+	if nw > s.nMorsels {
+		nw = s.nMorsels
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	// Tickets bound how far claims may run ahead of the gather. Claims
+	// are monotonic, so the outstanding morsels are always the smallest
+	// unconsumed indices and the gather's next morsel is among them — no
+	// deadlock.
+	maxAhead := nw * 4
+	s.tickets = make(chan struct{}, maxAhead)
+	for i := 0; i < maxAhead; i++ {
+		s.tickets <- struct{}{}
+	}
+	s.results = make(chan parMorsel, maxAhead)
+	if s.qc != nil {
+		s.qc.addFinalizer(s.stopPool)
+	}
+	// Per-worker environments and predicates are compiled here, on the
+	// owner goroutine, so workers never touch shared planner state.
+	for w := 0; w < nw; w++ {
+		env := newEvalEnv(s.cols, s.db, s.params, nil, nil)
+		var pred compiledExpr
+		if s.pred != nil {
+			p, err := compileExpr(s.pred, env)
+			if err != nil {
+				// The serial plan compiled this same expression already;
+				// failure here is unreachable, but fail closed.
+				s.pendErr = err
+				s.nMorsels = 0
+				break
+			}
+			pred = p
+		}
+		s.wg.Add(1)
+		parallelWorkersActive.Add(1)
+		go s.worker(env, pred)
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.results)
+	}()
+}
+
+func (s *parScanOp) worker(env *evalEnv, pred compiledExpr) {
+	defer func() {
+		parallelWorkersActive.Add(-1)
+		s.wg.Done()
+	}()
+	for {
+		select {
+		case <-s.tickets:
+		case <-s.stopCh:
+			return
+		}
+		idx := int(s.claim.Add(1)) - 1
+		if idx >= s.nMorsels || s.abort.Load() {
+			return
+		}
+		if s.qc != nil {
+			// cancelled() reads only the immutable context — safe off
+			// the owner goroutine, unlike tickCancelled.
+			if s.qc.cancelled() != nil {
+				return
+			}
+		}
+		rows, scanned, tombSkipped, err := s.src.scanMorsel(idx, pred, env, nil)
+		res := parMorsel{idx: idx, rows: rows, scanned: scanned, tombSkipped: tombSkipped, err: err}
+		if err != nil {
+			s.errMu.Lock()
+			if s.workerErr == nil || idx < s.workerErrID {
+				s.workerErr, s.workerErrID = err, idx
+			}
+			s.errMu.Unlock()
+			s.abort.Store(true)
+		}
+		select {
+		case s.results <- res:
+		case <-s.stopCh:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// fold merges one morsel's counters into the per-query and per-operator
+// totals. Owner goroutine only.
+func (s *parScanOp) fold(m parMorsel) {
+	s.scanned += m.scanned
+	s.tombSkipped += m.tombSkipped
+	if s.qc != nil {
+		s.qc.rowsScanned += m.scanned
+		s.qc.tombstonesSkipped += m.tombSkipped
+	}
+}
+
+func (s *parScanOp) next() (Row, bool, error) {
+	if s.pendErr != nil {
+		return nil, false, s.pendErr
+	}
+	if !s.started {
+		s.start()
+		if s.pendErr != nil {
+			return nil, false, s.pendErr
+		}
+	}
+	for {
+		if s.pos < len(s.cur) {
+			r := s.cur[s.pos]
+			s.pos++
+			return r, true, nil
+		}
+		if s.curErr != nil {
+			s.pendErr = s.curErr
+			return nil, false, s.pendErr
+		}
+		if s.nextIdx >= s.nMorsels {
+			return nil, false, nil
+		}
+		if s.qc != nil {
+			if err := s.qc.tickCancelled(); err != nil {
+				s.pendErr = err
+				return nil, false, err
+			}
+		}
+		m, ok := s.stash[s.nextIdx]
+		if ok {
+			delete(s.stash, s.nextIdx)
+		} else {
+			res, open := <-s.results
+			if !open {
+				// Workers exited without delivering the next morsel:
+				// cancellation, or an abort whose erroring morsel the
+				// ordered stream will never reach.
+				if s.qc != nil {
+					if err := s.qc.cancelled(); err != nil {
+						s.pendErr = err
+						return nil, false, err
+					}
+				}
+				s.errMu.Lock()
+				err := s.workerErr
+				s.errMu.Unlock()
+				if err != nil {
+					s.pendErr = err
+					return nil, false, err
+				}
+				return nil, false, nil
+			}
+			if res.idx != s.nextIdx {
+				s.stash[res.idx] = res
+				continue
+			}
+			m = res
+		}
+		s.fold(m)
+		s.tickets <- struct{}{}
+		s.nextIdx++
+		s.cur = m.rows
+		s.pos = 0
+		s.curErr = m.err // emitted rows first, then the error — as serial would
+	}
+}
+
+// stopPool aborts and joins the worker pool, folding the counters of any
+// undelivered-but-completed morsels so Stats reflects work actually done.
+// Idempotent; owner goroutine only. Registered as a qc finalizer so it
+// runs before the statement's read lock is released.
+func (s *parScanOp) stopPool() {
+	if !s.started || s.stopped {
+		return
+	}
+	s.stopped = true
+	s.abort.Store(true)
+	close(s.stopCh)
+	for res := range s.results { // drains until the closer closes it
+		s.fold(res)
+	}
+	for _, res := range s.stash {
+		s.fold(res)
+	}
+	s.stash = nil
+}
+
+// ---------------------------------------------------------------------------
+// Planner hooks
+
+// parallelScanTarget walks a filter stack down to its scanOp and collects
+// the predicates along the way. Returns nil when the chain does not
+// bottom out in a plain scan.
+func parallelScanTarget(src operator) (*scanOp, []Expr) {
+	var preds []Expr
+	cur := src
+	for {
+		if f, ok := cur.(*filterOp); ok {
+			preds = append(preds, f.pred)
+			cur = f.child
+			continue
+		}
+		break
+	}
+	sc, ok := cur.(*scanOp)
+	if !ok {
+		return nil, nil
+	}
+	return sc, preds
+}
+
+// parallelEligible applies the planner's gates shared by the parallel
+// scan and parallel aggregation: a pool to run on, a statement shape the
+// gather can preserve, worker-safe predicates, and enough rows to pay
+// for the pool.
+func parallelEligible(db *Database, qc *queryCtx, sc *scanOp, preds []Expr) bool {
+	if db == nil || db.maxWorkers <= 1 || qc == nil || sc == nil {
+		return false
+	}
+	for _, p := range preds {
+		if !parallelSafeExpr(p) {
+			return false
+		}
+	}
+	est := sc.table.liveCount()
+	if sc.ids != nil {
+		est = len(sc.ids)
+	}
+	// Range scans estimate by table size: bounds are not yet
+	// materialised, and a small range costs one morsel anyway.
+	return est >= parallelMinRows
+}
+
+// tryParallelScan replaces a filter-stack-over-scan chain with a fused
+// parScanOp when eligible. Non-aggregate statements only; the caller has
+// already ruled out joins, elided orders, and bare-LIMIT windows (where
+// scan-ahead would waste work the limit never reads).
+func tryParallelScan(src operator, db *Database, params []Value, qc *queryCtx) operator {
+	sc, preds := parallelScanTarget(src)
+	if !parallelEligible(db, qc, sc, preds) {
+		return src
+	}
+	return &parScanOp{
+		table: sc.table, qual: sc.qual, cols: sc.cols,
+		ids: sc.ids, rangeIdx: sc.rangeIdx, spec: sc.spec,
+		pred: joinConjuncts(preds), db: db, params: params,
+		workers: db.maxWorkers, qc: qc,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel partial aggregation
+
+// parAggPlan is the fused scan+filter+partial-aggregate a groupOp runs
+// instead of draining its child serially. The child chain is retained on
+// the groupOp for EXPLAIN display; merged scan counters are written back
+// into its scanOp so the accounting property holds.
+type parAggPlan struct {
+	sc      *scanOp
+	pred    Expr
+	workers int
+}
+
+// mergeableAggregates reports whether every collected aggregate can be
+// computed as per-worker partials and merged without observable
+// divergence from the serial fold:
+//
+//   - COUNT, MIN, MAX: always order-insensitive.
+//   - SUM / AVG / TOTAL: only over a bare reference to an INTEGER- or
+//     BOOLEAN-affinity column — integer partial sums merge exactly,
+//     while float addition is non-associative and could diverge from the
+//     serial left-to-right rounding.
+//   - GROUP_CONCAT: order-sensitive across workers — never parallel.
+//   - DISTINCT aggregates: the dedup set cannot be merged — serial.
+func mergeableAggregates(aggs []*FuncCall, sc *scanOp) bool {
+	for _, fc := range aggs {
+		if fc.Distinct {
+			return false
+		}
+		switch fc.Name {
+		case "COUNT", "MIN", "MAX":
+		case "SUM", "AVG", "TOTAL":
+			if len(fc.Args) != 1 || !intAffinityColumn(fc.Args[0], sc) {
+				return false
+			}
+		default:
+			return false
+		}
+		if !fc.Star {
+			for _, a := range fc.Args {
+				if !parallelSafeExpr(a) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// intAffinityColumn reports whether e is a bare reference to a column of
+// the scanned table declared with integer or boolean affinity.
+func intAffinityColumn(e Expr, sc *scanOp) bool {
+	cr, ok := e.(*ColumnRef)
+	if !ok {
+		return false
+	}
+	if cr.Table != "" && !equalFold(cr.Table, sc.qual) {
+		return false
+	}
+	for _, c := range sc.table.Columns {
+		if equalFold(c.Name, cr.Column) {
+			return c.Type == KindInt || c.Type == KindBool
+		}
+	}
+	return false
+}
+
+// tryParallelAgg decides whether an aggregate statement's input can run
+// as fused parallel partial aggregation, returning the plan or nil.
+func tryParallelAgg(stmt *SelectStmt, src operator, aggs []*FuncCall, db *Database, qc *queryCtx) *parAggPlan {
+	sc, preds := parallelScanTarget(src)
+	if !parallelEligible(db, qc, sc, preds) {
+		return nil
+	}
+	for _, ge := range stmt.GroupBy {
+		if !parallelSafeExpr(ge) {
+			return nil
+		}
+	}
+	if !mergeableAggregates(aggs, sc) {
+		return nil
+	}
+	return &parAggPlan{sc: sc, pred: joinConjuncts(preds), workers: db.maxWorkers}
+}
+
+// parAggGroup is one worker's (and after merging, the gather's) partial
+// GROUP BY state, carrying the minimal scan ordinal at which the group
+// was first seen so merged groups can be restored to serial first-seen
+// order.
+type parAggGroup struct {
+	keys    []Value
+	states  []aggState
+	repRow  Row
+	firstID int
+}
+
+// runAggregationParallel is the fork-join parallel counterpart of
+// runAggregation: workers claim morsels, filter, and fold rows into
+// private group maps; the owner joins them, merges the partial states,
+// and returns groups in exactly the serial first-seen order. Workers are
+// spawned and joined inside this call — no pool outlives it.
+func runAggregationParallel(stmt *SelectStmt, par *parAggPlan, aggs []*FuncCall,
+	db *Database, params []Value, qc *queryCtx) ([]*aggGroup, error) {
+
+	sc := par.sc
+	fromRange := sc.rangeIdx != nil
+	ids := sc.ids
+	var rangeSkipped uint64
+	if fromRange && ids == nil {
+		ids, rangeSkipped = collectRangeIDs(sc.table, sc.rangeIdx.orderedEntries(sc.table), sc.spec)
+	}
+	src := morselSource{table: sc.table, ids: ids}
+	src.countAccessPath(fromRange, qc)
+	if qc != nil {
+		qc.tombstonesSkipped += rangeSkipped
+	}
+	nMorsels := src.morsels()
+	nw := par.workers
+	if nw > nMorsels {
+		nw = nMorsels
+	}
+	if nw < 1 {
+		nw = 1
+	}
+
+	type workerResult struct {
+		groups      map[string]*parAggGroup
+		scanned     uint64
+		tombSkipped uint64
+		errID       int
+		err         error
+	}
+	results := make([]workerResult, nw)
+	var claim atomic.Int64
+	var abort atomic.Bool
+	var wg sync.WaitGroup
+
+	// Compile every worker's expressions on the owner goroutine.
+	type workerExprs struct {
+		env        *evalEnv
+		pred       compiledExpr
+		groupExprs []compiledExpr
+		argExprs   []compiledExpr
+	}
+	exprs := make([]workerExprs, nw)
+	for w := 0; w < nw; w++ {
+		env := newEvalEnv(sc.cols, db, params, nil, nil)
+		we := workerExprs{env: env}
+		if par.pred != nil {
+			p, err := compileExpr(par.pred, env)
+			if err != nil {
+				return nil, err
+			}
+			we.pred = p
+		}
+		we.groupExprs = make([]compiledExpr, len(stmt.GroupBy))
+		for i, ge := range stmt.GroupBy {
+			c, err := compileExpr(ge, env)
+			if err != nil {
+				return nil, err
+			}
+			we.groupExprs[i] = c
+		}
+		we.argExprs = make([]compiledExpr, len(aggs))
+		for i, fc := range aggs {
+			if fc.Star || len(fc.Args) == 0 {
+				continue
+			}
+			c, err := compileExpr(fc.Args[0], env)
+			if err != nil {
+				return nil, err
+			}
+			we.argExprs[i] = c
+		}
+		exprs[w] = we
+	}
+
+	total := src.total()
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		parallelWorkersActive.Add(1)
+		go func(w int) {
+			defer func() {
+				parallelWorkersActive.Add(-1)
+				wg.Done()
+			}()
+			we := exprs[w]
+			res := &results[w]
+			res.groups = make(map[string]*parAggGroup)
+			res.errID = -1
+			keyVals := make([]Value, len(stmt.GroupBy))
+			var kb []byte
+			fail := func(ordinal int, err error) {
+				res.errID, res.err = ordinal, err
+				abort.Store(true)
+			}
+			for {
+				idx := int(claim.Add(1)) - 1
+				if idx >= nMorsels || abort.Load() {
+					return
+				}
+				if qc != nil && qc.cancelled() != nil {
+					return
+				}
+				lo := idx * morselSize
+				hi := lo + morselSize
+				if hi > total {
+					hi = total
+				}
+				for pos := lo; pos < hi; pos++ {
+					id := pos
+					if src.ids != nil {
+						id = src.ids[pos]
+					} else if src.table.isDead(id) && !debugDisableTombstoneSkip {
+						res.tombSkipped++
+						continue
+					}
+					r := src.table.rows[id]
+					res.scanned++
+					we.env.row = r
+					if we.pred != nil {
+						v, err := we.pred()
+						if err != nil {
+							fail(pos, err)
+							return
+						}
+						if v.IsNull() || !v.AsBool() {
+							continue
+						}
+					}
+					kb = kb[:0]
+					for i, ge := range we.groupExprs {
+						v, err := ge()
+						if err != nil {
+							fail(pos, err)
+							return
+						}
+						keyVals[i] = v
+						kb = appendValueKey(kb, v)
+					}
+					g, ok := res.groups[string(kb)]
+					if !ok {
+						states := make([]aggState, len(aggs))
+						for i, fc := range aggs {
+							st, err := newAggState(fc)
+							if err != nil {
+								fail(pos, err)
+								return
+							}
+							states[i] = st
+						}
+						g = &parAggGroup{
+							keys:    append([]Value{}, keyVals...),
+							states:  states,
+							repRow:  r.Clone(),
+							firstID: pos,
+						}
+						res.groups[string(kb)] = g
+					}
+					for i, fc := range aggs {
+						if fc.Star {
+							g.states[i].add(Int(1))
+							continue
+						}
+						if we.argExprs[i] == nil {
+							continue
+						}
+						v, err := we.argExprs[i]()
+						if err != nil {
+							fail(pos, err)
+							return
+						}
+						g.states[i].add(v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Owner-side merge: counters first, then errors/cancellation, then
+	// the partial states keyed by group, keeping per group the identity
+	// (keys, repRow) of its smallest scan ordinal — the row the serial
+	// fold would have seen first.
+	var scanned, tombSkipped uint64
+	for w := range results {
+		scanned += results[w].scanned
+		tombSkipped += results[w].tombSkipped
+	}
+	if qc != nil {
+		qc.rowsScanned += scanned
+		qc.tombstonesSkipped += tombSkipped
+	}
+	// Merged counters land on the (never-pulled) scanOp retained for
+	// EXPLAIN, so treeScanned and the scanned= annotation stay truthful.
+	sc.scanned += scanned
+	sc.tombSkipped += tombSkipped + rangeSkipped
+	if qc != nil {
+		if err := qc.cancelled(); err != nil {
+			return nil, err
+		}
+	}
+	var firstErr error
+	firstErrID := -1
+	for w := range results {
+		if results[w].err != nil && (firstErrID < 0 || results[w].errID < firstErrID) {
+			firstErr, firstErrID = results[w].err, results[w].errID
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	merged := make(map[string]*parAggGroup)
+	for w := range results {
+		for key, g := range results[w].groups {
+			m, ok := merged[key]
+			if !ok {
+				merged[key] = g
+				continue
+			}
+			if g.firstID < m.firstID {
+				m.keys, m.repRow, m.firstID = g.keys, g.repRow, g.firstID
+			}
+			for i := range m.states {
+				m.states[i].(mergeableAggState).merge(g.states[i])
+			}
+		}
+	}
+	ordered := make([]*parAggGroup, 0, len(merged))
+	for _, g := range merged {
+		ordered = append(ordered, g)
+	}
+	sortParAggGroups(ordered)
+	groups := make([]*aggGroup, len(ordered))
+	for i, g := range ordered {
+		groups[i] = &aggGroup{keys: g.keys, states: g.states, repRow: g.repRow}
+	}
+	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
+		states := make([]aggState, len(aggs))
+		for i, fc := range aggs {
+			st, err := newAggState(fc)
+			if err != nil {
+				return nil, err
+			}
+			states[i] = st
+		}
+		repRow := make(Row, len(sc.cols))
+		for i := range repRow {
+			repRow[i] = Null
+		}
+		groups = append(groups, &aggGroup{states: states, repRow: repRow})
+	}
+	return groups, nil
+}
+
+// sortParAggGroups restores merged groups to serial first-seen order by
+// their minimal scan ordinals (which are unique — one row founds one
+// group).
+func sortParAggGroups(gs []*parAggGroup) {
+	sort.Slice(gs, func(a, b int) bool { return gs[a].firstID < gs[b].firstID })
+}
+
+// keyPartition assigns an encoded join key to one of n build partitions
+// (FNV-1a).
+func keyPartition(b []byte, n int) int {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// ---------------------------------------------------------------------------
+// Parallel hash-join build
+
+// nullPart marks a build row whose key evaluated to NULL (never joins).
+const nullPart = 255
+
+// buildParallel hashes the build side with a two-phase partitioned build.
+// Phase 1: workers claim morsels of the build rows and evaluate + encode
+// each row's key into per-row slots of shared arrays — disjoint indices,
+// so no synchronisation beyond the morsel claim. Phase 2: one worker per
+// partition walks the arrays in global row order inserting its
+// partition's rows, so within every bucket the row order — and therefore
+// every probe result — is identical to the serial build. Fork-join: all
+// workers are joined before this returns.
+func (h *hashJoinOp) buildParallel(buildRows []Row, buildKeyE Expr,
+	db *Database, params []Value, outer *evalEnv) error {
+
+	n := len(buildRows)
+	nMorsels := (n + morselSize - 1) / morselSize
+	nw := db.maxWorkers
+	if nw > nMorsels {
+		nw = nMorsels
+	}
+	if nw < 2 {
+		nw = 2
+	}
+	if nw > nullPart-1 {
+		nw = nullPart - 1 // partition ids must fit uint8 below the NULL mark
+	}
+	nParts := nw
+
+	keys := make([][]byte, n)
+	parts := make([]uint8, n)
+
+	// Phase 1: key evaluation. Each worker compiles its own copy of the
+	// key expression (here, on the owner goroutine) and writes only the
+	// row indices it claimed. Key bytes go into a per-worker append
+	// buffer; grown buffers reallocate, which leaves previously taken
+	// subslices pointing at the old backing array — still valid.
+	type keyErr struct {
+		idx int
+		err error
+	}
+	preds := make([]compiledExpr, nw)
+	envs := make([]*evalEnv, nw)
+	for w := 0; w < nw; w++ {
+		env := newEvalEnv(h.buildCols, db, params, outer, nil)
+		p, err := compileExpr(buildKeyE, env)
+		if err != nil {
+			return err
+		}
+		envs[w], preds[w] = env, p
+	}
+	errSlots := make([]keyErr, nw)
+	var claim atomic.Int64
+	var abort atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		parallelWorkersActive.Add(1)
+		go func(w int) {
+			defer func() {
+				parallelWorkersActive.Add(-1)
+				wg.Done()
+			}()
+			env, key := envs[w], preds[w]
+			errSlots[w].idx = -1
+			var buf []byte
+			for {
+				m := int(claim.Add(1)) - 1
+				if m >= nMorsels || abort.Load() {
+					return
+				}
+				lo, hi := m*morselSize, (m+1)*morselSize
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					env.row = buildRows[i]
+					k, err := key()
+					if err != nil {
+						errSlots[w] = keyErr{idx: i, err: err}
+						abort.Store(true)
+						return
+					}
+					if k.IsNull() {
+						parts[i] = nullPart
+						continue
+					}
+					start := len(buf)
+					buf = appendValueKey(buf, k)
+					keys[i] = buf[start:len(buf):len(buf)]
+					parts[i] = uint8(keyPartition(keys[i], nParts))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	firstErr, firstIdx := error(nil), -1
+	for w := range errSlots {
+		if errSlots[w].err != nil && (firstIdx < 0 || errSlots[w].idx < firstIdx) {
+			firstErr, firstIdx = errSlots[w].err, errSlots[w].idx
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Phase 2: per-partition builds. Each worker owns one shard and scans
+	// the full parts array — a cheap sequential byte read — inserting its
+	// rows in global order.
+	h.shards = make([]hashJoinShard, nParts)
+	wg = sync.WaitGroup{}
+	for p := 0; p < nParts; p++ {
+		wg.Add(1)
+		parallelWorkersActive.Add(1)
+		go func(p int) {
+			defer func() {
+				parallelWorkersActive.Add(-1)
+				wg.Done()
+			}()
+			sh := &h.shards[p]
+			sh.keyIndex = make(map[string]int)
+			for i := 0; i < n; i++ {
+				if parts[i] != uint8(p) {
+					continue
+				}
+				b, ok := sh.keyIndex[string(keys[i])]
+				if !ok {
+					b = len(sh.buckets)
+					sh.buckets = append(sh.buckets, nil)
+					sh.keyIndex[string(keys[i])] = b
+				}
+				sh.buckets[b] = append(sh.buckets[b], buildRows[i])
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := range h.shards {
+		h.nKeys += len(h.shards[p].keyIndex)
+	}
+	h.buildWorkers = nw
+	h.lookup = func(key []byte) int {
+		sh := &h.shards[keyPartition(key, nParts)]
+		if i, ok := sh.keyIndex[string(key)]; ok {
+			h.curBucket = sh.buckets[i]
+			return len(h.curBucket)
+		}
+		h.curBucket = nil
+		return 0
+	}
+	return nil
+}
+
+// equalFold is a tiny ASCII-insensitive comparison used on identifier
+// paths hot enough to avoid strings.EqualFold's full case folding.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -167,7 +167,9 @@ func (r *Rows) Err() error { return r.err }
 // the cursor itself, it is not safe for concurrent use with Next.
 func (r *Rows) Stats() QueryStats { return r.qc.snapshot() }
 
-// Close releases the cursor: the database read lock is returned and the
+// Close releases the cursor: any parallel-scan workers are stopped and
+// joined (they read table data under the cursor's lock, so this must
+// happen first), then the database read lock is returned and the
 // execution's counters are folded into Database.Stats. Idempotent; safe
 // to defer alongside an exhaustive Next loop.
 func (r *Rows) Close() error {
@@ -176,6 +178,7 @@ func (r *Rows) Close() error {
 	}
 	r.closed = true
 	r.cur = nil
+	r.qc.stopWorkers()
 	r.db.stats.openCursors.Add(-1)
 	r.db.mu.RUnlock()
 	r.qc.flush()

@@ -83,6 +83,7 @@ type groupOp struct {
 	params    []Value
 	outer     *evalEnv
 	qc        *queryCtx
+	par       *parAggPlan // non-nil: fused parallel partial aggregation
 
 	built   bool
 	groups  []*aggGroup
@@ -101,7 +102,13 @@ func (g *groupOp) reset() {
 
 func (g *groupOp) next() (Row, bool, error) {
 	if !g.built {
-		groups, err := runAggregation(g.stmt, g.child, g.aggs, g.db, g.params, g.outer, g.qc)
+		var groups []*aggGroup
+		var err error
+		if g.par != nil {
+			groups, err = runAggregationParallel(g.stmt, g.par, g.aggs, g.db, g.params, g.qc)
+		} else {
+			groups, err = runAggregation(g.stmt, g.child, g.aggs, g.db, g.params, g.outer, g.qc)
+		}
 		if err != nil {
 			return nil, false, err
 		}
@@ -196,11 +203,26 @@ type sortOp struct {
 	width   int
 	orderBy []OrderItem
 	topK    int // -1 = keep everything
+	// presorted is the count of leading sort keys the input order already
+	// satisfies (an elided index order). When positive the operator is no
+	// longer a full pipeline breaker: it streams runs of rows equal on
+	// those keys, stable-sorting each run on the remaining keys — memory is
+	// O(largest run) and a LIMIT above it stops pulling after O(k) rows
+	// plus one run, which is what keeps ORDER BY a, b LIMIT k cheap when
+	// only `a` is indexed.
+	presorted int
 
 	built   bool
 	drained uint64 // input rows pulled (per-operator EXPLAIN ANALYZE)
 	rows    []Row
 	pos     int
+
+	// Grouped (presorted) streaming state.
+	run     []Row
+	runPos  int
+	pendRow Row
+	pendOK  bool
+	eof     bool
 }
 
 func (s *sortOp) columns() []colInfo { return s.child.columns() }
@@ -208,10 +230,17 @@ func (s *sortOp) reset() {
 	s.built = false
 	s.rows = nil
 	s.pos = 0
+	s.run = nil
+	s.runPos = 0
+	s.pendOK = false
+	s.eof = false
 	s.child.reset()
 }
 
 func (s *sortOp) next() (Row, bool, error) {
+	if s.presorted > 0 {
+		return s.nextGrouped()
+	}
 	if !s.built {
 		var rows []Row
 		var err error
@@ -240,12 +269,73 @@ func (s *sortOp) next() (Row, bool, error) {
 	return r[:s.width:s.width], true, nil
 }
 
+// nextGrouped is the presorted streaming mode: buffer one run of rows
+// equal on the leading presorted keys, stable-sort it on the remaining
+// keys, emit, repeat. Within a run the input arrives in exactly the order
+// the full stable sort would visit it (the elided index order ties on
+// heap order), so each sorted run — and therefore the whole stream — is
+// bit-identical to the full sort's output.
+func (s *sortOp) nextGrouped() (Row, bool, error) {
+	for {
+		if s.runPos < len(s.run) {
+			r := s.run[s.runPos]
+			s.runPos++
+			return r[:s.width:s.width], true, nil
+		}
+		if s.eof {
+			return nil, false, nil
+		}
+		s.run = s.run[:0]
+		s.runPos = 0
+		if s.pendOK {
+			s.run = append(s.run, s.pendRow)
+			s.pendOK = false
+		}
+		for {
+			r, ok, err := s.child.next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				s.eof = true
+				break
+			}
+			s.drained++
+			if len(s.run) > 0 && !s.sameRun(s.run[0], r) {
+				s.pendRow, s.pendOK = r, true
+				break
+			}
+			s.run = append(s.run, r)
+		}
+		if len(s.run) == 0 {
+			return nil, false, nil
+		}
+		sort.SliceStable(s.run, func(a, b int) bool {
+			return s.keyLessFrom(s.run[a], s.run[b], s.presorted) < 0
+		})
+	}
+}
+
+// sameRun reports whether two extended rows agree on the leading
+// presorted keys.
+func (s *sortOp) sameRun(a, b Row) bool {
+	for j := 0; j < s.presorted; j++ {
+		if a[s.width+j].Compare(b[s.width+j]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // keyLess compares two extended rows on the trailing sort keys: <0, 0, >0.
-func (s *sortOp) keyLess(a, b Row) int {
-	for j, ob := range s.orderBy {
+func (s *sortOp) keyLess(a, b Row) int { return s.keyLessFrom(a, b, 0) }
+
+// keyLessFrom compares on the sort keys starting at key index from.
+func (s *sortOp) keyLessFrom(a, b Row, from int) int {
+	for j := from; j < len(s.orderBy); j++ {
 		c := a[s.width+j].Compare(b[s.width+j])
 		if c != 0 {
-			if ob.Desc {
+			if s.orderBy[j].Desc {
 				return -c
 			}
 			return c
@@ -417,15 +507,30 @@ func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *eval
 		return nil, nil, err
 	}
 
-	// Order-aware access path: when the single ORDER BY key is an indexed
+	// Order-aware access path: when the leading ORDER BY key is an indexed
 	// column of the statement's one base table, replace the scan with an
-	// ordered index scan and drop the sort — the index's ordered view
-	// yields exactly what the stable sort would, so this is safe for
-	// subqueries and truncated results too, and it is what makes
-	// `ORDER BY col LIMIT k` read O(k) rows.
+	// ordered index scan — the index's ordered view yields exactly what the
+	// stable sort would, so this is safe for subqueries and truncated
+	// results too, and it is what makes `ORDER BY col LIMIT k` read O(k)
+	// rows. A single key drops the sort entirely; trailing keys keep a
+	// streaming tie-sort (sortOp.presorted) that only buffers runs of
+	// equal leading-key rows. Multi-key elision is skipped under DISTINCT:
+	// dedup keeps first-arriving representatives, and index order changes
+	// which row arrives first.
 	orderElided := false
-	if !aggregate && len(stmt.OrderBy) == 1 && len(stmt.Joins) == 0 {
+	if !aggregate && len(stmt.OrderBy) >= 1 && len(stmt.Joins) == 0 &&
+		(len(stmt.OrderBy) == 1 || !stmt.Distinct) {
 		src, orderElided = tryOrderedScan(stmt, items, src, qc)
+	}
+
+	// Morsel-parallel scan (parallel.go): top-level, single-table,
+	// order-preserving-by-gather paths only. Elided index orders stay
+	// serial (their streaming is the point), and a bare LIMIT window
+	// without ORDER BY stays serial so the scan-ahead workers never read
+	// rows the window will not emit.
+	if topLevel && outer == nil && !aggregate && !orderElided && len(stmt.Joins) == 0 &&
+		!((stmt.Limit != nil || stmt.Offset != nil) && len(stmt.OrderBy) == 0) {
+		src = tryParallelScan(src, db, params, qc)
 	}
 
 	// LIMIT / OFFSET are constant expressions; fold them at plan time.
@@ -452,10 +557,11 @@ func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *eval
 	// group's representative row and env.agg carries the group context.
 	env := newEvalEnv(src.columns(), db, params, outer, qc)
 
-	// needSort: an ORDER BY the index order does not already satisfy.
-	// When the order is elided the projected rows carry no key extension
-	// and no sortOp is stacked; rows arrive from the scan already sorted.
-	needSort := len(stmt.OrderBy) > 0 && !orderElided
+	// needSort: an ORDER BY the index order does not already satisfy. A
+	// fully elided single-key order stacks no sortOp at all (rows carry no
+	// key extension); an elided leading key with trailing keys keeps a
+	// streaming tie-sort over all the keys.
+	needSort := len(stmt.OrderBy) > 0 && (!orderElided || len(stmt.OrderBy) > 1)
 	var oenv *evalEnv
 	var orderKeys []compiledExpr
 	compileOrder := func() error {
@@ -511,10 +617,17 @@ func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *eval
 		if err := compileOrder(); err != nil {
 			return nil, nil, err
 		}
+		// Fused parallel partial aggregation, when the input is a large
+		// single-table scan and every aggregate merges exactly.
+		var par *parAggPlan
+		if topLevel && outer == nil && len(stmt.Joins) == 0 {
+			par = tryParallelAgg(stmt, src, aggs, db, qc)
+		}
 		root = &groupOp{
 			stmt: stmt, child: src, aggs: aggs, actx: actx, env: env,
 			citems: citems, having: having, orderKeys: orderKeys, oenv: oenv,
 			outCols: outCols, db: db, params: params, outer: outer, qc: qc,
+			par: par,
 		}
 	} else {
 		citems := make([]compiledExpr, len(items))
@@ -536,11 +649,18 @@ func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *eval
 		root = &distinctOp{child: root, width: len(outCols)}
 	}
 	if needSort {
-		topK := -1
-		if limit >= 0 {
-			topK = start + limit // the limit window is all the sort must keep
+		presorted := 0
+		if orderElided {
+			presorted = 1
 		}
-		root = &sortOp{child: root, width: len(outCols), orderBy: stmt.OrderBy, topK: topK}
+		topK := -1
+		if limit >= 0 && presorted == 0 {
+			// The limit window is all a full sort must keep. The grouped
+			// tie-sort ignores topK: it already streams, and the limitOp
+			// above stops pulling once the window fills.
+			topK = start + limit
+		}
+		root = &sortOp{child: root, width: len(outCols), orderBy: stmt.OrderBy, topK: topK, presorted: presorted}
 	}
 	if start > 0 || limit >= 0 {
 		root = &limitOp{child: root, skip: start, limit: limit}
