@@ -184,7 +184,10 @@ func printStats(db *sqldb.Database) {
 	fmt.Printf("scans            %d index / %d range / %d full\n", s.IndexScans, s.IndexRangeScans, s.FullScans)
 	fmt.Printf("ordered orders   %d\n", s.OrderedIndexOrders)
 	fmt.Printf("subplan cache    %d hit / %d miss\n", s.SubplanCacheHits, s.SubplanCacheMisses)
-	fmt.Printf("index maintains  %d incremental / %d compactions\n", s.OrdMaintains, s.Compactions)
+	fmt.Printf("index maintains  %d incremental\n", s.OrdMaintains)
 	fmt.Printf("tombstones       %d skipped by scans\n", s.TombstonesSkipped)
+	fmt.Printf("transactions     %d begun / %d committed / %d rolled back / %d active\n",
+		s.Begins, s.Commits, s.Rollbacks, s.ActiveTxns)
+	fmt.Printf("vacuum           %d runs / %d versions reclaimed\n", s.VacuumRuns, s.VersionsReclaimed)
 	fmt.Printf("open cursors     %d\n", s.OpenCursors)
 }

@@ -33,6 +33,68 @@ type mergeableAggState interface {
 	merge(other aggState)
 }
 
+// morselAdder is implemented by aggregate states whose float accumulation
+// is order-sensitive (SUM, AVG, TOTAL). Parallel workers feed values
+// through addMorsel with the morsel ordinal so the state can keep one
+// partial float sum per morsel; result() folds the parts in ascending
+// morsel order. That makes the engine's float summation order a defined
+// property of the data and the morsel size — left-to-right within each
+// morsel, then morsel by morsel — independent of worker count and
+// scheduling. Serial execution is the degenerate single-part case
+// (every add lands on morsel 0), so serial results are unchanged.
+type morselAdder interface {
+	addMorsel(v Value, morsel int)
+}
+
+// sumPart is one morsel's running float sum. Part lists are kept sorted
+// ascending by morsel: each worker claims morsels in increasing order,
+// so its appends arrive sorted, and mergeParts preserves the invariant.
+type sumPart struct {
+	morsel int
+	f      float64
+}
+
+// mergeParts merges two morsel-sorted part lists, summing parts that
+// share a morsel (defensive: one morsel is claimed by exactly one
+// worker, so collisions should not occur across worker states).
+func mergeParts(a, b []sumPart) []sumPart {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]sumPart, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].morsel < b[j].morsel:
+			out = append(out, a[i])
+			i++
+		case b[j].morsel < a[i].morsel:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, sumPart{morsel: a[i].morsel, f: a[i].f + b[j].f})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// foldParts folds morsel partial sums in ascending morsel order — the
+// documented float summation order.
+func foldParts(parts []sumPart) float64 {
+	var f float64
+	for _, p := range parts {
+		f += p.f
+	}
+	return f
+}
+
 // newAggState builds the accumulator for the named aggregate.
 func newAggState(fc *FuncCall) (aggState, error) {
 	var base aggState
@@ -82,16 +144,20 @@ func (s *countState) result() Value { return Int(s.n) }
 func (s *countState) merge(other aggState) { s.n += other.(*countState).n }
 
 // sumState implements SUM (NULL over empty input) and TOTAL (0.0 over empty
-// input, always REAL), matching SQLite.
+// input, always REAL), matching SQLite. The float accumulator is a
+// morsel-keyed part list (see morselAdder); integer sums merge exactly
+// and need no ordering.
 type sumState struct {
 	total   bool
 	sawAny  bool
 	allInts bool
 	i       int64
-	f       float64
+	parts   []sumPart
 }
 
-func (s *sumState) add(v Value) {
+func (s *sumState) add(v Value) { s.addMorsel(v, 0) }
+
+func (s *sumState) addMorsel(v Value, morsel int) {
 	if v.IsNull() {
 		return
 	}
@@ -104,7 +170,11 @@ func (s *sumState) add(v Value) {
 	} else {
 		s.allInts = false
 	}
-	s.f += v.AsFloat()
+	if n := len(s.parts); n > 0 && s.parts[n-1].morsel == morsel {
+		s.parts[n-1].f += v.AsFloat()
+	} else {
+		s.parts = append(s.parts, sumPart{morsel: morsel, f: v.AsFloat()})
+	}
 }
 
 func (s *sumState) merge(other aggState) {
@@ -114,12 +184,12 @@ func (s *sumState) merge(other aggState) {
 	}
 	if !s.sawAny {
 		s.sawAny, s.allInts = true, o.allInts
-		s.i, s.f = o.i, o.f
+		s.i, s.parts = o.i, o.parts
 		return
 	}
 	s.allInts = s.allInts && o.allInts
 	s.i += o.i
-	s.f += o.f
+	s.parts = mergeParts(s.parts, o.parts)
 }
 
 func (s *sumState) result() Value {
@@ -130,39 +200,47 @@ func (s *sumState) result() Value {
 		return Null
 	}
 	if s.total {
-		return Float(s.f)
+		return Float(foldParts(s.parts))
 	}
 	if s.allInts {
 		return Int(s.i)
 	}
-	return Float(s.f)
+	return Float(foldParts(s.parts))
 }
 
-// avgState implements AVG (REAL; NULL over empty input).
+// avgState implements AVG (REAL; NULL over empty input). Like sumState
+// it keeps morsel-keyed float parts so the summation order is defined
+// under parallel execution.
 type avgState struct {
-	n   int64
-	sum float64
+	n     int64
+	parts []sumPart
 }
 
-func (s *avgState) add(v Value) {
+func (s *avgState) add(v Value) { s.addMorsel(v, 0) }
+
+func (s *avgState) addMorsel(v Value, morsel int) {
 	if v.IsNull() {
 		return
 	}
 	s.n++
-	s.sum += v.AsFloat()
+	if n := len(s.parts); n > 0 && s.parts[n-1].morsel == morsel {
+		s.parts[n-1].f += v.AsFloat()
+	} else {
+		s.parts = append(s.parts, sumPart{morsel: morsel, f: v.AsFloat()})
+	}
 }
 
 func (s *avgState) merge(other aggState) {
 	o := other.(*avgState)
 	s.n += o.n
-	s.sum += o.sum
+	s.parts = mergeParts(s.parts, o.parts)
 }
 
 func (s *avgState) result() Value {
 	if s.n == 0 {
 		return Null
 	}
-	return Float(s.sum / float64(s.n))
+	return Float(foldParts(s.parts) / float64(s.n))
 }
 
 // minMaxState implements MIN/MAX with NULLs ignored.

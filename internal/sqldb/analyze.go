@@ -294,9 +294,10 @@ func (db *Database) explainAnalyze(ctx context.Context, sel *SelectStmt, vals []
 	if err := qc.cancelled(); err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	defer qc.stopWorkers() // parallel-scan pools stop before the lock is released
+	snap, release := db.beginRead(nil)
+	qc.snap = snap
+	qc.releaseSnap = release // the deferred flush releases the snapshot
+	defer qc.stopWorkers()   // parallel-scan pools stop before the snapshot goes
 	root, _, err := buildSelectPlan(sel, db, vals, nil, true, qc)
 	if err != nil {
 		return nil, err

@@ -571,6 +571,25 @@ func (s *DropTableStmt) String() string {
 	return out + quoteIdent(s.Name)
 }
 
+// BeginStmt is `BEGIN [TRANSACTION]`: it opens the session transaction
+// that subsequent bare statements join until COMMIT or ROLLBACK.
+type BeginStmt struct{}
+
+func (*BeginStmt) stmtNode()      {}
+func (*BeginStmt) String() string { return "BEGIN" }
+
+// CommitStmt is `COMMIT [TRANSACTION]`.
+type CommitStmt struct{}
+
+func (*CommitStmt) stmtNode()      {}
+func (*CommitStmt) String() string { return "COMMIT" }
+
+// RollbackStmt is `ROLLBACK [TRANSACTION]`.
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmtNode()      {}
+func (*RollbackStmt) String() string { return "ROLLBACK" }
+
 // quoteIdent quotes an identifier when it needs quoting (reserved word or
 // non-identifier characters); otherwise returns it unchanged.
 func quoteIdent(s string) string {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Column describes one column of a table.
@@ -17,58 +18,108 @@ type Column struct {
 	Unique     bool
 }
 
-// Table is an in-memory heap of rows plus secondary indexes.
-// All access must go through Database, which provides locking.
+// rowVersion is one version of a row. Versions of a slot form a
+// newest-first chain: head is the most recent write, next leads to older
+// versions. xmin (the creating transaction) is immutable once the version
+// is published; xmax (the deleting or superseding transaction) and the
+// chain link are atomic so readers walk chains with no lock held while
+// writers stamp and vacuum unlinks.
+type rowVersion struct {
+	xmin uint64
+	xmax atomic.Uint64
+	next atomic.Pointer[rowVersion]
+	row  Row
+}
+
+// rowSlot is one stable row id's chain head. Slot structs are shared
+// between successive published slot arrays, so a reader holding a stale
+// array still observes head replacements and xmax stamps through the same
+// struct.
+type rowSlot struct {
+	head atomic.Pointer[rowVersion]
+}
+
+// Table is an in-memory versioned heap of rows plus secondary indexes.
 //
-// Row ids are heap slice positions and they are *stable*: DELETE marks a
-// tombstone in the dead bitmap instead of compacting the heap, so no
-// surviving row is ever renumbered by DML. Scans skip tombstoned slots;
-// compact() reclaims them (and renumbers) only once the dead fraction
-// crosses compactFraction.
+// Row ids are slot positions and they are *stable*: DELETE stamps xmax on
+// the head version instead of removing the slot, UPDATE prepends a new
+// version at the same slot, so no surviving row is ever renumbered by DML
+// and scan order without ORDER BY stays observable. Slots whose versions
+// are all invisible are skipped by scans; the background vacuum
+// (vacuum.go) empties them once no live snapshot can see any version.
+//
+// Readers never lock the table: the slot array pointer, the published
+// slot count and every chain link are atomic, and all visibility
+// decisions are made against the statement's snapshot (txn.go). Writers
+// mutate only under the database's single-writer latch.
 type Table struct {
 	Name     string
 	Columns  []Column
-	colIndex map[string]int    // lower-cased column name -> ordinal
-	rows     []Row             // the heap; row ids are slice positions
-	indexes  map[string]*Index // lower-cased column name -> index
-	dead     []uint64          // tombstone bitmap over row ids (1 = deleted, awaiting compaction)
-	nDead    int               // number of set bits in dead
+	colIndex map[string]int // lower-cased column name -> ordinal
+
+	slots atomic.Pointer[[]*rowSlot] // slot array; len == capacity, grown by COW
+	n     atomic.Int64               // published slot count (ids < n are valid)
+
+	liveRows atomic.Int64 // rows visible to a fresh snapshot
+
+	indexes atomic.Pointer[map[string]*Index] // lower-cased column name -> index; COW on CREATE INDEX
+
+	// staleIdx counts rolled-back writes whose superset index entries
+	// still need sweeping; the vacuum rebuilds this table's indexes when
+	// it is nonzero even if no chain version was reclaimable.
+	staleIdx atomic.Int64
 }
 
-// Index is a dual-structure secondary index over one column.
+// Index is a dual-structure secondary index over one column, maintained
+// as a *superset* of every row version still reachable:
 //
-// The hash map m (binary value key -> row ids, ids ascending) serves
-// equality lookups and join probes; it is maintained eagerly by every DML
-// path — insert appends the new id, delete and update remove theirs — so
-// it is always current and never contains a tombstoned id. The ordered
-// view ord — one entry per distinct value, sorted by Value.Compare, each
-// entry carrying its row ids ascending — serves range scans,
-// index-ordered ORDER BY, and merge joins; it is built lazily from the
-// hash map on first ordered access (ordidx.go) and *incrementally
-// maintained* by DML while it is live: INSERT splices the new id in place
-// (ordInsert), UPDATE composes remove+insert (ordMove), and DELETE leaves
-// the id behind as a tombstone that ordered consumers skip via the
-// table's dead bitmap. The invariant is therefore: ord is either nil or
-// contains exactly m's ids plus some tombstoned ones. Only compaction —
-// the bulk-mutation fallback — drops the view wholesale for the next
-// ordered access to rebuild. ordMu serialises concurrent lazy builds
-// (readers share the database lock, so they can race to build) and
-// orders maintenance against them under the race detector.
+//   - The hash map m (binary value key -> posting: the value plus its row
+//     ids, ascending) serves equality lookups and join probes. DML only
+//     ever ADDS entries — INSERT adds the new id under its key, UPDATE
+//     adds the id under the new key and leaves it under the old one,
+//     DELETE leaves the posting untouched — so an id may appear under
+//     every key any of its versions ever carried. Only the vacuum removes
+//     entries, and only once no live snapshot can see the version that
+//     put them there.
+//   - The ordered view ord — one immutable entry per distinct value,
+//     sorted by Value.Compare, each entry's id list replaced copy-on-write
+//     — serves range scans, index-ordered ORDER BY and merge joins. It is
+//     built lazily from the hash map on first ordered access and
+//     maintained incrementally by the same add-only discipline; structural
+//     changes (a new distinct value, a vacuum sweep) publish a fresh view
+//     pointer, so a reader that loaded the view keeps a consistent one for
+//     its whole scan.
+//
+// Because both structures are supersets, every consumer re-checks each
+// candidate: it fetches the row version visible to its snapshot and emits
+// the id only if that version's indexed value equals the probed key (or
+// the entry's value, for ordered scans). The recheck makes lookups exact
+// per snapshot — an id listed under both its old and new key matches
+// exactly one of them — and lets readers run entirely without locks: mu
+// latches only the momentary posting copy-out and the lazy view build,
+// never a cursor iteration.
 type Index struct {
 	Name   string
 	Column int
 	Unique bool
-	m      map[string][]int
 
-	ordMu sync.Mutex
-	ord   []ordEntry
+	mu  sync.Mutex // latches m and the lazy/structural ord transitions
+	m   map[string]posting
+	ord atomic.Pointer[[]*ordEntry] // nil until first ordered access
 }
 
-// Database is an embedded in-memory SQL database. It is safe for concurrent
-// use; reads take a shared lock and writes an exclusive one.
+// posting is one distinct indexed value and the ids of every version-
+// bearing row that ever carried it (ascending, superset semantics).
+type posting struct {
+	val Value
+	ids []int
+}
+
+// Database is an embedded in-memory SQL database, safe for concurrent
+// use. Readers are lock-free (MVCC snapshots, txn.go); writers serialise
+// on writeMu.
 type Database struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	tables atomic.Pointer[map[string]*Table] // COW: replaced wholesale by DDL
 	funcs  *FuncRegistry
 	plans  *planCache
 	stats  dbStats // observability counters; snapshot via Stats()
@@ -76,6 +127,17 @@ type Database struct {
 	// maxWorkers bounds the per-query worker pool for parallel operators
 	// (parallel.go). 1 disables intra-query parallelism entirely.
 	maxWorkers int
+
+	tm      *txnManager
+	writeMu sync.Mutex // single-writer latch: DML, DDL, transaction write spans, vacuum
+
+	sessionMu sync.Mutex
+	session   *Txn // transaction opened by SQL BEGIN; bare statements join it
+
+	garbage   atomic.Int64 // dead versions since the last vacuum
+	vacuuming atomic.Bool  // single-flight latch for the background vacuum
+	vacWG     sync.WaitGroup
+	closed    atomic.Bool
 }
 
 // Option configures a Database at construction time.
@@ -96,30 +158,54 @@ func WithMaxWorkers(n int) Option {
 // NewDatabase returns an empty database with the built-in function registry.
 func NewDatabase(opts ...Option) *Database {
 	db := &Database{
-		tables:     make(map[string]*Table),
 		funcs:      NewFuncRegistry(),
 		plans:      newPlanCache(),
 		maxWorkers: defaultMaxWorkers(),
+		tm:         newTxnManager(),
 	}
+	empty := make(map[string]*Table)
+	db.tables.Store(&empty)
 	for _, opt := range opts {
 		opt(db)
 	}
 	return db
 }
 
+// Close waits for any in-flight background vacuum to finish and stops new
+// ones from starting. The database remains readable; Close exists so
+// embedding processes and tests can join the maintenance goroutine.
+func (db *Database) Close() error {
+	db.closed.Store(true)
+	db.vacWG.Wait()
+	return nil
+}
+
 // Funcs exposes the database's function registry so callers can register
 // UDFs (notably the TAG layer's LM UDFs).
 func (db *Database) Funcs() *FuncRegistry { return db.funcs }
 
-// Table returns the named table, or an error if it does not exist.
-func (db *Database) Table(name string) (*Table, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.tableLocked(name)
+// tableMap returns the current published catalog. The map is immutable;
+// DDL publishes a replacement.
+func (db *Database) tableMap() map[string]*Table { return *db.tables.Load() }
+
+// publishTables applies a catalog mutation copy-on-write (writeMu held).
+func (db *Database) publishTables(mutate func(map[string]*Table)) {
+	old := db.tableMap()
+	next := make(map[string]*Table, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	mutate(next)
+	db.tables.Store(&next)
 }
 
-func (db *Database) tableLocked(name string) (*Table, error) {
-	t, ok := db.tables[strings.ToLower(name)]
+// Table returns the named table, or an error if it does not exist.
+func (db *Database) Table(name string) (*Table, error) {
+	return db.lookupTable(name)
+}
+
+func (db *Database) lookupTable(name string) (*Table, error) {
+	t, ok := db.tableMap()[strings.ToLower(name)]
 	if !ok {
 		return nil, errf(ErrNoTable, "sql: no such table: %s", name)
 	}
@@ -128,10 +214,9 @@ func (db *Database) tableLocked(name string) (*Table, error) {
 
 // TableNames returns the names of all tables in sorted order.
 func (db *Database) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for _, t := range db.tables {
+	tabs := db.tableMap()
+	names := make([]string, 0, len(tabs))
+	for _, t := range tabs {
 		names = append(names, t.Name)
 	}
 	sort.Strings(names)
@@ -141,16 +226,15 @@ func (db *Database) TableNames() []string {
 // SchemaSQL renders the CREATE TABLE statements for every table, in sorted
 // order — the BIRD-style schema prompt fed to the LM during query synthesis.
 func (db *Database) SchemaSQL() string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	tabs := db.tableMap()
+	names := make([]string, 0, len(tabs))
+	for n := range tabs {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	var b strings.Builder
 	for _, n := range names {
-		t := db.tables[n]
+		t := tabs[n]
 		b.WriteString("CREATE TABLE " + quoteIdent(t.Name) + " (\n")
 		for i, c := range t.Columns {
 			b.WriteString("    " + quoteIdent(c.Name) + " " + c.DeclType)
@@ -257,7 +341,6 @@ func newTable(stmt *CreateTableStmt) (*Table, error) {
 	t := &Table{
 		Name:     stmt.Name,
 		colIndex: make(map[string]int, len(stmt.Columns)),
-		indexes:  make(map[string]*Index),
 	}
 	for i, cd := range stmt.Columns {
 		lower := strings.ToLower(cd.Name)
@@ -275,17 +358,40 @@ func newTable(stmt *CreateTableStmt) (*Table, error) {
 		t.colIndex[lower] = i
 	}
 	// Primary keys and UNIQUE columns get an index automatically.
+	idxs := make(map[string]*Index)
 	for i, c := range t.Columns {
 		if c.PrimaryKey || c.Unique {
-			t.indexes[strings.ToLower(c.Name)] = &Index{
+			idxs[strings.ToLower(c.Name)] = &Index{
 				Name:   "auto_" + t.Name + "_" + c.Name,
 				Column: i,
 				Unique: true,
-				m:      make(map[string][]int),
+				m:      make(map[string]posting),
 			}
 		}
 	}
+	t.indexes.Store(&idxs)
 	return t, nil
+}
+
+// idxs returns the current published index map (immutable; CREATE INDEX
+// publishes a replacement).
+func (t *Table) idxs() map[string]*Index {
+	m := t.indexes.Load()
+	if m == nil {
+		return nil
+	}
+	return *m
+}
+
+// publishIndexes applies an index-map mutation copy-on-write (writeMu held).
+func (t *Table) publishIndexes(mutate func(map[string]*Index)) {
+	old := t.idxs()
+	next := make(map[string]*Index, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	mutate(next)
+	t.indexes.Store(&next)
 }
 
 // ColumnIndex returns the ordinal of the named column (case-insensitive)
@@ -297,34 +403,93 @@ func (t *Table) ColumnIndex(name string) int {
 	return -1
 }
 
-// RowCount reports the number of live (non-tombstoned) rows.
+// RowCount reports the number of rows a fresh snapshot would see.
 func (t *Table) RowCount() int { return t.liveCount() }
 
-// isDead reports whether the row id is tombstoned.
-func (t *Table) isDead(id int) bool {
-	w := id >> 6
-	return w < len(t.dead) && t.dead[w]&(1<<(uint(id)&63)) != 0
+// liveCount is the number of rows a fresh snapshot's scan will emit.
+func (t *Table) liveCount() int { return int(t.liveRows.Load()) }
+
+// ---------------------------------------------------------------------------
+// Version store
+
+// loadSlots returns the published slot array and valid slot count. Both
+// are stable for a scan's lifetime: later appends land past n (invisible
+// to the scan's snapshot anyway), and slot structs are shared across
+// array growth.
+func (t *Table) loadSlots() ([]*rowSlot, int) {
+	arrp := t.slots.Load()
+	if arrp == nil {
+		return nil, 0
+	}
+	arr := *arrp
+	n := int(t.n.Load())
+	if n > len(arr) {
+		n = len(arr)
+	}
+	return arr, n
 }
 
-// markDead tombstones a row id in the bitmap.
-func (t *Table) markDead(id int) {
-	w := id >> 6
-	for w >= len(t.dead) {
-		t.dead = append(t.dead, 0)
-	}
-	if bit := uint64(1) << (uint(id) & 63); t.dead[w]&bit == 0 {
-		t.dead[w] |= bit
-		t.nDead++
-	}
+// head returns slot id's chain head (writeMu held, id < n).
+func (t *Table) head(id int) *rowVersion {
+	arr := *t.slots.Load()
+	return arr[id].head.Load()
 }
 
-// liveCount is the number of rows scans will actually emit.
-func (t *Table) liveCount() int { return len(t.rows) - t.nDead }
+// setHead replaces slot id's chain head (writeMu held).
+func (t *Table) setHead(id int, v *rowVersion) {
+	arr := *t.slots.Load()
+	arr[id].head.Store(v)
+}
 
-// insertRow appends a row (already aligned to table order and coerced) and
-// maintains indexes — the hash maps eagerly, any live ordered view by an
-// in-place splice. It enforces NOT NULL and UNIQUE constraints.
-func (t *Table) insertRow(r Row, qc *queryCtx) error {
+// appendSlot publishes a new slot holding v and returns its row id
+// (writeMu held). The store lands before the count moves, so a reader
+// that observes the new count observes the version too.
+func (t *Table) appendSlot(v *rowVersion) int {
+	n := int(t.n.Load())
+	var arr []*rowSlot
+	if arrp := t.slots.Load(); arrp != nil {
+		arr = *arrp
+	}
+	if n == len(arr) {
+		newCap := 2 * len(arr)
+		if newCap < 64 {
+			newCap = 64
+		}
+		grown := make([]*rowSlot, newCap)
+		copy(grown, arr)
+		for i := len(arr); i < newCap; i++ {
+			grown[i] = &rowSlot{}
+		}
+		arr = grown
+		t.slots.Store(&grown)
+	}
+	arr[n].head.Store(v)
+	t.n.Add(1)
+	return n
+}
+
+// visibleRow returns the version of row id visible to snap, or nil. A nil
+// snapshot means "latest committed" — valid only under writeMu or for
+// best-effort display paths (plain EXPLAIN).
+func (t *Table) visibleRow(id int, snap *snapshot) Row {
+	arrp := t.slots.Load()
+	if arrp == nil || id < 0 || id >= len(*arrp) {
+		return nil
+	}
+	head := (*arrp)[id].head.Load()
+	if snap == nil {
+		return latestRow(head)
+	}
+	return visibleVersion(head, snap)
+}
+
+// ---------------------------------------------------------------------------
+// DML primitives (all under the database's single-writer latch)
+
+// insertRow appends a row (aligned to table order) as a new version
+// chain stamped with the writing transaction, maintains every index, and
+// enforces NOT NULL and UNIQUE constraints.
+func (t *Table) insertRow(r Row, qc *queryCtx, tx *Txn) error {
 	if len(r) != len(t.Columns) {
 		return errf(ErrMisuse, "sql: table %s expects %d values, got %d", t.Name, len(t.Columns), len(r))
 	}
@@ -334,46 +499,68 @@ func (t *Table) insertRow(r Row, qc *queryCtx) error {
 			return errf(ErrConstraint, "sql: NOT NULL constraint failed: %s.%s", t.Name, c.Name)
 		}
 	}
-	for _, idx := range t.indexes {
-		key := r[idx.Column].Key()
-		if idx.Unique && len(idx.m[key]) > 0 && !r[idx.Column].IsNull() {
+	idxs := t.idxs()
+	for _, idx := range idxs {
+		if idx.Unique && !r[idx.Column].IsNull() && t.liveKeyCount(idx, r[idx.Column].Key()) > 0 {
 			return errf(ErrConstraint, "sql: UNIQUE constraint failed: %s.%s = %s",
 				t.Name, t.Columns[idx.Column].Name, r[idx.Column])
 		}
 	}
-	id := len(t.rows)
-	t.rows = append(t.rows, r)
-	for _, idx := range t.indexes {
-		key := r[idx.Column].Key()
-		idx.m[key] = append(idx.m[key], id)
-		if idx.ordInsert(r[idx.Column], id) && qc != nil {
+	id := t.appendSlot(&rowVersion{xmin: tx.xid, row: r})
+	t.liveRows.Add(1)
+	tx.record(undoInsert, t, id)
+	for _, idx := range idxs {
+		if idx.addEntry(r[idx.Column], id) && qc != nil {
 			qc.ordMaintains++
 		}
 	}
 	return nil
 }
 
-// deleteRow tombstones a row: the heap slot stays (row ids are stable),
-// each index's hash map drops the id eagerly, and any live ordered view
-// keeps the id until compaction — ordered and range consumers skip it via
-// the dead bitmap.
-func (t *Table) deleteRow(id int) {
-	r := t.rows[id]
-	for _, idx := range t.indexes {
-		idx.removeID(r[idx.Column].Key(), id)
-	}
-	t.markDead(id)
+// deleteRow stamps the current head with the deleting transaction. The
+// slot, its versions and every index entry stay for older snapshots; the
+// vacuum reclaims them once invisible to all.
+func (t *Table) deleteRow(id int, tx *Txn) {
+	t.head(id).xmax.Store(tx.xid)
+	t.liveRows.Add(-1)
+	tx.record(undoDelete, t, id)
+	tx.db.garbage.Add(1)
 }
 
-// checkUpdateUnique enforces UNIQUE constraints for an in-place update
-// the same way insertRow does for inserts: if the updated row moves into
-// a non-NULL key another row already holds, the statement fails before
-// this row is applied. The snapshot UPDATE path does not use this —
-// it pre-checks the whole statement's final state instead (so it can
-// stay atomic), then applies unchecked.
+// updateRow prepends a new version at the same slot (row ids are stable;
+// scan order without ORDER BY is preserved) and adds superset index
+// entries for every key that changed. Constraint checks happen in the
+// callers (checkUpdateUnique per row, or the snapshot path's
+// whole-statement pre-check), so this is pure mechanism.
+func (t *Table) updateRow(id int, updated Row, qc *queryCtx, tx *Txn) {
+	head := t.head(id)
+	old := head.row
+	nv := &rowVersion{xmin: tx.xid, row: updated}
+	nv.next.Store(head)
+	head.xmax.Store(tx.xid)
+	t.setHead(id, nv)
+	tx.record(undoUpdate, t, id)
+	tx.db.garbage.Add(1)
+	for _, idx := range t.idxs() {
+		oldV, newV := old[idx.Column], updated[idx.Column]
+		if oldV.Key() == newV.Key() {
+			continue
+		}
+		if idx.addEntry(newV, id) && qc != nil {
+			qc.ordMaintains++
+		}
+	}
+}
+
+// checkUpdateUnique enforces UNIQUE constraints for an update the same
+// way insertRow does for inserts: if the updated row moves into a
+// non-NULL key another current row already holds, the statement fails
+// before this row is applied. The snapshot UPDATE path does not use this —
+// it pre-checks the whole statement's final state instead (so it can stay
+// atomic), then applies unchecked.
 func (t *Table) checkUpdateUnique(id int, updated Row) error {
-	old := t.rows[id]
-	for _, idx := range t.indexes {
+	old := t.head(id).row
+	for _, idx := range t.idxs() {
 		if !idx.Unique || updated[idx.Column].IsNull() {
 			continue
 		}
@@ -381,7 +568,7 @@ func (t *Table) checkUpdateUnique(id int, updated Row) error {
 		if newKey == old[idx.Column].Key() {
 			continue
 		}
-		if len(idx.m[newKey]) > 0 {
+		if t.liveKeyCountExcept(idx, newKey, id) > 0 {
 			return errf(ErrConstraint, "sql: UNIQUE constraint failed: %s.%s = %s",
 				t.Name, t.Columns[idx.Column].Name, updated[idx.Column])
 		}
@@ -389,84 +576,79 @@ func (t *Table) checkUpdateUnique(id int, updated Row) error {
 	return nil
 }
 
-// updateRow replaces row id in place, composing remove+insert on every
-// index whose key changed: the hash map moves the id between posting
-// lists, and a live ordered view moves it between entries — no rebuild,
-// no renumbering, and the row keeps its heap position (scan order is
-// observable without ORDER BY). Constraint checks happen in the callers
-// (checkUpdateUnique per row, or the snapshot path's whole-statement
-// pre-check), so this is pure mechanism.
-func (t *Table) updateRow(id int, updated Row, qc *queryCtx) {
-	old := t.rows[id]
-	for _, idx := range t.indexes {
-		oldV, newV := old[idx.Column], updated[idx.Column]
-		oldKey, newKey := oldV.Key(), newV.Key()
-		if oldKey == newKey {
+// liveKeyCount counts current (latest-committed-or-own) rows whose
+// indexed column carries exactly key. Under writeMu every chain head is
+// committed or the running writer's, so "latest" is unambiguous.
+func (t *Table) liveKeyCount(idx *Index, key string) int {
+	return t.liveKeyCountExcept(idx, key, -1)
+}
+
+func (t *Table) liveKeyCountExcept(idx *Index, key string, except int) int {
+	n := 0
+	for _, id := range idx.copyIDs(key) {
+		if id == except {
 			continue
 		}
-		idx.removeID(oldKey, id)
-		idx.insertID(newKey, id)
-		if idx.ordMove(oldV, newV, id) && qc != nil {
-			qc.ordMaintains++
+		arrp := t.slots.Load()
+		r := latestRow((*arrp)[id].head.Load())
+		if r != nil && r[idx.Column].Key() == key {
+			n++
 		}
 	}
-	t.rows[id] = updated
+	return n
 }
 
-// compactFraction: compact once tombstones exceed this fraction of the
-// heap (and at least compactMinDead of them exist, so small tables are
-// not rebuilt over single-row churn).
-const (
-	compactFraction = 4 // 1/4 of the heap
-	compactMinDead  = 64
-)
+// ---------------------------------------------------------------------------
+// Index maintenance and lookups
 
-// maybeCompact compacts the heap when the tombstone share crosses the
-// threshold. Called at the end of DELETE statements — the only tombstone
-// producers.
-func (t *Table) maybeCompact(qc *queryCtx) {
-	if t.nDead >= compactMinDead && t.nDead*compactFraction > len(t.rows) {
-		t.compact(qc)
+// copyIDs returns a private copy of the key's posting list (ascending).
+// The latch is momentary: never held across iteration.
+func (idx *Index) copyIDs(key string) []int {
+	idx.mu.Lock()
+	p, ok := idx.m[key]
+	if !ok {
+		idx.mu.Unlock()
+		return nil
 	}
+	ids := append([]int(nil), p.ids...)
+	idx.mu.Unlock()
+	return ids
 }
 
-// compact physically removes tombstoned rows, renumbering survivors and
-// rebuilding every index against the new ids. This is the bulk-mutation
-// fallback to wholesale invalidation that the incremental paths amortise:
-// it runs once per compactFraction of churn, not once per statement.
-func (t *Table) compact(qc *queryCtx) {
-	if t.nDead == 0 {
-		return
+// addEntry adds id under v's key in the hash map and, when an ordered
+// view is live, maintains it in place. Reports whether ordered
+// maintenance happened (the ordMaintains counter).
+func (idx *Index) addEntry(v Value, id int) bool {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	key := v.Key()
+	p := idx.m[key]
+	if p.ids == nil {
+		p.val = v
 	}
-	kept := t.rows[:0]
-	for id, r := range t.rows {
-		if !t.isDead(id) {
-			kept = append(kept, r)
+	p.ids = spliceID(p.ids, id)
+	idx.m[key] = p
+	return idx.ordAdd(v, id)
+}
+
+// visibleEqIDs returns, ascending, the row ids whose version visible to
+// snap carries exactly value v in the indexed column. The posting list is
+// a superset (old and rolled-back versions linger until vacuum); the
+// visibility + key recheck filters it exactly.
+func visibleEqIDs(t *Table, idx *Index, v Value, snap *snapshot) []int {
+	key := v.Key()
+	ids := idx.copyIDs(key)
+	if len(ids) == 0 {
+		return nil
+	}
+	out := ids[:0]
+	for _, id := range ids {
+		r := t.visibleRow(id, snap)
+		if r != nil && r[idx.Column].Key() == key {
+			out = append(out, id)
 		}
 	}
-	t.rows = kept
-	t.dead = nil
-	t.nDead = 0
-	t.rebuildIndexes()
-	if qc != nil {
-		qc.compactions++
-	}
-}
-
-// rebuildIndexes recomputes all index maps after a bulk mutation and
-// invalidates their ordered views.
-func (t *Table) rebuildIndexes() {
-	for _, idx := range t.indexes {
-		idx.m = make(map[string][]int, len(t.rows))
-		for id, r := range t.rows {
-			if t.isDead(id) {
-				continue
-			}
-			key := r[idx.Column].Key()
-			idx.m[key] = append(idx.m[key], id)
-		}
-		idx.invalidateOrdered()
-	}
+	return out
 }
 
 // spliceID inserts id into an ascending id list at its sorted position
@@ -482,27 +664,3 @@ func spliceID(ids []int, id int) []int {
 	ids[pos] = id
 	return ids
 }
-
-// insertID adds id to the key's posting list, keeping it ascending.
-func (idx *Index) insertID(key string, id int) {
-	idx.m[key] = spliceID(idx.m[key], id)
-}
-
-// removeID drops id from the key's posting list (no-op when absent).
-// The list is rewritten in place: posting lists are never shared with
-// ordered-view entries (orderedEntries copies them at build).
-func (idx *Index) removeID(key string, id int) {
-	ids := idx.m[key]
-	pos := sort.SearchInts(ids, id)
-	if pos >= len(ids) || ids[pos] != id {
-		return
-	}
-	if len(ids) == 1 {
-		delete(idx.m, key)
-		return
-	}
-	idx.m[key] = append(ids[:pos], ids[pos+1:]...)
-}
-
-// lookup returns the ids of rows whose indexed column equals v.
-func (idx *Index) lookup(v Value) []int { return idx.m[v.Key()] }

@@ -116,7 +116,13 @@ func (db *Database) QueryStmt(sel *SelectStmt, params ...any) (*Result, error) {
 
 // QueryStmtContext is QueryStmt under a context.
 func (db *Database) QueryStmtContext(ctx context.Context, sel *SelectStmt, params ...any) (*Result, error) {
-	rows, err := db.queryRows(ctx, sel, bindParams(params))
+	return db.querySelect(ctx, sel, bindParams(params), nil)
+}
+
+// querySelect runs an already parsed SELECT to a materialised Result,
+// optionally inside a transaction.
+func (db *Database) querySelect(ctx context.Context, sel *SelectStmt, vals []Value, tx *Txn) (*Result, error) {
+	rows, err := db.queryRows(ctx, sel, vals, tx)
 	if err != nil {
 		return nil, err
 	}
@@ -139,12 +145,13 @@ func (db *Database) ExecContext(ctx context.Context, sql string, params ...any) 
 	}
 	qc := newQueryCtx(ctx, db)
 	defer qc.flush()
+	vals := bindParams(params)
 	total := 0
 	for _, stmt := range stmts {
 		if err := qc.cancelled(); err != nil {
 			return total, err
 		}
-		n, err := db.execStmt(stmt, bindParams(params), qc)
+		n, err := db.execStmt(qc, stmt, vals, nil)
 		// DML applies partially on a mid-loop error or cancellation (the
 		// in-place paths keep their documented early-exit invariants), so
 		// the affected-row count is accumulated even when err != nil.
@@ -172,15 +179,23 @@ func bindParams(params []any) []Value {
 	return vals
 }
 
-func (db *Database) execStmt(stmt Statement, params []Value, qc *queryCtx) (int, error) {
+// execStmt executes one statement. tx is the explicit transaction handle
+// when called through Txn methods, nil for bare Exec calls — which join
+// the open session transaction, if any (currentTxn resolves inside the
+// per-kind entry points).
+func (db *Database) execStmt(qc *queryCtx, stmt Statement, params []Value, tx *Txn) (int, error) {
 	switch t := stmt.(type) {
 	case *SelectStmt:
 		// Stream the plan and count: rows are never materialised, and a
 		// LIMIT stops the scan early. Parallel-scan workers (if any) are
-		// stopped before the read lock is released — defers run LIFO.
+		// stopped before the snapshot is released — defers run LIFO.
 		qc.queries++
-		db.mu.RLock()
-		defer db.mu.RUnlock()
+		snap, release := db.beginRead(tx)
+		qc.snap = snap
+		defer func() {
+			qc.snap = nil
+			release()
+		}()
 		defer qc.stopWorkers()
 		root, _, err := buildSelectPlan(t, db, params, nil, true, qc)
 		if err != nil {
@@ -198,34 +213,64 @@ func (db *Database) execStmt(stmt Statement, params []Value, qc *queryCtx) (int,
 			n++
 			qc.rowsEmitted++
 		}
+	case *BeginStmt:
+		qc.execs++
+		if tx != nil {
+			return 0, errf(ErrMisuse, "sql: cannot start a transaction within a transaction")
+		}
+		return 0, db.beginSession()
+	case *CommitStmt:
+		qc.execs++
+		if tx != nil {
+			return 0, tx.Commit()
+		}
+		stx, err := db.takeSession()
+		if err != nil {
+			return 0, err
+		}
+		return 0, stx.Commit()
+	case *RollbackStmt:
+		qc.execs++
+		if tx != nil {
+			return 0, tx.Rollback()
+		}
+		stx, err := db.takeSession()
+		if err != nil {
+			return 0, err
+		}
+		return 0, stx.Rollback()
 	case *CreateTableStmt:
 		qc.execs++
-		return 0, db.createTable(t)
+		return 0, db.createTable(t, tx)
 	case *CreateIndexStmt:
 		qc.execs++
-		return 0, db.createIndex(t)
+		return 0, db.createIndex(t, tx)
 	case *DropTableStmt:
 		qc.execs++
-		return 0, db.dropTable(t)
+		return 0, db.dropTable(t, tx)
 	case *InsertStmt:
 		qc.execs++
-		return db.execInsert(t, params, qc)
+		return db.execInsert(t, params, qc, tx)
 	case *UpdateStmt:
 		qc.execs++
-		return db.execUpdate(t, params, qc)
+		return db.execUpdate(t, params, qc, tx)
 	case *DeleteStmt:
 		qc.execs++
-		return db.execDelete(t, params, qc)
+		return db.execDelete(t, params, qc, tx)
 	default:
 		return 0, errf(ErrMisuse, "sql: cannot execute %T", stmt)
 	}
 }
 
-func (db *Database) createTable(stmt *CreateTableStmt) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// DDL is non-transactional: it takes the single-writer latch for the
+// statement (or rides an open transaction's latch span, surviving its
+// rollback) and publishes the schema change copy-on-write, so lock-free
+// readers always observe a complete table map.
+func (db *Database) createTable(stmt *CreateTableStmt, tx *Txn) error {
+	unlock := db.acquireWrite(tx)
+	defer unlock()
 	key := strings.ToLower(stmt.Name)
-	if _, exists := db.tables[key]; exists {
+	if _, exists := db.tableMap()[key]; exists {
 		if stmt.IfNotExists {
 			return nil
 		}
@@ -235,14 +280,14 @@ func (db *Database) createTable(stmt *CreateTableStmt) error {
 	if err != nil {
 		return err
 	}
-	db.tables[key] = t
+	db.publishTables(func(m map[string]*Table) { m[key] = t })
 	return nil
 }
 
-func (db *Database) createIndex(stmt *CreateIndexStmt) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.tableLocked(stmt.Table)
+func (db *Database) createIndex(stmt *CreateIndexStmt, tx *Txn) error {
+	unlock := db.acquireWrite(tx)
+	defer unlock()
+	t, err := db.lookupTable(stmt.Table)
 	if err != nil {
 		return err
 	}
@@ -251,42 +296,71 @@ func (db *Database) createIndex(stmt *CreateIndexStmt) error {
 		return errf(ErrNoColumn, "sql: no such column %s.%s", stmt.Table, stmt.Column)
 	}
 	key := strings.ToLower(stmt.Column)
-	if _, exists := t.indexes[key]; exists {
+	if _, exists := t.idxs()[key]; exists {
 		return nil // idempotent: one index per column is all we support
 	}
-	idx := &Index{Name: stmt.Name, Column: ci, Unique: stmt.Unique, m: make(map[string][]int)}
-	for id, r := range t.rows {
-		if t.isDead(id) {
+	idx := &Index{Name: stmt.Name, Column: ci, Unique: stmt.Unique, m: make(map[string]posting)}
+	// Index every surviving version of every chain (the superset contract:
+	// snapshots older than the statement must find their rows through the
+	// new index too). The UNIQUE duplicate check runs on latest rows only.
+	arr, n := t.loadSlots()
+	var seen map[string]bool
+	if stmt.Unique {
+		seen = make(map[string]bool, n)
+	}
+	for id := 0; id < n; id++ {
+		head := arr[id].head.Load()
+		if head == nil {
 			continue
 		}
-		k := r[ci].Key()
-		if stmt.Unique && len(idx.m[k]) > 0 && !r[ci].IsNull() {
-			return errf(ErrConstraint, "sql: cannot create UNIQUE index %s: duplicate value %s", stmt.Name, r[ci])
+		if stmt.Unique {
+			if r := latestRow(head); r != nil && !r[ci].IsNull() {
+				k := r[ci].Key()
+				if seen[k] {
+					return errf(ErrConstraint, "sql: cannot create UNIQUE index %s: duplicate value %s", stmt.Name, r[ci])
+				}
+				seen[k] = true
+			}
 		}
-		idx.m[k] = append(idx.m[k], id)
+		for v := head; v != nil; v = v.next.Load() {
+			if v.xmin == invalidXID || v.row == nil {
+				continue
+			}
+			val := v.row[ci]
+			k := val.Key()
+			p := idx.m[k]
+			if p.ids == nil {
+				p.val = val
+			}
+			p.ids = spliceID(p.ids, id)
+			idx.m[k] = p
+		}
 	}
-	t.indexes[key] = idx
+	t.publishIndexes(func(m map[string]*Index) { m[key] = idx })
 	return nil
 }
 
-func (db *Database) dropTable(stmt *DropTableStmt) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+func (db *Database) dropTable(stmt *DropTableStmt, tx *Txn) error {
+	unlock := db.acquireWrite(tx)
+	defer unlock()
 	key := strings.ToLower(stmt.Name)
-	if _, exists := db.tables[key]; !exists {
+	if _, exists := db.tableMap()[key]; !exists {
 		if stmt.IfExists {
 			return nil
 		}
 		return errf(ErrNoTable, "sql: no such table: %s", stmt.Name)
 	}
-	delete(db.tables, key)
+	db.publishTables(func(m map[string]*Table) { delete(m, key) })
 	return nil
 }
 
-func (db *Database) execInsert(stmt *InsertStmt, params []Value, qc *queryCtx) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.tableLocked(stmt.Table)
+func (db *Database) execInsert(stmt *InsertStmt, params []Value, qc *queryCtx, tx *Txn) (int, error) {
+	wtx, end, err := db.beginWrite(qc, tx)
+	if err != nil {
+		return 0, err
+	}
+	defer end()
+	t, err := db.lookupTable(stmt.Table)
 	if err != nil {
 		return 0, err
 	}
@@ -340,7 +414,7 @@ func (db *Database) execInsert(stmt *InsertStmt, params []Value, qc *queryCtx) (
 		for i, ci := range colOrder {
 			full[ci] = src[i]
 		}
-		if err := t.insertRow(full, qc); err != nil {
+		if err := t.insertRow(full, qc, wtx); err != nil {
 			return n, err
 		}
 		n++
@@ -370,10 +444,13 @@ func hasSubquery(exprs ...Expr) bool {
 	return false
 }
 
-func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.tableLocked(stmt.Table)
+func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx, tx *Txn) (int, error) {
+	wtx, end, err := db.beginWrite(qc, tx)
+	if err != nil {
+		return 0, err
+	}
+	defer end()
+	t, err := db.lookupTable(stmt.Table)
 	if err != nil {
 		return 0, err
 	}
@@ -403,7 +480,7 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx) (
 		setExprs = append(setExprs, sc.Expr)
 	}
 	if hasSubquery(setExprs...) {
-		return execUpdateSnapshot(t, stmt, setCols, env, qc)
+		return execUpdateSnapshot(t, stmt, setCols, env, qc, wtx)
 	}
 	// Each qualifying row is updated through updateRow, which keeps the
 	// hash maps and any live ordered view exactly current — so any exit
@@ -427,7 +504,7 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx) (
 		if err := t.checkUpdateUnique(id, updated); err != nil {
 			return err
 		}
-		t.updateRow(id, updated, qc)
+		t.updateRow(id, updated, qc, wtx)
 		return nil
 	}
 	n := 0
@@ -440,15 +517,17 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx) (
 			if err := qc.tickCancelled(); err != nil {
 				return n, err
 			}
-			if err := update(id, t.rows[id]); err != nil {
+			if err := update(id, latestRow(t.head(id))); err != nil {
 				return n, err
 			}
 			n++
 		}
 		return n, nil
 	}
-	for id, r := range t.rows {
-		if t.isDead(id) {
+	arr, nSlots := t.loadSlots()
+	for id := 0; id < nSlots; id++ {
+		r := latestRow(arr[id].head.Load())
+		if r == nil {
 			continue
 		}
 		if err := qc.tickCancelled(); err != nil {
@@ -475,12 +554,12 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx) (
 // dmlEqualityIDs serves a DML statement's WHERE clause from an equality
 // index when it has exactly the shape `col = <literal or ? parameter>`
 // over an indexed column of the mutated table. The returned ids are
-// precisely the live rows the predicate holds for, ascending — the order
-// the heap walk would visit them — and are copied, because the caller
-// mutates the index's posting lists while iterating. A NULL comparand
-// matches nothing (`col = NULL` is never true of any row). Any other
-// WHERE shape reports ok=false and the caller walks the heap.
-func dmlEqualityIDs(t *Table, where Expr, params []Value) ([]int, bool) {
+// precisely the rows the statement snapshot sees the predicate holding
+// for, ascending — the order the heap walk would visit them — and are
+// private to the caller (the posting list is copied and filtered). A NULL
+// comparand matches nothing (`col = NULL` is never true of any row). Any
+// other WHERE shape reports ok=false and the caller walks the heap.
+func dmlEqualityIDs(t *Table, where Expr, params []Value, qc *queryCtx) ([]int, bool) {
 	b, ok := where.(*BinaryOp)
 	if !ok || b.Op != "=" {
 		return nil, false
@@ -495,7 +574,7 @@ func dmlEqualityIDs(t *Table, where Expr, params []Value) ([]int, bool) {
 	if cr.Table != "" && !strings.EqualFold(cr.Table, t.Name) {
 		return nil, false
 	}
-	idx, ok := t.indexes[strings.ToLower(cr.Column)]
+	idx, ok := t.idxs()[strings.ToLower(cr.Column)]
 	if !ok {
 		return nil, false
 	}
@@ -513,7 +592,11 @@ func dmlEqualityIDs(t *Table, where Expr, params []Value) ([]int, bool) {
 	if v.IsNull() {
 		return []int{}, true
 	}
-	return append([]int(nil), idx.lookup(v)...), true
+	ids := visibleEqIDs(t, idx, v, qc.snap)
+	if ids == nil {
+		ids = []int{}
+	}
+	return ids, true
 }
 
 // dmlEqualitySides matches one orientation of `col = comparand`, where
@@ -535,7 +618,7 @@ func dmlEqualitySides(a, b Expr) (*ColumnRef, Expr) {
 // for, when an index can serve it without a heap walk: equality first,
 // then range shapes over one indexed column.
 func dmlWhereIDs(t *Table, where Expr, params []Value, qc *queryCtx) ([]int, bool) {
-	if ids, ok := dmlEqualityIDs(t, where, params); ok {
+	if ids, ok := dmlEqualityIDs(t, where, params, qc); ok {
 		return ids, true
 	}
 	return dmlRangeIDs(t, where, params, qc)
@@ -578,14 +661,14 @@ func dmlRangeIDs(t *Table, where Expr, params []Value, qc *queryCtx) ([]int, boo
 		spec.lo = tightenLo(spec.lo, cs.lo)
 		spec.hi = tightenHi(spec.hi, cs.hi)
 	}
-	idx, ok := t.indexes[strings.ToLower(col.Column)]
+	idx, ok := t.idxs()[strings.ToLower(col.Column)]
 	if !ok {
 		return nil, false
 	}
 	if nullBound {
 		return []int{}, true
 	}
-	ids, skipped := collectRangeIDs(t, idx.orderedEntries(t), spec)
+	ids, skipped := collectRangeIDs(t, idx.Column, idx.orderedEntries(), spec, qc.snap)
 	if qc != nil {
 		qc.indexRangeScans++
 		qc.tombstonesSkipped += skipped
@@ -692,14 +775,17 @@ func dmlBoundValue(e Expr, params []Value) (Value, bool) {
 // through the incremental index maintenance. Any error or cancellation
 // during phase one aborts with the table untouched, making these
 // statements atomic.
-func execUpdateSnapshot(t *Table, stmt *UpdateStmt, setCols []int, env *evalEnv, qc *queryCtx) (int, error) {
+func execUpdateSnapshot(t *Table, stmt *UpdateStmt, setCols []int, env *evalEnv, qc *queryCtx, wtx *Txn) (int, error) {
 	type pendingUpdate struct {
 		id  int
+		old Row
 		row Row
 	}
 	var pend []pendingUpdate
-	for id, r := range t.rows {
-		if t.isDead(id) {
+	arr, nSlots := t.loadSlots()
+	for id := 0; id < nSlots; id++ {
+		r := latestRow(arr[id].head.Load())
+		if r == nil {
 			continue
 		}
 		if err := qc.tickCancelled(); err != nil {
@@ -728,7 +814,7 @@ func execUpdateSnapshot(t *Table, stmt *UpdateStmt, setCols []int, env *evalEnv,
 				return 0, errf(ErrConstraint, "sql: NOT NULL constraint failed: %s.%s", t.Name, c.Name)
 			}
 		}
-		pend = append(pend, pendingUpdate{id: id, row: updated})
+		pend = append(pend, pendingUpdate{id: id, old: r, row: updated})
 	}
 	// UNIQUE pre-check over the statement's final state, so a violation
 	// aborts with the table untouched (this path's atomicity guarantee):
@@ -738,13 +824,13 @@ func execUpdateSnapshot(t *Table, stmt *UpdateStmt, setCols []int, env *evalEnv,
 	// both break atomicity and spuriously reject key rotations the final
 	// state permits (e.g. SET id = maxid+1-id). Application below is then
 	// unchecked: transient duplicates mid-application are fine.
-	for _, idx := range t.indexes {
+	for _, idx := range t.idxs() {
 		if !idx.Unique {
 			continue
 		}
 		var removed, added map[string]int
 		for _, p := range pend {
-			oldKey := t.rows[p.id][idx.Column].Key()
+			oldKey := p.old[idx.Column].Key()
 			newKey := p.row[idx.Column].Key()
 			if oldKey == newKey {
 				continue
@@ -758,22 +844,25 @@ func execUpdateSnapshot(t *Table, stmt *UpdateStmt, setCols []int, env *evalEnv,
 			}
 		}
 		for key, add := range added {
-			if len(idx.m[key])-removed[key]+add > 1 {
+			if t.liveKeyCount(idx, key)-removed[key]+add > 1 {
 				return 0, errf(ErrConstraint, "sql: UNIQUE constraint failed: %s.%s",
 					t.Name, t.Columns[idx.Column].Name)
 			}
 		}
 	}
 	for _, p := range pend {
-		t.updateRow(p.id, p.row, qc)
+		t.updateRow(p.id, p.row, qc, wtx)
 	}
 	return len(pend), nil
 }
 
-func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.tableLocked(stmt.Table)
+func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx, tx *Txn) (int, error) {
+	wtx, end, err := db.beginWrite(qc, tx)
+	if err != nil {
+		return 0, err
+	}
+	defer end()
+	t, err := db.lookupTable(stmt.Table)
 	if err != nil {
 		return 0, err
 	}
@@ -783,41 +872,39 @@ func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx) (
 	}
 	env := newEvalEnv(cols, db, params, nil, qc)
 	// Same Halloween hazard as execUpdate: a WHERE subquery over this
-	// table would observe the rows already tombstoned by this very loop.
+	// table would observe the rows already deleted by this very loop.
 	// Subquery-bearing DELETEs evaluate against the untouched table
 	// first, then apply.
 	if hasSubquery(stmt.Where) {
-		return execDeleteSnapshot(t, stmt, env, qc)
+		return execDeleteSnapshot(t, stmt, env, qc, wtx)
 	}
-	// Qualifying rows are tombstoned as the loop runs (ids stay stable,
-	// hash maps drop the id eagerly), so an early exit — cancellation or
-	// a WHERE evaluation error — leaves exactly the examined-and-deleted
-	// rows gone and everything else untouched, with indexes consistent.
-	// Compaction runs at most once, after the loop settles.
+	// Qualifying rows are xmax-stamped as the loop runs (ids stay stable),
+	// so an early exit — cancellation or a WHERE evaluation error — leaves
+	// exactly the examined-and-deleted rows gone and everything else
+	// untouched. Reclamation is the background vacuum's job.
 	n := 0
 	// Fast path: `DELETE FROM t WHERE col = <literal/param>` over an
-	// indexed column tombstones exactly the index bucket; a range-shaped
-	// WHERE over one tombstones exactly the ordered view's window.
+	// indexed column deletes exactly the index bucket; a range-shaped
+	// WHERE over one deletes exactly the ordered view's window.
 	if stmt.Where != nil {
 		if ids, ok := dmlWhereIDs(t, stmt.Where, params, qc); ok {
 			for _, id := range ids {
 				if err := qc.tickCancelled(); err != nil {
-					t.maybeCompact(qc)
 					return n, err
 				}
-				t.deleteRow(id)
+				t.deleteRow(id, wtx)
 				n++
 			}
-			t.maybeCompact(qc)
 			return n, nil
 		}
 	}
-	for id, r := range t.rows {
-		if t.isDead(id) {
+	arr, nSlots := t.loadSlots()
+	for id := 0; id < nSlots; id++ {
+		r := latestRow(arr[id].head.Load())
+		if r == nil {
 			continue
 		}
 		if err := qc.tickCancelled(); err != nil {
-			t.maybeCompact(qc)
 			return n, err
 		}
 		del := true
@@ -825,29 +912,28 @@ func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx) (
 			env.row = r
 			v, err := evalExpr(stmt.Where, env)
 			if err != nil {
-				t.maybeCompact(qc)
 				return n, err
 			}
 			del = !v.IsNull() && v.AsBool()
 		}
 		if del {
-			t.deleteRow(id)
+			t.deleteRow(id, wtx)
 			n++
 		}
 	}
-	t.maybeCompact(qc)
 	return n, nil
 }
 
 // execDeleteSnapshot is the two-phase DELETE path for subquery-bearing
 // statements: phase one evaluates WHERE for every row against the
-// untouched table, phase two tombstones the qualifying rows (compacting
-// only if the dead fraction crosses the threshold). An error or
-// cancellation during phase one leaves the table untouched.
-func execDeleteSnapshot(t *Table, stmt *DeleteStmt, env *evalEnv, qc *queryCtx) (int, error) {
+// untouched table, phase two stamps the qualifying rows deleted. An error
+// or cancellation during phase one leaves the table untouched.
+func execDeleteSnapshot(t *Table, stmt *DeleteStmt, env *evalEnv, qc *queryCtx, wtx *Txn) (int, error) {
 	var del []int
-	for id, r := range t.rows {
-		if t.isDead(id) {
+	arr, nSlots := t.loadSlots()
+	for id := 0; id < nSlots; id++ {
+		r := latestRow(arr[id].head.Load())
+		if r == nil {
 			continue
 		}
 		if err := qc.tickCancelled(); err != nil {
@@ -863,18 +949,23 @@ func execDeleteSnapshot(t *Table, stmt *DeleteStmt, env *evalEnv, qc *queryCtx) 
 		}
 	}
 	for _, id := range del {
-		t.deleteRow(id)
+		t.deleteRow(id, wtx)
 	}
-	t.maybeCompact(qc)
 	return len(del), nil
 }
 
-// InsertRows bulk-loads rows (Go values, table column order) into a table.
-// It is the fast path used by the benchmark data generators.
+// InsertRows bulk-loads rows (Go values, table column order) into a table
+// as one autocommit write. It is the fast path used by the benchmark data
+// generators.
 func (db *Database) InsertRows(table string, rows [][]any) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.tableLocked(table)
+	qc := newQueryCtx(context.Background(), db)
+	defer qc.flush()
+	wtx, end, err := db.beginWrite(qc, nil)
+	if err != nil {
+		return err
+	}
+	defer end()
+	t, err := db.lookupTable(table)
 	if err != nil {
 		return err
 	}
@@ -883,7 +974,7 @@ func (db *Database) InsertRows(table string, rows [][]any) error {
 		for i, x := range raw {
 			row[i] = GoValue(x)
 		}
-		if err := t.insertRow(row, nil); err != nil {
+		if err := t.insertRow(row, qc, wtx); err != nil {
 			return err
 		}
 	}

@@ -10,17 +10,26 @@ import (
 // statements) that LoadScript can replay — the engine's persistence story.
 // Tables are emitted in sorted order; rows in storage order. Indexes
 // created by CREATE INDEX are re-emitted after the data so reloads rebuild
-// them.
+// them. Dump iterates under a registered MVCC snapshot: it emits exactly
+// the committed state as of the call, and concurrent writers are neither
+// blocked nor reflected mid-script.
 func (db *Database) Dump(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if _, err := io.WriteString(w, db.schemaSQLLocked()); err != nil {
+	snap, release := db.beginRead(nil)
+	defer release()
+	tables := db.tableMap()
+	if _, err := io.WriteString(w, dumpSchemaSQL(tables)); err != nil {
 		return err
 	}
-	for _, name := range db.tableNamesLocked() {
-		t := db.tables[strings.ToLower(name)]
-		for id, row := range t.rows {
-			if t.isDead(id) {
+	for _, name := range sortedTableNames(tables) {
+		t := tables[strings.ToLower(name)]
+		arr, n := t.loadSlots()
+		for id := 0; id < n; id++ {
+			head := arr[id].head.Load()
+			if head == nil {
+				continue
+			}
+			row := visibleVersion(head, snap)
+			if row == nil {
 				continue
 			}
 			var b strings.Builder
@@ -37,7 +46,7 @@ func (db *Database) Dump(w io.Writer) error {
 			}
 		}
 		// Secondary (non-automatic) indexes.
-		for _, idx := range t.indexes {
+		for _, idx := range t.idxs() {
 			if strings.HasPrefix(idx.Name, "auto_") {
 				continue
 			}
@@ -62,12 +71,13 @@ func (db *Database) LoadScript(src string) error {
 	return err
 }
 
-// schemaSQLLocked is SchemaSQL without re-taking the lock.
-func (db *Database) schemaSQLLocked() string {
-	names := db.tableNamesLocked()
+// dumpSchemaSQL renders Dump's compact one-line CREATE TABLE form for a
+// catalog snapshot.
+func dumpSchemaSQL(tables map[string]*Table) string {
+	names := sortedTableNames(tables)
 	var b strings.Builder
 	for _, n := range names {
-		t := db.tables[strings.ToLower(n)]
+		t := tables[strings.ToLower(n)]
 		b.WriteString("CREATE TABLE " + quoteIdent(t.Name) + " (")
 		for i, c := range t.Columns {
 			if i > 0 {
@@ -89,9 +99,9 @@ func (db *Database) schemaSQLLocked() string {
 	return b.String()
 }
 
-func (db *Database) tableNamesLocked() []string {
-	names := make([]string, 0, len(db.tables))
-	for _, t := range db.tables {
+func sortedTableNames(tables map[string]*Table) []string {
+	names := make([]string, 0, len(tables))
+	for _, t := range tables {
 		names = append(names, t.Name)
 	}
 	sortStrings(names)

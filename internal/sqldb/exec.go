@@ -1,7 +1,6 @@
 package sqldb
 
 import (
-	"sort"
 	"strings"
 )
 
@@ -56,12 +55,15 @@ func (a *rowArena) alloc(n int) Row {
 // ---------------------------------------------------------------------------
 // Scan
 
-// scanOp iterates a base table's heap, optionally restricted to a set of
-// row ids produced by an index lookup. A range-restricted scan (rangeIdx
-// set) materialises its ids lazily on first pull from the index's ordered
-// view, sorted ascending so emission order matches a filtered full scan —
-// the planner may instead replace the whole operator with an ordScanOp
-// when the statement's ORDER BY matches the range column (stream.go).
+// scanOp iterates a base table's version store, optionally restricted to
+// a set of row ids produced by an index lookup. A range-restricted scan
+// (rangeIdx set) materialises its ids lazily on first pull from the
+// index's ordered view, sorted ascending so emission order matches a
+// filtered full scan — the planner may instead replace the whole operator
+// with an ordScanOp when the statement's ORDER BY matches the range
+// column (stream.go). Every fetch resolves through the scan's snapshot;
+// the slot array and snapshot are captured once on first pull, so the
+// cursor iterates with no lock held and later commits stay invisible.
 type scanOp struct {
 	table       *Table
 	qual        string // alias the table is addressable by
@@ -71,9 +73,13 @@ type scanOp struct {
 	spec        rangeSpec
 	pos         int
 	qc          *queryCtx
+	snap        *snapshot
+	arr         []*rowSlot
+	n           int
+	inited      bool
 	counted     bool   // access path recorded in qc (once per operator)
 	scanned     uint64 // rows this operator read (per-operator EXPLAIN ANALYZE)
-	tombSkipped uint64 // tombstoned rows stepped over (EXPLAIN ANALYZE)
+	tombSkipped uint64 // invisible versions stepped over (EXPLAIN ANALYZE)
 }
 
 func newScanOp(t *Table, qual string, qc *queryCtx) *scanOp {
@@ -88,12 +94,22 @@ func (s *scanOp) columns() []colInfo { return s.cols }
 func (s *scanOp) reset()             { s.pos = 0 }
 
 func (s *scanOp) next() (Row, bool, error) {
-	if s.rangeIdx != nil && s.ids == nil {
-		var skipped uint64
-		s.ids, skipped = collectRangeIDs(s.table, s.rangeIdx.orderedEntries(s.table), s.spec)
-		s.tombSkipped += skipped
+	if !s.inited {
+		s.inited = true
 		if s.qc != nil {
-			s.qc.tombstonesSkipped += skipped
+			s.snap = s.qc.snap
+		}
+		if s.rangeIdx != nil && s.ids == nil {
+			var skipped uint64
+			s.ids, skipped = collectRangeIDs(s.table, s.rangeIdx.Column,
+				s.rangeIdx.orderedEntries(), s.spec, s.snap)
+			s.tombSkipped += skipped
+			if s.qc != nil {
+				s.qc.tombstonesSkipped += skipped
+			}
+		}
+		if s.ids == nil {
+			s.arr, s.n = s.table.loadSlots()
 		}
 	}
 	if s.qc != nil {
@@ -113,34 +129,54 @@ func (s *scanOp) next() (Row, bool, error) {
 		}
 	}
 	if s.ids != nil {
-		if s.pos >= len(s.ids) {
-			return nil, false, nil
+		for s.pos < len(s.ids) {
+			id := s.ids[s.pos]
+			s.pos++
+			r := scanRow(s.table, id, s.snap)
+			if r == nil {
+				s.tombSkipped++
+				if s.qc != nil {
+					s.qc.tombstonesSkipped++
+				}
+				continue
+			}
+			if s.qc != nil {
+				s.qc.rowsScanned++
+				s.scanned++
+			}
+			return r, true, nil
 		}
-		r := s.table.rows[s.ids[s.pos]]
+		return nil, false, nil
+	}
+	for s.pos < s.n {
+		head := s.arr[s.pos].head.Load()
 		s.pos++
+		if head == nil {
+			continue // vacuumed-away slot: no versions at all
+		}
+		var r Row
+		switch {
+		case debugDisableTombstoneSkip:
+			r = head.row
+		case s.snap == nil:
+			r = latestRow(head)
+		default:
+			r = visibleVersion(head, s.snap)
+		}
+		if r == nil {
+			s.tombSkipped++
+			if s.qc != nil {
+				s.qc.tombstonesSkipped++
+			}
+			continue
+		}
 		if s.qc != nil {
 			s.qc.rowsScanned++
 			s.scanned++
 		}
 		return r, true, nil
 	}
-	for s.pos < len(s.table.rows) && s.table.isDead(s.pos) && !debugDisableTombstoneSkip {
-		s.pos++
-		s.tombSkipped++
-		if s.qc != nil {
-			s.qc.tombstonesSkipped++
-		}
-	}
-	if s.pos >= len(s.table.rows) {
-		return nil, false, nil
-	}
-	r := s.table.rows[s.pos]
-	s.pos++
-	if s.qc != nil {
-		s.qc.rowsScanned++
-		s.scanned++
-	}
-	return r, true, nil
+	return nil, false, nil
 }
 
 // valuesOp replays pre-materialised rows (derived tables, join builds).
@@ -182,9 +218,11 @@ type corrProbeScanOp struct {
 	keyC    compiledExpr // outer-row key, compiled once
 	colE    Expr         // retained for EXPLAIN
 	keyE    Expr         // retained for EXPLAIN
+	idx     *Index       // real equality index, when one covers the column
 	fromIdx bool
 	qc      *queryCtx
 
+	snap    *snapshot
 	memo    map[string][]int
 	keyBuf  []byte
 	ids     []int
@@ -205,11 +243,25 @@ func (s *corrProbeScanOp) reset() {
 
 func (s *corrProbeScanOp) next() (Row, bool, error) {
 	if !s.idsSet {
-		if s.memo == nil {
+		if s.qc != nil {
+			s.snap = s.qc.snap
+		}
+		if s.memo == nil && !s.fromIdx {
+			// Build the transient memo from the statement snapshot's view
+			// of the table — once per statement.
+			arr, n := s.table.loadSlots()
 			s.memo = make(map[string][]int, s.table.liveCount())
 			var kb []byte
-			for id, r := range s.table.rows {
-				if s.table.isDead(id) {
+			for id := 0; id < n; id++ {
+				var r Row
+				if head := arr[id].head.Load(); head != nil {
+					if s.snap == nil {
+						r = latestRow(head)
+					} else {
+						r = visibleVersion(head, s.snap)
+					}
+				}
+				if r == nil {
 					continue
 				}
 				kb = appendValueKey(kb[:0], r[s.column])
@@ -222,8 +274,14 @@ func (s *corrProbeScanOp) next() (Row, bool, error) {
 		}
 		s.ids = nil
 		if !k.IsNull() { // col = NULL is never true
-			s.keyBuf = appendValueKey(s.keyBuf[:0], k)
-			s.ids = s.memo[string(s.keyBuf)]
+			if s.fromIdx {
+				// The real index is a superset under MVCC; filter it
+				// against the snapshot per probe.
+				s.ids = visibleEqIDs(s.table, s.idx, k, s.snap)
+			} else {
+				s.keyBuf = appendValueKey(s.keyBuf[:0], k)
+				s.ids = s.memo[string(s.keyBuf)]
+			}
 		}
 		s.idsSet = true
 		if s.qc != nil && !s.counted {
@@ -236,16 +294,20 @@ func (s *corrProbeScanOp) next() (Row, bool, error) {
 			return nil, false, err
 		}
 	}
-	if s.pos >= len(s.ids) {
-		return nil, false, nil
+	for s.pos < len(s.ids) {
+		id := s.ids[s.pos]
+		s.pos++
+		r := s.table.visibleRow(id, s.snap)
+		if r == nil {
+			continue // cannot happen for same-snapshot ids; defensive
+		}
+		if s.qc != nil {
+			s.qc.rowsScanned++
+			s.scanned++
+		}
+		return r, true, nil
 	}
-	r := s.table.rows[s.ids[s.pos]]
-	s.pos++
-	if s.qc != nil {
-		s.qc.rowsScanned++
-		s.scanned++
-	}
-	return r, true, nil
+	return nil, false, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -535,7 +597,7 @@ type indexJoinOp struct {
 	probeKeyE Expr // retained for EXPLAIN
 	idxKeyE   Expr // retained for EXPLAIN
 	residualE Expr // retained for EXPLAIN
-	curIDs    []int
+	curRows   []Row
 }
 
 func newIndexJoinOp(probe operator, table *Table, idx *Index, idxCols []colInfo,
@@ -560,11 +622,25 @@ func newIndexJoinOp(probe operator, table *Table, idx *Index, idxCols []colInfo,
 	j.cols = cols
 	j.probeIsLeft = probeIsLeft
 	j.leftOuter = leftOuter
+	// Per-probe: copy the posting list under the index latch, then filter
+	// it against the statement snapshot (the posting is a superset under
+	// MVCC — old and rolled-back versions linger until vacuum).
 	j.lookup = func(key []byte) int {
-		j.curIDs = j.idx.m[string(key)]
-		return len(j.curIDs)
+		k := string(key)
+		var snap *snapshot
+		if qc != nil {
+			snap = qc.snap
+		}
+		j.curRows = j.curRows[:0]
+		for _, id := range j.idx.copyIDs(k) {
+			r := j.table.visibleRow(id, snap)
+			if r != nil && r[j.idx.Column].Key() == k {
+				j.curRows = append(j.curRows, r)
+			}
+		}
+		return len(j.curRows)
 	}
-	j.matchRow = func(i int) Row { return j.table.rows[j.curIDs[i]] }
+	j.matchRow = func(i int) Row { return j.curRows[i] }
 	if err := j.initProbeJoin(probeKeyE, residual, db, params, outer, qc); err != nil {
 		return nil, err
 	}
@@ -889,7 +965,7 @@ func indexForJoinKey(sc *scanOp, key Expr) *Index {
 	if cr.Table != "" && !strings.EqualFold(cr.Table, sc.qual) {
 		return nil
 	}
-	return sc.table.indexes[strings.ToLower(cr.Column)]
+	return sc.table.idxs()[strings.ToLower(cr.Column)]
 }
 
 // buildFrom constructs the operator tree for the FROM clause (including
@@ -1111,7 +1187,7 @@ func buildTableRef(tr TableRef, db *Database, params []Value, outer *evalEnv, qc
 		}
 		return &valuesOp{cols: qcols, rows: rows, src: root}, nil
 	}
-	t, err := db.tableLocked(tr.Name)
+	t, err := db.lookupTable(tr.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -1289,8 +1365,15 @@ func chooseScanAccess(sc *scanOp, conjuncts []Expr) []Expr {
 			// property: the filtered count must match the per-row count.
 			sc.ids = []int{}
 		} else {
-			sc.ids = append([]int{}, idx.lookup(v)...)
-			sort.Ints(sc.ids)
+			var snap *snapshot
+			if sc.qc != nil {
+				snap = sc.qc.snap
+			}
+			ids := visibleEqIDs(sc.table, idx, v, snap)
+			if ids == nil {
+				ids = []int{} // non-nil: an empty restriction, not a full scan
+			}
+			sc.ids = ids
 		}
 		return append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
 	}
@@ -1395,8 +1478,8 @@ func tryCorrelatedProbe(sc *scanOp, kept []Expr, db *Database, params []Value, o
 			table: sc.table, qual: sc.qual, cols: sc.cols, column: ci,
 			keyC: keyC, colE: colRef, keyE: keyE, qc: qc,
 		}
-		if idx, ok := sc.table.indexes[strings.ToLower(colRef.Column)]; ok {
-			op.memo = idx.m
+		if idx, ok := sc.table.idxs()[strings.ToLower(colRef.Column)]; ok {
+			op.idx = idx
 			op.fromIdx = true
 		}
 		rest := append(append([]Expr{}, kept[:i]...), kept[i+1:]...)
@@ -1412,7 +1495,7 @@ func scanIndexFor(sc *scanOp, col *ColumnRef) *Index {
 	if col.Table != "" && !strings.EqualFold(col.Table, sc.qual) {
 		return nil
 	}
-	return sc.table.indexes[strings.ToLower(col.Column)]
+	return sc.table.idxs()[strings.ToLower(col.Column)]
 }
 
 // rangeConjunct decomposes a conjunct into a column reference and the

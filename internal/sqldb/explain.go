@@ -35,9 +35,10 @@ func (db *Database) Explain(sql string, params ...any) ([]string, error) {
 	// the plan Query would run. Its counters are never flushed: EXPLAIN
 	// does not bill the engine-wide stats.
 	qc := newQueryCtx(context.Background(), db)
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	defer qc.stopWorkers()
+	snap, release := db.beginRead(nil)
+	qc.snap = snap
+	defer release()
+	defer qc.stopWorkers() // pools stop before the snapshot is released
 	// topLevel mirrors Query's planning so EXPLAIN shows the plan that
 	// would actually run.
 	root, _, err := buildSelectPlan(sel, db, vals, nil, true, qc)

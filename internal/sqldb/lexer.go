@@ -43,6 +43,7 @@ var keywords = map[string]bool{
 	"TRUE": true, "FALSE": true, "CASE": true, "WHEN": true, "THEN": true,
 	"ELSE": true, "END": true, "EXISTS": true, "CAST": true, "UNION": true,
 	"ALL": true, "IF": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
 }
 
 // lexError reports a lexical error with byte position context.

@@ -211,6 +211,117 @@ func metamorphicProperty(r *rand.Rand, steps int, opts ...Option) error {
 	return nil
 }
 
+// metamorphicTxnProperty runs the NoREC/TLP checks inside explicit
+// transactions. Each step picks a commit or rollback leg, applies one
+// mutation under BEGIN on both databases, and asserts the properties
+// MID-TRANSACTION — reads inside the transaction must see its own
+// uncommitted writes coherently on every access path. The rollback leg
+// additionally pins bit-identical abort: the table's full multiset after
+// ROLLBACK equals the one captured before BEGIN.
+func metamorphicTxnProperty(r *rand.Rand, steps int, opts ...Option) error {
+	indexed, plain := metamorphicDBs(opts...)
+	words := []string{"ant", "bee", "cat", "dge", "eel"}
+	nextID := 0
+	for i := 0; i < 60; i++ {
+		var a any = r.Intn(30)
+		if r.Intn(7) == 0 {
+			a = nil
+		}
+		for _, db := range []*Database{indexed, plain} {
+			db.MustExec("INSERT INTO m VALUES (?, ?, ?, ?)", nextID, a, r.Intn(50), words[r.Intn(len(words))])
+		}
+		nextID++
+	}
+	fullSet := func(db *Database) ([]string, error) {
+		res, err := db.Query("SELECT id, a, b, c FROM m")
+		if err != nil {
+			return nil, err
+		}
+		return rowMultiset(res), nil
+	}
+	for step := 0; step < steps; step++ {
+		rollback := r.Intn(2) == 0
+		wasInsert := false
+		var dml string
+		var params []any
+		switch r.Intn(4) {
+		case 0, 1:
+			var a any = r.Intn(30)
+			if r.Intn(7) == 0 {
+				a = nil
+			}
+			dml, params = "INSERT INTO m VALUES (?, ?, ?, ?)",
+				[]any{nextID, a, r.Intn(50), words[r.Intn(len(words))]}
+			nextID++
+			wasInsert = true
+		case 2:
+			dml = fmt.Sprintf("UPDATE m SET a = %d WHERE id %% 5 = %d", r.Intn(30), r.Intn(5))
+		default:
+			dml = fmt.Sprintf("DELETE FROM m WHERE a BETWEEN %d AND %d", r.Intn(28), r.Intn(6))
+		}
+		pred := metamorphicPred(r)
+		for _, db := range []*Database{indexed, plain} {
+			before, err := fullSet(db)
+			if err != nil {
+				return fmt.Errorf("step %d: pre-BEGIN read: %v", step, err)
+			}
+			if _, err := db.Exec("BEGIN"); err != nil {
+				return fmt.Errorf("step %d: BEGIN: %v", step, err)
+			}
+			if _, err := db.Exec(dml, params...); err != nil {
+				return fmt.Errorf("step %d: DML %q in txn: %v", step, dml, err)
+			}
+			// The properties must hold mid-transaction: these reads join
+			// the session transaction and see its uncommitted writes.
+			if err := checkNoREC(db, pred); err != nil {
+				return fmt.Errorf("step %d (in txn): %v", step, err)
+			}
+			if err := checkTLP(db, pred); err != nil {
+				return fmt.Errorf("step %d (in txn): %v", step, err)
+			}
+			if rollback {
+				if _, err := db.Exec("ROLLBACK"); err != nil {
+					return fmt.Errorf("step %d: ROLLBACK: %v", step, err)
+				}
+				after, err := fullSet(db)
+				if err != nil {
+					return fmt.Errorf("step %d: post-ROLLBACK read: %v", step, err)
+				}
+				if len(after) != len(before) {
+					return fmt.Errorf("step %d: ROLLBACK left %d rows, had %d before BEGIN",
+						step, len(after), len(before))
+				}
+				for i := range before {
+					if after[i] != before[i] {
+						return fmt.Errorf("step %d: ROLLBACK not bit-identical: %q vs %q",
+							step, after[i], before[i])
+					}
+				}
+			} else {
+				if _, err := db.Exec("COMMIT"); err != nil {
+					return fmt.Errorf("step %d: COMMIT: %v", step, err)
+				}
+			}
+			// The properties must also hold after the transaction ends.
+			if err := checkNoREC(db, pred); err != nil {
+				return fmt.Errorf("step %d (post txn): %v", step, err)
+			}
+		}
+		if rollback && wasInsert {
+			nextID-- // an insert that was rolled back may reuse its id
+		}
+	}
+	return nil
+}
+
+// TestMetamorphicNoRECAndTLPInTransactions runs the metamorphic suite
+// through explicit-transaction commit and rollback legs.
+func TestMetamorphicNoRECAndTLPInTransactions(t *testing.T) {
+	if err := metamorphicTxnProperty(rand.New(rand.NewSource(53)), 120); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMetamorphicNoRECAndTLP(t *testing.T) {
 	if err := metamorphicProperty(rand.New(rand.NewSource(47)), 400); err != nil {
 		t.Fatal(err)

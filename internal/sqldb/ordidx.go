@@ -3,15 +3,18 @@ package sqldb
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // This file implements the ordered half of the dual-structure Index
-// (catalog.go) and the operators that exploit it. The hash map is the
-// always-current source of truth; the ordered view — distinct values
-// sorted by Value.Compare, each with its row ids in heap order — is
-// derived from it lazily and then maintained incrementally by DML while
-// it is live (ordInsert/ordMove below; deletes tombstone instead, and the
-// consumers here skip dead ids via the table's bitmap). On top of it sit:
+// (catalog.go) and the operators that exploit it. The hash map's postings
+// are the source of truth; the ordered view — distinct values sorted by
+// Value.Compare, each with its row ids ascending — is derived from them
+// lazily and then maintained incrementally by DML while it is live. Under
+// MVCC both structures are supersets of what any one snapshot can see, so
+// every consumer here re-checks each candidate id: fetch the version
+// visible to the scan's snapshot, emit only if its indexed value equals
+// the entry's value. On top of the view sit:
 //
 //	ordScanOp     streams a table in index order (optionally bounded),
 //	              letting ORDER BY ... LIMIT k read exactly O(k) rows
@@ -24,120 +27,112 @@ import (
 // Order equivalence is exact, not approximate: within one entry the ids
 // are ascending heap positions, so "walk entries in Compare order, ids
 // within" yields precisely what a stable sort of the heap scan on that
-// column yields. The planner relies on this to drop sortOp without
+// column yields — per snapshot, because the recheck pins each visible row
+// to exactly one entry. The planner relies on this to drop sortOp without
 // changing any observable ordering, including ties.
+//
+// Concurrency: readers load the published view pointer once per scan and
+// entry id lists atomically per entry; they take no lock. Writers (under
+// the single-writer latch, holding the index latch) maintain the live
+// view copy-on-write — replacing an entry's id slice for an existing
+// value, publishing a fresh entry array for a new one — so a reader's
+// loaded view stays internally consistent for its whole iteration.
 
-// ordEntry is one distinct value of an ordered index view with the ids of
-// the rows holding it, ascending.
+// ordEntry is one distinct value of an ordered index view. The id list is
+// replaced copy-on-write by maintenance; entries themselves are immutable
+// apart from that pointer.
 type ordEntry struct {
 	val Value
-	ids []int
+	ids atomic.Pointer[[]int]
 }
 
+// entryIDs loads the entry's current id list (ascending).
+func (e *ordEntry) entryIDs() []int { return *e.ids.Load() }
+
 // Fault-injection switches for the metamorphic/property test layer: each
-// deliberately breaks one incremental-maintenance invariant so the suites
+// deliberately breaks one maintenance/visibility invariant so the suites
 // can prove they would catch such a bug (scans emitting deleted rows,
 // ordered views going stale). Never set outside tests.
 var (
-	debugDisableTombstoneSkip bool // scans emit tombstoned rows
+	debugDisableTombstoneSkip bool // scans ignore visibility: deleted rows reappear
 	debugBreakOrdMaintain     bool // DML leaves live ordered views stale
 )
 
-// orderedEntries returns the index's ordered view, building it from the
-// hash map on first use after a compaction (the only wholesale
-// invalidation left). Concurrent readers (queries share the database's
-// read lock) serialise on ordMu. Entry id slices are copied at build:
-// maintenance splices them in place, so they must never share backing
-// arrays with the hash map's posting lists.
-func (idx *Index) orderedEntries(t *Table) []ordEntry {
-	idx.ordMu.Lock()
-	defer idx.ordMu.Unlock()
-	if idx.ord == nil {
-		entries := make([]ordEntry, 0, len(idx.m))
-		for _, ids := range idx.m {
-			entries = append(entries, ordEntry{
-				val: t.rows[ids[0]][idx.Column],
-				ids: append([]int(nil), ids...),
-			})
+// scanRow fetches the row a snapshot-filtered consumer should see for id
+// — or, under the debugDisableTombstoneSkip fault, the newest version
+// regardless of visibility.
+func scanRow(t *Table, id int, snap *snapshot) Row {
+	if debugDisableTombstoneSkip {
+		arrp := t.slots.Load()
+		if arrp == nil || id >= len(*arrp) {
+			return nil
 		}
-		sort.Slice(entries, func(a, b int) bool {
-			return entries[a].val.Compare(entries[b].val) < 0
-		})
-		idx.ord = entries
+		if v := (*arrp)[id].head.Load(); v != nil {
+			return v.row
+		}
+		return nil
 	}
-	return idx.ord
+	return t.visibleRow(id, snap)
 }
 
-// invalidateOrdered drops the ordered view; the next ordered access
-// rebuilds it from the hash map.
-func (idx *Index) invalidateOrdered() {
-	idx.ordMu.Lock()
-	idx.ord = nil
-	idx.ordMu.Unlock()
-}
-
-// ordInsert splices a freshly inserted row into a live ordered view:
-// binary search for the value's entry, then append the id (an insert
-// always carries the largest id yet, so per-entry ascending order is
-// preserved) or splice a new entry in at its sorted position. A nil view
-// stays nil — the next ordered access builds it from the hash map for
-// free. Reports whether a live view was maintained.
-func (idx *Index) ordInsert(v Value, id int) bool {
-	idx.ordMu.Lock()
-	defer idx.ordMu.Unlock()
-	if idx.ord == nil || debugBreakOrdMaintain {
-		return false
+// orderedEntries returns the index's ordered view, building it from the
+// hash map under the index latch on first ordered access after wholesale
+// invalidation (CREATE INDEX, vacuum sweep). The double-checked fast path
+// is a single atomic load; builders and maintainers serialise on idx.mu.
+// Entry id slices are copied at build — they are never shared with the
+// postings.
+func (idx *Index) orderedEntries() []*ordEntry {
+	if entp := idx.ord.Load(); entp != nil {
+		return *entp
 	}
-	entries := idx.ord
-	pos := sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(v) >= 0 })
-	if pos < len(entries) && entries[pos].val.Compare(v) == 0 {
-		entries[pos].ids = append(entries[pos].ids, id)
-		return true
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	if entp := idx.ord.Load(); entp != nil {
+		return *entp
 	}
-	idx.ord = spliceEntry(entries, pos, ordEntry{val: v, ids: []int{id}})
-	return true
-}
-
-// spliceEntry inserts e into the entry slice at pos, preserving order.
-func spliceEntry(entries []ordEntry, pos int, e ordEntry) []ordEntry {
-	entries = append(entries, ordEntry{})
-	copy(entries[pos+1:], entries[pos:])
-	entries[pos] = e
+	entries := make([]*ordEntry, 0, len(idx.m))
+	for _, p := range idx.m {
+		e := &ordEntry{val: p.val}
+		ids := append([]int(nil), p.ids...)
+		e.ids.Store(&ids)
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		return entries[a].val.Compare(entries[b].val) < 0
+	})
+	idx.ord.Store(&entries)
 	return entries
 }
 
-// ordMove serves an UPDATE that changed the indexed value: remove the id
-// from the old value's entry and splice it into the new one at its
-// ascending position (the id is unchanged — updated rows keep their heap
-// slot). An entry left empty is spliced out immediately: a pure-UPDATE
-// workload never deletes, so it never triggers compaction, and leaving
-// the husks behind would grow the view by one dead entry per moved
-// value forever. Reports whether a live view was maintained.
-func (idx *Index) ordMove(oldV, newV Value, id int) bool {
-	idx.ordMu.Lock()
-	defer idx.ordMu.Unlock()
-	if idx.ord == nil || debugBreakOrdMaintain {
+// ordAdd maintains a live ordered view for one added (id, value) pair:
+// binary search for the value's entry, then copy-on-write the entry's id
+// list, or publish a fresh entry array with the new value spliced in at
+// its sorted position. Caller holds idx.mu. A nil view stays nil — the
+// next ordered access builds it from the hash map for free. Reports
+// whether a live view was maintained.
+func (idx *Index) ordAdd(v Value, id int) bool {
+	entp := idx.ord.Load()
+	if entp == nil || debugBreakOrdMaintain {
 		return false
 	}
-	entries := idx.ord
-	pos := sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(oldV) >= 0 })
-	if pos < len(entries) && entries[pos].val.Compare(oldV) == 0 {
-		ids := entries[pos].ids
-		if ip := sort.SearchInts(ids, id); ip < len(ids) && ids[ip] == id {
-			ids = append(ids[:ip], ids[ip+1:]...)
-			entries[pos].ids = ids
-			if len(ids) == 0 {
-				entries = append(entries[:pos], entries[pos+1:]...)
-				idx.ord = entries
-			}
-		}
-	}
-	pos = sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(newV) >= 0 })
-	if pos < len(entries) && entries[pos].val.Compare(newV) == 0 {
-		entries[pos].ids = spliceID(entries[pos].ids, id)
+	entries := *entp
+	pos := sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(v) >= 0 })
+	if pos < len(entries) && entries[pos].val.Compare(v) == 0 {
+		ids := entries[pos].entryIDs()
+		cp := make([]int, len(ids), len(ids)+1)
+		copy(cp, ids)
+		cp = spliceID(cp, id)
+		entries[pos].ids.Store(&cp)
 		return true
 	}
-	idx.ord = spliceEntry(entries, pos, ordEntry{val: newV, ids: []int{id}})
+	grown := make([]*ordEntry, len(entries)+1)
+	copy(grown, entries[:pos])
+	e := &ordEntry{val: v}
+	eids := []int{id}
+	e.ids.Store(&eids)
+	grown[pos] = e
+	copy(grown[pos+1:], entries[pos:])
+	idx.ord.Store(&grown)
 	return true
 }
 
@@ -213,7 +208,7 @@ func tightenHi(cur, nb *rangeBound) *rangeBound {
 // rangeStart returns the first entry index inside the lower bound. With
 // no lower bound NULL entries are still skipped: SQL range predicates
 // are never true of NULL, and NULLs sort first under Compare.
-func rangeStart(entries []ordEntry, lo *rangeBound) int {
+func rangeStart(entries []*ordEntry, lo *rangeBound) int {
 	if lo == nil {
 		return sort.Search(len(entries), func(i int) bool { return !entries[i].val.IsNull() })
 	}
@@ -224,7 +219,7 @@ func rangeStart(entries []ordEntry, lo *rangeBound) int {
 }
 
 // rangeEnd returns one past the last entry index inside the upper bound.
-func rangeEnd(entries []ordEntry, hi *rangeBound) int {
+func rangeEnd(entries []*ordEntry, hi *rangeBound) int {
 	if hi == nil {
 		return len(entries)
 	}
@@ -234,18 +229,23 @@ func rangeEnd(entries []ordEntry, hi *rangeBound) int {
 	return sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(hi.val) >= 0 })
 }
 
-// collectRangeIDs gathers the live row ids inside the range in ascending
-// heap order, so an unordered range scan emits rows exactly as a filtered
-// full scan would (the property plan-equivalence tests rely on this
-// under LIMIT truncation). Tombstoned ids are skipped and counted in the
-// second return. Always returns a non-nil slice.
-func collectRangeIDs(t *Table, entries []ordEntry, spec rangeSpec) ([]int, uint64) {
+// collectRangeIDs gathers the row ids inside the range that are visible
+// to snap, in ascending heap order, so an unordered range scan emits rows
+// exactly as a filtered full scan would (the property plan-equivalence
+// tests rely on this under LIMIT truncation). Ids whose visible version
+// no longer carries the entry's value — superset leftovers, deleted or
+// not-yet-visible rows — are skipped and counted in the second return.
+// Always returns a non-nil slice.
+func collectRangeIDs(t *Table, col int, entries []*ordEntry, spec rangeSpec, snap *snapshot) ([]int, uint64) {
 	lo, hi := rangeStart(entries, spec.lo), rangeEnd(entries, spec.hi)
 	ids := make([]int, 0, 16)
 	var skipped uint64
 	for i := lo; i < hi; i++ {
-		for _, id := range entries[i].ids {
-			if t.isDead(id) && !debugDisableTombstoneSkip {
+		e := entries[i]
+		key := e.val.Key()
+		for _, id := range e.entryIDs() {
+			r := scanRow(t, id, snap)
+			if r == nil || r[col].Key() != key {
 				skipped++
 				continue
 			}
@@ -256,33 +256,22 @@ func collectRangeIDs(t *Table, entries []ordEntry, spec rangeSpec) ([]int, uint6
 	return ids, skipped
 }
 
-// liveIDs filters a view entry's id list down to live rows, returning
-// the input slice untouched when nothing is tombstoned (the common case)
-// and the number of dead ids stepped over.
-func liveIDs(t *Table, ids []int) ([]int, uint64) {
-	if t.nDead == 0 || debugDisableTombstoneSkip {
-		return ids, 0
-	}
-	first := -1
-	for i, id := range ids {
-		if t.isDead(id) {
-			first = i
-			break
-		}
-	}
-	if first < 0 {
-		return ids, 0
-	}
-	live := append([]int(nil), ids[:first]...)
+// entryRows materialises the rows of one ordered-view entry visible to
+// snap (superset recheck applied); the second return counts skipped ids.
+func entryRows(t *Table, col int, e *ordEntry, snap *snapshot) ([]Row, uint64) {
+	ids := e.entryIDs()
+	rows := make([]Row, 0, len(ids))
 	var skipped uint64
-	for _, id := range ids[first:] {
-		if t.isDead(id) {
+	key := e.val.Key()
+	for _, id := range ids {
+		r := scanRow(t, id, snap)
+		if r == nil || r[col].Key() != key {
 			skipped++
 			continue
 		}
-		live = append(live, id)
+		rows = append(rows, r)
 	}
-	return live, skipped
+	return rows, skipped
 }
 
 // ---------------------------------------------------------------------------
@@ -296,7 +285,9 @@ func liveIDs(t *Table, ids []int) ([]int, uint64) {
 // exactly k rows. With bounds it is also the range access path for
 // ordered queries. NULLs participate in a pure ordered scan (they sort
 // first ascending, last descending, exactly as sortOp places them) but
-// are excluded by any range.
+// are excluded by any range. The view pointer is loaded once per scan and
+// every id is rechecked against the scan's snapshot — no lock is held
+// while the cursor iterates.
 type ordScanOp struct {
 	table *Table
 	idx   *Index
@@ -307,22 +298,36 @@ type ordScanOp struct {
 	qc    *queryCtx
 
 	built       bool
-	entries     []ordEntry
+	snap        *snapshot
+	entries     []*ordEntry
+	eids        []int // current entry's id list
+	ekey        string
 	lo, hi      int // [lo, hi) window of entries inside the range
 	epos        int // current entry
 	ipos        int // current position within the entry's ids
 	counted     bool
 	scanned     uint64 // rows this scan read (per-operator EXPLAIN ANALYZE)
-	tombSkipped uint64 // tombstoned ids stepped over (EXPLAIN ANALYZE)
+	tombSkipped uint64 // invisible/superseded ids stepped over (EXPLAIN ANALYZE)
 }
 
 func (s *ordScanOp) columns() []colInfo { return s.cols }
 
 func (s *ordScanOp) reset() { s.built = false }
 
+// loadEntry caches the current entry's id list and key.
+func (s *ordScanOp) loadEntry() {
+	e := s.entries[s.epos]
+	s.eids = e.entryIDs()
+	s.ekey = e.val.Key()
+	s.ipos = 0
+}
+
 func (s *ordScanOp) next() (Row, bool, error) {
 	if !s.built {
-		s.entries = s.idx.orderedEntries(s.table)
+		if s.qc != nil {
+			s.snap = s.qc.snap
+		}
+		s.entries = s.idx.orderedEntries()
 		if s.spec.bounded() {
 			s.lo, s.hi = rangeStart(s.entries, s.spec.lo), rangeEnd(s.entries, s.spec.hi)
 			if s.hi < s.lo {
@@ -336,7 +341,9 @@ func (s *ordScanOp) next() (Row, bool, error) {
 		} else {
 			s.epos = s.lo
 		}
-		s.ipos = 0
+		if s.epos >= s.lo && s.epos < s.hi {
+			s.loadEntry()
+		}
 		s.built = true
 		if s.qc != nil && !s.counted {
 			s.counted = true
@@ -361,29 +368,30 @@ func (s *ordScanOp) next() (Row, bool, error) {
 		} else if s.epos >= s.hi {
 			return nil, false, nil
 		}
-		e := s.entries[s.epos]
-		for s.ipos < len(e.ids) {
-			id := e.ids[s.ipos]
+		for s.ipos < len(s.eids) {
+			id := s.eids[s.ipos]
 			s.ipos++
-			if s.table.isDead(id) && !debugDisableTombstoneSkip {
+			r := scanRow(s.table, id, s.snap)
+			if r == nil || r[s.idx.Column].Key() != s.ekey {
 				s.tombSkipped++
 				if s.qc != nil {
 					s.qc.tombstonesSkipped++
 				}
 				continue
 			}
-			r := s.table.rows[id]
 			if s.qc != nil {
 				s.qc.rowsScanned++
 				s.scanned++
 			}
 			return r, true, nil
 		}
-		s.ipos = 0
 		if s.desc {
 			s.epos--
 		} else {
 			s.epos++
+		}
+		if s.epos >= s.lo && s.epos < s.hi {
+			s.loadEntry()
 		}
 	}
 }
@@ -394,7 +402,7 @@ func (s *ordScanOp) next() (Row, bool, error) {
 // mergeJoinOp equi-joins two base tables by walking both join columns'
 // ordered index views in lockstep: no build phase, no hashing, O(left +
 // right + output). Each ordered view has one entry per distinct value, so
-// a key match is a single cross product of the two entries' id lists
+// a key match is a single cross product of the two entries' visible rows
 // (left-major, heap order inside). Output therefore arrives in join-key
 // order — the planner only picks this operator when a top-level ORDER BY
 // re-sorts the untruncated result, the same safety condition as flipping
@@ -414,13 +422,14 @@ type mergeJoinOp struct {
 	built       bool
 	counted     bool
 	scanned     uint64 // rows read off both ordered views (EXPLAIN ANALYZE)
-	tombSkipped uint64 // tombstoned ids stepped over (EXPLAIN ANALYZE)
-	le, re      []ordEntry
+	tombSkipped uint64 // invisible/superseded ids stepped over (EXPLAIN ANALYZE)
+	snap        *snapshot
+	le, re      []*ordEntry
 	li, ri      int
-	// current match block: the two id lists of an equal key
-	lids, rids []int
-	lp, rp     int
-	inBlock    bool
+	// current match block: the visible rows of an equal key
+	lrows, rrows []Row
+	lp, rp       int
+	inBlock      bool
 }
 
 func newMergeJoinOp(lt, rt *Table, lidx, ridx *Index, leftCols, rightCols []colInfo,
@@ -452,8 +461,11 @@ func (m *mergeJoinOp) reset() {
 
 func (m *mergeJoinOp) next() (Row, bool, error) {
 	if !m.built {
-		m.le = m.leftIdx.orderedEntries(m.leftTable)
-		m.re = m.rightIdx.orderedEntries(m.rightTable)
+		if m.qc != nil {
+			m.snap = m.qc.snap
+		}
+		m.le = m.leftIdx.orderedEntries()
+		m.re = m.rightIdx.orderedEntries()
 		// Skip NULL entries: NULL keys never join.
 		m.li = rangeStart(m.le, nil)
 		m.ri = rangeStart(m.re, nil)
@@ -471,10 +483,10 @@ func (m *mergeJoinOp) next() (Row, bool, error) {
 	}
 	for {
 		if m.inBlock {
-			for m.lp < len(m.lids) {
-				lrow := m.leftTable.rows[m.lids[m.lp]]
-				if m.rp < len(m.rids) {
-					rrow := m.rightTable.rows[m.rids[m.rp]]
+			for m.lp < len(m.lrows) {
+				lrow := m.lrows[m.lp]
+				if m.rp < len(m.rrows) {
+					rrow := m.rrows[m.rp]
 					m.rp++
 					out := m.arena.alloc(len(m.cols))
 					n := copy(out, lrow)
@@ -509,15 +521,15 @@ func (m *mergeJoinOp) next() (Row, bool, error) {
 			m.ri++
 		default:
 			var lskip, rskip uint64
-			m.lids, lskip = liveIDs(m.leftTable, m.le[m.li].ids)
-			m.rids, rskip = liveIDs(m.rightTable, m.re[m.ri].ids)
+			m.lrows, lskip = entryRows(m.leftTable, m.leftIdx.Column, m.le[m.li], m.snap)
+			m.rrows, rskip = entryRows(m.rightTable, m.rightIdx.Column, m.re[m.ri], m.snap)
 			m.lp, m.rp = 0, 0
 			m.inBlock = true
 			m.tombSkipped += lskip + rskip
 			if m.qc != nil {
 				m.qc.tombstonesSkipped += lskip + rskip
-				m.qc.rowsScanned += uint64(len(m.lids) + len(m.rids))
-				m.scanned += uint64(len(m.lids) + len(m.rids))
+				m.qc.rowsScanned += uint64(len(m.lrows) + len(m.rrows))
+				m.scanned += uint64(len(m.lrows) + len(m.rrows))
 			}
 		}
 	}

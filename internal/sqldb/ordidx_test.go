@@ -123,14 +123,50 @@ func dmlPropDBs() (indexed, plain *Database) {
 // force-naive interpreted executor (refSelect). It returns an error
 // instead of failing a *testing.T so the fault-injection tests can prove
 // the suite catches broken tombstone skipping or in-place maintenance.
-func interleavedDMLProperty(r *rand.Rand, steps int) error {
+//
+// With txnLegs set, every mutation runs inside an explicit transaction:
+// usually BEGIN…COMMIT, and on a random subset BEGIN…ROLLBACK — the
+// rolled-back leg must leave both engines exactly where they were, which
+// the step's queries (and the naive-reference comparison) then verify.
+func interleavedDMLProperty(r *rand.Rand, steps int, txnLegs bool) error {
 	indexed, plain := dmlPropDBs()
 	words := []string{"ant", "bee", "cat", "dog"}
 	nextID := 0
 
 	exec := func(sql string, params ...any) error {
-		ni, erri := indexed.Exec(sql, params...)
-		np, errp := plain.Exec(sql, params...)
+		if txnLegs && r.Intn(4) == 0 {
+			// Rollback leg: apply the mutation inside a transaction and
+			// abort it on both engines. Nothing may stick.
+			for _, db := range []*Database{indexed, plain} {
+				if _, err := db.Exec("BEGIN"); err != nil {
+					return err
+				}
+				_, _ = db.Exec(sql, params...)
+				if _, err := db.Exec("ROLLBACK"); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		run := func(db *Database) (int, error) {
+			if txnLegs {
+				if _, err := db.Exec("BEGIN"); err != nil {
+					return 0, err
+				}
+				n, err := db.Exec(sql, params...)
+				if err != nil {
+					_, _ = db.Exec("ROLLBACK")
+					return n, err
+				}
+				if _, err := db.Exec("COMMIT"); err != nil {
+					return n, err
+				}
+				return n, nil
+			}
+			return db.Exec(sql, params...)
+		}
+		ni, erri := run(indexed)
+		np, errp := run(plain)
 		if (erri == nil) != (errp == nil) || ni != np {
 			return fmt.Errorf("DML diverged on %q: indexed (%d, %v) vs plain (%d, %v)", sql, ni, erri, np, errp)
 		}
@@ -229,7 +265,18 @@ func interleavedDMLProperty(r *rand.Rand, steps int) error {
 }
 
 func TestDMLInterleavedWithOrderedQueries(t *testing.T) {
-	if err := interleavedDMLProperty(rand.New(rand.NewSource(31)), 600); err != nil {
+	if err := interleavedDMLProperty(rand.New(rand.NewSource(31)), 600, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDMLInterleavedWithOrderedQueriesInTransactions is the same property
+// with every mutation wrapped in an explicit transaction — committed on
+// most steps, rolled back on a random quarter. Rolled-back DML (including
+// index superset entries it left behind) must be invisible to every
+// subsequent query on all three executors.
+func TestDMLInterleavedWithOrderedQueriesInTransactions(t *testing.T) {
+	if err := interleavedDMLProperty(rand.New(rand.NewSource(31)), 600, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -243,7 +290,7 @@ func TestDMLInterleavedWithOrderedQueries(t *testing.T) {
 func TestPropertySuiteCatchesBrokenTombstoneSkip(t *testing.T) {
 	debugDisableTombstoneSkip = true
 	defer func() { debugDisableTombstoneSkip = false }()
-	if err := interleavedDMLProperty(rand.New(rand.NewSource(31)), 600); err == nil {
+	if err := interleavedDMLProperty(rand.New(rand.NewSource(31)), 600, false); err == nil {
 		t.Fatal("property suite did not detect scans emitting tombstoned rows")
 	}
 }
@@ -254,7 +301,7 @@ func TestPropertySuiteCatchesBrokenTombstoneSkip(t *testing.T) {
 func TestPropertySuiteCatchesBrokenOrdMaintenance(t *testing.T) {
 	debugBreakOrdMaintain = true
 	defer func() { debugBreakOrdMaintain = false }()
-	if err := interleavedDMLProperty(rand.New(rand.NewSource(31)), 600); err == nil {
+	if err := interleavedDMLProperty(rand.New(rand.NewSource(31)), 600, false); err == nil {
 		t.Fatal("property suite did not detect stale ordered views")
 	}
 }
@@ -281,8 +328,8 @@ func TestOrderedViewMaintainedAcrossDML(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx := tbl.indexes["k"]
-	if idx.ord == nil {
+	idx := tbl.idxs()["k"]
+	if idx.ord.Load() == nil {
 		t.Fatal("ordered view not built by the first ordered query")
 	}
 
@@ -299,7 +346,7 @@ func TestOrderedViewMaintainedAcrossDML(t *testing.T) {
 	if got := get(); !reflect.DeepEqual(got, [][]string{{"2"}, {"1"}, {"3"}}) {
 		t.Fatalf("after delete = %v", got)
 	}
-	if idx.ord == nil {
+	if idx.ord.Load() == nil {
 		t.Error("DML invalidated the ordered view instead of maintaining it")
 	}
 	s := db.Stats()
@@ -309,17 +356,24 @@ func TestOrderedViewMaintainedAcrossDML(t *testing.T) {
 	if got := s.TombstonesSkipped - before.TombstonesSkipped; got == 0 {
 		t.Error("TombstonesSkipped did not move across the post-delete ordered scan")
 	}
-	if tbl.nDead != 1 || len(tbl.rows) != 4 {
-		t.Errorf("heap = %d rows / %d dead, want 4 rows with 1 tombstone (stable ids, no renumbering)",
-			len(tbl.rows), tbl.nDead)
+	arr, n := tbl.loadSlots()
+	dead := 0
+	for id := 0; id < n; id++ {
+		if latestRow(arr[id].head.Load()) == nil {
+			dead++
+		}
+	}
+	if dead != 1 || n != 4 {
+		t.Errorf("heap = %d slots / %d dead, want 4 slots with 1 tombstone (stable ids, no renumbering)",
+			n, dead)
 	}
 }
 
-// TestCompactionReclaimsTombstones: once deletes push the dead fraction
-// past the threshold, the heap compacts — tombstones vanish, ids are
-// renumbered, the ordered view is rebuilt, and the Compactions counter
-// moves. Results are unchanged either side of the compaction.
-func TestCompactionReclaimsTombstones(t *testing.T) {
+// TestVacuumReclaimsTombstones: deleted versions invisible to every live
+// snapshot are reclaimed by the vacuum — row ids stay stable (slots are
+// emptied, never renumbered), the VacuumRuns/VersionsReclaimed counters
+// move, and results are unchanged either side of the pass.
+func TestVacuumReclaimsTombstones(t *testing.T) {
 	db := NewDatabase()
 	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER)")
 	db.MustExec("CREATE INDEX idx_t_k ON t (k)")
@@ -331,25 +385,40 @@ func TestCompactionReclaimsTombstones(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := db.Stats()
-	// Delete 75% of the table in stripes; the threshold (1/4 of the heap,
-	// min 64 tombstones) must trip at least once.
+	// Delete 75% of the table in stripes; 300 dead versions cross the
+	// background-vacuum threshold, and the explicit pass below makes the
+	// reclamation deterministic regardless of goroutine scheduling.
 	for m := 0; m < 3; m++ {
 		db.MustExec("DELETE FROM t WHERE id % 4 = ?", m)
 	}
+	db.Vacuum()
 	s := db.Stats()
-	if s.Compactions == before.Compactions {
-		t.Error("Compactions did not move after deleting 75% of the heap")
+	if s.VacuumRuns == before.VacuumRuns {
+		t.Error("VacuumRuns did not move after an explicit Vacuum")
+	}
+	if got := s.VersionsReclaimed - before.VersionsReclaimed; got != 300 {
+		t.Errorf("VersionsReclaimed moved by %d, want 300 (one per deleted row)", got)
 	}
 	tbl, err := db.Table("t")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tbl.nDead*compactFraction > len(tbl.rows) {
-		t.Errorf("dead fraction above threshold after compaction: %d/%d", tbl.nDead, len(tbl.rows))
+	arr, n := tbl.loadSlots()
+	if n != 400 {
+		t.Errorf("slot count = %d after vacuum, want 400 (stable row ids)", n)
+	}
+	empty := 0
+	for id := 0; id < n; id++ {
+		if arr[id].head.Load() == nil {
+			empty++
+		}
+	}
+	if empty != 300 {
+		t.Errorf("emptied slots = %d, want 300 (all reclaimed chains)", empty)
 	}
 	got := queryStrings(t, db, "SELECT COUNT(*) FROM t")
 	if !reflect.DeepEqual(got, [][]string{{"100"}}) {
-		t.Fatalf("live rows after compaction = %v, want 100", got)
+		t.Fatalf("live rows after vacuum = %v, want 100", got)
 	}
 	// Ordered results reflect exactly the survivors.
 	res := queryStrings(t, db, "SELECT id FROM t WHERE k = 3 ORDER BY id")
@@ -360,7 +429,7 @@ func TestCompactionReclaimsTombstones(t *testing.T) {
 		}
 	}
 	if !reflect.DeepEqual(res, want) {
-		t.Fatalf("post-compaction equality scan = %v, want %v", res, want)
+		t.Fatalf("post-vacuum equality scan = %v, want %v", res, want)
 	}
 }
 
@@ -728,9 +797,10 @@ func TestTopKSortMatchesFullSort(t *testing.T) {
 }
 
 // TestPureUpdateWorkloadBoundsOrderedView: a workload that only updates
-// an indexed column (no deletes, so no compaction ever fires) must not
-// grow the ordered view without bound — ordMove splices emptied entries
-// out instead of leaving one husk per abandoned value behind.
+// an indexed column must not grow the ordered view without bound. Under
+// MVCC the superset index keeps old-key entries until the vacuum sweeps
+// dead versions and rebuilds the postings; after a vacuum pass the
+// rebuilt ordered view must hold only the live values again.
 func TestPureUpdateWorkloadBoundsOrderedView(t *testing.T) {
 	db := NewDatabase()
 	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER)")
@@ -743,7 +813,7 @@ func TestPureUpdateWorkloadBoundsOrderedView(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx := tbl.indexes["k"]
+	idx := tbl.idxs()["k"]
 	for round := 0; round < 500; round++ {
 		// Every round moves each row to a brand-new distinct value.
 		db.MustExec("UPDATE t SET k = k + 8 WHERE id = ?", round%8)
@@ -751,14 +821,12 @@ func TestPureUpdateWorkloadBoundsOrderedView(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	idx.ordMu.Lock()
-	n := len(idx.ord)
-	idx.ordMu.Unlock()
-	if n > 8 {
-		t.Fatalf("ordered view holds %d entries after pure-update churn, want <= 8 live values", n)
-	}
+	db.Vacuum() // deterministic sweep: drop dead versions, rebuild postings
 	got := queryStrings(t, db, "SELECT id FROM t ORDER BY k")
 	if len(got) != 8 {
 		t.Fatalf("ordered scan returned %d rows, want 8", len(got))
+	}
+	if n := len(idx.orderedEntries()); n > 8 {
+		t.Fatalf("ordered view holds %d entries after vacuum, want <= 8 live values", n)
 	}
 }

@@ -95,20 +95,63 @@ func parallelSafeExpr(e Expr) bool {
 
 // morselSource is the row-id space a parallel operator partitions: either
 // an explicit id list (equality/range index access) or the heap [0, n).
+// The slot array and snapshot are captured once on the owner goroutine;
+// workers evaluate visibility against them with no lock held, exactly as
+// the serial scanOp does.
 type morselSource struct {
 	table *Table
 	ids   []int // nil = full heap scan
+	arr   []*rowSlot
+	n     int
+	snap  *snapshot
+}
+
+// newMorselSource captures the scan's iteration space: the id list when
+// one was materialised, otherwise the heap slot array, plus the
+// statement snapshot rows are judged against.
+func newMorselSource(t *Table, ids []int, snap *snapshot) morselSource {
+	m := morselSource{table: t, ids: ids, snap: snap}
+	if ids == nil {
+		m.arr, m.n = t.loadSlots()
+	}
+	return m
 }
 
 func (m morselSource) total() int {
 	if m.ids != nil {
 		return len(m.ids)
 	}
-	return len(m.table.rows)
+	return m.n
 }
 
 func (m morselSource) morsels() int {
 	return (m.total() + morselSize - 1) / morselSize
+}
+
+// morselRow resolves one source position to its snapshot-visible row,
+// mirroring scanOp's per-row logic: nil row plus skip=true means a slot
+// holding only invisible versions (a tombstone the counters record);
+// nil plus skip=false means a slot with no versions at all (vacuumed or
+// rolled-back insert), stepped over silently.
+func (m morselSource) morselRow(pos int) (Row, bool) {
+	if m.ids != nil {
+		r := scanRow(m.table, m.ids[pos], m.snap)
+		return r, r == nil
+	}
+	head := m.arr[pos].head.Load()
+	if head == nil {
+		return nil, false
+	}
+	var r Row
+	switch {
+	case debugDisableTombstoneSkip:
+		r = head.row
+	case m.snap == nil:
+		r = latestRow(head)
+	default:
+		r = visibleVersion(head, m.snap)
+	}
+	return r, r == nil
 }
 
 // scanMorsel runs one morsel's scan+filter loop: positions [lo, hi) of
@@ -124,14 +167,13 @@ func (m morselSource) scanMorsel(idx int, pred compiledExpr, env *evalEnv, out [
 	}
 	var scanned, tombSkipped uint64
 	for pos := lo; pos < hi; pos++ {
-		id := pos
-		if m.ids != nil {
-			id = m.ids[pos]
-		} else if m.table.isDead(id) && !debugDisableTombstoneSkip {
-			tombSkipped++
+		r, skip := m.morselRow(pos)
+		if r == nil {
+			if skip {
+				tombSkipped++
+			}
 			continue
 		}
-		r := m.table.rows[id]
 		scanned++
 		if pred != nil {
 			env.row = r
@@ -182,7 +224,7 @@ type parMorsel struct {
 // by a ticket semaphore to at most a few morsels ahead of the gather, so
 // an abandoned or LIMIT-stopped cursor buffers O(workers) morsels, not
 // the table. qc.stopWorkers (registered at start) stops and joins the
-// pool before the cursor's read lock is released.
+// pool before the cursor's snapshot reference is released.
 type parScanOp struct {
 	table    *Table
 	qual     string
@@ -245,19 +287,25 @@ func (s *parScanOp) reset() {
 }
 
 // start materialises range ids, records the access path, and spawns the
-// pool. Runs on the owner goroutine under the statement's read lock.
+// pool. Runs on the owner goroutine; workers inherit the statement's
+// snapshot through the morsel source and never take a lock.
 func (s *parScanOp) start() {
 	s.started = true
+	var snap *snapshot
+	if s.qc != nil {
+		snap = s.qc.snap
+	}
 	fromRange := s.rangeIdx != nil
 	if fromRange && s.ids == nil {
 		var skipped uint64
-		s.ids, skipped = collectRangeIDs(s.table, s.rangeIdx.orderedEntries(s.table), s.spec)
+		s.ids, skipped = collectRangeIDs(s.table, s.rangeIdx.Column,
+			s.rangeIdx.orderedEntries(), s.spec, snap)
 		s.tombSkipped += skipped
 		if s.qc != nil {
 			s.qc.tombstonesSkipped += skipped
 		}
 	}
-	s.src = morselSource{table: s.table, ids: s.ids}
+	s.src = newMorselSource(s.table, s.ids, snap)
 	s.src.countAccessPath(fromRange, s.qc)
 	s.nMorsels = s.src.morsels()
 	s.claim = &atomic.Int64{}
@@ -529,17 +577,18 @@ type parAggPlan struct {
 }
 
 // mergeableAggregates reports whether every collected aggregate can be
-// computed as per-worker partials and merged without observable
-// divergence from the serial fold:
+// computed as per-worker partials and merged without divergence from the
+// engine's defined fold order:
 //
 //   - COUNT, MIN, MAX: always order-insensitive.
-//   - SUM / AVG / TOTAL: only over a bare reference to an INTEGER- or
-//     BOOLEAN-affinity column — integer partial sums merge exactly,
-//     while float addition is non-associative and could diverge from the
-//     serial left-to-right rounding.
+//   - SUM / AVG / TOTAL: integer partial sums merge exactly; float sums
+//     are kept per-morsel and folded in ascending morsel order (agg.go
+//     morselAdder), so the result is left-to-right within each morsel,
+//     then morsel by morsel — a deterministic function of the data and
+//     morselSize, independent of worker count and scheduling.
 //   - GROUP_CONCAT: order-sensitive across workers — never parallel.
 //   - DISTINCT aggregates: the dedup set cannot be merged — serial.
-func mergeableAggregates(aggs []*FuncCall, sc *scanOp) bool {
+func mergeableAggregates(aggs []*FuncCall) bool {
 	for _, fc := range aggs {
 		if fc.Distinct {
 			return false
@@ -547,7 +596,7 @@ func mergeableAggregates(aggs []*FuncCall, sc *scanOp) bool {
 		switch fc.Name {
 		case "COUNT", "MIN", "MAX":
 		case "SUM", "AVG", "TOTAL":
-			if len(fc.Args) != 1 || !intAffinityColumn(fc.Args[0], sc) {
+			if len(fc.Args) != 1 {
 				return false
 			}
 		default:
@@ -564,24 +613,6 @@ func mergeableAggregates(aggs []*FuncCall, sc *scanOp) bool {
 	return true
 }
 
-// intAffinityColumn reports whether e is a bare reference to a column of
-// the scanned table declared with integer or boolean affinity.
-func intAffinityColumn(e Expr, sc *scanOp) bool {
-	cr, ok := e.(*ColumnRef)
-	if !ok {
-		return false
-	}
-	if cr.Table != "" && !equalFold(cr.Table, sc.qual) {
-		return false
-	}
-	for _, c := range sc.table.Columns {
-		if equalFold(c.Name, cr.Column) {
-			return c.Type == KindInt || c.Type == KindBool
-		}
-	}
-	return false
-}
-
 // tryParallelAgg decides whether an aggregate statement's input can run
 // as fused parallel partial aggregation, returning the plan or nil.
 func tryParallelAgg(stmt *SelectStmt, src operator, aggs []*FuncCall, db *Database, qc *queryCtx) *parAggPlan {
@@ -594,7 +625,7 @@ func tryParallelAgg(stmt *SelectStmt, src operator, aggs []*FuncCall, db *Databa
 			return nil
 		}
 	}
-	if !mergeableAggregates(aggs, sc) {
+	if !mergeableAggregates(aggs) {
 		return nil
 	}
 	return &parAggPlan{sc: sc, pred: joinConjuncts(preds), workers: db.maxWorkers}
@@ -620,13 +651,18 @@ func runAggregationParallel(stmt *SelectStmt, par *parAggPlan, aggs []*FuncCall,
 	db *Database, params []Value, qc *queryCtx) ([]*aggGroup, error) {
 
 	sc := par.sc
+	var snap *snapshot
+	if qc != nil {
+		snap = qc.snap
+	}
 	fromRange := sc.rangeIdx != nil
 	ids := sc.ids
 	var rangeSkipped uint64
 	if fromRange && ids == nil {
-		ids, rangeSkipped = collectRangeIDs(sc.table, sc.rangeIdx.orderedEntries(sc.table), sc.spec)
+		ids, rangeSkipped = collectRangeIDs(sc.table, sc.rangeIdx.Column,
+			sc.rangeIdx.orderedEntries(), sc.spec, snap)
 	}
-	src := morselSource{table: sc.table, ids: ids}
+	src := newMorselSource(sc.table, ids, snap)
 	src.countAccessPath(fromRange, qc)
 	if qc != nil {
 		qc.tombstonesSkipped += rangeSkipped
@@ -725,14 +761,13 @@ func runAggregationParallel(stmt *SelectStmt, par *parAggPlan, aggs []*FuncCall,
 					hi = total
 				}
 				for pos := lo; pos < hi; pos++ {
-					id := pos
-					if src.ids != nil {
-						id = src.ids[pos]
-					} else if src.table.isDead(id) && !debugDisableTombstoneSkip {
-						res.tombSkipped++
+					r, skip := src.morselRow(pos)
+					if r == nil {
+						if skip {
+							res.tombSkipped++
+						}
 						continue
 					}
-					r := src.table.rows[id]
 					res.scanned++
 					we.env.row = r
 					if we.pred != nil {
@@ -787,7 +822,13 @@ func runAggregationParallel(stmt *SelectStmt, par *parAggPlan, aggs []*FuncCall,
 							fail(pos, err)
 							return
 						}
-						g.states[i].add(v)
+						// Order-sensitive float states take the morsel
+						// ordinal so partial sums fold in morsel order.
+						if ma, ok := g.states[i].(morselAdder); ok {
+							ma.addMorsel(v, idx)
+						} else {
+							g.states[i].add(v)
+						}
 					}
 				}
 			}

@@ -291,7 +291,7 @@ func TestLeftJoinRowCountInvariant(t *testing.T) {
 // refSelect is a miniature interpreted executor: full scan, interpreted
 // WHERE, interpreted projection, stable sort on interpreted ORDER BY keys.
 func refSelect(db *Database, stmt *SelectStmt) ([]Row, error) {
-	tbl, err := db.tableLocked(stmt.From.Name)
+	tbl, err := db.lookupTable(stmt.From.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -309,8 +309,10 @@ func refSelect(db *Database, stmt *SelectStmt) ([]Row, error) {
 		keys []Value
 	}
 	var rows []keyed
-	for id, r := range tbl.rows {
-		if tbl.isDead(id) {
+	arr, n := tbl.loadSlots()
+	for id := 0; id < n; id++ {
+		r := latestRow(arr[id].head.Load())
+		if r == nil {
 			continue
 		}
 		env.row = r

@@ -18,10 +18,12 @@ import "context"
 //	}
 //	if err := rows.Err(); err != nil { ... }
 //
-// The cursor holds the database's shared read lock from QueryRows until
-// Close, so writers wait while a cursor is open: always Close (Next
-// returning false closes automatically, and Close is idempotent). A Rows
-// is not safe for concurrent use by multiple goroutines.
+// The cursor holds an MVCC snapshot, not a lock: writers never wait for
+// an open cursor, and commits that land mid-iteration are invisible to
+// it — the cursor returns exactly the rows its snapshot saw. Still always
+// Close (Next returning false closes automatically, and Close is
+// idempotent): the snapshot reference pins the vacuum horizon until it is
+// released. A Rows is not safe for concurrent use by multiple goroutines.
 type Rows struct {
 	db     *Database
 	qc     *queryCtx
@@ -39,23 +41,26 @@ func (db *Database) QueryRows(ctx context.Context, sql string, params ...any) (*
 	if err != nil {
 		return nil, err
 	}
-	return db.queryRows(ctx, sel, bindParams(params))
+	return db.queryRows(ctx, sel, bindParams(params), nil)
 }
 
-// queryRows plans sel under the read lock and hands ownership of the lock
-// to the returned cursor. On error the lock is released here.
-func (db *Database) queryRows(ctx context.Context, sel *SelectStmt, vals []Value) (*Rows, error) {
+// queryRows plans sel against a freshly captured (or, inside a
+// transaction, shared) snapshot and hands the snapshot reference to the
+// returned cursor; Close releases it. On error it is released here.
+func (db *Database) queryRows(ctx context.Context, sel *SelectStmt, vals []Value, tx *Txn) (*Rows, error) {
 	qc := newQueryCtx(ctx, db)
 	qc.queries = 1 // counted into Database.Stats when the recorder flushes
 	if err := qc.cancelled(); err != nil {
 		qc.flush()
 		return nil, err
 	}
-	db.mu.RLock()
+	snap, release := db.beginRead(tx)
+	qc.snap = snap
+	qc.releaseSnap = release
 	root, cols, err := buildSelectPlan(sel, db, vals, nil, true, qc)
 	if err != nil {
-		db.mu.RUnlock()
-		qc.flush()
+		qc.stopWorkers()
+		qc.flush() // flush releases the snapshot reference
 		return nil, err
 	}
 	names := make([]string, len(cols))
@@ -168,10 +173,11 @@ func (r *Rows) Err() error { return r.err }
 func (r *Rows) Stats() QueryStats { return r.qc.snapshot() }
 
 // Close releases the cursor: any parallel-scan workers are stopped and
-// joined (they read table data under the cursor's lock, so this must
-// happen first), then the database read lock is returned and the
-// execution's counters are folded into Database.Stats. Idempotent; safe
-// to defer alongside an exhaustive Next loop.
+// joined (they read table data through the cursor's snapshot, so this
+// must happen first), then the snapshot reference is released — letting
+// the vacuum horizon advance past it — and the execution's counters are
+// folded into Database.Stats. Idempotent; safe to defer alongside an
+// exhaustive Next loop.
 func (r *Rows) Close() error {
 	if r.closed {
 		return nil
@@ -180,8 +186,7 @@ func (r *Rows) Close() error {
 	r.cur = nil
 	r.qc.stopWorkers()
 	r.db.stats.openCursors.Add(-1)
-	r.db.mu.RUnlock()
-	r.qc.flush()
+	r.qc.flush() // releases the cursor's snapshot reference
 	return nil
 }
 

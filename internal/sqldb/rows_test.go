@@ -220,8 +220,14 @@ func TestExecContextCancelledMidUpdate(t *testing.T) {
 // ---------------------------------------------------------------------------
 // Cursor lifecycle: leaks, auto-close, locking
 
-func TestRowsLeakIsObservableAndBlocksWriters(t *testing.T) {
+// TestRowsLeakIsObservableAndWritersProceed pins the MVCC contract that
+// replaced cursor read locks: an open cursor never blocks a writer, the
+// committed write is invisible to the cursor's snapshot, and Close
+// releases the snapshot reference (observable via the live-snapshot
+// count, which is what lets the vacuum horizon advance).
+func TestRowsLeakIsObservableAndWritersProceed(t *testing.T) {
 	db := bigDB(t, 1000)
+	base := db.tm.liveSnapshots()
 	rows, err := db.QueryRows(context.Background(), "SELECT id FROM big")
 	if err != nil {
 		t.Fatal(err)
@@ -232,8 +238,12 @@ func TestRowsLeakIsObservableAndBlocksWriters(t *testing.T) {
 	if got := db.Stats().OpenCursors; got != 1 {
 		t.Fatalf("OpenCursors = %d with an open cursor, want 1", got)
 	}
+	if got := db.tm.liveSnapshots(); got != base+1 {
+		t.Fatalf("liveSnapshots = %d with an open cursor, want %d", got, base+1)
+	}
 
-	// A writer must wait while the cursor pins the read lock.
+	// A writer completes while the cursor is open: readers hold a
+	// snapshot, not a lock.
 	wrote := make(chan error, 1)
 	go func() {
 		_, err := db.Exec("INSERT INTO big VALUES (1000001, 0, 0)")
@@ -241,24 +251,38 @@ func TestRowsLeakIsObservableAndBlocksWriters(t *testing.T) {
 	}()
 	select {
 	case err := <-wrote:
-		t.Fatalf("write completed under an open cursor (err=%v)", err)
-	case <-time.After(50 * time.Millisecond):
-		// expected: still blocked
-	}
-
-	if err := rows.Close(); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case err := <-wrote:
 		if err != nil {
-			t.Fatalf("write after Close: %v", err)
+			t.Fatalf("write under an open cursor: %v", err)
 		}
 	case <-time.After(2 * time.Second):
-		t.Fatal("write still blocked after cursor Close")
+		t.Fatal("write blocked by an open cursor")
 	}
+
+	// The commit landed mid-iteration, so it is invisible to this
+	// cursor's snapshot: exactly the original 1000 rows stream out.
+	n := 1 // the row already fetched
+	for rows.Next() {
+		n++
+	}
+	if n != 1000 || rows.Err() != nil {
+		t.Fatalf("cursor saw %d rows (err %v), want its snapshot's 1000", n, rows.Err())
+	}
+	// Next's exhaustion auto-closed the cursor and released its snapshot.
 	if got := db.Stats().OpenCursors; got != 0 {
-		t.Fatalf("OpenCursors = %d after Close, want 0", got)
+		t.Fatalf("OpenCursors = %d after exhaustion, want 0", got)
+	}
+	if got := db.tm.liveSnapshots(); got != base {
+		t.Fatalf("liveSnapshots = %d after close, want %d (snapshot released)", got, base)
+	}
+	// A fresh statement sees the concurrent commit.
+	var cnt int
+	res, err := db.Query("SELECT COUNT(*) FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt = int(res.Rows[0][0].AsInt())
+	if cnt != 1001 {
+		t.Fatalf("post-close count = %d, want 1001", cnt)
 	}
 	// Close is idempotent.
 	if err := rows.Close(); err != nil {

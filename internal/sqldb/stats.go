@@ -58,17 +58,27 @@ type Stats struct {
 	// moving one between entries. Under a write-heavy workload this is the
 	// number of O(n log n) rebuilds that did not happen.
 	OrdMaintains uint64
-	// TombstonesSkipped counts deleted-but-not-yet-compacted rows stepped
-	// over by scans (heap, ordered, range, merge join). A high rate
-	// relative to RowsScanned means compaction lag.
+	// TombstonesSkipped counts row slots a scan stepped over because no
+	// version was visible to its snapshot (deleted or not-yet-committed
+	// rows awaiting vacuum). A high rate relative to RowsScanned means
+	// vacuum lag.
 	TombstonesSkipped uint64
-	// Compactions counts heap compactions: tombstones physically removed
-	// and indexes rebuilt wholesale once the dead fraction crossed the
-	// threshold.
-	Compactions uint64
+	// Begins / Commits / Rollbacks count explicit transactions (SQL
+	// BEGIN/COMMIT/ROLLBACK or Database.Begin); autocommit statements are
+	// not counted here.
+	Begins    uint64
+	Commits   uint64
+	Rollbacks uint64
+	// ActiveTxns is the number of explicit transactions currently open.
+	ActiveTxns int64
+	// VacuumRuns counts vacuum passes (background or explicit);
+	// VersionsReclaimed counts row versions they removed once invisible
+	// to every live snapshot.
+	VacuumRuns        uint64
+	VersionsReclaimed uint64
 	// OpenCursors is the number of Rows cursors not yet closed. A steadily
-	// growing value means a caller is leaking cursors (and holding the
-	// database's read lock).
+	// growing value means a caller is leaking cursors (and pinning the
+	// vacuum horizon with its snapshot).
 	OpenCursors int64
 }
 
@@ -86,8 +96,14 @@ type dbStats struct {
 	subplanMisses   atomic.Uint64
 	ordMaintains    atomic.Uint64
 	tombSkipped     atomic.Uint64
-	compactions     atomic.Uint64
 	openCursors     atomic.Int64
+
+	begins            atomic.Uint64
+	commits           atomic.Uint64
+	rollbacks         atomic.Uint64
+	activeTxns        atomic.Int64
+	vacuumRuns        atomic.Uint64
+	versionsReclaimed atomic.Uint64
 }
 
 // Stats returns a snapshot of the database's counters.
@@ -108,7 +124,12 @@ func (db *Database) Stats() Stats {
 		SubplanCacheMisses: db.stats.subplanMisses.Load(),
 		OrdMaintains:       db.stats.ordMaintains.Load(),
 		TombstonesSkipped:  db.stats.tombSkipped.Load(),
-		Compactions:        db.stats.compactions.Load(),
+		Begins:             db.stats.begins.Load(),
+		Commits:            db.stats.commits.Load(),
+		Rollbacks:          db.stats.rollbacks.Load(),
+		ActiveTxns:         db.stats.activeTxns.Load(),
+		VacuumRuns:         db.stats.vacuumRuns.Load(),
+		VersionsReclaimed:  db.stats.versionsReclaimed.Load(),
 		OpenCursors:        db.stats.openCursors.Load(),
 	}
 }
@@ -128,7 +149,10 @@ type QueryStats struct {
 	SubplanCacheMisses uint64
 	OrdMaintains       uint64
 	TombstonesSkipped  uint64
-	Compactions        uint64
+	// VersionsReclaimed counts row versions a synchronous Vacuum pass
+	// initiated by this execution removed (zero for ordinary statements —
+	// reclamation is a background concern).
+	VersionsReclaimed uint64
 	// Elapsed is the wall time since execution began (planning included);
 	// after the execution finishes it stops advancing.
 	Elapsed time.Duration
@@ -156,7 +180,21 @@ type queryCtx struct {
 	subplanMisses     uint64
 	ordMaintains      uint64
 	tombstonesSkipped uint64
-	compactions       uint64
+	versionsReclaimed uint64
+
+	// snap is the snapshot the statement evaluates visibility against:
+	// a registered read snapshot (SELECT) or an unregistered statement
+	// snapshot (DML, protected by writeMu instead). nil for contexts
+	// without one (plain EXPLAIN), where scans fall back to
+	// latest-committed.
+	snap *snapshot
+	// wtx is the transaction a DML statement writes under (set between
+	// beginWrite and its end callback).
+	wtx *Txn
+	// releaseSnap, when set, drops the execution's snapshot reference at
+	// flush — the cursor path, where the snapshot must live exactly as
+	// long as iteration can still happen.
+	releaseSnap func()
 
 	start   time.Time
 	elapsed time.Duration // fixed at flush
@@ -221,7 +259,7 @@ func (qc *queryCtx) snapshot() QueryStats {
 		SubplanCacheMisses: qc.subplanMisses,
 		OrdMaintains:       qc.ordMaintains,
 		TombstonesSkipped:  qc.tombstonesSkipped,
-		Compactions:        qc.compactions,
+		VersionsReclaimed:  qc.versionsReclaimed,
 		Elapsed:            elapsed,
 	}
 }
@@ -251,12 +289,21 @@ func (qc *queryCtx) tickCancelled() error {
 	return qc.cancelled()
 }
 
-// flush folds the local counters into the database aggregate. Idempotent.
+// flush folds the local counters into the database aggregate and releases
+// the execution's snapshot reference, if it still holds one. Idempotent —
+// abandoned-cursor and mid-loop-error paths may reach it more than once,
+// and the snapshot must be released exactly once so the vacuum horizon
+// can advance.
 func (qc *queryCtx) flush() {
 	if qc == nil || qc.flushed || qc.db == nil {
 		return
 	}
 	qc.flushed = true
+	if qc.releaseSnap != nil {
+		qc.releaseSnap()
+		qc.releaseSnap = nil
+		qc.snap = nil
+	}
 	qc.elapsed = time.Since(qc.start)
 	s := &qc.db.stats
 	if qc.queries > 0 {
@@ -294,8 +341,5 @@ func (qc *queryCtx) flush() {
 	}
 	if qc.tombstonesSkipped > 0 {
 		s.tombSkipped.Add(qc.tombstonesSkipped)
-	}
-	if qc.compactions > 0 {
-		s.compactions.Add(qc.compactions)
 	}
 }

@@ -1,0 +1,463 @@
+package sqldb
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for MVCC snapshot isolation: explicit transactions (SQL and API),
+// rollback bit-identity, snapshot lifecycle on every cursor/error path
+// (the vacuum-horizon leak tests), the background/explicit vacuum, and
+// the concurrent reader/writer isolation property.
+
+// dumpString renders the whole database as its SQL script — the
+// bit-identity witness for rollback tests.
+func dumpString(t *testing.T, db *Database) string {
+	t.Helper()
+	var b strings.Builder
+	if err := db.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestBeginRollbackLeavesQueriesBitIdentical is the PR's acceptance
+// criterion: BEGIN → DML → ROLLBACK must leave every subsequent query —
+// and the full dump — exactly as before the transaction.
+func TestBeginRollbackLeavesQueriesBitIdentical(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, s TEXT)")
+	db.MustExec("CREATE INDEX idx_t_k ON t (k)")
+	for i := 0; i < 50; i++ {
+		db.MustExec("INSERT INTO t VALUES (?, ?, ?)", i, i%7, fmt.Sprintf("s%d", i))
+	}
+	probes := []string{
+		"SELECT id, k, s FROM t ORDER BY id",
+		"SELECT id FROM t WHERE k = 3 ORDER BY id",
+		"SELECT id FROM t WHERE k BETWEEN 2 AND 5 ORDER BY k, id",
+		"SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k",
+		"SELECT id FROM t ORDER BY k LIMIT 5",
+	}
+	before := make([][][]string, len(probes))
+	for i, q := range probes {
+		before[i] = queryStrings(t, db, q)
+	}
+	dumpBefore := dumpString(t, db)
+
+	db.MustExec("BEGIN")
+	db.MustExec("INSERT INTO t VALUES (101, 1, 'new')")
+	db.MustExec("UPDATE t SET k = k + 10 WHERE id < 20")
+	db.MustExec("DELETE FROM t WHERE id % 5 = 0")
+	// Inside the transaction the writes are visible to its own reads.
+	in := queryStrings(t, db, "SELECT COUNT(*) FROM t WHERE id = 101")
+	if !reflect.DeepEqual(in, [][]string{{"1"}}) {
+		t.Fatalf("own insert invisible inside transaction: %v", in)
+	}
+	db.MustExec("ROLLBACK")
+
+	for i, q := range probes {
+		if got := queryStrings(t, db, q); !reflect.DeepEqual(got, before[i]) {
+			t.Errorf("after rollback, %q = %v, want %v", q, got, before[i])
+		}
+	}
+	if got := dumpString(t, db); got != dumpBefore {
+		t.Errorf("dump after rollback differs from before:\n--- before ---\n%s--- after ---\n%s", dumpBefore, got)
+	}
+	// A vacuum pass after rollback must not change anything either
+	// (rolled-back versions were already unlinked).
+	db.Vacuum()
+	for i, q := range probes {
+		if got := queryStrings(t, db, q); !reflect.DeepEqual(got, before[i]) {
+			t.Errorf("after rollback+vacuum, %q = %v, want %v", q, got, before[i])
+		}
+	}
+}
+
+// TestTxnAPIVisibilityAndIsolation: the Txn handle's writes are visible
+// to its own reads, invisible to concurrent snapshots until Commit, and
+// visible to snapshots captured after.
+func TestTxnAPIVisibilityAndIsolation(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER)")
+	db.MustExec("INSERT INTO t VALUES (1, 10)")
+
+	// A cursor opened before the transaction pins the pre-txn state.
+	pre, err := db.QueryRows(context.Background(), "SELECT id FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pre.Close()
+
+	tx := db.Begin()
+	if _, err := tx.Exec("INSERT INTO t VALUES (2, 20)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tx.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].AsInt(); got != 2 {
+		t.Errorf("txn sees %d rows of its own state, want 2", got)
+	}
+
+	n := 0
+	for pre.Next() {
+		n++
+	}
+	if n != 1 || pre.Err() != nil {
+		t.Errorf("pre-txn cursor saw %d rows (err %v), want its snapshot's 1", n, pre.Err())
+	}
+
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	post := queryStrings(t, db, "SELECT id FROM t ORDER BY id")
+	if !reflect.DeepEqual(post, [][]string{{"1"}, {"2"}}) {
+		t.Errorf("post-commit rows = %v, want [[1] [2]]", post)
+	}
+}
+
+// TestTxnCursorOutlivesCommit: a cursor opened inside a transaction holds
+// its own snapshot reference and stays consistent after the transaction
+// commits.
+func TestTxnCursorOutlivesCommit(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+	for i := 0; i < 20; i++ {
+		db.MustExec("INSERT INTO t VALUES (?)", i)
+	}
+	tx := db.Begin()
+	if _, err := tx.Exec("DELETE FROM t WHERE id >= 10"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tx.QueryRows(context.Background(), "SELECT id FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// More DML after commit; the cursor must still see exactly the
+	// transaction's view (10 survivors).
+	db.MustExec("DELETE FROM t WHERE id < 5")
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if n != 10 || rows.Err() != nil {
+		t.Errorf("txn cursor saw %d rows (err %v), want 10", n, rows.Err())
+	}
+}
+
+// TestTxnMisuseErrors pins the ErrMisuse surface of the transaction API.
+func TestTxnMisuseErrors(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (id INTEGER)")
+
+	if _, err := db.Exec("COMMIT"); CodeOf(err) != ErrMisuse {
+		t.Errorf("COMMIT without txn: %v, want ErrMisuse", err)
+	}
+	if _, err := db.Exec("ROLLBACK"); CodeOf(err) != ErrMisuse {
+		t.Errorf("ROLLBACK without txn: %v, want ErrMisuse", err)
+	}
+	db.MustExec("BEGIN")
+	if _, err := db.Exec("BEGIN"); CodeOf(err) != ErrMisuse {
+		t.Errorf("nested BEGIN: %v, want ErrMisuse", err)
+	}
+	db.MustExec("COMMIT")
+
+	tx := db.Begin()
+	if _, err := tx.Exec("BEGIN"); CodeOf(err) != ErrMisuse {
+		t.Errorf("BEGIN inside Txn: %v, want ErrMisuse", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); CodeOf(err) != ErrMisuse {
+		t.Errorf("double Commit: %v, want ErrMisuse", err)
+	}
+	if err := tx.Rollback(); CodeOf(err) != ErrMisuse {
+		t.Errorf("Rollback after Commit: %v, want ErrMisuse", err)
+	}
+	if _, err := tx.Query("SELECT * FROM t"); CodeOf(err) != ErrMisuse {
+		t.Errorf("Query on finished Txn: %v, want ErrMisuse", err)
+	}
+}
+
+// TestTxnStatsCounters: Begins/Commits/Rollbacks/ActiveTxns move with the
+// transaction lifecycle, through both the SQL and API surfaces.
+func TestTxnStatsCounters(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (id INTEGER)")
+	base := db.Stats()
+
+	tx := db.Begin()
+	s := db.Stats()
+	if s.Begins != base.Begins+1 || s.ActiveTxns != base.ActiveTxns+1 {
+		t.Errorf("after Begin: Begins=%d ActiveTxns=%d, want +1/+1 over %d/%d",
+			s.Begins, s.ActiveTxns, base.Begins, base.ActiveTxns)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("BEGIN")
+	db.MustExec("INSERT INTO t VALUES (1)")
+	db.MustExec("ROLLBACK")
+	s = db.Stats()
+	if s.Begins != base.Begins+2 || s.Commits != base.Commits+1 ||
+		s.Rollbacks != base.Rollbacks+1 || s.ActiveTxns != base.ActiveTxns {
+		t.Errorf("counters = begins %d commits %d rollbacks %d active %d, want %d/%d/%d/%d",
+			s.Begins, s.Commits, s.Rollbacks, s.ActiveTxns,
+			base.Begins+2, base.Commits+1, base.Rollbacks+1, base.ActiveTxns)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot lifecycle: every path that captures a registered snapshot must
+// release it, or the vacuum horizon never advances. These mirror the PR-6
+// parallelWorkersActive leak tests, with tm.liveSnapshots as the witness.
+
+// TestSnapshotReleasedOnEveryCursorPath: normal drain, early Close,
+// mid-iteration error, ExplainAnalyze, Explain, Dump, and a failed
+// ExecContext all return the live-snapshot count to its baseline.
+func TestSnapshotReleasedOnEveryCursorPath(t *testing.T) {
+	db := bigDB(t, 2000)
+	base := db.tm.liveSnapshots()
+	ctx := context.Background()
+
+	// Drain to exhaustion.
+	rows, err := db.QueryRows(ctx, "SELECT id FROM big WHERE grp = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	if got := db.tm.liveSnapshots(); got != base {
+		t.Errorf("after drain: liveSnapshots = %d, want %d", got, base)
+	}
+
+	// Abandon mid-iteration via Close.
+	rows, err = db.QueryRows(ctx, "SELECT id FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	rows.Close()
+	if got := db.tm.liveSnapshots(); got != base {
+		t.Errorf("after early Close: liveSnapshots = %d, want %d", got, base)
+	}
+
+	// Cancellation mid-iteration: the cursor errors out partway and must
+	// still release its snapshot.
+	cctx, cancel := context.WithCancel(ctx)
+	rows, err = db.QueryRows(cctx, "SELECT id FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("expected a first row before cancel")
+	}
+	cancel()
+	for rows.Next() {
+	}
+	if CodeOf(rows.Err()) != ErrCanceled {
+		t.Fatalf("after cancel: rows.Err() = %v, want ErrCanceled", rows.Err())
+	}
+	if got := db.tm.liveSnapshots(); got != base {
+		t.Errorf("after canceled cursor: liveSnapshots = %d, want %d", got, base)
+	}
+
+	// DML statement error mid-loop (unique violation partway through).
+	if _, err := db.ExecContext(ctx, "UPDATE big SET id = 1"); err == nil {
+		t.Fatal("expected UPDATE constraint error")
+	}
+	if got := db.tm.liveSnapshots(); got != base {
+		t.Errorf("after exec error: liveSnapshots = %d, want %d", got, base)
+	}
+
+	// ExplainAnalyze and Explain.
+	if _, err := db.ExplainAnalyze(ctx, "SELECT grp, COUNT(*) FROM big GROUP BY grp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Explain("SELECT id FROM big WHERE grp = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.tm.liveSnapshots(); got != base {
+		t.Errorf("after explain paths: liveSnapshots = %d, want %d", got, base)
+	}
+
+	// Dump.
+	var b strings.Builder
+	if err := db.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.tm.liveSnapshots(); got != base {
+		t.Errorf("after Dump: liveSnapshots = %d, want %d", got, base)
+	}
+}
+
+// TestOpenCursorPinsVacuumHorizon: versions visible to an open cursor's
+// snapshot survive a vacuum pass; once the cursor closes, the next pass
+// reclaims them.
+func TestOpenCursorPinsVacuumHorizon(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+	for i := 0; i < 100; i++ {
+		db.MustExec("INSERT INTO t VALUES (?)", i)
+	}
+	rows, err := db.QueryRows(context.Background(), "SELECT id FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("expected a first row")
+	}
+	db.MustExec("DELETE FROM t WHERE id >= 50")
+	if got := db.Vacuum(); got != 0 {
+		t.Errorf("vacuum under an open cursor reclaimed %d versions, want 0 (horizon pinned)", got)
+	}
+	n := 1
+	for rows.Next() {
+		n++
+	}
+	if n != 100 || rows.Err() != nil {
+		t.Fatalf("pinned cursor saw %d rows (err %v), want all 100", n, rows.Err())
+	}
+	if got := db.Vacuum(); got != 50 {
+		t.Errorf("vacuum after Close reclaimed %d versions, want 50", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent readers and writers
+
+// TestConcurrentReadersWritersEachSeeTheirSnapshot is the reader/writer
+// isolation property: N readers iterate long cursors while M writers
+// commit interleaved DML. Writers keep the total row count invariant
+// (every transaction inserts one row and deletes one row), so every
+// reader — whichever snapshot it captured — must see exactly the same
+// count, and no torn (partially applied) transaction. Run under -race in
+// both GOMAXPROCS matrix legs.
+func TestConcurrentReadersWritersEachSeeTheirSnapshot(t *testing.T) {
+	const nRows = 500
+	const readers = 4
+	const writers = 3
+	const writerTxns = 40
+
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, gen INTEGER)")
+	rows := make([][]any, nRows)
+	for i := range rows {
+		rows[i] = []any{i, 0}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	var writerWG, readerWG sync.WaitGroup
+	errc := make(chan error, readers+writers)
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			r := rand.New(rand.NewSource(int64(1000 + w)))
+			for i := 0; i < writerTxns; i++ {
+				tx := db.Begin()
+				// One insert + one point delete from the writer's private
+				// stripe of seed rows per transaction: the live count is
+				// nRows in every committed state.
+				newID := 1_000_000 + w*writerTxns + i
+				oldID := w*writerTxns + i
+				if _, err := tx.Exec("INSERT INTO t VALUES (?, ?)", newID, i); err != nil {
+					tx.Rollback()
+					errc <- fmt.Errorf("writer %d insert: %v", w, err)
+					return
+				}
+				if _, err := tx.Exec("DELETE FROM t WHERE id = ?", oldID); err != nil {
+					tx.Rollback()
+					errc <- fmt.Errorf("writer %d delete: %v", w, err)
+					return
+				}
+				// A random fraction aborts instead — also count-neutral.
+				if r.Intn(5) == 0 {
+					if err := tx.Rollback(); err != nil {
+						errc <- fmt.Errorf("writer %d rollback: %v", w, err)
+						return
+					}
+				} else if err := tx.Commit(); err != nil {
+					errc <- fmt.Errorf("writer %d commit: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for rd := 0; rd < readers; rd++ {
+		readerWG.Add(1)
+		go func(rd int) {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows, err := db.QueryRows(context.Background(), "SELECT id, gen FROM t")
+				if err != nil {
+					errc <- fmt.Errorf("reader %d open: %v", rd, err)
+					return
+				}
+				n := 0
+				for rows.Next() {
+					n++
+				}
+				if err := rows.Err(); err != nil {
+					errc <- fmt.Errorf("reader %d iterate: %v", rd, err)
+					return
+				}
+				if n != nRows {
+					errc <- fmt.Errorf("reader %d saw %d rows, want %d (torn snapshot)", rd, n, nRows)
+					return
+				}
+			}
+		}(rd)
+	}
+
+	writerDone := make(chan struct{})
+	go func() {
+		writerWG.Wait()
+		close(writerDone)
+	}()
+	stopOnce := sync.OnceFunc(func() { close(stop) })
+	defer readerWG.Wait()
+	defer stopOnce()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	case <-writerDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent reader/writer property timed out")
+	}
+	stopOnce()
+	readerWG.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if got := queryStrings(t, db, "SELECT COUNT(*) FROM t"); !reflect.DeepEqual(got, [][]string{{fmt.Sprint(nRows)}}) {
+		t.Fatalf("final count = %v, want %d", got, nRows)
+	}
+	if got := db.Stats().ActiveTxns; got != 0 {
+		t.Fatalf("ActiveTxns = %d after all writers finished, want 0", got)
+	}
+}

@@ -1,0 +1,144 @@
+package sqldb
+
+import "context"
+
+// The background vacuum replaces the old synchronous threshold compaction.
+// DML never pays an O(n) rebuild inside a statement anymore: writers only
+// stamp xmax / prepend versions, and a short-lived background goroutine —
+// woken when enough dead versions accumulate — reclaims every version that
+// has become invisible to all live snapshots.
+//
+// Reclaimability is decided against the oldest-active-snapshot horizon
+// (txnManager.horizon): a version whose committed xmax precedes the
+// horizon is invisible to every current and future snapshot, and in a
+// newest-first chain xmax values only shrink going older, so the chain
+// can be truncated at the first such version. Unlinked versions keep
+// their own forward links, so a reader mid-walk on a stale chain still
+// terminates safely.
+//
+// The vacuum runs under the single-writer latch (writers pause, readers
+// do not), then rebuilds the swept tables' superset indexes and publishes
+// fresh ordered views; readers holding the old view or old posting copies
+// keep working — their recheck already skips reclaimed ids.
+
+// vacuumThreshold is the number of accumulated dead versions that wakes
+// the background vacuum.
+const vacuumThreshold = 256
+
+// maybeVacuum wakes the background vacuum when enough garbage has
+// accumulated. Single-flight: at most one vacuum goroutine exists.
+func (db *Database) maybeVacuum() {
+	if db.closed.Load() || db.garbage.Load() < vacuumThreshold {
+		return
+	}
+	if !db.vacuuming.CompareAndSwap(false, true) {
+		return
+	}
+	db.vacWG.Add(1)
+	go func() {
+		defer db.vacWG.Done()
+		defer db.vacuuming.Store(false)
+		db.vacuum(nil)
+	}()
+}
+
+// Vacuum synchronously reclaims every version invisible to all live
+// snapshots and returns how many versions it removed. The background
+// vacuum calls the same pass; this entry point exists for tests and for
+// embedders that want deterministic reclamation.
+func (db *Database) Vacuum() int {
+	qc := newQueryCtx(context.Background(), db)
+	defer qc.flush()
+	return db.vacuum(qc)
+}
+
+// vacuum runs one reclamation pass over every table.
+func (db *Database) vacuum(qc *queryCtx) int {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.garbage.Store(0)
+	h := db.tm.horizon()
+	total := 0
+	for _, t := range db.tableMap() {
+		total += t.vacuum(h)
+	}
+	db.stats.vacuumRuns.Add(1)
+	if total > 0 {
+		db.stats.versionsReclaimed.Add(uint64(total))
+	}
+	if qc != nil {
+		qc.versionsReclaimed += uint64(total)
+	}
+	return total
+}
+
+// vacuum truncates this table's version chains at the horizon and, when
+// anything was reclaimed (or rolled-back writes left stale superset
+// entries behind), rebuilds the indexes from the surviving versions.
+func (t *Table) vacuum(h uint64) int {
+	arr, n := t.loadSlots()
+	reclaimed := 0
+	for id := 0; id < n; id++ {
+		head := arr[id].head.Load()
+		if head == nil {
+			continue
+		}
+		// Find the newest version whose committed xmax precedes the
+		// horizon. Under writeMu no writer is active, so every nonzero
+		// xmax is committed (rollback clears the ones it unwinds).
+		var prev *rowVersion
+		v := head
+		for v != nil {
+			if xmax := v.xmax.Load(); xmax != 0 && xmax < h {
+				break
+			}
+			prev, v = v, v.next.Load()
+		}
+		if v == nil {
+			continue
+		}
+		for w := v; w != nil; w = w.next.Load() {
+			reclaimed++
+		}
+		if prev == nil {
+			arr[id].head.Store(nil)
+		} else {
+			prev.next.Store(nil)
+		}
+	}
+	if reclaimed > 0 || t.staleIdx.Load() > 0 {
+		t.staleIdx.Store(0)
+		t.rebuildIndexes()
+	}
+	return reclaimed
+}
+
+// rebuildIndexes recomputes every index's superset postings from the
+// surviving versions of every chain and invalidates the ordered views
+// (the next ordered access rebuilds lazily). Under writeMu; readers
+// holding old postings copies or old views stay correct via recheck.
+func (t *Table) rebuildIndexes() {
+	arr, n := t.loadSlots()
+	for _, idx := range t.idxs() {
+		m := make(map[string]posting, n)
+		for id := 0; id < n; id++ {
+			for v := arr[id].head.Load(); v != nil; v = v.next.Load() {
+				if v.xmin == invalidXID || v.row == nil {
+					continue
+				}
+				val := v.row[idx.Column]
+				key := val.Key()
+				p := m[key]
+				if p.ids == nil {
+					p.val = val
+				}
+				p.ids = spliceID(p.ids, id)
+				m[key] = p
+			}
+		}
+		idx.mu.Lock()
+		idx.m = m
+		idx.ord.Store(nil)
+		idx.mu.Unlock()
+	}
+}
