@@ -88,6 +88,12 @@ type (
 	AnalyzedQuery = sqldb.AnalyzedQuery
 	// Value is a dynamically typed SQL value.
 	Value = sqldb.Value
+	// DurabilityOptions configures the embedded engine's durability layer
+	// (fsync policy, checkpoint threshold) for OpenDatabase.
+	DurabilityOptions = sqldb.DurabilityOptions
+	// SyncPolicy selects when the write-ahead log is fsynced
+	// (SyncAlways, SyncInterval, SyncOff).
+	SyncPolicy = sqldb.SyncPolicy
 	// DataFrame is the semantic-operator frame (LOTUS substitute).
 	DataFrame = sem.DataFrame
 	// Model is the language-model inference interface.
@@ -102,8 +108,31 @@ type (
 	Query = tagbench.Query
 )
 
+// Sync policies for DurabilityOptions.Sync.
+const (
+	// SyncAlways fsyncs the WAL on every commit (full durability).
+	SyncAlways = sqldb.SyncAlways
+	// SyncInterval fsyncs on a background ticker (bounded data loss).
+	SyncInterval = sqldb.SyncInterval
+	// SyncOff never fsyncs explicitly (durability up to the OS).
+	SyncOff = sqldb.SyncOff
+)
+
 // NewDatabase returns an empty embedded database.
 func NewDatabase() *Database { return sqldb.NewDatabase() }
+
+// OpenDatabase opens a durable embedded database backed by a write-ahead
+// log in dir, replaying any committed work a previous process left there.
+// With no options it uses sqldb.DefaultDurabilityOptions (fsync on every
+// commit). In-memory use is NewDatabase; this constructor is the crash-safe
+// variant.
+func OpenDatabase(dir string, opts ...DurabilityOptions) (*Database, error) {
+	o := sqldb.DefaultDurabilityOptions()
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return sqldb.Open(dir, sqldb.WithDurability("", o))
+}
 
 // DefaultProfile is the calibrated 70B-like model profile used by the
 // benchmark.
@@ -120,10 +149,14 @@ func Domains() []string { return append(domains.Names(), "movies") }
 func BenchmarkQueries() []*Query { return tagbench.Queries() }
 
 // System is a ready-to-query TAG system: a database plus a language model
-// wired through the TAG pipeline and the semantic-operator runtime.
+// wired through the TAG pipeline and the semantic-operator runtime. The
+// model is wrapped with bounded jittered retry (llm.WithRetry), so
+// transient inference failures are absorbed instead of failing the
+// request; retry traffic shows up in the model's Stats.
 type System struct {
 	env      *core.Env
-	model    *llm.SimLM
+	model    *llm.SimLM      // the simulated model at the core (clock, view)
+	lm       *llm.RetryModel // the retry-wrapped surface the pipeline calls
 	pipeline *core.Pipeline
 }
 
@@ -168,16 +201,18 @@ func New(name string, db *Database, opts ...Option) *System {
 		profile = *o.profile
 	}
 	model := llm.NewSimLM(world.Default(), profile, llm.NewClock(), llm.DefaultCostModel())
+	lm := llm.WithRetry(model, llm.DefaultRetryOptions())
 	sys := &System{
 		env:   core.NewEnv(name, db),
 		model: model,
+		lm:    lm,
 		pipeline: &core.Pipeline{
-			Model:     model,
+			Model:     lm,
 			UseLMUDFs: o.lmUDFs,
 		},
 	}
 	if o.lmUDFs {
-		core.RegisterLMUDFs(context.Background(), db, model)
+		core.RegisterLMUDFs(context.Background(), db, lm)
 	}
 	return sys
 }
@@ -185,8 +220,9 @@ func New(name string, db *Database, opts ...Option) *System {
 // DB exposes the underlying database.
 func (s *System) DB() *Database { return s.env.DB }
 
-// Model exposes the underlying language model.
-func (s *System) Model() Model { return s.model }
+// Model exposes the underlying language model (retry-wrapped; use
+// llm.AsSimLM to reach the simulated core).
+func (s *System) Model() Model { return s.lm }
 
 // LMSeconds reports the simulated LM time consumed so far.
 func (s *System) LMSeconds() float64 { return s.model.Clock().Now() }

@@ -7,9 +7,11 @@
 //	sql> SELECT title FROM movies WHERE LLM_FILTER('classic movie', title);
 //
 // Meta commands: .tables, .schema, .domains, .explain, .analyze, .stats,
-// .quit. .explain shows the plan a SELECT would run; .analyze runs it and
-// annotates the same tree with real per-operator counts and the query's
-// totals (EXPLAIN ANALYZE).
+// .dump, .restore, .quit. .explain shows the plan a SELECT would run;
+// .analyze runs it and annotates the same tree with real per-operator
+// counts and the query's totals (EXPLAIN ANALYZE). .dump <file> writes the
+// database as a SQL script; .restore <file> loads one atomically (all
+// statements apply in a single transaction, or none do).
 //
 // Queries run under a signal-aware context: the first Ctrl-C cancels the
 // in-flight statement mid-scan (the engine returns a typed ErrCanceled
@@ -56,7 +58,7 @@ func main() {
 	}
 
 	fmt.Printf("tagsql — embedded TAG SQL shell (domain %s, LM UDFs %v)\n", *domain, *udf)
-	fmt.Println(`type SQL terminated by ';', or .tables / .schema / .domains / .explain <sql> / .analyze <sql> / .stats / .quit`)
+	fmt.Println(`type SQL terminated by ';', or .tables / .schema / .domains / .explain <sql> / .analyze <sql> / .stats / .dump <file> / .restore <file> / .quit`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -94,6 +96,14 @@ func main() {
 			continue
 		case trimmed == ".stats":
 			printStats(db)
+			fmt.Print("sql> ")
+			continue
+		case strings.HasPrefix(trimmed, ".dump"):
+			dump(db, strings.TrimSpace(strings.TrimPrefix(trimmed, ".dump")))
+			fmt.Print("sql> ")
+			continue
+		case strings.HasPrefix(trimmed, ".restore"):
+			restore(db, strings.TrimSpace(strings.TrimPrefix(trimmed, ".restore")))
 			fmt.Print("sql> ")
 			continue
 		case trimmed == ".domains":
@@ -164,6 +174,49 @@ func analyze(db *sqldb.Database, src string) {
 		qs.OrderedIndexOrders, qs.TombstonesSkipped, qs.SubplanCacheHits, qs.SubplanCacheMisses, qs.Elapsed.Round(time.Microsecond))
 }
 
+// dump writes the database as a replayable SQL script — the same format
+// Database.Dump / .restore and the WAL checkpointer use.
+func dump(db *sqldb.Database, path string) {
+	if path == "" {
+		_ = db.Dump(os.Stdout)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		printErr(&sqldb.Error{Code: sqldb.ErrIO, Msg: "dump: " + err.Error(), Cause: err})
+		return
+	}
+	werr := db.Dump(f)
+	cerr := f.Close()
+	if werr == nil && cerr != nil {
+		werr = &sqldb.Error{Code: sqldb.ErrIO, Msg: "dump: " + cerr.Error(), Cause: cerr}
+	}
+	if werr != nil {
+		printErr(werr)
+		return
+	}
+	fmt.Printf("dumped to %s\n", path)
+}
+
+// restore loads a SQL script atomically: the whole file applies in one
+// transaction, so a script that fails midway leaves the database untouched.
+func restore(db *sqldb.Database, path string) {
+	if path == "" {
+		fmt.Println("usage: .restore <file>")
+		return
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		printErr(&sqldb.Error{Code: sqldb.ErrIO, Msg: "restore: " + err.Error(), Cause: err})
+		return
+	}
+	if err := db.LoadScript(string(src)); err != nil {
+		printErr(err)
+		return
+	}
+	fmt.Printf("restored from %s\n", path)
+}
+
 // printErr surfaces the engine's typed error code alongside the message.
 func printErr(err error) {
 	var se *sqldb.Error
@@ -189,5 +242,7 @@ func printStats(db *sqldb.Database) {
 	fmt.Printf("transactions     %d begun / %d committed / %d rolled back / %d active\n",
 		s.Begins, s.Commits, s.Rollbacks, s.ActiveTxns)
 	fmt.Printf("vacuum           %d runs / %d versions reclaimed\n", s.VacuumRuns, s.VersionsReclaimed)
+	fmt.Printf("wal              %d appends / %d bytes / %d checkpoints\n", s.WALAppends, s.WALBytes, s.Checkpoints)
+	fmt.Printf("recovery         %d txns replayed / %d torn tails dropped\n", s.RecoveredTxns, s.TornTailsDropped)
 	fmt.Printf("open cursors     %d\n", s.OpenCursors)
 }

@@ -38,8 +38,9 @@ type Result struct {
 
 // Run executes one TAG iteration over the environment.
 func (p *Pipeline) Run(ctx context.Context, env *Env, question string) (*Result, error) {
-	// syn(R) -> Q
-	sim, _ := p.Model.(*llm.SimLM)
+	// syn(R) -> Q. AsSimLM looks through decorators (llm.WithRetry), so
+	// capability flags reach the simulated model even when wrapped.
+	sim := llm.AsSimLM(p.Model)
 	if sim != nil {
 		sim.SQLCapabilities.LMUDFs = p.UseLMUDFs
 	}

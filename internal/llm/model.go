@@ -34,6 +34,8 @@ type Stats struct {
 	BatchedItems int // prompts served through batches
 	PromptTokens int
 	OutputTokens int
+	Retries      int // attempts re-issued by WithRetry after transient failures
+	GiveUps      int // calls abandoned after exhausting the retry budget
 }
 
 // statsRecorder is embedded by models to track usage.

@@ -1,0 +1,313 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file adds bounded, jittered retry around any Model. Real serving
+// stacks fail transiently — connection resets, pod restarts, per-call
+// timeouts — and a pipeline step that surfaces every blip as a hard error
+// makes long benchmark runs flaky. WithRetry wraps a Model so that
+// transient failures are retried with exponential backoff (and an
+// optional per-attempt timeout), while deterministic failures — a prompt
+// that exceeds the context window, or the caller's own context being
+// cancelled — are returned immediately.
+
+// TransientError marks an inference failure as retry-worthy. Model
+// implementations (or transport layers) wrap flaky-path errors in it;
+// WithRetry also treats any unclassified error as transient, since the
+// deterministic failures are a known closed set.
+type TransientError struct {
+	Err error
+}
+
+func (e *TransientError) Error() string { return "llm: transient: " + e.Err.Error() }
+
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as a TransientError (nil stays nil).
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err is worth retrying on its own merits:
+// not a context-window overflow (deterministic — the same prompt fails
+// the same way every time) and not a context cancellation. Whether a
+// cancellation came from the caller or from a per-attempt timeout is the
+// retry loop's job to distinguish; IsTransient alone treats both as
+// non-transient.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrContextLength) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// RetryOptions configures WithRetry.
+type RetryOptions struct {
+	// MaxAttempts bounds the total attempts per call (first try included);
+	// 0 means 3.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// attempt. 0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 means 2s.
+	MaxDelay time.Duration
+	// CallTimeout bounds each individual attempt (a hung call is abandoned
+	// and retried while the caller's context is still alive). 0 disables
+	// the per-attempt timeout.
+	CallTimeout time.Duration
+
+	// sleep and jitter are test hooks: sleep replaces the real backoff
+	// wait, jitter replaces the randomised delay spread.
+	sleep  func(time.Duration)
+	jitter func(time.Duration) time.Duration
+}
+
+// DefaultRetryOptions is the production configuration: three attempts,
+// 50ms→2s jittered exponential backoff, no per-attempt timeout.
+func DefaultRetryOptions() RetryOptions { return RetryOptions{} }
+
+func (o RetryOptions) attempts() int {
+	if o.MaxAttempts <= 0 {
+		return 3
+	}
+	return o.MaxAttempts
+}
+
+// delay computes the jittered backoff before attempt n+1 (n >= 1).
+func (o RetryOptions) delay(n int) time.Duration {
+	base := o.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := o.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if o.jitter != nil {
+		return o.jitter(d)
+	}
+	// Half fixed, half uniform random: spreads synchronized retries
+	// without ever collapsing the wait to zero.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// RetryModel decorates an inner Model with the retry policy. Safe for
+// concurrent use (the inner Model must be too).
+type RetryModel struct {
+	inner Model
+	opts  RetryOptions
+
+	mu      sync.Mutex
+	retries int
+	giveUps int
+}
+
+// WithRetry wraps model with bounded jittered retry for transient
+// failures.
+func WithRetry(model Model, opts RetryOptions) *RetryModel {
+	return &RetryModel{inner: model, opts: opts}
+}
+
+// Unwrap exposes the decorated Model (AsSimLM looks through it).
+func (m *RetryModel) Unwrap() Model { return m.inner }
+
+// Name implements Model.
+func (m *RetryModel) Name() string { return m.inner.Name() }
+
+// ContextWindow implements Model.
+func (m *RetryModel) ContextWindow() int { return m.inner.ContextWindow() }
+
+// Stats returns the inner model's usage snapshot (when it keeps one) with
+// the retry counters filled in.
+func (m *RetryModel) Stats() Stats {
+	var s Stats
+	if sp, ok := m.inner.(interface{ Stats() Stats }); ok {
+		s = sp.Stats()
+	}
+	m.mu.Lock()
+	s.Retries = m.retries
+	s.GiveUps = m.giveUps
+	m.mu.Unlock()
+	return s
+}
+
+// ResetStats zeroes the retry counters and the inner model's counters.
+func (m *RetryModel) ResetStats() {
+	if rp, ok := m.inner.(interface{ ResetStats() }); ok {
+		rp.ResetStats()
+	}
+	m.mu.Lock()
+	m.retries, m.giveUps = 0, 0
+	m.mu.Unlock()
+}
+
+func (m *RetryModel) noteRetry() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+func (m *RetryModel) noteGiveUp() {
+	m.mu.Lock()
+	m.giveUps++
+	m.mu.Unlock()
+}
+
+// attemptCtx derives the per-attempt context.
+func (m *RetryModel) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if m.opts.CallTimeout > 0 {
+		return context.WithTimeout(ctx, m.opts.CallTimeout)
+	}
+	return ctx, func() {}
+}
+
+// retryable decides whether err from one attempt warrants another, given
+// the caller's context: the caller cancelling always wins; a per-attempt
+// timeout expiring while the caller is alive is transient (the attempt
+// hung, not the request).
+func (m *RetryModel) retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if errors.Is(err, ErrContextLength) {
+		return false
+	}
+	// context.Canceled/DeadlineExceeded with a live parent can only come
+	// from the per-attempt timeout — transient by definition.
+	return true
+}
+
+// backoff waits the jittered delay before the next attempt, honouring the
+// caller's context. Reports false when the wait was cancelled.
+func (m *RetryModel) backoff(ctx context.Context, attempt int) bool {
+	d := m.opts.delay(attempt)
+	if m.opts.sleep != nil {
+		m.opts.sleep(d)
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// Complete implements Model with the retry loop.
+func (m *RetryModel) Complete(ctx context.Context, prompt string) (string, error) {
+	attempts := m.opts.attempts()
+	for a := 1; ; a++ {
+		actx, cancel := m.attemptCtx(ctx)
+		out, err := m.inner.Complete(actx, prompt)
+		cancel()
+		if err == nil {
+			return out, nil
+		}
+		if !m.retryable(ctx, err) {
+			return "", err
+		}
+		if a >= attempts {
+			m.noteGiveUp()
+			return "", err
+		}
+		m.noteRetry()
+		if !m.backoff(ctx, a) {
+			return "", err
+		}
+	}
+}
+
+// CompleteBatch implements Model: the whole batch is issued once, then
+// only the transiently-failed prompts are re-batched on each retry round,
+// so one flaky item does not re-bill the whole batch.
+func (m *RetryModel) CompleteBatch(ctx context.Context, prompts []string) ([]string, []error) {
+	outs, errs := m.inner.CompleteBatch(ctx, prompts)
+	if errs == nil {
+		return outs, nil
+	}
+	attempts := m.opts.attempts()
+	for a := 1; a < attempts; a++ {
+		var retryIdx []int
+		for i, err := range errs {
+			if err != nil && m.retryable(ctx, err) {
+				retryIdx = append(retryIdx, i)
+			}
+		}
+		if len(retryIdx) == 0 {
+			break
+		}
+		m.noteRetry()
+		if !m.backoff(ctx, a) {
+			break
+		}
+		sub := make([]string, len(retryIdx))
+		for j, i := range retryIdx {
+			sub[j] = prompts[i]
+		}
+		actx, cancel := m.attemptCtx(ctx)
+		subOuts, subErrs := m.inner.CompleteBatch(actx, sub)
+		cancel()
+		for j, i := range retryIdx {
+			outs[i] = subOuts[j]
+			if subErrs == nil {
+				errs[i] = nil
+			} else {
+				errs[i] = subErrs[j]
+			}
+		}
+	}
+	// Anything still transiently failed after the final round is a give-up.
+	clean := true
+	for _, err := range errs {
+		if err != nil {
+			clean = false
+			if m.retryable(ctx, err) {
+				m.noteGiveUp()
+			}
+		}
+	}
+	if clean {
+		return outs, nil
+	}
+	return outs, errs
+}
+
+// AsSimLM unwraps a Model to the underlying *SimLM, looking through
+// decorators such as WithRetry. Returns nil when no SimLM is at the core.
+func AsSimLM(m Model) *SimLM {
+	for m != nil {
+		if sim, ok := m.(*SimLM); ok {
+			return sim
+		}
+		u, ok := m.(interface{ Unwrap() Model })
+		if !ok {
+			return nil
+		}
+		m = u.Unwrap()
+	}
+	return nil
+}

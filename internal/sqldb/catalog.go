@@ -134,10 +134,18 @@ type Database struct {
 	sessionMu sync.Mutex
 	session   *Txn // transaction opened by SQL BEGIN; bare statements join it
 
-	garbage   atomic.Int64 // dead versions since the last vacuum
-	vacuuming atomic.Bool  // single-flight latch for the background vacuum
-	vacWG     sync.WaitGroup
+	garbage   atomic.Int64   // dead versions since the last vacuum
+	vacuuming atomic.Bool    // single-flight latch for the background vacuum
+	vacWG     sync.WaitGroup // joins background maintenance: vacuum + checkpoint
 	closed    atomic.Bool
+
+	// Durability (wal.go / recovery.go). wal is nil for an in-memory
+	// database; set once by openWAL before the database is shared.
+	wal           *walWriter
+	durPath       string
+	durOpts       DurabilityOptions
+	durSet        bool
+	checkpointing atomic.Bool // single-flight latch for background checkpoints
 }
 
 // Option configures a Database at construction time.
@@ -171,12 +179,19 @@ func NewDatabase(opts ...Option) *Database {
 	return db
 }
 
-// Close waits for any in-flight background vacuum to finish and stops new
-// ones from starting. The database remains readable; Close exists so
-// embedding processes and tests can join the maintenance goroutine.
+// Close waits for in-flight background maintenance (vacuum, checkpoint)
+// to finish and stops new runs from starting. On a durable database it
+// then syncs and closes the WAL — a clean Close makes every committed
+// transaction durable regardless of fsync policy — returning a typed
+// ErrIO if that final sync fails. The database remains readable.
 func (db *Database) Close() error {
-	db.closed.Store(true)
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	db.vacWG.Wait()
+	if db.wal != nil {
+		return db.wal.close()
+	}
 	return nil
 }
 
@@ -514,6 +529,7 @@ func (t *Table) insertRow(r Row, qc *queryCtx, tx *Txn) error {
 			qc.ordMaintains++
 		}
 	}
+	tx.logWALOp(walOp{kind: 'I', table: t.Name, row: r})
 	return nil
 }
 
@@ -521,7 +537,9 @@ func (t *Table) insertRow(r Row, qc *queryCtx, tx *Txn) error {
 // slot, its versions and every index entry stay for older snapshots; the
 // vacuum reclaims them once invisible to all.
 func (t *Table) deleteRow(id int, tx *Txn) {
-	t.head(id).xmax.Store(tx.xid)
+	head := t.head(id)
+	tx.logWALOp(walOp{kind: 'D', table: t.Name, row: head.row})
+	head.xmax.Store(tx.xid)
 	t.liveRows.Add(-1)
 	tx.record(undoDelete, t, id)
 	tx.db.garbage.Add(1)
@@ -535,6 +553,7 @@ func (t *Table) deleteRow(id int, tx *Txn) {
 func (t *Table) updateRow(id int, updated Row, qc *queryCtx, tx *Txn) {
 	head := t.head(id)
 	old := head.row
+	tx.logWALOp(walOp{kind: 'U', table: t.Name, row: old, row2: updated})
 	nv := &rowVersion{xmin: tx.xid, row: updated}
 	nv.next.Store(head)
 	head.xmax.Store(tx.xid)

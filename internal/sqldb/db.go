@@ -262,12 +262,14 @@ func (db *Database) execStmt(qc *queryCtx, stmt Statement, params []Value, tx *T
 	}
 }
 
-// DDL is non-transactional: it takes the single-writer latch for the
-// statement (or rides an open transaction's latch span, surviving its
-// rollback) and publishes the schema change copy-on-write, so lock-free
-// readers always observe a complete table map.
+// DDL takes the single-writer latch for the statement (or rides an open
+// transaction's latch span) and publishes the schema change
+// copy-on-write, so lock-free readers always observe a complete table
+// map. Inside an explicit transaction DDL is transactional: rollback
+// unpublishes it, and the WAL records it inside the transaction's frame;
+// autocommit DDL is logged as a standalone self-committed record.
 func (db *Database) createTable(stmt *CreateTableStmt, tx *Txn) error {
-	unlock := db.acquireWrite(tx)
+	tx, unlock := db.acquireWrite(tx)
 	defer unlock()
 	key := strings.ToLower(stmt.Name)
 	if _, exists := db.tableMap()[key]; exists {
@@ -281,11 +283,27 @@ func (db *Database) createTable(stmt *CreateTableStmt, tx *Txn) error {
 		return err
 	}
 	db.publishTables(func(m map[string]*Table) { m[key] = t })
+	if tx != nil {
+		tx.recordDDL(undoCreateTable, t, key)
+		tx.logWALOp(walOp{kind: 'S', sql: stmt.String()})
+		return nil
+	}
+	return db.logAutocommitDDL(stmt.String())
+}
+
+// logAutocommitDDL appends one standalone DDL record to the WAL (no-op
+// in memory-only mode or while recovery replays). An ErrIO here follows
+// the commit-path contract: the schema change stands in memory, the WAL
+// is poisoned.
+func (db *Database) logAutocommitDDL(sql string) error {
+	if w := db.wal; w != nil && w.armed.Load() {
+		return w.appendDDL(sql)
+	}
 	return nil
 }
 
 func (db *Database) createIndex(stmt *CreateIndexStmt, tx *Txn) error {
-	unlock := db.acquireWrite(tx)
+	tx, unlock := db.acquireWrite(tx)
 	defer unlock()
 	t, err := db.lookupTable(stmt.Table)
 	if err != nil {
@@ -337,29 +355,49 @@ func (db *Database) createIndex(stmt *CreateIndexStmt, tx *Txn) error {
 		}
 	}
 	t.publishIndexes(func(m map[string]*Index) { m[key] = idx })
-	return nil
+	if tx != nil {
+		tx.recordDDL(undoCreateIndex, t, key)
+		tx.logWALOp(walOp{kind: 'S', sql: stmt.String()})
+		return nil
+	}
+	return db.logAutocommitDDL(stmt.String())
 }
 
 func (db *Database) dropTable(stmt *DropTableStmt, tx *Txn) error {
-	unlock := db.acquireWrite(tx)
+	tx, unlock := db.acquireWrite(tx)
 	defer unlock()
 	key := strings.ToLower(stmt.Name)
-	if _, exists := db.tableMap()[key]; !exists {
+	t, exists := db.tableMap()[key]
+	if !exists {
 		if stmt.IfExists {
 			return nil
 		}
 		return errf(ErrNoTable, "sql: no such table: %s", stmt.Name)
 	}
 	db.publishTables(func(m map[string]*Table) { delete(m, key) })
-	return nil
+	if tx != nil {
+		tx.recordDDL(undoDropTable, t, key)
+		tx.logWALOp(walOp{kind: 'S', sql: stmt.String()})
+		return nil
+	}
+	return db.logAutocommitDDL(stmt.String())
 }
 
-func (db *Database) execInsert(stmt *InsertStmt, params []Value, qc *queryCtx, tx *Txn) (int, error) {
+func (db *Database) execInsert(stmt *InsertStmt, params []Value, qc *queryCtx, tx *Txn) (n int, err error) {
 	wtx, end, err := db.beginWrite(qc, tx)
 	if err != nil {
 		return 0, err
 	}
-	defer end()
+	// end() publishes the autocommit statement; on a durable database it
+	// also appends the WAL record, whose failure must surface as the
+	// statement's error even over an engine error — an I/O failure poisons
+	// the log, and a statement whose partial work was applied but not made
+	// durable must report that.
+	defer func() {
+		if e := end(); e != nil {
+			err = e
+		}
+	}()
 	t, err := db.lookupTable(stmt.Table)
 	if err != nil {
 		return 0, err
@@ -402,7 +440,6 @@ func (db *Database) execInsert(stmt *InsertStmt, params []Value, qc *queryCtx, t
 		}
 	}
 
-	n := 0
 	for _, src := range sourceRows {
 		if len(src) != len(colOrder) {
 			return n, errf(ErrMisuse, "sql: table %s expects %d values, got %d", t.Name, len(colOrder), len(src))
@@ -444,12 +481,16 @@ func hasSubquery(exprs ...Expr) bool {
 	return false
 }
 
-func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx, tx *Txn) (int, error) {
+func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx, tx *Txn) (n int, err error) {
 	wtx, end, err := db.beginWrite(qc, tx)
 	if err != nil {
 		return 0, err
 	}
-	defer end()
+	defer func() {
+		if e := end(); e != nil {
+			err = e
+		}
+	}()
 	t, err := db.lookupTable(stmt.Table)
 	if err != nil {
 		return 0, err
@@ -507,7 +548,6 @@ func (db *Database) execUpdate(stmt *UpdateStmt, params []Value, qc *queryCtx, t
 		t.updateRow(id, updated, qc, wtx)
 		return nil
 	}
-	n := 0
 	// Fast path: an `UPDATE ... WHERE col = <literal/param>` over an
 	// indexed column touches exactly the index bucket, and a range-shaped
 	// WHERE (col > x, BETWEEN) over one is served from the index's ordered
@@ -856,12 +896,16 @@ func execUpdateSnapshot(t *Table, stmt *UpdateStmt, setCols []int, env *evalEnv,
 	return len(pend), nil
 }
 
-func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx, tx *Txn) (int, error) {
+func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx, tx *Txn) (n int, err error) {
 	wtx, end, err := db.beginWrite(qc, tx)
 	if err != nil {
 		return 0, err
 	}
-	defer end()
+	defer func() {
+		if e := end(); e != nil {
+			err = e
+		}
+	}()
 	t, err := db.lookupTable(stmt.Table)
 	if err != nil {
 		return 0, err
@@ -882,7 +926,6 @@ func (db *Database) execDelete(stmt *DeleteStmt, params []Value, qc *queryCtx, t
 	// so an early exit — cancellation or a WHERE evaluation error — leaves
 	// exactly the examined-and-deleted rows gone and everything else
 	// untouched. Reclamation is the background vacuum's job.
-	n := 0
 	// Fast path: `DELETE FROM t WHERE col = <literal/param>` over an
 	// indexed column deletes exactly the index bucket; a range-shaped
 	// WHERE over one deletes exactly the ordered view's window.
@@ -957,14 +1000,18 @@ func execDeleteSnapshot(t *Table, stmt *DeleteStmt, env *evalEnv, qc *queryCtx, 
 // InsertRows bulk-loads rows (Go values, table column order) into a table
 // as one autocommit write. It is the fast path used by the benchmark data
 // generators.
-func (db *Database) InsertRows(table string, rows [][]any) error {
+func (db *Database) InsertRows(table string, rows [][]any) (err error) {
 	qc := newQueryCtx(context.Background(), db)
 	defer qc.flush()
 	wtx, end, err := db.beginWrite(qc, nil)
 	if err != nil {
 		return err
 	}
-	defer end()
+	defer func() {
+		if e := end(); e != nil {
+			err = e
+		}
+	}()
 	t, err := db.lookupTable(table)
 	if err != nil {
 		return err

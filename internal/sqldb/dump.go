@@ -16,6 +16,14 @@ import (
 func (db *Database) Dump(w io.Writer) error {
 	snap, release := db.beginRead(nil)
 	defer release()
+	return db.dumpSnapshot(w, snap)
+}
+
+// dumpSnapshot renders the state visible to snap as a SQL script. Output is
+// deterministic for a given snapshot: tables sorted by name, rows in storage
+// order, secondary indexes sorted by name — so two dumps of identical states
+// are bit-identical (the crash harness and checkpointing rely on this).
+func (db *Database) dumpSnapshot(w io.Writer, snap *snapshot) error {
 	tables := db.tableMap()
 	if _, err := io.WriteString(w, dumpSchemaSQL(tables)); err != nil {
 		return err
@@ -45,7 +53,9 @@ func (db *Database) Dump(w io.Writer) error {
 				return err
 			}
 		}
-		// Secondary (non-automatic) indexes.
+		// Secondary (non-automatic) indexes, sorted by name for
+		// deterministic output.
+		var stmts []string
 		for _, idx := range t.idxs() {
 			if strings.HasPrefix(idx.Name, "auto_") {
 				continue
@@ -54,9 +64,12 @@ func (db *Database) Dump(w io.Writer) error {
 			if idx.Unique {
 				unique = "UNIQUE "
 			}
-			stmt := fmt.Sprintf("CREATE %sINDEX %s ON %s (%s);\n",
+			stmts = append(stmts, fmt.Sprintf("CREATE %sINDEX %s ON %s (%s);\n",
 				unique, quoteIdent(idx.Name), quoteIdent(t.Name),
-				quoteIdent(t.Columns[idx.Column].Name))
+				quoteIdent(t.Columns[idx.Column].Name)))
+		}
+		sortStrings(stmts)
+		for _, stmt := range stmts {
 			if _, err := io.WriteString(w, stmt); err != nil {
 				return err
 			}
@@ -65,10 +78,17 @@ func (db *Database) Dump(w io.Writer) error {
 	return nil
 }
 
-// LoadScript executes a multi-statement SQL script (as produced by Dump).
+// LoadScript executes a multi-statement SQL script (as produced by Dump)
+// atomically: the whole script runs inside one transaction, so a
+// mid-script error leaves the database untouched. DDL participates in the
+// transaction and is rolled back with everything else.
 func (db *Database) LoadScript(src string) error {
-	_, err := db.Exec(src)
-	return err
+	tx := db.Begin()
+	if _, err := tx.Exec(src); err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	return tx.Commit()
 }
 
 // dumpSchemaSQL renders Dump's compact one-line CREATE TABLE form for a

@@ -55,6 +55,12 @@ const (
 	ErrCursor ErrorCode = "cursor"
 	// ErrInternal marks invariant violations inside the engine.
 	ErrInternal ErrorCode = "internal"
+	// ErrIO marks durability-layer failures: WAL append, fsync, checkpoint,
+	// or recovery I/O errors, including a log poisoned by an earlier failed
+	// write. The in-memory state stays consistent and queryable; only
+	// persistence is compromised. The wrapped cause is the underlying
+	// filesystem error.
+	ErrIO ErrorCode = "io"
 )
 
 // Error is the engine's error type: a stable code plus a human-readable

@@ -80,6 +80,22 @@ type Stats struct {
 	// growing value means a caller is leaking cursors (and pinning the
 	// vacuum horizon with its snapshot).
 	OpenCursors int64
+	// WALAppends / WALBytes count commit-time write-ahead-log appends
+	// (one per committed autocommit statement, transaction frame, or
+	// standalone DDL record) and the bytes they wrote. Zero on an
+	// in-memory database.
+	WALAppends uint64
+	WALBytes   uint64
+	// Checkpoints counts completed checkpoints (explicit or automatic):
+	// snapshot written, log truncated to a fresh generation.
+	Checkpoints uint64
+	// RecoveredTxns counts the committed units recovery replayed from
+	// the WAL when the database was opened.
+	RecoveredTxns uint64
+	// TornTailsDropped counts WAL files whose tail was incomplete at
+	// recovery (a crash mid-append) and was silently dropped back to the
+	// last fully-committed record.
+	TornTailsDropped uint64
 }
 
 // dbStats is the database-wide aggregate, updated with atomics.
@@ -104,6 +120,12 @@ type dbStats struct {
 	activeTxns        atomic.Int64
 	vacuumRuns        atomic.Uint64
 	versionsReclaimed atomic.Uint64
+
+	walAppends    atomic.Uint64
+	walBytes      atomic.Uint64
+	checkpoints   atomic.Uint64
+	recoveredTxns atomic.Uint64
+	tornDropped   atomic.Uint64
 }
 
 // Stats returns a snapshot of the database's counters.
@@ -131,6 +153,11 @@ func (db *Database) Stats() Stats {
 		VacuumRuns:         db.stats.vacuumRuns.Load(),
 		VersionsReclaimed:  db.stats.versionsReclaimed.Load(),
 		OpenCursors:        db.stats.openCursors.Load(),
+		WALAppends:         db.stats.walAppends.Load(),
+		WALBytes:           db.stats.walBytes.Load(),
+		Checkpoints:        db.stats.checkpoints.Load(),
+		RecoveredTxns:      db.stats.recoveredTxns.Load(),
+		TornTailsDropped:   db.stats.tornDropped.Load(),
 	}
 }
 

@@ -229,15 +229,20 @@ func (tm *txnManager) horizon() uint64 {
 
 // undo op kinds, replayed in reverse on rollback.
 const (
-	undoInsert = iota // drop the inserted version (slot becomes empty)
-	undoUpdate        // unlink our version, revive the one beneath it
-	undoDelete        // clear xmax on the head we stamped
+	undoInsert      = iota // drop the inserted version (slot becomes empty)
+	undoUpdate             // unlink our version, revive the one beneath it
+	undoDelete             // clear xmax on the head we stamped
+	undoCreateTable        // unpublish the created table
+	undoDropTable          // republish the dropped table
+	undoCreateIndex        // unpublish the created index
 )
 
 type undoRec struct {
 	kind  int
 	table *Table
 	id    int
+	// key is the catalog (or index-map) key for the DDL undo kinds.
+	key string
 }
 
 // Txn is an explicit transaction. It is not safe for concurrent use by
@@ -256,6 +261,11 @@ type Txn struct {
 	auto  bool // autocommit statement transaction: no undo, never rolled back
 	done  bool
 	undo  []undoRec
+
+	// walOps are the logical changes to log at commit, in application
+	// order. Captured only when the database has an armed WAL (wal.go);
+	// discarded by rollback.
+	walOps []walOp
 }
 
 // Begin starts an explicit transaction. Programmatic equivalent of the
@@ -280,13 +290,43 @@ func (tx *Txn) record(kind int, t *Table, id int) {
 	tx.undo = append(tx.undo, undoRec{kind: kind, table: t, id: id})
 }
 
+// recordDDL notes a schema-change undo step. DDL inside an explicit
+// transaction rolls back with it, keeping the WAL (which only sees
+// committed frames) and the in-memory catalog in lockstep.
+func (tx *Txn) recordDDL(kind int, t *Table, key string) {
+	if tx.auto {
+		return
+	}
+	tx.undo = append(tx.undo, undoRec{kind: kind, table: t, key: key})
+}
+
+// logWALOp captures one logical change for the commit-time WAL append.
+// A no-op unless the database has an armed WAL, so the in-memory engine
+// pays one nil check per DML op.
+func (tx *Txn) logWALOp(op walOp) {
+	if w := tx.db.wal; w != nil && w.armed.Load() {
+		tx.walOps = append(tx.walOps, op)
+	}
+}
+
 // Commit makes the transaction's writes visible to every later snapshot.
+// On a durable database the transaction's frame is appended to the WAL
+// (and fsynced, per policy) before publication; an append failure
+// returns a typed ErrIO — the writes are still applied in memory, but
+// the WAL is poisoned and every later commit fails the same way until
+// the database is reopened (which recovers the durable prefix).
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return errf(ErrMisuse, "sql: transaction already finished")
 	}
 	tx.done = true
 	db := tx.db
+	var ioErr error
+	if len(tx.walOps) > 0 {
+		// Still under writeMu here (walOps imply wrote), so log order
+		// equals commit order.
+		ioErr = db.wal.appendCommit(tx.walOps, false)
+	}
 	db.tm.finish(tx.xid) // publication point
 	db.tm.release(tx.snap)
 	db.stats.commits.Add(1)
@@ -295,7 +335,7 @@ func (tx *Txn) Commit() error {
 		db.writeMu.Unlock()
 		db.maybeVacuum()
 	}
-	return nil
+	return ioErr
 }
 
 // Rollback unwinds the transaction's writes and discards it. The undo log
@@ -310,20 +350,27 @@ func (tx *Txn) Rollback() error {
 	if tx.wrote {
 		for i := len(tx.undo) - 1; i >= 0; i-- {
 			u := tx.undo[i]
-			head := u.table.head(u.id)
 			switch u.kind {
 			case undoInsert:
 				u.table.setHead(u.id, nil)
 				u.table.liveRows.Add(-1)
 				u.table.staleIdx.Add(1)
 			case undoUpdate:
+				head := u.table.head(u.id)
 				old := head.next.Load()
 				old.xmax.Store(0)
 				u.table.setHead(u.id, old)
 				u.table.staleIdx.Add(1)
 			case undoDelete:
-				head.xmax.Store(0)
+				u.table.head(u.id).xmax.Store(0)
 				u.table.liveRows.Add(1)
+			case undoCreateTable:
+				db.publishTables(func(m map[string]*Table) { delete(m, u.key) })
+			case undoDropTable:
+				t := u.table
+				db.publishTables(func(m map[string]*Table) { m[u.key] = t })
+			case undoCreateIndex:
+				u.table.publishIndexes(func(m map[string]*Index) { delete(m, u.key) })
 			}
 		}
 		// Rolled-back versions may have left superset entries behind in
@@ -469,10 +516,13 @@ func (db *Database) beginRead(tx *Txn) (*snapshot, func()) {
 
 // beginWrite pins the single-writer latch for one DML statement and
 // returns the transaction it runs in plus a statement-end callback. For
-// autocommit the transaction is a throwaway that commits in end(); inside
-// an explicit transaction the latch stays held (until Commit/Rollback)
-// and end() only clears the statement snapshot.
-func (db *Database) beginWrite(qc *queryCtx, tx *Txn) (*Txn, func(), error) {
+// autocommit the transaction is a throwaway that commits in end(), which
+// also appends the statement's WAL record on a durable database — end's
+// error is the commit-time ErrIO surface and must be propagated (the
+// in-memory effects stand either way; see Txn.Commit). Inside an
+// explicit transaction the latch stays held (until Commit/Rollback) and
+// end() only clears the statement snapshot.
+func (db *Database) beginWrite(qc *queryCtx, tx *Txn) (*Txn, func() error, error) {
 	if tx = db.currentTxn(tx); tx != nil {
 		if tx.done {
 			return nil, nil, errf(ErrMisuse, "sql: transaction already finished")
@@ -480,9 +530,10 @@ func (db *Database) beginWrite(qc *queryCtx, tx *Txn) (*Txn, func(), error) {
 		tx.ensureWrite()
 		qc.snap = db.tm.captureStmt(tx.xid)
 		qc.wtx = tx
-		return tx, func() {
+		return tx, func() error {
 			qc.snap = nil
 			qc.wtx = nil
+			return nil
 		}, nil
 	}
 	db.writeMu.Lock()
@@ -490,25 +541,34 @@ func (db *Database) beginWrite(qc *queryCtx, tx *Txn) (*Txn, func(), error) {
 	at := &Txn{db: db, xid: xid, auto: true, wrote: true}
 	qc.snap = db.tm.captureStmt(xid)
 	qc.wtx = at
-	return at, func() {
+	return at, func() error {
 		qc.snap = nil
 		qc.wtx = nil
 		at.done = true
+		var ioErr error
+		if len(at.walOps) > 0 {
+			// A failing statement keeps its partial work (the engine's
+			// documented non-atomic statement semantics), so whatever ops
+			// were applied are logged as this statement's record.
+			ioErr = db.wal.appendCommit(at.walOps, true)
+		}
 		db.tm.finish(xid) // autocommit: publication point
 		db.writeMu.Unlock()
 		db.maybeVacuum()
+		return ioErr
 	}, nil
 }
 
-// acquireWrite takes the single-writer latch for a DDL statement. DDL is
-// non-transactional: inside an open transaction it rides the
-// transaction's latch span (and survives rollback); otherwise it latches
-// for the statement.
-func (db *Database) acquireWrite(tx *Txn) func() {
+// acquireWrite takes the single-writer latch for a DDL statement and
+// resolves the transaction it runs in (nil for autocommit DDL). Inside
+// an open transaction DDL rides the transaction's latch span and — like
+// DML — is undone by rollback, so the catalog never diverges from what
+// the WAL will record at commit.
+func (db *Database) acquireWrite(tx *Txn) (*Txn, func()) {
 	if tx = db.currentTxn(tx); tx != nil {
 		tx.ensureWrite()
-		return func() {}
+		return tx, func() {}
 	}
 	db.writeMu.Lock()
-	return db.writeMu.Unlock
+	return nil, db.writeMu.Unlock
 }

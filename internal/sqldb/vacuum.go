@@ -42,6 +42,26 @@ func (db *Database) maybeVacuum() {
 	}()
 }
 
+// maybeCheckpoint wakes the background checkpoint when the WAL has grown
+// past its configured threshold. Single-flight: at most one checkpoint
+// goroutine exists. Called after a successful append, so the goroutine's
+// writeMu acquisition simply queues behind the in-flight commit.
+func (db *Database) maybeCheckpoint() {
+	w := db.wal
+	if w == nil || db.closed.Load() || !w.wantCheckpoint() {
+		return
+	}
+	if !db.checkpointing.CompareAndSwap(false, true) {
+		return
+	}
+	db.vacWG.Add(1)
+	go func() {
+		defer db.vacWG.Done()
+		defer db.checkpointing.Store(false)
+		_ = w.checkpoint()
+	}()
+}
+
 // Vacuum synchronously reclaims every version invisible to all live
 // snapshots and returns how many versions it removed. The background
 // vacuum calls the same pass; this entry point exists for tests and for
