@@ -242,7 +242,11 @@ func printStats(db *sqldb.Database) {
 	fmt.Printf("transactions     %d begun / %d committed / %d rolled back / %d active\n",
 		s.Begins, s.Commits, s.Rollbacks, s.ActiveTxns)
 	fmt.Printf("vacuum           %d runs / %d versions reclaimed\n", s.VacuumRuns, s.VersionsReclaimed)
-	fmt.Printf("wal              %d appends / %d bytes / %d checkpoints\n", s.WALAppends, s.WALBytes, s.Checkpoints)
+	fmt.Printf("wal              %d appends / %d bytes / %d checkpoints / %d group commits\n",
+		s.WALAppends, s.WALBytes, s.Checkpoints, s.WALGroupCommits)
 	fmt.Printf("recovery         %d txns replayed / %d torn tails dropped\n", s.RecoveredTxns, s.TornTailsDropped)
+	fmt.Printf("segments         %d sealed / %d scans / %d blocks decoded\n",
+		s.SegmentsSealed, s.SegmentScans, s.DecodedBlocks)
+	fmt.Printf("vectorized       %d batches / %d row fallbacks\n", s.VectorBatches, s.RowFallbacks)
 	fmt.Printf("open cursors     %d\n", s.OpenCursors)
 }

@@ -172,7 +172,7 @@ func instrument(op operator, rec *execRecorder) operator {
 		t.probe = instrument(t.probe, rec)
 	case *nestedLoopJoinOp:
 		t.left = instrument(t.left, rec)
-	case *scanOp, *ordScanOp, *corrProbeScanOp, *mergeJoinOp, *valuesOp, *parScanOp:
+	case *scanOp, *ordScanOp, *corrProbeScanOp, *mergeJoinOp, *valuesOp, *parScanOp, *vecScanOp:
 		// Leaves (valuesOp.src is a dead display-only subtree).
 	}
 	w := &statOp{child: op, stat: rec.statFor(op)}
@@ -192,6 +192,8 @@ func treeScanned(op operator) uint64 {
 	case *ordScanOp:
 		return t.scanned
 	case *parScanOp:
+		return t.scanned
+	case *vecScanOp:
 		return t.scanned
 	case *corrProbeScanOp:
 		return t.scanned

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 // Microbenchmarks for the executor hot paths. Run with:
@@ -233,4 +234,65 @@ func BenchmarkPreparedVsParsed(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Vectorized-execution benchmarks: each statement runs on the same data
+// under all four storage x engine combinations — the heap vs sealed
+// column segments underneath, and the row-at-a-time vs vectorized
+// executor on top — with a single-worker pool so the comparison isolates
+// batch execution from morsel parallelism. sealed/vec is the tentpole
+// configuration; heap/row is the old engine.
+// unsealAll drops every published segment so the "heap" variants measure
+// pure heap scans. The bulk load is big enough to wake the background
+// sealer, so it is waited out first — otherwise it could republish
+// segments mid-benchmark.
+func unsealAll(db *Database) {
+	for db.sealing.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	for _, t := range db.tableMap() {
+		empty := []*segment{}
+		t.segs.Store(&empty)
+		t.sealedRows.Store(0)
+	}
+}
+
+func benchVector(b *testing.B, sql string) {
+	b.Helper()
+	for _, storage := range []string{"heap", "sealed"} {
+		for _, engine := range []string{"row", "vec"} {
+			b.Run(storage+"/"+engine, func(b *testing.B) {
+				db := benchDB(b, 64*1024, WithMaxWorkers(1))
+				unsealAll(db)
+				if storage == "sealed" {
+					if db.Seal() == 0 {
+						b.Fatal("Seal() froze nothing")
+					}
+				}
+				old := vectorEnabled
+				vectorEnabled = engine == "vec"
+				defer func() { vectorEnabled = old }()
+				benchQuery(b, db, sql)
+			})
+		}
+	}
+}
+
+func BenchmarkVectorScan(b *testing.B) {
+	benchVector(b, "SELECT id, price FROM items WHERE price > 90.0")
+}
+
+func BenchmarkVectorFilter(b *testing.B) {
+	benchVector(b, "SELECT COUNT(*) FROM items WHERE price > 50.0 AND qty < 25")
+}
+
+func BenchmarkVectorAgg(b *testing.B) {
+	benchVector(b, "SELECT COUNT(*), SUM(price), AVG(qty), MIN(price), MAX(price) FROM items WHERE qty < 40")
+}
+
+// BenchmarkVectorGroupBy is the vectorized executor's worst case on
+// sealed storage: cat_id has n/10 distinct values, so nearly every batch
+// discovers new groups and pays the lazy representative-row decode.
+func BenchmarkVectorGroupBy(b *testing.B) {
+	benchVector(b, "SELECT cat_id, COUNT(*), SUM(qty), MIN(price), MAX(price) FROM items GROUP BY cat_id")
 }

@@ -68,6 +68,13 @@ type Table struct {
 	// still need sweeping; the vacuum rebuilds this table's indexes when
 	// it is nonzero even if no chain version was reclaimable.
 	staleIdx atomic.Int64
+
+	// segs is the published list of immutable compressed column segments
+	// sealed off cold full blocks of the heap (segment.go), sorted by lo.
+	// Segments are redundant with the heap: DML on a covered slot drops
+	// the covering segment before the change publishes.
+	segs       atomic.Pointer[[]*segment]
+	sealedRows atomic.Int64 // rows currently covered by segments
 }
 
 // Index is a dual-structure secondary index over one column, maintained
@@ -136,6 +143,8 @@ type Database struct {
 
 	garbage   atomic.Int64   // dead versions since the last vacuum
 	vacuuming atomic.Bool    // single-flight latch for the background vacuum
+	sealDebt  atomic.Int64   // rows inserted since the last sealing pass
+	sealing   atomic.Bool    // single-flight latch for the background sealer
 	vacWG     sync.WaitGroup // joins background maintenance: vacuum + checkpoint
 	closed    atomic.Bool
 
@@ -530,6 +539,7 @@ func (t *Table) insertRow(r Row, qc *queryCtx, tx *Txn) error {
 		}
 	}
 	tx.logWALOp(walOp{kind: 'I', table: t.Name, row: r})
+	tx.db.sealDebt.Add(1)
 	return nil
 }
 
@@ -537,6 +547,7 @@ func (t *Table) insertRow(r Row, qc *queryCtx, tx *Txn) error {
 // slot, its versions and every index entry stay for older snapshots; the
 // vacuum reclaims them once invisible to all.
 func (t *Table) deleteRow(id int, tx *Txn) {
+	t.dropSegFor(id) // unseal before the delete can publish
 	head := t.head(id)
 	tx.logWALOp(walOp{kind: 'D', table: t.Name, row: head.row})
 	head.xmax.Store(tx.xid)
@@ -551,6 +562,7 @@ func (t *Table) deleteRow(id int, tx *Txn) {
 // callers (checkUpdateUnique per row, or the snapshot path's
 // whole-statement pre-check), so this is pure mechanism.
 func (t *Table) updateRow(id int, updated Row, qc *queryCtx, tx *Txn) {
+	t.dropSegFor(id) // unseal before the update can publish
 	head := t.head(id)
 	old := head.row
 	tx.logWALOp(walOp{kind: 'U', table: t.Name, row: old, row2: updated})

@@ -122,8 +122,11 @@ func (p *planPrinter) describe(op operator, depth int) {
 		p.describe(t.child, depth+1)
 	case *groupOp:
 		parNote := ""
-		if t.par != nil {
+		switch {
+		case t.par != nil:
 			parNote = fmt.Sprintf(" (parallel workers=%d)", t.par.workers)
+		case t.vec != nil:
+			parNote = " (vectorized)"
 		}
 		if len(t.stmt.GroupBy) > 0 {
 			groups := make([]string, len(t.stmt.GroupBy))
@@ -142,7 +145,11 @@ func (p *planPrinter) describe(op operator, depth int) {
 		}
 		p.describe(t.child, depth+1)
 	case *projectOp:
-		p.emit(depth, "project %d column(s)", len(t.outCols))
+		vecNote := ""
+		if t.vec != nil {
+			vecNote = " (vectorized)"
+		}
+		p.emit(depth, "project %d column(s)%s", len(t.outCols), vecNote)
 		for _, it := range t.items {
 			p.describeSubplans(it.Expr, depth+1, t.env)
 		}
@@ -160,20 +167,40 @@ func (p *planPrinter) describe(op operator, depth int) {
 		default:
 			p.emit(depth, "seq scan %s (as %s): %d row(s)", t.table.Name, t.qual, t.table.liveCount())
 		}
+	case *vecScanOp:
+		if analyzed {
+			p.extra = scanAnnotation(t.scanned, t.tombSkipped) +
+				fmt.Sprintf(" batches=%d", t.batches)
+			if t.decBlocks > 0 {
+				p.extra += fmt.Sprintf(" segments=%d decoded_blocks=%d", len(t.segs), t.decBlocks)
+			}
+		}
+		p.emit(depth, "vectorized seq scan %s (as %s): %d row(s)",
+			t.table.Name, t.qual, t.table.liveCount())
+		for _, pred := range t.preds {
+			p.emit(depth+1, "fused filter %s", pred.String())
+		}
 	case *parScanOp:
+		gatherNote := ""
+		if t.unordered {
+			gatherNote = " (unordered gather)"
+		}
 		if analyzed {
 			p.extra = scanAnnotation(t.scanned, t.tombSkipped) + fmt.Sprintf(" workers=%d", t.workers)
+			if t.decBlocks > 0 {
+				p.extra += fmt.Sprintf(" decoded_blocks=%d", t.decBlocks)
+			}
 		}
 		switch {
 		case t.rangeIdx != nil:
-			p.emit(depth, "parallel index range scan %s (as %s) workers=%d: %s", t.table.Name, t.qual,
-				t.workers, t.spec.describe(t.table.Columns[t.rangeIdx.Column].Name))
+			p.emit(depth, "parallel index range scan %s (as %s) workers=%d%s: %s", t.table.Name, t.qual,
+				t.workers, gatherNote, t.spec.describe(t.table.Columns[t.rangeIdx.Column].Name))
 		case t.ids != nil:
-			p.emit(depth, "parallel index scan %s (as %s) workers=%d: %d candidate row(s)",
-				t.table.Name, t.qual, t.workers, len(t.ids))
+			p.emit(depth, "parallel index scan %s (as %s) workers=%d%s: %d candidate row(s)",
+				t.table.Name, t.qual, t.workers, gatherNote, len(t.ids))
 		default:
-			p.emit(depth, "parallel seq scan %s (as %s) workers=%d: %d row(s)",
-				t.table.Name, t.qual, t.workers, t.table.liveCount())
+			p.emit(depth, "parallel seq scan %s (as %s) workers=%d%s: %d row(s)",
+				t.table.Name, t.qual, t.workers, gatherNote, t.table.liveCount())
 		}
 		if t.pred != nil {
 			p.emit(depth+1, "fused filter %s", t.pred.String())

@@ -104,17 +104,63 @@ type morselSource struct {
 	arr   []*rowSlot
 	n     int
 	snap  *snapshot
+	segs  []*segment // sealed column segments (segment.go); nil = none
 }
 
 // newMorselSource captures the scan's iteration space: the id list when
 // one was materialised, otherwise the heap slot array, plus the
-// statement snapshot rows are judged against.
+// statement snapshot rows are judged against. Full heap scans also
+// capture the published segment list so fully sealed morsels decode
+// their block instead of chasing version pointers; morselSize equals
+// segBlockSlots, so a morsel is always entirely sealed or entirely heap.
 func newMorselSource(t *Table, ids []int, snap *snapshot) morselSource {
 	m := morselSource{table: t, ids: ids, snap: snap}
 	if ids == nil {
 		m.arr, m.n = t.loadSlots()
+		if !debugDisableTombstoneSkip {
+			m.segs = t.loadSegs()
+		}
 	}
 	return m
+}
+
+// sealedBlockRows decodes the sealed block covering morsel idx into
+// freshly materialised full-width rows (slot order, zero tombstones), or
+// reports false when the morsel is not a fully sealed block. Decode
+// errors cannot occur for blocks this process sealed; fail closed to the
+// heap walk anyway.
+func (m morselSource) sealedBlockRows(idx int) ([]Row, bool) {
+	if m.segs == nil {
+		return nil, false
+	}
+	lo := idx * morselSize
+	seg := findSeg(m.segs, lo)
+	if seg == nil {
+		return nil, false
+	}
+	blk := seg.block(lo)
+	width := len(m.table.Columns)
+	rows := make([]Row, blk.nrows)
+	if blk.nrows == 0 {
+		return rows, true
+	}
+	cols := make([][]Value, width)
+	for c := range cols {
+		buf := make([]Value, blk.nrows)
+		if err := blk.cols[c].decode(blk.nrows, buf); err != nil {
+			return nil, false
+		}
+		cols[c] = buf
+	}
+	vals := make([]Value, blk.nrows*width)
+	for j := range rows {
+		r := vals[j*width : (j+1)*width : (j+1)*width]
+		for c := 0; c < width; c++ {
+			r[c] = cols[c][j]
+		}
+		rows[j] = r
+	}
+	return rows, true
 }
 
 func (m morselSource) total() int {
@@ -156,16 +202,35 @@ func (m morselSource) morselRow(pos int) (Row, bool) {
 
 // scanMorsel runs one morsel's scan+filter loop: positions [lo, hi) of
 // the source, predicate pred (nil = all rows), appending matches to out.
-// Returns the rows, the number scanned, and tombstones stepped over.
-// Heap-order iteration inside the morsel keeps the gathered stream
-// bit-identical to the serial scan.
-func (m morselSource) scanMorsel(idx int, pred compiledExpr, env *evalEnv, out []Row) ([]Row, uint64, uint64, error) {
+// Returns the rows, the number scanned, tombstones stepped over, and
+// sealed blocks decoded. Heap-order iteration inside the morsel keeps the
+// gathered stream bit-identical to the serial scan; a fully sealed morsel
+// decodes its column block instead (same rows, same order, no
+// tombstones).
+func (m morselSource) scanMorsel(idx int, pred compiledExpr, env *evalEnv, out []Row) ([]Row, uint64, uint64, uint64, error) {
+	var scanned, tombSkipped uint64
+	if rows, ok := m.sealedBlockRows(idx); ok {
+		for _, r := range rows {
+			scanned++
+			if pred != nil {
+				env.row = r
+				v, err := pred()
+				if err != nil {
+					return out, scanned, 0, 1, err
+				}
+				if v.IsNull() || !v.AsBool() {
+					continue
+				}
+			}
+			out = append(out, r)
+		}
+		return out, scanned, 0, 1, nil
+	}
 	lo := idx * morselSize
 	hi := lo + morselSize
 	if t := m.total(); hi > t {
 		hi = t
 	}
-	var scanned, tombSkipped uint64
 	for pos := lo; pos < hi; pos++ {
 		r, skip := m.morselRow(pos)
 		if r == nil {
@@ -179,7 +244,7 @@ func (m morselSource) scanMorsel(idx int, pred compiledExpr, env *evalEnv, out [
 			env.row = r
 			v, err := pred()
 			if err != nil {
-				return out, scanned, tombSkipped, err
+				return out, scanned, tombSkipped, 0, err
 			}
 			if v.IsNull() || !v.AsBool() {
 				continue
@@ -187,7 +252,7 @@ func (m morselSource) scanMorsel(idx int, pred compiledExpr, env *evalEnv, out [
 		}
 		out = append(out, r)
 	}
-	return out, scanned, tombSkipped, nil
+	return out, scanned, tombSkipped, 0, nil
 }
 
 // countAccessPath records the access path once, mirroring scanOp.
@@ -214,6 +279,7 @@ type parMorsel struct {
 	rows        []Row
 	scanned     uint64
 	tombSkipped uint64
+	decoded     uint64 // sealed blocks decoded (0 or 1)
 	err         error
 }
 
@@ -237,6 +303,11 @@ type parScanOp struct {
 	params   []Value
 	workers  int
 	qc       *queryCtx
+	// unordered: the consumer is provably order-insensitive (aggregation
+	// without ORDER BY, gated by aggOrderInsensitive), so the gather
+	// consumes morsels in completion order instead of stashing them back
+	// into morsel order — slow morsels never stall fast ones.
+	unordered bool
 
 	started bool
 	stopped bool
@@ -267,6 +338,8 @@ type parScanOp struct {
 
 	scanned     uint64 // merged per-operator counters (EXPLAIN ANALYZE)
 	tombSkipped uint64
+	decBlocks   uint64
+	segCounted  bool
 }
 
 func (s *parScanOp) columns() []colInfo { return s.cols }
@@ -380,8 +453,8 @@ func (s *parScanOp) worker(env *evalEnv, pred compiledExpr) {
 				return
 			}
 		}
-		rows, scanned, tombSkipped, err := s.src.scanMorsel(idx, pred, env, nil)
-		res := parMorsel{idx: idx, rows: rows, scanned: scanned, tombSkipped: tombSkipped, err: err}
+		rows, scanned, tombSkipped, decoded, err := s.src.scanMorsel(idx, pred, env, nil)
+		res := parMorsel{idx: idx, rows: rows, scanned: scanned, tombSkipped: tombSkipped, decoded: decoded, err: err}
 		if err != nil {
 			s.errMu.Lock()
 			if s.workerErr == nil || idx < s.workerErrID {
@@ -406,9 +479,15 @@ func (s *parScanOp) worker(env *evalEnv, pred compiledExpr) {
 func (s *parScanOp) fold(m parMorsel) {
 	s.scanned += m.scanned
 	s.tombSkipped += m.tombSkipped
+	s.decBlocks += m.decoded
 	if s.qc != nil {
 		s.qc.rowsScanned += m.scanned
 		s.qc.tombstonesSkipped += m.tombSkipped
+		s.qc.decodedBlocks += m.decoded
+		if m.decoded > 0 && !s.segCounted {
+			s.segCounted = true
+			s.qc.segmentScans++
+		}
 	}
 }
 
@@ -465,7 +544,10 @@ func (s *parScanOp) next() (Row, bool, error) {
 				}
 				return nil, false, nil
 			}
-			if res.idx != s.nextIdx {
+			// The ordered gather stashes out-of-order morsels until their
+			// turn; the unordered gather consumes completion order directly
+			// (nextIdx then just counts consumed morsels).
+			if !s.unordered && res.idx != s.nextIdx {
 				s.stash[res.idx] = res
 				continue
 			}
@@ -561,6 +643,82 @@ func tryParallelScan(src operator, db *Database, params []Value, qc *queryCtx) o
 		pred: joinConjuncts(preds), db: db, params: params,
 		workers: db.maxWorkers, qc: qc,
 	}
+}
+
+// tryParallelScanUnordered feeds an order-insensitive serial aggregation
+// from a parallel scan gathered in completion order. Only when the
+// statement provably cannot observe morsel arrival order: a single output
+// group (no GROUP BY — first-seen group order would leak scheduling), no
+// ORDER BY, aggregates whose folds are commutative for every value kind
+// (COUNT/MIN/MAX, DISTINCT included since the dedup set is order-free),
+// and no bare column refs outside aggregate arguments (those read the
+// group's representative row, which is arrival-order-dependent).
+func tryParallelScanUnordered(stmt *SelectStmt, items []SelectItem, src operator,
+	aggs []*FuncCall, db *Database, params []Value, qc *queryCtx) operator {
+	if !aggOrderInsensitive(stmt, items, aggs) {
+		return src
+	}
+	sc, preds := parallelScanTarget(src)
+	if !parallelEligible(db, qc, sc, preds) {
+		return src
+	}
+	return &parScanOp{
+		table: sc.table, qual: sc.qual, cols: sc.cols,
+		ids: sc.ids, rangeIdx: sc.rangeIdx, spec: sc.spec,
+		pred: joinConjuncts(preds), db: db, params: params,
+		workers: db.maxWorkers, qc: qc, unordered: true,
+	}
+}
+
+// aggOrderInsensitive reports whether an aggregate statement's result is
+// invariant under any permutation of its input rows — the licence for the
+// unordered gather above.
+func aggOrderInsensitive(stmt *SelectStmt, items []SelectItem, aggs []*FuncCall) bool {
+	if len(stmt.GroupBy) != 0 || len(stmt.OrderBy) != 0 {
+		return false
+	}
+	for _, fc := range aggs {
+		switch fc.Name {
+		case "COUNT", "MIN", "MAX":
+		default:
+			// SUM/AVG/TOTAL float folds and GROUP_CONCAT are defined in
+			// scan order; the ordered gather keeps them deterministic.
+			return false
+		}
+	}
+	for _, it := range items {
+		if bareRefsOutsideAggs(it.Expr) {
+			return false
+		}
+	}
+	return !bareRefsOutsideAggs(stmt.Having)
+}
+
+// bareRefsOutsideAggs reports whether e reads a column outside any
+// aggregate argument — such reads come from the single group's
+// representative row, which is whichever matching row arrived first.
+// Subqueries are treated as bare: walkExpr does not descend into their
+// statements, so correlated refs inside them would go unseen.
+func bareRefsOutsideAggs(e Expr) bool {
+	bare := false
+	walkExpr(e, func(x Expr) bool {
+		switch t := x.(type) {
+		case *FuncCall:
+			if isAggregateName(t.Name) {
+				return false // prune: refs inside aggregate args are fine
+			}
+		case *ColumnRef:
+			bare = true
+		case *Subquery, *ExistsExpr:
+			bare = true
+		case *InList:
+			if t.Sub != nil {
+				bare = true
+			}
+		}
+		return !bare
+	})
+	return bare
 }
 
 // ---------------------------------------------------------------------------
@@ -680,6 +838,7 @@ func runAggregationParallel(stmt *SelectStmt, par *parAggPlan, aggs []*FuncCall,
 		groups      map[string]*parAggGroup
 		scanned     uint64
 		tombSkipped uint64
+		decoded     uint64
 		errID       int
 		err         error
 	}
@@ -747,6 +906,76 @@ func runAggregationParallel(stmt *SelectStmt, par *parAggPlan, aggs []*FuncCall,
 				res.errID, res.err = ordinal, err
 				abort.Store(true)
 			}
+			// foldRow filters and folds one visible row into the worker's
+			// partial groups. pos is the row's scan ordinal (slot position
+			// for heap rows, lo+j for sealed rows — both monotone in slot
+			// order, so first-seen ordering merges identically). Returns
+			// false after fail().
+			foldRow := func(r Row, pos, idx int) bool {
+				res.scanned++
+				we.env.row = r
+				if we.pred != nil {
+					v, err := we.pred()
+					if err != nil {
+						fail(pos, err)
+						return false
+					}
+					if v.IsNull() || !v.AsBool() {
+						return true
+					}
+				}
+				kb = kb[:0]
+				for i, ge := range we.groupExprs {
+					v, err := ge()
+					if err != nil {
+						fail(pos, err)
+						return false
+					}
+					keyVals[i] = v
+					kb = appendValueKey(kb, v)
+				}
+				g, ok := res.groups[string(kb)]
+				if !ok {
+					states := make([]aggState, len(aggs))
+					for i, fc := range aggs {
+						st, err := newAggState(fc)
+						if err != nil {
+							fail(pos, err)
+							return false
+						}
+						states[i] = st
+					}
+					g = &parAggGroup{
+						keys:    append([]Value{}, keyVals...),
+						states:  states,
+						repRow:  r.Clone(),
+						firstID: pos,
+					}
+					res.groups[string(kb)] = g
+				}
+				for i, fc := range aggs {
+					if fc.Star {
+						g.states[i].add(Int(1))
+						continue
+					}
+					if we.argExprs[i] == nil {
+						continue
+					}
+					v, err := we.argExprs[i]()
+					if err != nil {
+						fail(pos, err)
+						return false
+					}
+					// Order-sensitive float states take the morsel
+					// ordinal so partial sums fold in morsel order.
+					if ma, ok := g.states[i].(morselAdder); ok {
+						ma.addMorsel(v, idx)
+					} else {
+						g.states[i].add(v)
+					}
+				}
+				return true
+			}
 			for {
 				idx := int(claim.Add(1)) - 1
 				if idx >= nMorsels || abort.Load() {
@@ -756,6 +985,15 @@ func runAggregationParallel(stmt *SelectStmt, par *parAggPlan, aggs []*FuncCall,
 					return
 				}
 				lo := idx * morselSize
+				if rows, ok := src.sealedBlockRows(idx); ok {
+					res.decoded++
+					for j, r := range rows {
+						if !foldRow(r, lo+j, idx) {
+							return
+						}
+					}
+					continue
+				}
 				hi := lo + morselSize
 				if hi > total {
 					hi = total
@@ -768,67 +1006,8 @@ func runAggregationParallel(stmt *SelectStmt, par *parAggPlan, aggs []*FuncCall,
 						}
 						continue
 					}
-					res.scanned++
-					we.env.row = r
-					if we.pred != nil {
-						v, err := we.pred()
-						if err != nil {
-							fail(pos, err)
-							return
-						}
-						if v.IsNull() || !v.AsBool() {
-							continue
-						}
-					}
-					kb = kb[:0]
-					for i, ge := range we.groupExprs {
-						v, err := ge()
-						if err != nil {
-							fail(pos, err)
-							return
-						}
-						keyVals[i] = v
-						kb = appendValueKey(kb, v)
-					}
-					g, ok := res.groups[string(kb)]
-					if !ok {
-						states := make([]aggState, len(aggs))
-						for i, fc := range aggs {
-							st, err := newAggState(fc)
-							if err != nil {
-								fail(pos, err)
-								return
-							}
-							states[i] = st
-						}
-						g = &parAggGroup{
-							keys:    append([]Value{}, keyVals...),
-							states:  states,
-							repRow:  r.Clone(),
-							firstID: pos,
-						}
-						res.groups[string(kb)] = g
-					}
-					for i, fc := range aggs {
-						if fc.Star {
-							g.states[i].add(Int(1))
-							continue
-						}
-						if we.argExprs[i] == nil {
-							continue
-						}
-						v, err := we.argExprs[i]()
-						if err != nil {
-							fail(pos, err)
-							return
-						}
-						// Order-sensitive float states take the morsel
-						// ordinal so partial sums fold in morsel order.
-						if ma, ok := g.states[i].(morselAdder); ok {
-							ma.addMorsel(v, idx)
-						} else {
-							g.states[i].add(v)
-						}
+					if !foldRow(r, pos, idx) {
+						return
 					}
 				}
 			}
@@ -840,14 +1019,19 @@ func runAggregationParallel(stmt *SelectStmt, par *parAggPlan, aggs []*FuncCall,
 	// the partial states keyed by group, keeping per group the identity
 	// (keys, repRow) of its smallest scan ordinal — the row the serial
 	// fold would have seen first.
-	var scanned, tombSkipped uint64
+	var scanned, tombSkipped, decoded uint64
 	for w := range results {
 		scanned += results[w].scanned
 		tombSkipped += results[w].tombSkipped
+		decoded += results[w].decoded
 	}
 	if qc != nil {
 		qc.rowsScanned += scanned
 		qc.tombstonesSkipped += tombSkipped
+		qc.decodedBlocks += decoded
+		if decoded > 0 {
+			qc.segmentScans++
+		}
 	}
 	// Merged counters land on the (never-pulled) scanOp retained for
 	// EXPLAIN, so treeScanned and the scanned= annotation stay truthful.

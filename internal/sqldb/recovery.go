@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // This file implements recovery-on-open: discover the newest complete
@@ -107,6 +108,7 @@ func (db *Database) openWAL(ctx context.Context) error {
 	// Open (or create) the active log for appending, dropping any torn
 	// tail so the next append lands on a record boundary.
 	w := &walWriter{db: db, fs: fs, dir: dir, opts: opts}
+	w.syncCond = sync.NewCond(&w.syncMu)
 	if haveActive {
 		f, size, err := fs.OpenAppend(walLogName(dir, activeGen))
 		if err != nil {
@@ -148,6 +150,7 @@ func (db *Database) openWAL(ctx context.Context) error {
 		_ = w.f.Close()
 		return wrapIOErr(err)
 	}
+	w.sGen, w.synced = w.gen, w.off // the open sync made the prefix durable
 	if opts.Sync == SyncInterval {
 		w.stop = make(chan struct{})
 		w.done = make(chan struct{})

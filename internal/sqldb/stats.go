@@ -96,6 +96,25 @@ type Stats struct {
 	// recovery (a crash mid-append) and was silently dropped back to the
 	// last fully-committed record.
 	TornTailsDropped uint64
+	// WALGroupCommits counts commits whose durability rode another
+	// commit's fsync (group commit): the committer found its log record
+	// already synced, or waited on a sync another commit was leading,
+	// instead of issuing its own fsync.
+	WALGroupCommits uint64
+	// SegmentsSealed counts compressed column segments the background
+	// sealer (or an explicit Seal) froze off cold regions of row heaps.
+	SegmentsSealed uint64
+	// SegmentScans counts scans that read at least one sealed segment;
+	// DecodedBlocks counts the column blocks they decompressed.
+	SegmentScans  uint64
+	DecodedBlocks uint64
+	// VectorBatches counts column batches the vectorized executor
+	// produced; RowFallbacks counts SELECT plans that wanted the
+	// vectorized path but fell back to the row-at-a-time tree because of
+	// an unsupported shape (subqueries, UDFs, non-specializable
+	// expressions).
+	VectorBatches uint64
+	RowFallbacks  uint64
 }
 
 // dbStats is the database-wide aggregate, updated with atomics.
@@ -121,11 +140,18 @@ type dbStats struct {
 	vacuumRuns        atomic.Uint64
 	versionsReclaimed atomic.Uint64
 
-	walAppends    atomic.Uint64
-	walBytes      atomic.Uint64
-	checkpoints   atomic.Uint64
-	recoveredTxns atomic.Uint64
-	tornDropped   atomic.Uint64
+	walAppends      atomic.Uint64
+	walBytes        atomic.Uint64
+	checkpoints     atomic.Uint64
+	recoveredTxns   atomic.Uint64
+	tornDropped     atomic.Uint64
+	walGroupCommits atomic.Uint64
+
+	segmentsSealed atomic.Uint64
+	segmentScans   atomic.Uint64
+	decodedBlocks  atomic.Uint64
+	vectorBatches  atomic.Uint64
+	rowFallbacks   atomic.Uint64
 }
 
 // Stats returns a snapshot of the database's counters.
@@ -158,6 +184,12 @@ func (db *Database) Stats() Stats {
 		Checkpoints:        db.stats.checkpoints.Load(),
 		RecoveredTxns:      db.stats.recoveredTxns.Load(),
 		TornTailsDropped:   db.stats.tornDropped.Load(),
+		WALGroupCommits:    db.stats.walGroupCommits.Load(),
+		SegmentsSealed:     db.stats.segmentsSealed.Load(),
+		SegmentScans:       db.stats.segmentScans.Load(),
+		DecodedBlocks:      db.stats.decodedBlocks.Load(),
+		VectorBatches:      db.stats.vectorBatches.Load(),
+		RowFallbacks:       db.stats.rowFallbacks.Load(),
 	}
 }
 
@@ -176,6 +208,13 @@ type QueryStats struct {
 	SubplanCacheMisses uint64
 	OrdMaintains       uint64
 	TombstonesSkipped  uint64
+	// SegmentScans / DecodedBlocks / VectorBatches / RowFallbacks measure
+	// this execution's use of the vectorized engine and its compressed
+	// column segments; meanings match Stats.
+	SegmentScans  uint64
+	DecodedBlocks uint64
+	VectorBatches uint64
+	RowFallbacks  uint64
 	// VersionsReclaimed counts row versions a synchronous Vacuum pass
 	// initiated by this execution removed (zero for ordinary statements —
 	// reclamation is a background concern).
@@ -208,6 +247,10 @@ type queryCtx struct {
 	ordMaintains      uint64
 	tombstonesSkipped uint64
 	versionsReclaimed uint64
+	segmentScans      uint64
+	decodedBlocks     uint64
+	vectorBatches     uint64
+	rowFallbacks      uint64
 
 	// snap is the snapshot the statement evaluates visibility against:
 	// a registered read snapshot (SELECT) or an unregistered statement
@@ -286,6 +329,10 @@ func (qc *queryCtx) snapshot() QueryStats {
 		SubplanCacheMisses: qc.subplanMisses,
 		OrdMaintains:       qc.ordMaintains,
 		TombstonesSkipped:  qc.tombstonesSkipped,
+		SegmentScans:       qc.segmentScans,
+		DecodedBlocks:      qc.decodedBlocks,
+		VectorBatches:      qc.vectorBatches,
+		RowFallbacks:       qc.rowFallbacks,
 		VersionsReclaimed:  qc.versionsReclaimed,
 		Elapsed:            elapsed,
 	}
@@ -368,5 +415,17 @@ func (qc *queryCtx) flush() {
 	}
 	if qc.tombstonesSkipped > 0 {
 		s.tombSkipped.Add(qc.tombstonesSkipped)
+	}
+	if qc.segmentScans > 0 {
+		s.segmentScans.Add(qc.segmentScans)
+	}
+	if qc.decodedBlocks > 0 {
+		s.decodedBlocks.Add(qc.decodedBlocks)
+	}
+	if qc.vectorBatches > 0 {
+		s.vectorBatches.Add(qc.vectorBatches)
+	}
+	if qc.rowFallbacks > 0 {
+		s.rowFallbacks.Add(qc.rowFallbacks)
 	}
 }

@@ -31,6 +31,7 @@ type projectOp struct {
 	citems    []compiledExpr
 	orderKeys []compiledExpr // nil without ORDER BY
 	oenv      *evalEnv       // output-row environment the keys read from
+	vec       *vecProjPlan   // non-nil: items read from the scan's batches
 	arena     rowArena
 }
 
@@ -38,6 +39,22 @@ func (p *projectOp) columns() []colInfo { return p.outCols }
 func (p *projectOp) reset()             { p.child.reset() }
 
 func (p *projectOp) next() (Row, bool, error) {
+	if p.vec != nil {
+		// Vectorized projection: pull through the child (so EXPLAIN
+		// ANALYZE wrappers keep counting), then read the emitted row's
+		// item values from the per-batch kernel results by ordinal.
+		_, ok, err := p.child.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		cols := p.vec.itemCols()
+		i := p.vec.src.lastIdx
+		out := p.arena.alloc(len(cols))
+		for j, c := range cols {
+			out[j] = c.at(i)
+		}
+		return out, true, nil
+	}
 	r, ok, err := p.child.next()
 	if err != nil || !ok {
 		return nil, false, err
@@ -84,6 +101,7 @@ type groupOp struct {
 	outer     *evalEnv
 	qc        *queryCtx
 	par       *parAggPlan // non-nil: fused parallel partial aggregation
+	vec       *vecAggPlan // non-nil: vectorized scan+filter+aggregate drain
 
 	built   bool
 	groups  []*aggGroup
@@ -104,9 +122,12 @@ func (g *groupOp) next() (Row, bool, error) {
 	if !g.built {
 		var groups []*aggGroup
 		var err error
-		if g.par != nil {
+		switch {
+		case g.par != nil:
 			groups, err = runAggregationParallel(g.stmt, g.par, g.aggs, g.db, g.params, g.qc)
-		} else {
+		case g.vec != nil:
+			groups, err = runAggregationVec(g.stmt, g.vec, g.child, g.aggs)
+		default:
 			groups, err = runAggregation(g.stmt, g.child, g.aggs, g.db, g.params, g.outer, g.qc)
 		}
 		if err != nil {
@@ -533,6 +554,15 @@ func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *eval
 		src = tryParallelScan(src, db, params, qc)
 	}
 
+	// Vectorized batch execution (vecops.go): claims unrestricted
+	// seq-scan chains the parallel scan did not take (a parScanOp no
+	// longer bottoms out in a scanOp, so the hook passes it through).
+	// The compiler is kept so projection items can be vectorized below.
+	var vcomp *vecCompiler
+	if !aggregate && !orderElided {
+		src, vcomp = tryVectorize(src, db, params, qc)
+	}
+
 	// LIMIT / OFFSET are constant expressions; fold them at plan time.
 	start, limit := 0, -1
 	if stmt.Offset != nil {
@@ -622,12 +652,27 @@ func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *eval
 		var par *parAggPlan
 		if topLevel && outer == nil && len(stmt.Joins) == 0 {
 			par = tryParallelAgg(stmt, src, aggs, db, qc)
+			if par == nil {
+				// Partial states did not merge (e.g. DISTINCT aggregates),
+				// but when the consumer is provably order-insensitive the
+				// scan itself can still parallelize, gathered in morsel
+				// completion order.
+				src = tryParallelScanUnordered(stmt, items, src, aggs, db, params, qc)
+			}
+		}
+		var vagg *vecAggPlan
+		if par == nil {
+			var avc *vecCompiler
+			src, avc = tryVectorize(src, db, params, qc)
+			if avc != nil {
+				vagg = tryVectorizeAgg(src.(*vecScanOp), avc, stmt, aggs, qc)
+			}
 		}
 		root = &groupOp{
 			stmt: stmt, child: src, aggs: aggs, actx: actx, env: env,
 			citems: citems, having: having, orderKeys: orderKeys, oenv: oenv,
 			outCols: outCols, db: db, params: params, outer: outer, qc: qc,
-			par: par,
+			par: par, vec: vagg,
 		}
 	} else {
 		citems := make([]compiledExpr, len(items))
@@ -639,9 +684,18 @@ func buildSelectPlan(stmt *SelectStmt, db *Database, params []Value, outer *eval
 		if err := compileOrder(); err != nil {
 			return nil, nil, err
 		}
+		// Fully vectorized projection: only without ORDER BY keys (key
+		// evaluation reads the projected output row) and when every item
+		// compiles to a kernel.
+		var vproj *vecProjPlan
+		if vcomp != nil && orderKeys == nil {
+			if vsc, ok := src.(*vecScanOp); ok {
+				vproj = tryVectorizeProj(vsc, vcomp, items, qc)
+			}
+		}
 		root = &projectOp{
 			child: src, outCols: outCols, items: items, env: env,
-			citems: citems, orderKeys: orderKeys, oenv: oenv,
+			citems: citems, orderKeys: orderKeys, oenv: oenv, vec: vproj,
 		}
 	}
 

@@ -322,10 +322,13 @@ func (tx *Txn) Commit() error {
 	tx.done = true
 	db := tx.db
 	var ioErr error
+	var syncGen uint64
+	var syncOff int64
 	if len(tx.walOps) > 0 {
 		// Still under writeMu here (walOps imply wrote), so log order
-		// equals commit order.
-		ioErr = db.wal.appendCommit(tx.walOps, false)
+		// equals commit order. The record is made durable below, after
+		// the latch is released, so concurrent commits group-fsync.
+		syncGen, syncOff, ioErr = db.wal.appendCommit(tx.walOps, false)
 	}
 	db.tm.finish(tx.xid) // publication point
 	db.tm.release(tx.snap)
@@ -333,7 +336,11 @@ func (tx *Txn) Commit() error {
 	db.stats.activeTxns.Add(-1)
 	if tx.wrote {
 		db.writeMu.Unlock()
+		if ioErr == nil && syncOff > 0 {
+			ioErr = db.wal.waitSync(syncGen, syncOff)
+		}
 		db.maybeVacuum()
+		db.maybeSeal()
 	}
 	return ioErr
 }
@@ -546,15 +553,21 @@ func (db *Database) beginWrite(qc *queryCtx, tx *Txn) (*Txn, func() error, error
 		qc.wtx = nil
 		at.done = true
 		var ioErr error
+		var syncGen uint64
+		var syncOff int64
 		if len(at.walOps) > 0 {
 			// A failing statement keeps its partial work (the engine's
 			// documented non-atomic statement semantics), so whatever ops
 			// were applied are logged as this statement's record.
-			ioErr = db.wal.appendCommit(at.walOps, true)
+			syncGen, syncOff, ioErr = db.wal.appendCommit(at.walOps, true)
 		}
 		db.tm.finish(xid) // autocommit: publication point
 		db.writeMu.Unlock()
+		if ioErr == nil && syncOff > 0 {
+			ioErr = db.wal.waitSync(syncGen, syncOff)
+		}
 		db.maybeVacuum()
+		db.maybeSeal()
 		return ioErr
 	}, nil
 }

@@ -1,0 +1,629 @@
+package sqldb
+
+// This file implements the vectorized executor built on the kernels of
+// vector.go: a batch-at-a-time scan with the WHERE conjuncts fused in,
+// plus the planner hooks that swap it in under projections and
+// aggregations. The operator keeps the row-at-a-time `operator` contract
+// towards the rest of the tree — it emits the surviving rows one by one —
+// while internally gathering heap rows (or decoding sealed column
+// segments, segment.go) a batch at a time and running the compiled
+// predicate kernels over whole batches.
+//
+// Accounting is emission-driven so it stays bit-identical to the serial
+// scanOp+filterOp stack even when a LIMIT stops the plan early: gathered
+// rows and the tombstones stepped over before them are counted only when
+// the emission cursor passes them, exactly where the row engine's pull
+// would have counted them.
+
+// vectorEnabled switches the vectorized executor on. Package-level so the
+// equivalence and metamorphic suites can force the row engine and compare
+// the two row for row.
+var vectorEnabled = true
+
+// vecMinRows is the minimum live-row count before a pure-heap scan is
+// worth batching (sealed tables always vectorize). Mirrors
+// parallelMinRows; a variable so tests can lower it.
+var vecMinRows = 4096
+
+// vecScanOp scans one base table batch-at-a-time with the filter stack's
+// conjuncts compiled to predicate kernels. It replaces an unrestricted
+// filter-over-seq-scan chain; index and range access paths keep the row
+// scan (their id lists are the win already).
+type vecScanOp struct {
+	table  *Table
+	qual   string
+	cols   []colInfo
+	preds  []Expr // fused conjuncts, retained for EXPLAIN
+	vpreds []vecPredFn
+	need   []bool // column ordinals the compiled kernels read
+	qc     *queryCtx
+
+	// needRows: emitted rows must be real full-width rows (row-projection
+	// or aggregation consumers). The vectorized projection path clears it:
+	// items are read from batch columns, so sealed blocks skip row
+	// materialisation and decode only the needed columns.
+	needRows bool
+	// curBlk is the sealed block behind the current batch (nil for heap
+	// stretches). Kept so materializeRow can decode columns the kernels
+	// did not need lazily — once per batch, and only for batches that
+	// actually discover a new aggregation group.
+	curBlk *segBlock
+	matSeq uint64    // batch generation matBuf belongs to
+	matBuf [][]Value // lazily decoded full columns, indexed by ordinal
+
+	inited  bool
+	counted bool
+	done    bool
+	snap    *snapshot
+	arr     []*rowSlot
+	n       int
+	segs    []*segment
+	slotPos int
+	carry   int64 // tombstones stepped over since the previous gathered row
+
+	b       vecBatch
+	seq     uint64 // batch generation, for consumers caching kernel results
+	have    bool   // b holds an unconsumed batch
+	emitPos int    // next batch ordinal to account/emit
+	lastIdx int    // batch ordinal of the row the last next() returned
+
+	arena  rowArena
+	colBuf [][]Value
+	rowBuf []Row
+
+	scanned     uint64 // per-operator counters (EXPLAIN ANALYZE)
+	tombSkipped uint64
+	segScans    uint64
+	decBlocks   uint64
+	batches     uint64
+}
+
+func (s *vecScanOp) columns() []colInfo { return s.cols }
+
+func (s *vecScanOp) reset() {
+	s.done = false
+	s.have = false
+	s.slotPos = 0
+	s.carry = 0
+	s.emitPos = 0
+	// inited and counted persist: the snapshot, slot array and access-path
+	// record are per-operator, as in scanOp.
+}
+
+func (s *vecScanOp) next() (Row, bool, error) {
+	b, i, ok, err := s.emitNext()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if b.rows != nil {
+		return b.rows[i], true, nil
+	}
+	// Row-free batch (fully vectorized projection): the consumer reads
+	// batch columns via lastIdx, not the returned row.
+	return nil, true, nil
+}
+
+// emitNext advances the emission cursor to the next filter-surviving row,
+// folding the counters of every row and tombstone it passes — the lazy
+// walk that keeps totals identical to the row engine under early stops.
+func (s *vecScanOp) emitNext() (*vecBatch, int, bool, error) {
+	if !s.inited {
+		s.inited = true
+		if s.qc != nil {
+			s.snap = s.qc.snap
+		}
+		s.arr, s.n = s.table.loadSlots()
+		if !debugDisableTombstoneSkip {
+			s.segs = s.table.loadSegs()
+		}
+		s.colBuf = make([][]Value, len(s.table.Columns))
+		s.b.cols = make([]vecCol, len(s.table.Columns))
+		s.b.pre = make([]int32, vecBatchRows)
+	}
+	if s.qc != nil {
+		if !s.counted {
+			s.counted = true
+			s.qc.fullScans++
+		}
+		if err := s.qc.tickCancelled(); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	for {
+		if s.have {
+			for s.emitPos < s.b.n {
+				i := s.emitPos
+				s.emitPos++
+				if p := s.b.pre[i]; p > 0 {
+					s.tombSkipped += uint64(p)
+					if s.qc != nil {
+						s.qc.tombstonesSkipped += uint64(p)
+					}
+				}
+				s.scanned++
+				if s.qc != nil {
+					s.qc.rowsScanned++
+				}
+				if s.b.sel.get(i) {
+					s.lastIdx = i
+					return &s.b, i, true, nil
+				}
+			}
+			s.have = false
+		}
+		if s.done {
+			return nil, 0, false, nil
+		}
+		if err := s.loadBatch(); err != nil {
+			return nil, 0, false, err
+		}
+	}
+}
+
+// loadBatch fills the next non-empty batch, or flushes the trailing
+// tombstone carry and marks the scan done. One sealed block becomes one
+// batch; heap stretches gather up to vecBatchRows visible rows, stopping
+// at sealed-block boundaries so batches never straddle storage formats.
+func (s *vecScanOp) loadBatch() error {
+	for {
+		if s.slotPos >= s.n {
+			// End of the slot array: trailing tombstones are only billed
+			// when the consumer actually drained the scan this far —
+			// exactly when the row engine would have walked them.
+			if s.carry > 0 {
+				s.tombSkipped += uint64(s.carry)
+				if s.qc != nil {
+					s.qc.tombstonesSkipped += uint64(s.carry)
+				}
+				s.carry = 0
+			}
+			s.done = true
+			return nil
+		}
+		var n int
+		var err error
+		if seg := s.coveringSeg(); seg != nil {
+			n, err = s.loadSealed(seg)
+		} else {
+			n = s.loadHeap()
+		}
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			continue
+		}
+		s.b.n = n
+		s.b.sel = maskTo(n)
+		for _, p := range s.vpreds {
+			var t, nl vecBitset
+			p(&s.b, &t, &nl)
+			for w := range s.b.sel {
+				s.b.sel[w] &= t[w] // false and NULL both drop, as filterOp
+			}
+		}
+		s.seq++
+		s.b.seq = s.seq
+		s.have = true
+		s.emitPos = 0
+		s.batches++
+		if s.qc != nil {
+			s.qc.vectorBatches++
+		}
+		return nil
+	}
+}
+
+// coveringSeg returns the sealed segment covering the current position,
+// when the position sits on a block boundary.
+func (s *vecScanOp) coveringSeg() *segment {
+	if s.segs == nil || s.slotPos%segBlockSlots != 0 {
+		return nil
+	}
+	return findSeg(s.segs, s.slotPos)
+}
+
+// loadSealed decodes one sealed block into the batch. Sealed blocks hold
+// no tombstones by construction, so pre stays zero except for the carry
+// from a preceding heap stretch.
+func (s *vecScanOp) loadSealed(seg *segment) (int, error) {
+	blk := seg.block(s.slotPos)
+	s.slotPos += segBlockSlots
+	s.decBlocks++
+	if s.qc != nil {
+		s.qc.decodedBlocks++
+		if s.segScans == 0 {
+			s.qc.segmentScans++
+		}
+	}
+	s.segScans++
+	nr := blk.nrows
+	if nr == 0 {
+		return 0, nil
+	}
+	s.curBlk = blk
+	width := len(s.table.Columns)
+	for c := 0; c < width; c++ {
+		if !s.needRows && !s.need[c] {
+			s.b.cols[c] = vecCol{}
+			continue
+		}
+		buf := s.colBuf[c]
+		if cap(buf) < nr {
+			buf = make([]Value, vecBatchRows)
+			s.colBuf[c] = buf
+		}
+		if err := blk.cols[c].decode(nr, buf[:nr]); err != nil {
+			return 0, err
+		}
+		s.b.cols[c] = vecCol{vals: buf[:nr], kinds: blk.cols[c].kinds}
+	}
+	if s.needRows {
+		if s.rowBuf == nil {
+			s.rowBuf = make([]Row, vecBatchRows)
+		}
+		for j := 0; j < nr; j++ {
+			r := s.arena.alloc(width)
+			for c := 0; c < width; c++ {
+				r[c] = s.b.cols[c].vals[j]
+			}
+			s.rowBuf[j] = r
+		}
+		s.b.rows = s.rowBuf[:nr]
+	} else {
+		s.b.rows = nil
+	}
+	for j := 0; j < nr; j++ {
+		s.b.pre[j] = 0
+	}
+	s.b.pre[0] = int32(s.carry)
+	s.carry = 0
+	return nr, nil
+}
+
+// loadHeap gathers visible heap rows into the batch, mirroring scanOp's
+// per-slot walk: versionless slots pass silently, invisible versions
+// accumulate into the carry attached to the next gathered row.
+func (s *vecScanOp) loadHeap() int {
+	if s.rowBuf == nil {
+		s.rowBuf = make([]Row, vecBatchRows)
+	}
+	s.curBlk = nil
+	n := 0
+	for n < vecBatchRows && s.slotPos < s.n {
+		if s.segs != nil && s.slotPos%segBlockSlots == 0 &&
+			findSeg(s.segs, s.slotPos) != nil {
+			break // next block is sealed: close the batch at the boundary
+		}
+		head := s.arr[s.slotPos].head.Load()
+		s.slotPos++
+		if head == nil {
+			continue
+		}
+		var r Row
+		switch {
+		case debugDisableTombstoneSkip:
+			r = head.row
+		case s.snap == nil:
+			r = latestRow(head)
+		default:
+			r = visibleVersion(head, s.snap)
+		}
+		if r == nil {
+			s.carry++
+			continue
+		}
+		s.b.pre[n] = int32(s.carry)
+		s.carry = 0
+		s.rowBuf[n] = r
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	s.b.rows = s.rowBuf[:n]
+	for c, needed := range s.need {
+		if !needed {
+			s.b.cols[c] = vecCol{}
+			continue
+		}
+		buf := s.colBuf[c]
+		if cap(buf) < n {
+			buf = make([]Value, vecBatchRows)
+			s.colBuf[c] = buf
+		}
+		for j := 0; j < n; j++ {
+			buf[j] = s.rowBuf[j][c]
+		}
+		s.b.cols[c].setVals(buf[:n])
+	}
+	return n
+}
+
+// materializeRow builds a full-width row for a batch position: heap
+// batches hand back the original row; sealed batches read the eagerly
+// decoded kernel columns and decode the rest on demand, once per batch —
+// aggregation pays for columns outside its kernels only when a batch
+// actually discovers a new group.
+func (s *vecScanOp) materializeRow(b *vecBatch, i int) Row {
+	if b.rows != nil {
+		return b.rows[i].Clone()
+	}
+	width := len(s.table.Columns)
+	r := make(Row, width)
+	for c := 0; c < width; c++ {
+		if col := &b.cols[c]; col.vals != nil {
+			r[c] = col.vals[i]
+			continue
+		}
+		r[c] = s.lazyCol(b, c)[i]
+	}
+	return r
+}
+
+// lazyCol decodes one column the kernels did not need from the current
+// sealed block, caching it for the batch's lifetime. Decode failures are
+// impossible for blocks this process sealed (segment_test.go fuzzes the
+// corruption paths); a hypothetical one degrades to NULLs rather than a
+// panic, since the heap still holds the truth for every covered row.
+func (s *vecScanOp) lazyCol(b *vecBatch, c int) []Value {
+	if s.matBuf == nil {
+		s.matBuf = make([][]Value, len(s.table.Columns))
+	}
+	if s.matSeq != b.seq {
+		s.matSeq = b.seq
+		for i := range s.matBuf {
+			s.matBuf[i] = nil
+		}
+	}
+	if s.matBuf[c] == nil {
+		buf := make([]Value, b.n)
+		if s.curBlk == nil || s.curBlk.cols[c].decode(b.n, buf) != nil {
+			for i := range buf {
+				buf[i] = Null
+			}
+		}
+		s.matBuf[c] = buf
+	}
+	return s.matBuf[c]
+}
+
+// ---------------------------------------------------------------------------
+// Planner hooks
+
+// tryVectorize replaces an unrestricted filter-over-seq-scan chain with a
+// vecScanOp when every conjunct compiles to predicate kernels. Returns
+// the (possibly unchanged) source and, on success, the compiler — the
+// caller reuses it (and its need-column tracking) to vectorize the
+// projection or aggregation above. A chain whose shape qualified but
+// whose expressions did not compile counts a row fallback.
+func tryVectorize(src operator, db *Database, params []Value, qc *queryCtx) (operator, *vecCompiler) {
+	if !vectorEnabled {
+		return src, nil
+	}
+	sc, preds := parallelScanTarget(src)
+	if sc == nil || sc.ids != nil || sc.rangeIdx != nil {
+		return src, nil
+	}
+	// Size gate: below vecMinRows a pure-heap scan pays batch setup with
+	// nothing to amortize it over, so small tables stay row-at-a-time.
+	// Tables with sealed segments always qualify — decoding columns
+	// batch-at-a-time is the segments' native access path. This is a size
+	// gate, not a compile fallback, so rowFallbacks does not tick.
+	if sc.table.sealedRows.Load() == 0 && sc.table.liveCount() < vecMinRows {
+		return src, nil
+	}
+	vc := newVecCompiler(sc.cols, db, params)
+	vpreds := make([]vecPredFn, len(preds))
+	for i, p := range preds {
+		vp, ok := vc.compilePred(p)
+		if !ok {
+			if qc != nil {
+				qc.rowFallbacks++
+			}
+			return src, nil
+		}
+		vpreds[i] = vp
+	}
+	return &vecScanOp{
+		table: sc.table, qual: sc.qual, cols: sc.cols,
+		preds: preds, vpreds: vpreds, need: vc.need, qc: qc,
+		needRows: true,
+	}, vc
+}
+
+// vecProjPlan is a fully vectorized projection: every select item
+// compiled to a kernel, read from the scan's batches by ordinal.
+type vecProjPlan struct {
+	src    *vecScanOp
+	vitems []vecExprFn
+
+	seq   uint64
+	cache []*vecCol
+}
+
+// tryVectorizeProj compiles the select items against the vectorized
+// scan's compiler. All-or-nothing: a single non-compilable item keeps the
+// whole projection row-at-a-time (the scan stays vectorized), and the
+// compiler's need marks are rolled back so the scan does not gather
+// columns only the abandoned kernels would have read.
+func tryVectorizeProj(vsc *vecScanOp, vc *vecCompiler, items []SelectItem, qc *queryCtx) *vecProjPlan {
+	saved := append([]bool(nil), vc.need...)
+	vitems := make([]vecExprFn, len(items))
+	for i, it := range items {
+		f, ok := vc.compileExpr(it.Expr)
+		if !ok {
+			copy(vc.need, saved)
+			if qc != nil {
+				qc.rowFallbacks++
+			}
+			return nil
+		}
+		vitems[i] = f
+	}
+	vsc.needRows = false
+	return &vecProjPlan{src: vsc, vitems: vitems, cache: make([]*vecCol, len(items))}
+}
+
+// itemCols returns the kernel results for the batch the scan's last
+// emitted row belongs to, re-evaluating once per batch.
+func (vp *vecProjPlan) itemCols() []*vecCol {
+	b := &vp.src.b
+	if b.seq != vp.seq {
+		vp.seq = b.seq
+		for i, f := range vp.vitems {
+			vp.cache[i] = f(b)
+		}
+	}
+	return vp.cache
+}
+
+// vecAggPlan is a vectorized aggregation input: group keys and aggregate
+// arguments compiled to kernels over the scan's batches.
+type vecAggPlan struct {
+	src        *vecScanOp
+	groupKerns []vecExprFn
+	argKerns   []vecExprFn // indexed like aggs; nil for COUNT(*) / no-arg
+
+	seq       uint64
+	groupCols []*vecCol
+	argCols   []*vecCol
+}
+
+// tryVectorizeAgg compiles the GROUP BY keys and aggregate arguments
+// against the vectorized scan's compiler. All-or-nothing, like the
+// projection. The scan drops needRows — batches carry only the kernel
+// columns, and the representative row a first-seen group needs is
+// materialised lazily (materializeRow).
+func tryVectorizeAgg(vsc *vecScanOp, vc *vecCompiler, stmt *SelectStmt, aggs []*FuncCall, qc *queryCtx) *vecAggPlan {
+	saved := append([]bool(nil), vc.need...)
+	fail := func() *vecAggPlan {
+		copy(vc.need, saved)
+		if qc != nil {
+			qc.rowFallbacks++
+		}
+		return nil
+	}
+	groupKerns := make([]vecExprFn, len(stmt.GroupBy))
+	for i, ge := range stmt.GroupBy {
+		f, ok := vc.compileExpr(ge)
+		if !ok {
+			return fail()
+		}
+		groupKerns[i] = f
+	}
+	argKerns := make([]vecExprFn, len(aggs))
+	for i, fc := range aggs {
+		if fc.Star || len(fc.Args) == 0 {
+			continue
+		}
+		f, ok := vc.compileExpr(fc.Args[0])
+		if !ok {
+			return fail()
+		}
+		argKerns[i] = f
+	}
+	vsc.needRows = false
+	return &vecAggPlan{
+		src: vsc, groupKerns: groupKerns, argKerns: argKerns,
+		groupCols: make([]*vecCol, len(groupKerns)),
+		argCols:   make([]*vecCol, len(argKerns)),
+	}
+}
+
+// kernelCols re-evaluates the group/argument kernels once per batch.
+func (vp *vecAggPlan) kernelCols() ([]*vecCol, []*vecCol) {
+	b := &vp.src.b
+	if b.seq != vp.seq {
+		vp.seq = b.seq
+		for i, f := range vp.groupKerns {
+			vp.groupCols[i] = f(b)
+		}
+		for i, f := range vp.argKerns {
+			if f != nil {
+				vp.argCols[i] = f(b)
+			}
+		}
+	}
+	return vp.groupCols, vp.argCols
+}
+
+// runAggregationVec is runAggregation's vectorized twin: it drains the
+// (instrumented) child — which bottoms out in the plan's vecScanOp — and
+// folds each surviving row into GROUP BY partitions, reading key and
+// argument values from per-batch kernel results instead of per-row
+// closures. Group discovery order, key encoding, representative rows and
+// accumulator folds all match the row drain exactly.
+func runAggregationVec(stmt *SelectStmt, vp *vecAggPlan, src operator, aggs []*FuncCall) ([]*aggGroup, error) {
+	newStates := func() ([]aggState, error) {
+		states := make([]aggState, len(aggs))
+		for i, fc := range aggs {
+			st, err := newAggState(fc)
+			if err != nil {
+				return nil, err
+			}
+			states[i] = st
+		}
+		return states, nil
+	}
+
+	index := make(map[string]int)
+	var groups []*aggGroup
+	keyVals := make([]Value, len(stmt.GroupBy))
+	var kb []byte
+	for {
+		_, ok, err := src.next() // through statOp wrappers; row may be nil
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		i := vp.src.lastIdx
+		groupCols, argCols := vp.kernelCols()
+		kb = kb[:0]
+		for gi, c := range groupCols {
+			v := c.at(i)
+			keyVals[gi] = v
+			kb = appendValueKey(kb, v)
+		}
+		gi, seen := index[string(kb)]
+		if !seen {
+			states, err := newStates()
+			if err != nil {
+				return nil, err
+			}
+			g := &aggGroup{
+				keys:   append([]Value{}, keyVals...),
+				states: states,
+				repRow: vp.src.materializeRow(&vp.src.b, i),
+			}
+			gi = len(groups)
+			groups = append(groups, g)
+			index[string(kb)] = gi
+		}
+		g := groups[gi]
+		for ai, fc := range aggs {
+			if fc.Star {
+				g.states[ai].add(Int(1))
+				continue
+			}
+			if vp.argKerns[ai] == nil {
+				continue
+			}
+			g.states[ai].add(argCols[ai].at(i))
+		}
+	}
+	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
+		states, err := newStates()
+		if err != nil {
+			return nil, err
+		}
+		repRow := make(Row, len(vp.src.cols))
+		for i := range repRow {
+			repRow[i] = Null
+		}
+		groups = append(groups, &aggGroup{states: states, repRow: repRow})
+	}
+	return groups, nil
+}

@@ -1,0 +1,689 @@
+package sqldb
+
+import "strings"
+
+// This file implements the vectorized expression engine: column vectors,
+// selection bitsets with exact SQL three-valued logic, and the kernel
+// compiler that turns WHERE/projection/aggregation expressions into
+// batch-at-a-time functions. The compiler is the vector twin of
+// compile.go: every kernel either replicates the row engine's exact
+// branches (the type-specialized int/int paths mirror Value.Compare and
+// evalArith case by case) or simply calls the row engine's own scalar
+// functions per element (the generic paths) — so row-vs-vector
+// equivalence holds by construction and is pinned by the property suites.
+// Shapes the compiler cannot specialize (subqueries, UDFs, CASE, grouped
+// references) report not-compilable and the plan falls back to the
+// row-at-a-time tree (vecops.go).
+
+// vecBatchRows is the vectorized executor's batch size. It equals
+// segBlockSlots (and morselSize) so one sealed block decodes into exactly
+// one batch.
+const vecBatchRows = segBlockSlots
+
+// debugBreakVectorKernel deliberately corrupts the specialized comparison
+// kernels (tests only). The metamorphic and equivalence suites must fail
+// when it is set — proof that they exercise the vectorized path.
+var debugBreakVectorKernel = false
+
+// vecBitset is a bitmap over one batch's rows.
+type vecBitset [vecBatchRows / 64]uint64
+
+func (s *vecBitset) set(i int)      { s[i>>6] |= 1 << uint(i&63) }
+func (s *vecBitset) get(i int) bool { return s[i>>6]&(1<<uint(i&63)) != 0 }
+
+// maskTo returns a bitset with bits [0, n) set.
+func maskTo(n int) vecBitset {
+	var m vecBitset
+	for w := 0; w < n>>6; w++ {
+		m[w] = ^uint64(0)
+	}
+	if r := n & 63; r != 0 {
+		m[n>>6] = 1<<uint(r) - 1
+	}
+	return m
+}
+
+// count returns the number of set bits among [0, n).
+func (s *vecBitset) count(n int) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if s.get(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// vecCol is one column of one batch: either a broadcast constant or a
+// dense slice of the batch's values, plus the mask of kinds present —
+// what the kernels dispatch on.
+type vecCol struct {
+	konst bool
+	c     Value
+	vals  []Value
+	kinds uint16
+}
+
+func (v *vecCol) at(i int) Value {
+	if v.konst {
+		return v.c
+	}
+	return v.vals[i]
+}
+
+// setVals points the column at a freshly filled slice and recomputes the
+// kind mask.
+func (v *vecCol) setVals(vals []Value) {
+	v.konst = false
+	v.vals = vals
+	var k uint16
+	for i := range vals {
+		k |= 1 << uint16(vals[i].kind)
+	}
+	v.kinds = k
+}
+
+func constCol(val Value) vecCol {
+	return vecCol{konst: true, c: val, kinds: 1 << uint16(val.kind)}
+}
+
+// vecBatch is up to vecBatchRows rows in column-major form. Heap-backed
+// batches keep the source rows (emission hands back the original Row, as
+// the row scan does) and populate only the columns the kernels read;
+// sealed-block batches decode every column and rows is nil.
+type vecBatch struct {
+	n    int
+	cols []vecCol
+	rows []Row
+	sel  vecBitset // rows surviving the filter
+	// pre[i] counts the invisible versions the gather stepped over
+	// immediately before row i — replayed at emission time so tombstone
+	// accounting is bit-identical to the row scan's lazy walk.
+	pre []int32
+	// seq increments per loaded batch; downstream kernel caches key their
+	// per-batch results on it.
+	seq uint64
+}
+
+// ---------------------------------------------------------------------------
+// Compiled kernels
+
+// vecExprFn evaluates an expression over a whole batch.
+type vecExprFn func(b *vecBatch) *vecCol
+
+// vecPredFn evaluates a predicate over a whole batch into (true, null)
+// bitsets; rows in neither are false. Exactly one of the three holds per
+// row in [0, b.n).
+type vecPredFn func(b *vecBatch, t, nl *vecBitset)
+
+// vecCompiler compiles expressions against one base table's schema. It
+// records which column ordinals the compiled kernels read, so the scan
+// gathers only those.
+type vecCompiler struct {
+	env  *evalEnv // resolution scope over the scan columns (no outer)
+	need []bool
+}
+
+func newVecCompiler(cols []colInfo, db *Database, params []Value) *vecCompiler {
+	return &vecCompiler{
+		env:  newEvalEnv(cols, db, params, nil, nil),
+		need: make([]bool, len(cols)),
+	}
+}
+
+// compileExpr returns a batch kernel for e, or ok=false when e's shape is
+// not vector-compilable (the plan then falls back to the row tree). It is
+// only ever called after the row compiler accepted the same expression,
+// so resolution cannot fail here in ways the row path would not surface.
+func (vc *vecCompiler) compileExpr(e Expr) (vecExprFn, bool) {
+	switch t := e.(type) {
+	case *Literal:
+		c := constCol(t.Val)
+		return func(*vecBatch) *vecCol { return &c }, true
+	case *Param:
+		if t.Index >= len(vc.env.params) {
+			return nil, false
+		}
+		c := constCol(vc.env.params[t.Index])
+		return func(*vecBatch) *vecCol { return &c }, true
+	case *ColumnRef:
+		i, owner, err := vc.env.resolve(t)
+		if err != nil || owner != vc.env {
+			return nil, false
+		}
+		vc.need[i] = true
+		return func(b *vecBatch) *vecCol { return &b.cols[i] }, true
+	case *BinaryOp:
+		switch t.Op {
+		case "+", "-", "*", "/", "%":
+			l, ok := vc.compileExpr(t.Left)
+			if !ok {
+				return nil, false
+			}
+			r, ok := vc.compileExpr(t.Right)
+			if !ok {
+				return nil, false
+			}
+			op := t.Op
+			var out vecCol
+			scratch := make([]Value, vecBatchRows)
+			return func(b *vecBatch) *vecCol {
+				arithVec(op, l(b), r(b), b.n, scratch)
+				out.setVals(scratch[:b.n])
+				return &out
+			}, true
+		case "||":
+			l, ok := vc.compileExpr(t.Left)
+			if !ok {
+				return nil, false
+			}
+			r, ok := vc.compileExpr(t.Right)
+			if !ok {
+				return nil, false
+			}
+			var out vecCol
+			scratch := make([]Value, vecBatchRows)
+			return func(b *vecBatch) *vecCol {
+				lv, rv := l(b), r(b)
+				for i := 0; i < b.n; i++ {
+					a, c := lv.at(i), rv.at(i)
+					if a.kind == KindNull || c.kind == KindNull {
+						scratch[i] = Null
+					} else {
+						scratch[i] = Text(a.AsText() + c.AsText())
+					}
+				}
+				out.setVals(scratch[:b.n])
+				return &out
+			}, true
+		default:
+			// Comparisons, AND/OR, LIKE: compile as a predicate and
+			// materialise its three-valued result, exactly as the row
+			// closure returns Bool/NULL.
+			return vc.predAsExpr(e)
+		}
+	case *UnaryOp:
+		switch t.Op {
+		case "-":
+			sub, ok := vc.compileExpr(t.Expr)
+			if !ok {
+				return nil, false
+			}
+			var out vecCol
+			scratch := make([]Value, vecBatchRows)
+			return func(b *vecBatch) *vecCol {
+				v := sub(b)
+				for i := 0; i < b.n; i++ {
+					sv := v.at(i)
+					switch {
+					case sv.kind == KindNull:
+						scratch[i] = Null
+					case sv.kind == KindInt:
+						scratch[i] = Int(-sv.AsInt())
+					default:
+						scratch[i] = Float(-sv.AsFloat())
+					}
+				}
+				out.setVals(scratch[:b.n])
+				return &out
+			}, true
+		case "NOT":
+			return vc.predAsExpr(e)
+		default:
+			return nil, false
+		}
+	case *IsNull, *Between, *InList:
+		return vc.predAsExpr(e)
+	case *CastExpr:
+		sub, ok := vc.compileExpr(t.Expr)
+		if !ok {
+			return nil, false
+		}
+		typ := t.Type
+		var out vecCol
+		scratch := make([]Value, vecBatchRows)
+		return func(b *vecBatch) *vecCol {
+			v := sub(b)
+			for i := 0; i < b.n; i++ {
+				scratch[i] = castValue(v.at(i), typ)
+			}
+			out.setVals(scratch[:b.n])
+			return &out
+		}, true
+	default:
+		// FuncCall (incl. UDFs), CaseExpr, Subquery, ExistsExpr, Star,
+		// aggregate contexts: row fallback.
+		return nil, false
+	}
+}
+
+// predAsExpr materialises a predicate's three-valued result as a Bool/NULL
+// column.
+func (vc *vecCompiler) predAsExpr(e Expr) (vecExprFn, bool) {
+	p, ok := vc.compilePred(e)
+	if !ok {
+		return nil, false
+	}
+	var out vecCol
+	scratch := make([]Value, vecBatchRows)
+	return func(b *vecBatch) *vecCol {
+		var t, nl vecBitset
+		p(b, &t, &nl)
+		for i := 0; i < b.n; i++ {
+			switch {
+			case nl.get(i):
+				scratch[i] = Null
+			default:
+				scratch[i] = Bool(t.get(i))
+			}
+		}
+		out.setVals(scratch[:b.n])
+		return &out
+	}, true
+}
+
+// compilePred returns a three-valued predicate kernel for e, or ok=false.
+func (vc *vecCompiler) compilePred(e Expr) (vecPredFn, bool) {
+	switch t := e.(type) {
+	case *BinaryOp:
+		switch t.Op {
+		case "AND":
+			l, ok := vc.compilePred(t.Left)
+			if !ok {
+				return nil, false
+			}
+			r, ok := vc.compilePred(t.Right)
+			if !ok {
+				return nil, false
+			}
+			return func(b *vecBatch, t0, nl *vecBitset) {
+				var t1, n1, t2, n2 vecBitset
+				l(b, &t1, &n1)
+				r(b, &t2, &n2)
+				m := maskTo(b.n)
+				for w := range t0 {
+					f := (m[w] &^ t1[w] &^ n1[w]) | (m[w] &^ t2[w] &^ n2[w])
+					t0[w] = t1[w] & t2[w]
+					nl[w] = m[w] &^ t0[w] &^ f
+				}
+			}, true
+		case "OR":
+			l, ok := vc.compilePred(t.Left)
+			if !ok {
+				return nil, false
+			}
+			r, ok := vc.compilePred(t.Right)
+			if !ok {
+				return nil, false
+			}
+			return func(b *vecBatch, t0, nl *vecBitset) {
+				var t1, n1, t2, n2 vecBitset
+				l(b, &t1, &n1)
+				r(b, &t2, &n2)
+				m := maskTo(b.n)
+				for w := range t0 {
+					f := (m[w] &^ t1[w] &^ n1[w]) & (m[w] &^ t2[w] &^ n2[w])
+					t0[w] = t1[w] | t2[w]
+					nl[w] = m[w] &^ t0[w] &^ f
+				}
+			}, true
+		case "=", "!=", "<", "<=", ">", ">=":
+			l, ok := vc.compileExpr(t.Left)
+			if !ok {
+				return nil, false
+			}
+			r, ok := vc.compileExpr(t.Right)
+			if !ok {
+				return nil, false
+			}
+			op := t.Op
+			return func(b *vecBatch, t0, nl *vecBitset) {
+				cmpVec(op, l(b), r(b), b.n, t0, nl)
+			}, true
+		case "LIKE":
+			l, ok := vc.compileExpr(t.Left)
+			if !ok {
+				return nil, false
+			}
+			// The literal-pattern shape is lowered once, like compile.go.
+			if lit, okLit := t.Right.(*Literal); okLit && lit.Val.Kind() == KindText {
+				pattern := strings.ToLower(lit.Val.AsText())
+				return func(b *vecBatch, t0, nl *vecBitset) {
+					lv := l(b)
+					for i := 0; i < b.n; i++ {
+						v := lv.at(i)
+						if v.kind == KindNull {
+							nl.set(i)
+						} else if likeRec(pattern, strings.ToLower(v.AsText())) {
+							t0.set(i)
+						}
+					}
+				}, true
+			}
+			r, ok := vc.compileExpr(t.Right)
+			if !ok {
+				return nil, false
+			}
+			return func(b *vecBatch, t0, nl *vecBitset) {
+				lv, rv := l(b), r(b)
+				for i := 0; i < b.n; i++ {
+					a, p := lv.at(i), rv.at(i)
+					if a.kind == KindNull || p.kind == KindNull {
+						nl.set(i)
+					} else if likeMatch(p.AsText(), a.AsText()) {
+						t0.set(i)
+					}
+				}
+			}, true
+		default:
+			return vc.exprAsPred(e)
+		}
+	case *UnaryOp:
+		if t.Op != "NOT" {
+			return vc.exprAsPred(e)
+		}
+		sub, ok := vc.compilePred(t.Expr)
+		if !ok {
+			return nil, false
+		}
+		return func(b *vecBatch, t0, nl *vecBitset) {
+			var t1, n1 vecBitset
+			sub(b, &t1, &n1)
+			m := maskTo(b.n)
+			for w := range t0 {
+				t0[w] = m[w] &^ t1[w] &^ n1[w] // NOT swaps true and false
+				nl[w] = n1[w]
+			}
+		}, true
+	case *IsNull:
+		sub, ok := vc.compileExpr(t.Expr)
+		if !ok {
+			return nil, false
+		}
+		not := t.Not
+		return func(b *vecBatch, t0, _ *vecBitset) {
+			v := sub(b)
+			for i := 0; i < b.n; i++ {
+				if (v.at(i).kind == KindNull) != not {
+					t0.set(i)
+				}
+			}
+		}, true
+	case *Between:
+		ce, ok := vc.compileExpr(t.Expr)
+		if !ok {
+			return nil, false
+		}
+		clo, ok := vc.compileExpr(t.Lo)
+		if !ok {
+			return nil, false
+		}
+		chi, ok := vc.compileExpr(t.Hi)
+		if !ok {
+			return nil, false
+		}
+		not := t.Not
+		return func(b *vecBatch, t0, nl *vecBitset) {
+			v, lo, hi := ce(b), clo(b), chi(b)
+			for i := 0; i < b.n; i++ {
+				vv, lv, hv := v.at(i), lo.at(i), hi.at(i)
+				if vv.kind == KindNull || lv.kind == KindNull || hv.kind == KindNull {
+					nl.set(i)
+					continue
+				}
+				in := vv.Compare(lv) >= 0 && vv.Compare(hv) <= 0
+				if in != not {
+					t0.set(i)
+				}
+			}
+		}, true
+	case *InList:
+		if t.Sub != nil {
+			return nil, false // IN (SELECT ...): row fallback
+		}
+		needle, ok := vc.compileExpr(t.Expr)
+		if !ok {
+			return nil, false
+		}
+		list := make([]vecExprFn, len(t.List))
+		for i, le := range t.List {
+			c, ok := vc.compileExpr(le)
+			if !ok {
+				return nil, false
+			}
+			list[i] = c
+		}
+		not := t.Not
+		return func(b *vecBatch, t0, nl *vecBitset) {
+			nv := needle(b)
+			elems := make([]*vecCol, len(list))
+			for j, c := range list {
+				elems[j] = c(b)
+			}
+			for i := 0; i < b.n; i++ {
+				v := nv.at(i)
+				if v.kind == KindNull {
+					nl.set(i)
+					continue
+				}
+				match, sawNull := false, false
+				for _, el := range elems {
+					hv := el.at(i)
+					if hv.kind == KindNull {
+						sawNull = true
+						continue
+					}
+					if v.Compare(hv) == 0 {
+						match = true
+						break
+					}
+				}
+				switch {
+				case match:
+					if !not {
+						t0.set(i)
+					}
+				case sawNull:
+					nl.set(i)
+				default:
+					if not {
+						t0.set(i)
+					}
+				}
+			}
+		}, true
+	default:
+		return vc.exprAsPred(e)
+	}
+}
+
+// exprAsPred evaluates e as a value and converts to SQL truth, exactly
+// like filterOp does with an arbitrary compiled expression: NULL stays
+// NULL, anything else is AsBool.
+func (vc *vecCompiler) exprAsPred(e Expr) (vecPredFn, bool) {
+	sub, ok := vc.compileExpr(e)
+	if !ok {
+		return nil, false
+	}
+	return func(b *vecBatch, t0, nl *vecBitset) {
+		v := sub(b)
+		for i := 0; i < b.n; i++ {
+			sv := v.at(i)
+			switch {
+			case sv.kind == KindNull:
+				nl.set(i)
+			case sv.AsBool():
+				t0.set(i)
+			}
+		}
+	}, true
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+
+func cmpTest(op string) func(int) bool {
+	switch op {
+	case "=":
+		return func(c int) bool { return c == 0 }
+	case "!=":
+		return func(c int) bool { return c != 0 }
+	case "<":
+		return func(c int) bool { return c < 0 }
+	case "<=":
+		return func(c int) bool { return c <= 0 }
+	case ">":
+		return func(c int) bool { return c > 0 }
+	default:
+		return func(c int) bool { return c >= 0 }
+	}
+}
+
+// cmpVec compares two columns three-valuedly. The all-int and all-float
+// fast paths replicate Value.Compare's exact branches for those kinds
+// (exact int compare; float compare by < / >); every other kind mix calls
+// Value.Compare itself.
+func cmpVec(op string, l, r *vecCol, n int, t, nl *vecBitset) {
+	if l.kinds == kmInt && r.kinds == kmInt {
+		switch {
+		case debugBreakVectorKernel:
+			// Deliberately inverted kernel for suite-sensitivity tests.
+			test := cmpTest(op)
+			for i := 0; i < n; i++ {
+				if !test(compareInts(l.at(i).i, r.at(i).i)) {
+					t.set(i)
+				}
+			}
+		case op == "=":
+			for i := 0; i < n; i++ {
+				if l.at(i).i == r.at(i).i {
+					t.set(i)
+				}
+			}
+		case op == "!=":
+			for i := 0; i < n; i++ {
+				if l.at(i).i != r.at(i).i {
+					t.set(i)
+				}
+			}
+		case op == "<":
+			for i := 0; i < n; i++ {
+				if l.at(i).i < r.at(i).i {
+					t.set(i)
+				}
+			}
+		case op == "<=":
+			for i := 0; i < n; i++ {
+				if l.at(i).i <= r.at(i).i {
+					t.set(i)
+				}
+			}
+		case op == ">":
+			for i := 0; i < n; i++ {
+				if l.at(i).i > r.at(i).i {
+					t.set(i)
+				}
+			}
+		default: // ">="
+			for i := 0; i < n; i++ {
+				if l.at(i).i >= r.at(i).i {
+					t.set(i)
+				}
+			}
+		}
+		return
+	}
+	test := cmpTest(op)
+	if debugBreakVectorKernel {
+		orig := test
+		test = func(c int) bool { return !orig(c) }
+	}
+	if l.kinds == kmFloat && r.kinds == kmFloat {
+		for i := 0; i < n; i++ {
+			a, b := l.at(i).f, r.at(i).f
+			c := 0
+			switch {
+			case a < b:
+				c = -1
+			case a > b:
+				c = 1
+			}
+			if test(c) {
+				t.set(i)
+			}
+		}
+		return
+	}
+	if (l.kinds|r.kinds)&kmNull == 0 {
+		for i := 0; i < n; i++ {
+			if test(l.at(i).Compare(r.at(i))) {
+				t.set(i)
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		lv, rv := l.at(i), r.at(i)
+		if lv.kind == KindNull || rv.kind == KindNull {
+			nl.set(i)
+			continue
+		}
+		if test(lv.Compare(rv)) {
+			t.set(i)
+		}
+	}
+}
+
+func compareInts(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// arithVec evaluates l op r into out[:n]. The all-int fast path
+// replicates evalArith's bothInt branch exactly (wrapping + - *, /0 and
+// %0 yield NULL); everything else calls evalArith per element, which is
+// the row engine's own function.
+func arithVec(op string, l, r *vecCol, n int, out []Value) {
+	if l.kinds == kmInt && r.kinds == kmInt {
+		switch op {
+		case "+":
+			for i := 0; i < n; i++ {
+				out[i] = Int(l.at(i).i + r.at(i).i)
+			}
+		case "-":
+			for i := 0; i < n; i++ {
+				out[i] = Int(l.at(i).i - r.at(i).i)
+			}
+		case "*":
+			for i := 0; i < n; i++ {
+				out[i] = Int(l.at(i).i * r.at(i).i)
+			}
+		case "/":
+			for i := 0; i < n; i++ {
+				if d := r.at(i).i; d == 0 {
+					out[i] = Null
+				} else {
+					out[i] = Int(l.at(i).i / d)
+				}
+			}
+		case "%":
+			for i := 0; i < n; i++ {
+				if d := r.at(i).i; d == 0 {
+					out[i] = Null
+				} else {
+					out[i] = Int(l.at(i).i % d)
+				}
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		v, _ := evalArith(op, l.at(i), r.at(i))
+		out[i] = v
+	}
+}

@@ -426,6 +426,21 @@ type walWriter struct {
 	seq       uint64
 	sinceCkpt int64
 
+	// Group commit (SyncAlways). Appends happen under mu (and the
+	// single-writer latch), but the fsync that makes a commit durable is
+	// performed by waitSync AFTER the committer released both, against the
+	// (gen, off) position its record ended at. One waiter elects itself
+	// leader and fsyncs; every commit whose position the fsync covered is
+	// released together — concurrent commits batch into one fsync instead
+	// of one each. syncMu orders only this election state, never the file,
+	// so appends and fsyncs overlap.
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	syncing  bool   // a leader's fsync is in flight
+	sGen     uint64 // generation synced refers to
+	synced   int64  // bytes of sGen known durable
+	syncErr  error  // sticky fsync failure (writer is also poisoned)
+
 	stop chan struct{} // closes the interval-sync loop
 	done chan struct{}
 }
@@ -448,28 +463,99 @@ func (w *walWriter) appendLocked(buf []byte) error {
 	w.sinceCkpt += int64(len(buf))
 	w.db.stats.walAppends.Add(1)
 	w.db.stats.walBytes.Add(uint64(len(buf)))
-	switch w.opts.Sync {
-	case SyncAlways:
-		if debugWALSkipSync {
-			break
-		}
-		if err := w.f.Sync(); err != nil {
-			// The bytes were written but their durability is unknown
-			// (fsync failure). Poisoning stops further appends, so the
-			// durable prefix stays deterministic either way.
-			w.poisoned = true
-			return wrapIOErr(err)
-		}
-	case SyncInterval:
+	// Under SyncAlways durability is the caller's waitSync, outside both
+	// mu and the single-writer latch, so concurrent commits group into
+	// shared fsyncs.
+	if w.opts.Sync == SyncInterval {
 		w.dirty = true
 	}
 	return nil
 }
 
+// waitSync blocks until the log is durable through (gen, target) — the
+// position a commit's record ended at — or the writer fails. SyncAlways
+// only; the other policies accept the loss window by contract. The first
+// arriving waiter becomes the leader and fsyncs once for everyone queued
+// behind it; a commit released by someone else's fsync (or by a
+// checkpoint retiring its generation) counts as a group commit.
+func (w *walWriter) waitSync(gen uint64, target int64) error {
+	if w.opts.Sync != SyncAlways || debugWALSkipSync {
+		return nil
+	}
+	led := false
+	for {
+		w.syncMu.Lock()
+		for {
+			if w.sGen > gen || (w.sGen == gen && w.synced >= target) {
+				w.syncMu.Unlock()
+				if !led {
+					w.db.stats.walGroupCommits.Add(1)
+				}
+				return nil
+			}
+			if w.syncErr != nil {
+				err := w.syncErr
+				w.syncMu.Unlock()
+				return err
+			}
+			if !w.syncing {
+				break
+			}
+			w.syncCond.Wait()
+		}
+		w.syncing = true
+		led = true
+		w.syncMu.Unlock()
+
+		// Leader: capture the live file and its extent under mu, then
+		// fsync without holding it — appends proceed during the fsync and
+		// pile up for the next leader.
+		w.mu.Lock()
+		f, fgen, foff, poisoned := w.f, w.gen, w.off, w.poisoned
+		w.mu.Unlock()
+		var err error
+		if poisoned {
+			err = errf(ErrIO, "sql: wal disabled by earlier I/O error (reopen to recover)")
+		} else if err = wrapIOErr(f.Sync()); err != nil {
+			// A checkpoint may have rotated generations and closed this
+			// file mid-fsync. Its snapshot already made every record of
+			// the old generation durable, so a stale-generation failure is
+			// discarded; a same-generation failure is real and poisons the
+			// writer (bytes written, durability unknown).
+			w.mu.Lock()
+			if w.gen > fgen {
+				err = nil
+			} else {
+				w.poisoned = true
+			}
+			w.mu.Unlock()
+		}
+		w.syncMu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.syncErr = err
+		} else if w.sGen == fgen {
+			if w.synced < foff {
+				w.synced = foff
+			}
+		} else if w.sGen < fgen {
+			w.sGen, w.synced = fgen, foff
+		}
+		w.syncCond.Broadcast()
+		w.syncMu.Unlock()
+		// Loop to re-check our own position: the fsync (or a concurrent
+		// checkpoint) normally covered it, but if a rotation intervened we
+		// may need one more pass.
+	}
+}
+
 // appendCommit logs one committed unit: a 'T' record for an autocommit
 // statement, a B/O.../C frame for an explicit transaction. Called at
-// commit time under the database's single-writer latch.
-func (w *walWriter) appendCommit(ops []walOp, auto bool) error {
+// commit time under the database's single-writer latch. Returns the
+// (generation, offset) position the record ended at; the caller makes it
+// durable with waitSync after releasing the latch, so concurrent commits
+// share fsyncs.
+func (w *walWriter) appendCommit(ops []walOp, auto bool) (uint64, int64, error) {
 	w.mu.Lock()
 	w.seq++
 	var buf []byte
@@ -491,19 +577,26 @@ func (w *walWriter) appendCommit(ops []walOp, auto bool) error {
 		buf = appendWalRecord(buf, commit)
 	}
 	err := w.appendLocked(buf)
+	gen, off := w.gen, w.off
 	w.mu.Unlock()
 	if err == nil {
 		w.db.maybeCheckpoint()
 	}
-	return err
+	return gen, off, err
 }
 
-// appendDDL logs one standalone (autocommit) DDL statement.
+// appendDDL logs one standalone (autocommit) DDL statement, durable on
+// return (DDL is rare — it pays its own fsync rather than joining a
+// group).
 func (w *walWriter) appendDDL(sql string) error {
 	w.mu.Lock()
 	payload := appendWalString([]byte{'S'}, sql)
 	err := w.appendLocked(appendWalRecord(nil, payload))
+	gen, off := w.gen, w.off
 	w.mu.Unlock()
+	if err == nil {
+		err = w.waitSync(gen, off)
+	}
 	if err == nil {
 		w.db.maybeCheckpoint()
 	}
@@ -653,6 +746,15 @@ func (w *walWriter) checkpoint() error {
 	old := w.f
 	w.f, w.gen, w.off, w.dirty, w.sinceCkpt = nf, g, int64(len(walMagic)), false, 0
 	_ = old.Close()
+	// The fsynced snapshot covers every record of the retired generation,
+	// including any a group-commit leader had not fsynced yet: advance the
+	// durable horizon and release those waiters.
+	w.syncMu.Lock()
+	if w.sGen < g {
+		w.sGen, w.synced = g, w.off
+	}
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
 	w.removeObsolete(g)
 	db.stats.checkpoints.Add(1)
 	return nil
