@@ -54,6 +54,7 @@ import (
 	"tag/internal/core"
 	"tag/internal/llm"
 	"tag/internal/sem"
+	"tag/internal/server/pgwire"
 	"tag/internal/sqldb"
 	"tag/internal/tagbench"
 	"tag/internal/tagbench/domains"
@@ -106,6 +107,13 @@ type (
 	Method = core.Method
 	// Query is one TAG-Bench query.
 	Query = tagbench.Query
+	// WireServer serves a Database over the Postgres v3 wire protocol, so
+	// any Postgres client or driver can query it across the network
+	// (cmd/tagserve is the packaged binary).
+	WireServer = pgwire.Server
+	// WireServerOptions configures a WireServer (connection limit,
+	// cleartext password auth).
+	WireServerOptions = pgwire.Options
 )
 
 // Sync policies for DurabilityOptions.Sync.
@@ -120,6 +128,13 @@ const (
 
 // NewDatabase returns an empty embedded database.
 func NewDatabase() *Database { return sqldb.NewDatabase() }
+
+// NewWireServer wraps a database in a Postgres wire-protocol server.
+// Start it with Serve or ListenAndServe; stop it with Shutdown (graceful
+// drain) or Close.
+func NewWireServer(db *Database, opts WireServerOptions) *WireServer {
+	return pgwire.NewServer(db, opts)
+}
 
 // OpenDatabase opens a durable embedded database backed by a write-ahead
 // log in dir, replaying any committed work a previous process left there.

@@ -1,0 +1,83 @@
+package pgwire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"tag/internal/server/pgwire/pgwiretest"
+	"tag/internal/sqldb"
+)
+
+// benchServer is startServer for benchmarks: same loopback server, same
+// teardown, minus the leak assertions (the tests own those).
+func benchServer(b *testing.B) (*sqldb.Database, string) {
+	b.Helper()
+	db := sqldb.NewDatabase()
+	srv := NewServer(db, Options{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+		db.Close()
+	})
+	return db, lis.Addr().String()
+}
+
+// BenchmarkWireQuery measures a full simple-query round trip — frame
+// encode, TCP, parse, plan, execute, row encode, ReadyForQuery — for a
+// point lookup on a warm connection. Compare with the in-process
+// BenchmarkPointLookup in internal/sqldb to see the wire tax.
+func BenchmarkWireQuery(b *testing.B) {
+	db, addr := benchServer(b)
+	db.MustExec(`CREATE TABLE bq (id INTEGER PRIMARY KEY, v TEXT)`)
+	tx := db.Begin()
+	for i := 0; i < 1000; i++ {
+		if _, err := tx.Exec(`INSERT INTO bq VALUES (?, ?)`, i, fmt.Sprintf("val%04d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	c, err := pgwiretest.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Query(fmt.Sprintf(`SELECT v FROM bq WHERE id = %d`, i%1000))
+		if err != nil || res.Err != nil {
+			b.Fatalf("query: %v / %v", err, res.Err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatalf("got %d rows", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkWireConnSetup measures the full connection lifecycle: TCP
+// dial, startup handshake, parameter statuses, key data, first
+// ReadyForQuery, and a clean Terminate.
+func BenchmarkWireConnSetup(b *testing.B) {
+	_, addr := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := pgwiretest.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Terminate()
+	}
+}

@@ -1,0 +1,256 @@
+package pgwire
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"tag/internal/server/pgwire/pgwiretest"
+	"tag/internal/sqldb"
+)
+
+// The disconnect matrix: kill the connection at every protocol state and
+// demand the server unwinds completely — transaction rolled back, every
+// snapshot released, every cursor closed, every parallel worker joined.
+// Each scenario is one entry; after it runs, the harness polls sessions
+// to zero and asserts the engine counters. This is the wire-level
+// analogue of the WAL crash-point matrix: the crash is a vanished peer
+// instead of a failed fsync.
+
+// waitSessionsGone polls until the server has no sessions, then asserts
+// the engine leaked nothing.
+func waitSessionsGone(t *testing.T, srv *Server, db *sqldb.Database, scenario string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ActiveSessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %d sessions never unwound", scenario, srv.ActiveSessions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := db.LiveSnapshots(); n != 0 {
+		t.Fatalf("%s: leaked %d live snapshots", scenario, n)
+	}
+	st := db.Stats()
+	if st.OpenCursors != 0 {
+		t.Fatalf("%s: leaked %d open cursors", scenario, st.OpenCursors)
+	}
+	if st.ActiveTxns != 0 {
+		t.Fatalf("%s: leaked %d active transactions", scenario, st.ActiveTxns)
+	}
+	if n := sqldb.LiveParallelWorkers(); n != 0 {
+		t.Fatalf("%s: leaked %d parallel workers", scenario, n)
+	}
+}
+
+func TestDisconnectMatrix(t *testing.T) {
+	srv, db, addr := startServer(t, Options{})
+	db.MustExec(`CREATE TABLE d (id INTEGER, v TEXT)`)
+	tx := db.Begin()
+	for i := 0; i < 3000; i++ {
+		if _, err := tx.Exec(`INSERT INTO d VALUES (?, ?)`, i, fmt.Sprintf("v%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	scenarios := []struct {
+		name string
+		kill func(t *testing.T)
+	}{
+		{"mid-startup-length", func(t *testing.T) {
+			// Close after sending only half the startup length prefix.
+			nc := rawDial(t, addr)
+			nc.Write([]byte{0, 0})
+			nc.Close()
+		}},
+		{"mid-startup-body", func(t *testing.T) {
+			// Announce a startup packet, deliver only part of it.
+			nc := rawDial(t, addr)
+			nc.Write([]byte{0, 0, 0, 50, 0, 3, 0, 0, 'u', 's'})
+			nc.Close()
+		}},
+		{"after-ssl-probe", func(t *testing.T) {
+			nc := rawDial(t, addr)
+			nc.Write([]byte{0, 0, 0, 8, 4, 210, 22, 47})
+			buf := make([]byte, 1)
+			nc.Read(buf)
+			nc.Close()
+		}},
+		{"idle-after-handshake", func(t *testing.T) {
+			c := testDial(t, addr)
+			c.Close()
+		}},
+		{"mid-row-stream", func(t *testing.T) {
+			// Ask for the whole table, read a little, vanish. The server's
+			// next write fails and the session must still release its
+			// cursor and snapshot.
+			c := testDial(t, addr)
+			c.RawWrite(frameMsg('Q', appendC(nil, `SELECT id, v FROM d ORDER BY id`)))
+			buf := make([]byte, 256)
+			c.NetConn().Read(buf)
+			c.Close()
+		}},
+		{"open-transaction", func(t *testing.T) {
+			c := testDial(t, addr)
+			mustQueryF(t, c, `BEGIN`)
+			mustQueryF(t, c, `INSERT INTO d VALUES (99999, 'doomed')`)
+			c.Close()
+		}},
+		{"failed-transaction", func(t *testing.T) {
+			c := testDial(t, addr)
+			mustQueryF(t, c, `BEGIN`)
+			c.Query(`SELECT nope FROM d`) // moves the txn to failed state
+			c.Close()
+		}},
+		{"suspended-portal", func(t *testing.T) {
+			// A suspended portal holds an open cursor and its snapshot;
+			// the disconnect must release both.
+			c := testDial(t, addr)
+			c.SendParse("", `SELECT id FROM d ORDER BY id`, nil)
+			c.SendBind("", "", nil)
+			c.SendExecute("", 5)
+			c.SendFlush()
+			waitFor(t, c, 's')
+			c.Close()
+		}},
+		{"suspended-portal-in-txn", func(t *testing.T) {
+			c := testDial(t, addr)
+			mustQueryF(t, c, `BEGIN`)
+			mustQueryF(t, c, `UPDATE d SET v = 'x' WHERE id = 0`)
+			c.SendParse("", `SELECT id FROM d ORDER BY id`, nil)
+			c.SendBind("", "", nil)
+			c.SendExecute("", 5)
+			c.SendFlush()
+			waitFor(t, c, 's')
+			c.Close()
+		}},
+		{"mid-extended-cycle", func(t *testing.T) {
+			// Parse+Bind sent, no Execute or Sync: the bound portal dies
+			// with the connection.
+			c := testDial(t, addr)
+			c.SendParse("", `SELECT id FROM d`, nil)
+			c.SendBind("", "", nil)
+			c.SendFlush()
+			waitFor(t, c, '2')
+			c.Close()
+		}},
+		{"garbage-frame", func(t *testing.T) {
+			// A nonsense message type is a fatal protocol error; the
+			// server reports and closes without leaking.
+			c := testDial(t, addr)
+			mustQueryF(t, c, `BEGIN`)
+			c.RawWrite([]byte{0x7f, 0, 0, 0, 4})
+			c.Close()
+		}},
+		{"oversized-frame", func(t *testing.T) {
+			// A length prefix beyond the bound is rejected, not allocated.
+			c := testDial(t, addr)
+			c.RawWrite([]byte{'Q', 0xff, 0xff, 0xff, 0xff})
+			c.Close()
+		}},
+		{"graceful-terminate", func(t *testing.T) {
+			c := testDial(t, addr)
+			mustQueryF(t, c, `BEGIN`)
+			mustQueryF(t, c, `INSERT INTO d VALUES (88888, 'bye')`)
+			c.Terminate() // even a polite goodbye rolls back the open txn
+		}},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			sc.kill(t)
+			waitSessionsGone(t, srv, db, sc.name)
+		})
+	}
+
+	// Nothing any killed connection did inside a transaction survived.
+	rows := engineRows(t, db, `SELECT count(*) FROM d WHERE id >= 88888`)
+	if rows[0] != "0" {
+		t.Fatalf("rolled-back writes visible: %v", rows)
+	}
+	// The mid-stream update never committed either.
+	rows = engineRows(t, db, `SELECT v FROM d WHERE id = 0`)
+	if rows[0] != "v0000" {
+		t.Fatalf("uncommitted update visible: %v", rows)
+	}
+}
+
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nc
+}
+
+// testDial is dial without the test-scoped cleanup (the scenario closes
+// the connection itself).
+func testDial(t *testing.T, addr string) *pgwiretest.Conn {
+	t.Helper()
+	c, err := pgwiretest.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustQueryF(t *testing.T, c *pgwiretest.Conn, sql string) {
+	t.Helper()
+	res, err := c.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	if res.Err != nil {
+		t.Fatalf("%s: %v", sql, res.Err)
+	}
+}
+
+// waitFor reads messages until typ arrives (failing on error frames).
+func waitFor(t *testing.T, c *pgwiretest.Conn, typ byte) {
+	t.Helper()
+	for {
+		m, err := c.ReadMsg()
+		if err != nil {
+			t.Fatalf("waiting for %q: %v", typ, err)
+		}
+		if m.Type == 'E' {
+			t.Fatalf("waiting for %q: got error frame", typ)
+		}
+		if m.Type == typ {
+			return
+		}
+	}
+}
+
+// TestShutdownWithOpenTransactions: a forced shutdown (expired context)
+// cancels in-flight statements, rolls back open transactions, and leaks
+// nothing — the startServer cleanup asserts the counters.
+func TestShutdownAbortsOpenWork(t *testing.T) {
+	srv, db, addr := startServer(t, Options{})
+	db.MustExec(`CREATE TABLE s (a INTEGER)`)
+	db.MustExec(`INSERT INTO s VALUES (1), (2), (3)`)
+
+	c := testDial(t, addr)
+	defer c.Close()
+	mustQueryF(t, c, `BEGIN`)
+	mustQueryF(t, c, `INSERT INTO s VALUES (4)`)
+
+	// Suspended portal on a second connection.
+	c2 := testDial(t, addr)
+	defer c2.Close()
+	c2.SendParse("", `SELECT a FROM s`, nil)
+	c2.SendBind("", "", nil)
+	c2.SendExecute("", 1)
+	c2.SendFlush()
+	waitFor(t, c2, 's')
+
+	// The startServer cleanup drains with a 5s budget; both sessions are
+	// idle at the protocol level, so the drain nudges them out and the
+	// open transaction rolls back.
+	_ = srv
+}

@@ -1,0 +1,162 @@
+package pgwire
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tag/internal/server/pgwire/pgwiretest"
+	"tag/internal/sqldb"
+)
+
+// TestConcurrentSessions hammers the server with N clients interleaving
+// explicit transactions, large parallel-eligible scans, suspended
+// portals, CancelRequests, and abrupt disconnects — the shapes that
+// exercise every cross-goroutine surface (cancel registry, session
+// registry, write latch, snapshot manager). The table is big enough
+// (≥ the engine's 4096-row parallel threshold) and the worker pool wide
+// enough that scans really do fan out. Run under -race in CI; afterwards
+// the startServer cleanup asserts zero snapshots, cursors, transactions,
+// and workers.
+func TestConcurrentSessions(t *testing.T) {
+	srv, db, addr := startServer(t, Options{}, sqldb.WithMaxWorkers(4))
+	db.MustExec(`CREATE TABLE r (id INTEGER, grp INTEGER, v REAL)`)
+	tx := db.Begin()
+	for i := 0; i < 6000; i++ {
+		if _, err := tx.Exec(`INSERT INTO r VALUES (?, ?, ?)`, i, i%13, float64(i)*0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + ci)))
+			for it := 0; it < iters; it++ {
+				if err := raceIteration(r, addr, ci, it); err != nil {
+					errCh <- fmt.Errorf("client %d iter %d: %w", ci, it, err)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	_ = srv
+}
+
+// raceIteration is one client's randomized protocol episode on a fresh
+// connection.
+func raceIteration(r *rand.Rand, addr string, ci, it int) error {
+	c, err := pgwiretest.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	fail := func(stage string, res *pgwiretest.Result, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %v", stage, err)
+		}
+		return fmt.Errorf("%s: %v", stage, res.Err)
+	}
+
+	switch r.Intn(5) {
+	case 0: // big parallel-eligible scan, fully drained
+		res, err := c.Query(`SELECT grp, count(*), sum(v) FROM r GROUP BY grp ORDER BY grp`)
+		if err != nil || res.Err != nil {
+			return fail("group scan", res, err)
+		}
+		if len(res.Rows) != 13 {
+			return fmt.Errorf("group scan: %d groups, want 13", len(res.Rows))
+		}
+	case 1: // explicit transaction, commit or rollback
+		for _, q := range []string{
+			`BEGIN`,
+			fmt.Sprintf(`UPDATE r SET v = v + 1 WHERE id %% 977 = %d`, r.Intn(977)),
+			`SELECT count(*) FROM r`,
+		} {
+			res, err := c.Query(q)
+			if err != nil || res.Err != nil {
+				return fail(q, res, err)
+			}
+		}
+		end := `ROLLBACK`
+		if r.Intn(2) == 0 {
+			end = `COMMIT`
+		}
+		if res, err := c.Query(end); err != nil || res.Err != nil {
+			return fail(end, res, err)
+		}
+	case 2: // suspended portal, then cancel from a second connection
+		c.SendParse("", `SELECT id FROM r ORDER BY id`, nil)
+		c.SendBind("", "", nil)
+		c.SendExecute("", 3)
+		c.SendFlush()
+		for {
+			m, err := c.ReadMsg()
+			if err != nil {
+				return fmt.Errorf("suspend read: %v", err)
+			}
+			if m.Type == 's' {
+				break
+			}
+			if m.Type == 'E' {
+				return fmt.Errorf("suspend leg errored")
+			}
+		}
+		if err := c.Cancel(); err != nil {
+			return fmt.Errorf("cancel: %v", err)
+		}
+		// Whatever the cancel race decides, Sync must land a clean
+		// ReadyForQuery (a 57014 error on the portal is fine).
+		c.SendSync()
+		if _, err := c.Collect(); err != nil {
+			return fmt.Errorf("post-cancel sync: %v", err)
+		}
+	case 3: // abrupt disconnect with an open transaction and portal
+		if res, err := c.Query(`BEGIN`); err != nil || res.Err != nil {
+			return fail("begin", res, err)
+		}
+		c.SendParse("", `SELECT v FROM r WHERE grp = 3`, nil)
+		c.SendBind("", "", nil)
+		c.SendExecute("", 2)
+		c.SendFlush()
+		// Read at most a few frames, then vanish mid-cycle.
+		for i := 0; i < 3; i++ {
+			if _, err := c.ReadMsg(); err != nil {
+				break
+			}
+		}
+		return nil // deferred Close kills the connection abruptly
+	default: // extended-protocol parameterized reads
+		for k := 0; k < 3; k++ {
+			grp := pgwiretest.Str(fmt.Sprint(r.Intn(13)))
+			res, err := c.ExtQuery(`SELECT count(*) FROM r WHERE grp = ?`, grp)
+			if err != nil || res.Err != nil {
+				return fail("ext count", res, err)
+			}
+			if len(res.Rows) != 1 {
+				return fmt.Errorf("ext count: %d rows", len(res.Rows))
+			}
+		}
+	}
+	c.Terminate()
+	return nil
+}

@@ -63,6 +63,44 @@ const (
 	ErrIO ErrorCode = "io"
 )
 
+// sqlStates maps every classified ErrorCode to the SQLSTATE the wire
+// protocol reports for it (ErrorResponse code field). The values are part
+// of the server's stable contract — clients branch on them — and every
+// code maps to a distinct state, pinned by TestSQLStateMappingComplete so
+// a new ErrorCode cannot ship unmapped. ErrUnknown is deliberately absent:
+// unclassified errors fall back to the generic internal class ("XX000")
+// via SQLState's default, exactly like non-engine errors.
+var sqlStates = map[ErrorCode]string{
+	ErrParse:      "42601", // syntax_error
+	ErrNoTable:    "42P01", // undefined_table
+	ErrNoColumn:   "42703", // undefined_column
+	ErrAmbiguous:  "42702", // ambiguous_column
+	ErrNoFunction: "42883", // undefined_function
+	ErrType:       "42804", // datatype_mismatch
+	ErrConstraint: "23000", // integrity_constraint_violation
+	ErrSchema:     "42P07", // duplicate_table
+	ErrMisuse:     "42000", // syntax_error_or_access_rule_violation
+	ErrParams:     "08P01", // protocol_violation (parameter count mismatch)
+	ErrCanceled:   "57014", // query_canceled
+	ErrCursor:     "24000", // invalid_cursor_state
+	ErrInternal:   "XX000", // internal_error
+	ErrIO:         "58030", // io_error
+}
+
+// SQLState returns the five-character SQLSTATE the wire protocol reports
+// for this code. Unmapped codes (including ErrUnknown) report the generic
+// internal class "XX000".
+func (c ErrorCode) SQLState() string {
+	if s, ok := sqlStates[c]; ok {
+		return s
+	}
+	return "XX000"
+}
+
+// SQLStateFor classifies any error into a SQLSTATE: the code's mapped
+// state for engine errors, "XX000" for everything else.
+func SQLStateFor(err error) string { return CodeOf(err).SQLState() }
+
 // Error is the engine's error type: a stable code plus a human-readable
 // message, optionally wrapping a cause (a *ParseError, a context error).
 type Error struct {

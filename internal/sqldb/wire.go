@@ -1,0 +1,120 @@
+package sqldb
+
+import "context"
+
+// This file is the engine's surface for the wire-protocol server
+// (internal/server/pgwire). A wire session parses each statement once
+// (Parse message or simple-query split), dispatches BEGIN/COMMIT/ROLLBACK
+// onto its own *Txn handle, and runs everything else through the two
+// entry points below — so extended-protocol portals never re-parse and
+// never touch the database's SQL-level session transaction (which belongs
+// to single-connection embedded use, not to N concurrent sockets). The
+// probes at the bottom are what the wire test layer pins leak-freedom
+// with: after every disconnect, at every protocol state, live snapshots,
+// open cursors, and parallel workers must all return to zero.
+
+// ExecStmtTx executes one already-parsed non-SELECT statement inside tx;
+// a nil tx runs it as an autocommit statement. BEGIN inside a live tx and
+// COMMIT/ROLLBACK routed here behave exactly as they do through
+// Txn.Exec; callers owning their own transaction state machine (the wire
+// session) intercept those statement kinds before calling this.
+func (db *Database) ExecStmtTx(ctx context.Context, stmt Statement, tx *Txn, params ...any) (int, error) {
+	qc := newQueryCtx(ctx, db)
+	defer qc.flush()
+	return db.execStmt(qc, stmt, bindParams(params), tx)
+}
+
+// QueryRowsStmt opens a streaming cursor over an already-parsed SELECT
+// inside tx (nil = autocommit read with its own fresh snapshot). The
+// cursor holds its own snapshot reference; Close releases it — a wire
+// portal maps one-to-one onto this cursor and must Close it on every
+// exit path (Execute completion, portal close, Sync teardown, session
+// death).
+func (db *Database) QueryRowsStmt(ctx context.Context, sel *SelectStmt, tx *Txn, params ...any) (*Rows, error) {
+	return db.queryRows(ctx, sel, bindParams(params), tx)
+}
+
+// LiveSnapshots reports the number of registered MVCC snapshots currently
+// pinning the vacuum horizon. An idle database with no open cursors or
+// transactions reports zero; the wire disconnect matrix asserts it
+// returns to zero after killing connections at every protocol state.
+func (db *Database) LiveSnapshots() int { return db.tm.liveSnapshots() }
+
+// LiveParallelWorkers reports engine-wide live parallel-scan worker
+// goroutines (zero when no query is mid-flight). Like LiveSnapshots it
+// exists for leak assertions: workers must be stopped and joined before a
+// cursor's snapshot is released, no matter how the connection died.
+func LiveParallelWorkers() int64 { return parallelWorkersActive.Load() }
+
+// NumParams reports the number of positional ? parameters stmt references
+// (max index + 1), descending into subqueries and derived tables. The
+// wire server answers Describe's ParameterDescription with it and uses it
+// to bind NULL placeholders when planning a result-shape probe.
+func NumParams(stmt Statement) int {
+	n := 0
+	var visitExpr func(e Expr)
+	var visitSel func(s *SelectStmt)
+	visitExpr = func(e Expr) {
+		walkExpr(e, func(x Expr) bool {
+			switch t := x.(type) {
+			case *Param:
+				if t.Index+1 > n {
+					n = t.Index + 1
+				}
+			case *Subquery:
+				visitSel(t.Select)
+			case *ExistsExpr:
+				visitSel(t.Select)
+			case *InList:
+				if t.Sub != nil {
+					visitSel(t.Sub)
+				}
+			}
+			return true
+		})
+	}
+	visitSel = func(s *SelectStmt) {
+		if s == nil {
+			return
+		}
+		for _, it := range s.Items {
+			visitExpr(it.Expr)
+		}
+		if s.From != nil {
+			visitSel(s.From.Sub)
+		}
+		for _, j := range s.Joins {
+			visitSel(j.Table.Sub)
+			visitExpr(j.On)
+		}
+		visitExpr(s.Where)
+		for _, g := range s.GroupBy {
+			visitExpr(g)
+		}
+		visitExpr(s.Having)
+		for _, o := range s.OrderBy {
+			visitExpr(o.Expr)
+		}
+		visitExpr(s.Limit)
+		visitExpr(s.Offset)
+	}
+	switch t := stmt.(type) {
+	case *SelectStmt:
+		visitSel(t)
+	case *InsertStmt:
+		for _, row := range t.Rows {
+			for _, e := range row {
+				visitExpr(e)
+			}
+		}
+		visitSel(t.Select)
+	case *UpdateStmt:
+		for _, sc := range t.Set {
+			visitExpr(sc.Expr)
+		}
+		visitExpr(t.Where)
+	case *DeleteStmt:
+		visitExpr(t.Where)
+	}
+	return n
+}
